@@ -1,0 +1,232 @@
+//! Offline attribute-set clustering (the "hidden schema" comparator).
+
+use std::collections::HashMap;
+
+use cind_model::{Entity, EntityId, Synopsis};
+use cind_storage::{SegmentId, StorageError, UniversalTable};
+use cinderella_core::CoreError;
+
+use crate::accounting::SegmentAccounting;
+use crate::traits::Partitioner;
+
+/// Configuration of the offline clusterer.
+#[derive(Clone, Copy, Debug)]
+pub struct OfflineConfig {
+    /// Minimum Jaccard similarity between an entity's attribute set and a
+    /// cluster leader's for the entity to join the cluster.
+    pub jaccard_threshold: f64,
+    /// Maximum entities per cluster (capped like Cinderella's `B` for a
+    /// fair comparison).
+    pub capacity: u64,
+}
+
+impl Default for OfflineConfig {
+    fn default() -> Self {
+        Self { jaccard_threshold: 0.4, capacity: 5000 }
+    }
+}
+
+/// Batch leader clustering of entities by attribute-set Jaccard similarity,
+/// in the spirit of the hidden-schema inference the paper cites (Chu et
+/// al., SIGMOD'07, adapted from vertical to horizontal partitioning): it
+/// sees the *whole* dataset before deciding, so it serves as the offline
+/// upper bound Cinderella's online behaviour is compared to.
+///
+/// [`Partitioner::load`] performs the clustering; the online
+/// [`Partitioner::insert`] path falls back to nearest-leader assignment
+/// (the natural way to keep an offline partitioning alive between
+/// re-clusterings).
+pub struct OfflineClustering {
+    config: OfflineConfig,
+    clusters: Vec<Cluster>,
+    homes: HashMap<EntityId, usize>,
+}
+
+struct Cluster {
+    leader: Synopsis,
+    acc: SegmentAccounting,
+}
+
+impl OfflineClustering {
+    /// Creates the clusterer.
+    ///
+    /// # Panics
+    /// Panics on a zero capacity or a threshold outside `[0, 1]`.
+    pub fn new(config: OfflineConfig) -> Self {
+        assert!(config.capacity > 0, "capacity must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.jaccard_threshold),
+            "threshold in [0, 1]"
+        );
+        Self { config, clusters: Vec::new(), homes: HashMap::new() }
+    }
+
+    fn jaccard(a: &Synopsis, b: &Synopsis) -> f64 {
+        let union = a.union_count(b);
+        if union == 0 {
+            // Two empty attribute sets are identical.
+            return 1.0;
+        }
+        f64::from(a.overlap(b)) / f64::from(union)
+    }
+
+    /// Index of the best open cluster for `syn`, if any passes the
+    /// threshold.
+    fn best_cluster(&self, syn: &Synopsis) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in self.clusters.iter().enumerate() {
+            if c.acc.entities >= self.config.capacity {
+                continue;
+            }
+            let j = Self::jaccard(syn, &c.leader);
+            if j >= self.config.jaccard_threshold
+                && best.is_none_or(|(_, bj)| bj < j)
+            {
+                best = Some((i, j));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn place(
+        &mut self,
+        table: &mut UniversalTable,
+        entity: Entity,
+    ) -> Result<(), CoreError> {
+        let syn = entity.synopsis(table.universe());
+        let idx = match self.best_cluster(&syn) {
+            Some(i) => i,
+            None => {
+                let seg = table.create_segment();
+                self.clusters.push(Cluster {
+                    leader: syn.clone(),
+                    acc: SegmentAccounting::new(seg),
+                });
+                self.clusters.len() - 1
+            }
+        };
+        let cluster = &mut self.clusters[idx];
+        table.insert(cluster.acc.segment, &entity)?;
+        cluster.acc.add(&entity);
+        self.homes.insert(entity.id(), idx);
+        Ok(())
+    }
+}
+
+impl Partitioner for OfflineClustering {
+    fn name(&self) -> &'static str {
+        "offline-clustering"
+    }
+
+    fn insert(&mut self, table: &mut UniversalTable, entity: Entity) -> Result<(), CoreError> {
+        self.place(table, entity)
+    }
+
+    fn delete(&mut self, table: &mut UniversalTable, id: EntityId) -> Result<Entity, CoreError> {
+        let idx = *self.homes.get(&id).ok_or(StorageError::NoSuchEntity(id))?;
+        let e = table.delete(id)?;
+        self.clusters[idx].acc.remove(&e);
+        self.homes.remove(&id);
+        Ok(e)
+    }
+
+    /// Offline clustering proper: sorts the batch by descending arity (rich
+    /// entities make informative leaders) before leader assignment. This is
+    /// the batch advantage the online algorithm does not have.
+    fn load(
+        &mut self,
+        table: &mut UniversalTable,
+        mut entities: Vec<Entity>,
+    ) -> Result<(), CoreError> {
+        entities.sort_by_key(|e| std::cmp::Reverse(e.arity()));
+        for e in entities {
+            self.place(table, e)?;
+        }
+        Ok(())
+    }
+
+    fn pruning_view(&self) -> Vec<(SegmentId, Synopsis, u64)> {
+        self.clusters
+            .iter()
+            .map(|c| (c.acc.segment, c.acc.synopsis.clone(), c.acc.size))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::{AttrId, Value};
+
+    fn entity(table: &mut UniversalTable, id: u64, names: &[&str]) -> Entity {
+        let attrs: Vec<(AttrId, Value)> = names
+            .iter()
+            .map(|n| (table.catalog_mut().intern(n), Value::Int(1)))
+            .collect();
+        Entity::new(EntityId(id), attrs).unwrap()
+    }
+
+    #[test]
+    fn batch_load_separates_shapes() {
+        let mut t = UniversalTable::new(64);
+        let mut p = OfflineClustering::new(OfflineConfig::default());
+        let mut batch = Vec::new();
+        for i in 0..20u64 {
+            let shape: &[&str] = if i % 2 == 0 {
+                &["res", "zoom", "screen"]
+            } else {
+                &["rpm", "cache", "formFactor"]
+            };
+            batch.push(entity(&mut t, i, shape));
+        }
+        p.load(&mut t, batch).unwrap();
+        assert_eq!(p.partition_count(), 2);
+        for (_, syn, size) in p.pruning_view() {
+            assert_eq!(syn.cardinality(), 3, "shapes must not mix");
+            assert_eq!(size, 30);
+        }
+    }
+
+    #[test]
+    fn capacity_caps_cluster_growth() {
+        let mut t = UniversalTable::new(64);
+        let mut p = OfflineClustering::new(OfflineConfig {
+            capacity: 5,
+            ..OfflineConfig::default()
+        });
+        let batch: Vec<Entity> =
+            (0..12u64).map(|i| entity(&mut t, i, &["a", "b"])).collect();
+        p.load(&mut t, batch).unwrap();
+        assert_eq!(p.partition_count(), 3);
+        for (_, _, size) in p.pruning_view() {
+            assert!(size <= 10);
+        }
+    }
+
+    #[test]
+    fn online_insert_and_delete_work() {
+        let mut t = UniversalTable::new(64);
+        let mut p = OfflineClustering::new(OfflineConfig::default());
+        let e1 = entity(&mut t, 1, &["a", "b"]);
+        let e2 = entity(&mut t, 2, &["a", "b"]);
+        let e3 = entity(&mut t, 3, &["x", "y"]);
+        p.insert(&mut t, e1).unwrap();
+        p.insert(&mut t, e2).unwrap();
+        p.insert(&mut t, e3).unwrap();
+        assert_eq!(p.partition_count(), 2);
+        p.delete(&mut t, EntityId(1)).unwrap();
+        let total: u64 = p.pruning_view().iter().map(|(_, _, s)| s).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn jaccard_corner_cases() {
+        let a = Synopsis::from_bits(8, [0, 1]);
+        let b = Synopsis::from_bits(8, [1, 2]);
+        let e = Synopsis::empty(8);
+        assert!((OfflineClustering::jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(OfflineClustering::jaccard(&a, &a), 1.0);
+        assert_eq!(OfflineClustering::jaccard(&e, &e), 1.0);
+        assert_eq!(OfflineClustering::jaccard(&a, &e), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! The common partitioner interface.
+
+use cind_model::{Entity, EntityId, Synopsis};
+use cind_storage::{SegmentId, UniversalTable};
+use cinderella_core::{Cinderella, CoreError};
+
+/// A horizontal partitioning policy over a [`UniversalTable`].
+///
+/// The interface is the least common denominator the experiments need:
+/// online insert/delete plus the pruning view (partition synopses and
+/// sizes) the query planner and the efficiency metric consume.
+pub trait Partitioner {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Inserts one entity, placing it per this policy.
+    fn insert(&mut self, table: &mut UniversalTable, entity: Entity) -> Result<(), CoreError>;
+
+    /// Deletes one entity.
+    fn delete(&mut self, table: &mut UniversalTable, id: EntityId) -> Result<Entity, CoreError>;
+
+    /// `(segment, attribute synopsis, SIZE(p) in cells)` per partition —
+    /// what the planner prunes against and Definition 1 sums over.
+    fn pruning_view(&self) -> Vec<(SegmentId, Synopsis, u64)>;
+
+    /// Number of partitions.
+    fn partition_count(&self) -> usize {
+        self.pruning_view().len()
+    }
+
+    /// Bulk-loads a batch by repeated insert (policies with batch knowledge
+    /// override this).
+    fn load(
+        &mut self,
+        table: &mut UniversalTable,
+        entities: Vec<Entity>,
+    ) -> Result<(), CoreError> {
+        for e in entities {
+            self.insert(table, e)?;
+        }
+        Ok(())
+    }
+}
+
+impl Partitioner for Cinderella {
+    fn name(&self) -> &'static str {
+        "cinderella"
+    }
+
+    fn insert(&mut self, table: &mut UniversalTable, entity: Entity) -> Result<(), CoreError> {
+        Cinderella::insert(self, table, entity).map(|_| ())
+    }
+
+    fn delete(&mut self, table: &mut UniversalTable, id: EntityId) -> Result<Entity, CoreError> {
+        Cinderella::delete(self, table, id)
+    }
+
+    fn pruning_view(&self) -> Vec<(SegmentId, Synopsis, u64)> {
+        self.catalog()
+            .pruning_view()
+            .map(|(seg, syn, size)| (seg, syn.clone(), size))
+            .collect()
+    }
+
+    fn partition_count(&self) -> usize {
+        self.catalog().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::Value;
+    use cinderella_core::Config;
+
+    #[test]
+    fn cinderella_implements_the_trait() {
+        let mut table = UniversalTable::new(64);
+        let mut p: Box<dyn Partitioner> = Box::new(Cinderella::new(Config::default()));
+        let a = table.catalog_mut().intern("a");
+        let e = Entity::new(EntityId(1), [(a, Value::Int(1))]).unwrap();
+        p.insert(&mut table, e).unwrap();
+        assert_eq!(p.name(), "cinderella");
+        assert_eq!(p.partition_count(), 1);
+        let view = p.pruning_view();
+        assert_eq!(view.len(), 1);
+        assert!(view[0].1.contains(a));
+        assert_eq!(view[0].2, 1);
+        let removed = p.delete(&mut table, EntityId(1)).unwrap();
+        assert_eq!(removed.id(), EntityId(1));
+        assert_eq!(p.partition_count(), 0);
+    }
+}

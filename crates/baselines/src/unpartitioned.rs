@@ -1,0 +1,92 @@
+//! The unpartitioned universal table (the paper's baseline).
+
+use cind_model::{Entity, EntityId, Synopsis};
+use cind_storage::{SegmentId, StorageError, UniversalTable};
+use cinderella_core::CoreError;
+
+use crate::accounting::SegmentAccounting;
+use crate::traits::Partitioner;
+
+/// Everything in one segment. Queries can never prune, so every query scans
+/// the whole table — exactly the behaviour the paper measures as "universal
+/// table" in Figs. 5–6 and "Standard TPC-H" in Table I.
+pub struct Unpartitioned {
+    acc: Option<SegmentAccounting>,
+}
+
+impl Unpartitioned {
+    /// Creates the baseline (the segment is allocated on first insert).
+    pub fn new() -> Self {
+        Self { acc: None }
+    }
+}
+
+impl Default for Unpartitioned {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Partitioner for Unpartitioned {
+    fn name(&self) -> &'static str {
+        "unpartitioned"
+    }
+
+    fn insert(&mut self, table: &mut UniversalTable, entity: Entity) -> Result<(), CoreError> {
+        let acc = match &mut self.acc {
+            Some(acc) => acc,
+            None => {
+                let seg = table.create_segment();
+                self.acc.insert(SegmentAccounting::new(seg))
+            }
+        };
+        table.insert(acc.segment, &entity)?;
+        acc.add(&entity);
+        Ok(())
+    }
+
+    fn delete(&mut self, table: &mut UniversalTable, id: EntityId) -> Result<Entity, CoreError> {
+        let acc = self.acc.as_mut().ok_or(StorageError::NoSuchEntity(id))?;
+        let e = table.delete(id)?;
+        acc.remove(&e);
+        Ok(e)
+    }
+
+    fn pruning_view(&self) -> Vec<(SegmentId, Synopsis, u64)> {
+        self.acc
+            .iter()
+            .map(|a| (a.segment, a.synopsis.clone(), a.size))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::Value;
+
+    #[test]
+    fn single_segment_holds_everything() {
+        let mut t = UniversalTable::new(64);
+        let mut p = Unpartitioned::new();
+        for i in 0..10u64 {
+            let a = t.catalog_mut().intern(if i % 2 == 0 { "a" } else { "b" });
+            let e = Entity::new(EntityId(i), [(a, Value::Int(1))]).unwrap();
+            p.insert(&mut t, e).unwrap();
+        }
+        assert_eq!(p.partition_count(), 1);
+        assert_eq!(t.segment_count(), 1);
+        let view = p.pruning_view();
+        assert_eq!(view[0].2, 10);
+        assert_eq!(view[0].1.cardinality(), 2);
+        p.delete(&mut t, EntityId(0)).unwrap();
+        assert_eq!(p.pruning_view()[0].2, 9);
+    }
+
+    #[test]
+    fn delete_before_insert_errors() {
+        let mut t = UniversalTable::new(64);
+        let mut p = Unpartitioned::new();
+        assert!(p.delete(&mut t, EntityId(1)).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Macrobench: the extension operations — merge pass and parallel bulk
+//! load — at realistic sizes.
+
+use cind_datagen::{DbpediaConfig, DbpediaGenerator};
+use cind_model::EntityId;
+use cind_storage::UniversalTable;
+use cinderella_core::{bulk_load, Capacity, Cinderella, Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const ENTITIES: usize = 10_000;
+
+fn config(b: u64) -> Config {
+    Config {
+        weight: 0.3,
+        capacity: Capacity::MaxEntities(b),
+        ..Config::default()
+    }
+}
+
+/// A loaded table with 85 % of the entities deleted — the merge pass's
+/// natural input.
+fn fragmented() -> (UniversalTable, Cinderella) {
+    let mut table = UniversalTable::new(512);
+    let entities = DbpediaGenerator::new(DbpediaConfig {
+        entities: ENTITIES,
+        ..DbpediaConfig::default()
+    })
+    .generate(table.catalog_mut());
+    let mut cindy = Cinderella::new(config(200));
+    for e in entities {
+        cindy.insert(&mut table, e).expect("insert");
+    }
+    for i in 0..ENTITIES as u64 {
+        if i % 7 != 0 {
+            cindy.delete(&mut table, EntityId(i)).expect("delete");
+        }
+    }
+    (table, cindy)
+}
+
+fn bench_merge_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maintenance/merge_pass_10k");
+    g.sample_size(10);
+    g.bench_function("after_85pct_deletes", |b| {
+        b.iter_batched(
+            fragmented,
+            |(mut table, mut cindy)| {
+                let report = cindy.merge_pass(&mut table, 0.5).expect("merge");
+                assert!(report.merges > 0);
+                (table, cindy)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maintenance/bulk_load_10k");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter_batched(
+                    || {
+                        let mut table = UniversalTable::new(512);
+                        let entities = DbpediaGenerator::new(DbpediaConfig {
+                            entities: ENTITIES,
+                            ..DbpediaConfig::default()
+                        })
+                        .generate(table.catalog_mut());
+                        (table, entities)
+                    },
+                    |(mut table, entities)| {
+                        let (cindy, _) =
+                            bulk_load(&mut table, config(2_000), entities, threads)
+                                .expect("bulk load");
+                        (table, cindy)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_merge_pass, bench_bulk_load);
+criterion_main!(benches);

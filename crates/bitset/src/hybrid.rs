@@ -1,0 +1,224 @@
+//! Adaptive bitset that promotes from sparse to dense by population.
+
+use crate::fixed::FixedBitSet;
+use crate::ops::BitSetOps;
+use crate::sparse::SparseBitSet;
+
+/// Population at which a [`HybridBitSet`] promotes its sparse representation
+/// to a dense one. 16 sorted `u32`s occupy one cache line; beyond that the
+/// dense popcount loop wins for the synopsis universes Cinderella sees.
+pub const PROMOTE_AT: usize = 16;
+
+/// A bitset that starts as a [`SparseBitSet`] and promotes itself to a
+/// [`FixedBitSet`] once it holds more than [`PROMOTE_AT`] bits.
+///
+/// Partition synopses in a freshly split partition hold few attributes and
+/// grow as heterogeneous entities are admitted; the hybrid keeps small
+/// synopses compact (so scanning a large partition catalog stays
+/// cache-friendly — the paper's stated scaling concern) while large synopses
+/// get dense popcount ratings. Promotion is one-way: deletion below the
+/// threshold does not demote, avoiding oscillation.
+///
+/// ```
+/// use cind_bitset::{BitSetOps, HybridBitSet, PROMOTE_AT};
+///
+/// let mut s = HybridBitSet::new(1000);
+/// for bit in 0..PROMOTE_AT as u32 {
+///     s.insert(bit);
+/// }
+/// assert!(!s.is_dense(), "small sets stay sparse");
+/// s.insert(999);
+/// assert!(s.is_dense(), "crossing the threshold promotes");
+/// assert_eq!(s.count(), PROMOTE_AT as u32 + 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HybridBitSet {
+    /// Few bits: sorted-vector representation.
+    Sparse(SparseBitSet),
+    /// Many bits: dense block representation.
+    Dense(FixedBitSet),
+}
+
+impl Default for HybridBitSet {
+    fn default() -> Self {
+        Self::Sparse(SparseBitSet::new())
+    }
+}
+
+impl HybridBitSet {
+    /// Creates an empty hybrid bitset over the universe `0..capacity`.
+    ///
+    /// The capacity is only used when (and if) the set promotes to dense.
+    pub fn new(capacity: usize) -> Self {
+        let _ = capacity; // capacity is re-derived at promotion from max bit
+        Self::default()
+    }
+
+    /// Creates a hybrid bitset from bit indices, choosing the representation
+    /// by the resulting population.
+    pub fn from_iter(capacity: usize, bits: impl IntoIterator<Item = u32>) -> Self {
+        let mut s = Self::new(capacity);
+        for b in bits {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Whether the current representation is dense.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, Self::Dense(_))
+    }
+
+    fn promote(&mut self) {
+        if let Self::Sparse(s) = self {
+            let cap = s.max_bit().map_or(64, |m| m as usize + 1);
+            let mut dense = FixedBitSet::new(cap.max(64));
+            for b in s.iter_ones() {
+                dense.insert(b);
+            }
+            *self = Self::Dense(dense);
+        }
+    }
+}
+
+impl BitSetOps for HybridBitSet {
+    fn insert(&mut self, bit: u32) -> bool {
+        match self {
+            Self::Sparse(s) => {
+                let added = s.insert(bit);
+                if s.count() as usize > PROMOTE_AT {
+                    self.promote();
+                }
+                added
+            }
+            Self::Dense(d) => {
+                if bit as usize >= d.capacity() {
+                    d.grow((bit as usize + 1).next_power_of_two());
+                }
+                d.insert(bit)
+            }
+        }
+    }
+
+    fn remove(&mut self, bit: u32) -> bool {
+        match self {
+            Self::Sparse(s) => s.remove(bit),
+            Self::Dense(d) => d.remove(bit),
+        }
+    }
+
+    fn contains(&self, bit: u32) -> bool {
+        match self {
+            Self::Sparse(s) => s.contains(bit),
+            Self::Dense(d) => d.contains(bit),
+        }
+    }
+
+    fn count(&self) -> u32 {
+        match self {
+            Self::Sparse(s) => s.count(),
+            Self::Dense(d) => d.count(),
+        }
+    }
+
+    fn and_count(&self, other: &Self) -> u32 {
+        match (self, other) {
+            (Self::Sparse(a), Self::Sparse(b)) => a.and_count(b),
+            (Self::Dense(a), Self::Dense(b)) => a.and_count(b),
+            (Self::Sparse(a), Self::Dense(b)) | (Self::Dense(b), Self::Sparse(a)) => {
+                a.iter_ones().filter(|&bit| b.contains(bit)).count() as u32
+            }
+        }
+    }
+
+    fn union_with(&mut self, other: &Self) {
+        match other {
+            Self::Sparse(o) => {
+                for b in o.iter_ones() {
+                    self.insert(b);
+                }
+            }
+            Self::Dense(o) => {
+                self.promote();
+                if let Self::Dense(d) = self {
+                    d.union_with(o);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Self::Sparse(s) => s.clear(),
+            Self::Dense(d) => d.clear(),
+        }
+    }
+
+    fn iter_ones(&self) -> Box<dyn Iterator<Item = u32> + '_> {
+        match self {
+            Self::Sparse(s) => s.iter_ones(),
+            Self::Dense(d) => d.iter_ones(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_sparse_promotes_dense() {
+        let mut s = HybridBitSet::new(1000);
+        for i in 0..PROMOTE_AT as u32 {
+            s.insert(i * 7);
+        }
+        assert!(!s.is_dense());
+        s.insert(999);
+        assert!(s.is_dense());
+        assert_eq!(s.count(), PROMOTE_AT as u32 + 1);
+        for i in 0..PROMOTE_AT as u32 {
+            assert!(s.contains(i * 7));
+        }
+        assert!(s.contains(999));
+    }
+
+    #[test]
+    fn promotion_is_one_way() {
+        let mut s = HybridBitSet::from_iter(100, 0..(PROMOTE_AT as u32 + 1));
+        assert!(s.is_dense());
+        for i in 0..PROMOTE_AT as u32 + 1 {
+            s.remove(i);
+        }
+        assert!(s.is_dense());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn mixed_representation_counts() {
+        let sparse = HybridBitSet::from_iter(100, [1, 5, 9]);
+        let dense = HybridBitSet::from_iter(100, 0..20);
+        assert!(!sparse.is_dense());
+        assert!(dense.is_dense());
+        assert_eq!(sparse.and_count(&dense), 3);
+        assert_eq!(dense.and_count(&sparse), 3);
+        assert_eq!(sparse.or_count(&dense), 20);
+        assert_eq!(sparse.xor_count(&dense), 17);
+    }
+
+    #[test]
+    fn union_with_dense_promotes() {
+        let mut a = HybridBitSet::from_iter(100, [1]);
+        let b = HybridBitSet::from_iter(100, 0..20);
+        a.union_with(&b);
+        assert!(a.is_dense());
+        assert_eq!(a.count(), 20);
+    }
+
+    #[test]
+    fn dense_insert_past_capacity_grows() {
+        let mut s = HybridBitSet::from_iter(10, 0..20);
+        assert!(s.is_dense());
+        s.insert(5_000);
+        assert!(s.contains(5_000));
+    }
+}

@@ -1,0 +1,80 @@
+//! Bitset data structures for partition and entity synopses.
+//!
+//! Cinderella's partition rating (paper §IV) reduces entirely to set algebra
+//! over attribute sets: `|e ∧ p|`, `|¬e ∧ p|`, `|e ∧ ¬p|`, `|e ∨ p|`, and the
+//! split-starter difference `|e₁ ⊕ e₂|`. This crate provides the bitset
+//! machinery those operators run on, built from scratch on `u64` blocks with
+//! *fused* count operations (`and_count`, `or_count`, `xor_count`,
+//! `andnot_count`) so that a rating never materialises a temporary bitset.
+//!
+//! Three representations are provided, all implementing [`BitSetOps`]:
+//!
+//! * [`FixedBitSet`] — dense `u64`-block bitset with a fixed universe size.
+//!   This is the workhorse for partition synopses, where the universe (the
+//!   attribute dictionary of the universal table) is known.
+//! * [`SparseBitSet`] — a sorted vector of bit indices. Cheaper than a dense
+//!   bitset when only a handful of bits are set, which is the common case for
+//!   *entity* synopses in long-tailed data (DBpedia: most entities have
+//!   2–15 of 100 attributes).
+//! * [`HybridBitSet`] — starts sparse and promotes itself to dense once the
+//!   population passes a density threshold. This implements the paper's
+//!   future-work item of "specialized data structures" for managing a large
+//!   number of synopses; the `ablations` bench quantifies the effect.
+//!
+//! [`GrowableBitSet`] wraps [`FixedBitSet`] with automatic universe growth
+//! for callers that discover attributes on the fly.
+//!
+//! # Example
+//!
+//! ```
+//! use cind_bitset::{BitSetOps, FixedBitSet};
+//!
+//! let mut e = FixedBitSet::new(100);
+//! e.insert(3);
+//! e.insert(40);
+//! let mut p = FixedBitSet::new(100);
+//! p.insert(3);
+//! p.insert(7);
+//! assert_eq!(e.and_count(&p), 1); // |e ∧ p|
+//! assert_eq!(e.xor_count(&p), 2); // |e ⊕ p|
+//! assert_eq!(e.or_count(&p), 3);  // |e ∨ p|
+//! assert_eq!(p.andnot_count(&e), 1); // |¬e ∧ p|
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fixed;
+mod growable;
+mod hybrid;
+mod ops;
+mod sparse;
+
+pub use fixed::FixedBitSet;
+pub use growable::GrowableBitSet;
+pub use hybrid::{HybridBitSet, PROMOTE_AT};
+pub use ops::BitSetOps;
+pub use sparse::SparseBitSet;
+
+/// Number of bits per storage block.
+pub(crate) const BITS: usize = u64::BITS as usize;
+
+/// Number of `u64` blocks needed to hold `nbits` bits.
+pub(crate) fn blocks_for(nbits: usize) -> usize {
+    nbits.div_ceil(BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_for_boundaries() {
+        assert_eq!(blocks_for(0), 0);
+        assert_eq!(blocks_for(1), 1);
+        assert_eq!(blocks_for(64), 1);
+        assert_eq!(blocks_for(65), 2);
+        assert_eq!(blocks_for(128), 2);
+        assert_eq!(blocks_for(129), 3);
+    }
+}

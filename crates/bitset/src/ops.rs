@@ -1,0 +1,71 @@
+//! The common operation set shared by all synopsis bitset representations.
+
+/// Set-algebra operations required by Cinderella's rating and split-starter
+/// maintenance.
+///
+/// All `*_count` methods are *fused*: they compute the cardinality of the
+/// combined set without materialising it. Implementations must treat the two
+/// operands as subsets of a common (possibly implicit) universe; bits beyond
+/// either operand's capacity are considered unset.
+pub trait BitSetOps {
+    /// Inserts `bit`. Returns `true` if the bit was newly set.
+    fn insert(&mut self, bit: u32) -> bool;
+
+    /// Removes `bit`. Returns `true` if the bit was previously set.
+    fn remove(&mut self, bit: u32) -> bool;
+
+    /// Whether `bit` is set.
+    fn contains(&self, bit: u32) -> bool;
+
+    /// Number of set bits (`|s|`).
+    fn count(&self) -> u32;
+
+    /// Whether no bit is set.
+    fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// `|self ∧ other|` — size of the intersection.
+    fn and_count(&self, other: &Self) -> u32;
+
+    /// `|self ∨ other|` — size of the union.
+    fn or_count(&self, other: &Self) -> u32 {
+        self.count() + other.count() - self.and_count(other)
+    }
+
+    /// `|self ⊕ other|` — size of the symmetric difference. This is the
+    /// paper's `DIFF(e₁, e₂)` used for split-starter maintenance.
+    fn xor_count(&self, other: &Self) -> u32 {
+        self.count() + other.count() - 2 * self.and_count(other)
+    }
+
+    /// `|self ∧ ¬other|` — bits set here but not in `other`.
+    ///
+    /// With `self = p` and `other = e` this is the paper's `|¬e ∧ p|`
+    /// (attributes the partition has but the entity lacks); with the
+    /// operands swapped it is `|e ∧ ¬p|`.
+    fn andnot_count(&self, other: &Self) -> u32 {
+        self.count() - self.and_count(other)
+    }
+
+    /// Whether the intersection is empty (`|self ∧ other| = 0`) — the
+    /// partition-pruning test.
+    fn is_disjoint(&self, other: &Self) -> bool {
+        self.and_count(other) == 0
+    }
+
+    /// Whether every bit of `self` is also set in `other`.
+    fn is_subset(&self, other: &Self) -> bool {
+        self.and_count(other) == self.count()
+    }
+
+    /// Sets every bit of `other` in `self` (`self ∨= other`). Used to fold an
+    /// entity synopsis into a partition synopsis.
+    fn union_with(&mut self, other: &Self);
+
+    /// Removes every bit set in `self` (resets to the empty set).
+    fn clear(&mut self);
+
+    /// The set bits in ascending order.
+    fn iter_ones(&self) -> Box<dyn Iterator<Item = u32> + '_>;
+}

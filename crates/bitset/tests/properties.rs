@@ -1,0 +1,118 @@
+//! Property tests: every bitset representation must agree with a reference
+//! implementation built on `BTreeSet<u32>`.
+
+use cind_bitset::{BitSetOps, FixedBitSet, GrowableBitSet, HybridBitSet, SparseBitSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const UNIVERSE: u32 = 256;
+
+fn bits() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..UNIVERSE, 0..64)
+}
+
+/// Reference counts computed with BTreeSet.
+fn reference(a: &[u32], b: &[u32]) -> (u32, u32, u32, u32, u32) {
+    let sa: BTreeSet<u32> = a.iter().copied().collect();
+    let sb: BTreeSet<u32> = b.iter().copied().collect();
+    let and = sa.intersection(&sb).count() as u32;
+    let or = sa.union(&sb).count() as u32;
+    let xor = sa.symmetric_difference(&sb).count() as u32;
+    let a_not_b = sa.difference(&sb).count() as u32;
+    let b_not_a = sb.difference(&sa).count() as u32;
+    (and, or, xor, a_not_b, b_not_a)
+}
+
+macro_rules! agree_with_reference {
+    ($name:ident, $make:expr) => {
+        proptest! {
+            #[test]
+            fn $name(a in bits(), b in bits()) {
+                let (and, or, xor, a_not_b, b_not_a) = reference(&a, &b);
+                let sa = $make(&a);
+                let sb = $make(&b);
+                prop_assert_eq!(sa.and_count(&sb), and);
+                prop_assert_eq!(sa.or_count(&sb), or);
+                prop_assert_eq!(sa.xor_count(&sb), xor);
+                prop_assert_eq!(sa.andnot_count(&sb), a_not_b);
+                prop_assert_eq!(sb.andnot_count(&sa), b_not_a);
+                prop_assert_eq!(sa.is_disjoint(&sb), and == 0);
+                prop_assert_eq!(sa.is_subset(&sb), a_not_b == 0);
+                // Count and iteration agree with the reference set.
+                let ra: BTreeSet<u32> = a.iter().copied().collect();
+                prop_assert_eq!(sa.count() as usize, ra.len());
+                let iterated: Vec<u32> = sa.iter_ones().collect();
+                let expect: Vec<u32> = ra.iter().copied().collect();
+                prop_assert_eq!(iterated, expect);
+            }
+        }
+    };
+}
+
+agree_with_reference!(fixed_agrees, |v: &[u32]| FixedBitSet::from_iter(
+    UNIVERSE as usize,
+    v.iter().copied()
+));
+agree_with_reference!(sparse_agrees, |v: &[u32]| SparseBitSet::from_iter(
+    v.iter().copied()
+));
+agree_with_reference!(growable_agrees, |v: &[u32]| GrowableBitSet::from_iter(
+    v.iter().copied()
+));
+agree_with_reference!(hybrid_agrees, |v: &[u32]| HybridBitSet::from_iter(
+    UNIVERSE as usize,
+    v.iter().copied()
+));
+
+proptest! {
+    /// insert/remove sequences leave every representation equal to the
+    /// reference set.
+    #[test]
+    fn mutation_sequences_agree(ops in prop::collection::vec((any::<bool>(), 0..UNIVERSE), 0..128)) {
+        let mut reference = BTreeSet::new();
+        let mut fixed = FixedBitSet::new(UNIVERSE as usize);
+        let mut sparse = SparseBitSet::new();
+        let mut growable = GrowableBitSet::new();
+        let mut hybrid = HybridBitSet::new(UNIVERSE as usize);
+        for (is_insert, bit) in ops {
+            if is_insert {
+                let expect = reference.insert(bit);
+                prop_assert_eq!(fixed.insert(bit), expect);
+                prop_assert_eq!(sparse.insert(bit), expect);
+                prop_assert_eq!(growable.insert(bit), expect);
+                prop_assert_eq!(hybrid.insert(bit), expect);
+            } else {
+                let expect = reference.remove(&bit);
+                prop_assert_eq!(fixed.remove(bit), expect);
+                prop_assert_eq!(sparse.remove(bit), expect);
+                prop_assert_eq!(growable.remove(bit), expect);
+                prop_assert_eq!(hybrid.remove(bit), expect);
+            }
+        }
+        let expect: Vec<u32> = reference.iter().copied().collect();
+        prop_assert_eq!(fixed.iter_ones().collect::<Vec<_>>(), expect.clone());
+        prop_assert_eq!(sparse.iter_ones().collect::<Vec<_>>(), expect.clone());
+        prop_assert_eq!(growable.iter_ones().collect::<Vec<_>>(), expect.clone());
+        prop_assert_eq!(hybrid.iter_ones().collect::<Vec<_>>(), expect);
+    }
+
+    /// union_with equals the reference union.
+    #[test]
+    fn union_with_agrees(a in bits(), b in bits()) {
+        let ra: BTreeSet<u32> = a.iter().copied().collect();
+        let rb: BTreeSet<u32> = b.iter().copied().collect();
+        let expect: Vec<u32> = ra.union(&rb).copied().collect();
+
+        let mut fa = FixedBitSet::from_iter(UNIVERSE as usize, a.iter().copied());
+        fa.union_with(&FixedBitSet::from_iter(UNIVERSE as usize, b.iter().copied()));
+        prop_assert_eq!(fa.iter_ones().collect::<Vec<_>>(), expect.clone());
+
+        let mut sa = SparseBitSet::from_iter(a.iter().copied());
+        sa.union_with(&SparseBitSet::from_iter(b.iter().copied()));
+        prop_assert_eq!(sa.iter_ones().collect::<Vec<_>>(), expect.clone());
+
+        let mut ha = HybridBitSet::from_iter(UNIVERSE as usize, a.iter().copied());
+        ha.union_with(&HybridBitSet::from_iter(UNIVERSE as usize, b.iter().copied()));
+        prop_assert_eq!(ha.iter_ones().collect::<Vec<_>>(), expect);
+    }
+}

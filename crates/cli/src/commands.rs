@@ -1,0 +1,344 @@
+//! The CLI's verbs as library functions.
+
+use std::path::Path;
+
+use cind_model::Value;
+use cind_query::{execute_collect, plan, Query};
+use cind_storage::{PersistError, StorageError, UniversalTable};
+use cinderella_core::{bulk_load, Capacity, Cinderella, Config, CoreError};
+
+use crate::csv::{parse_entities, CsvError};
+
+/// Errors surfaced to the user, with context.
+#[derive(Debug)]
+pub enum CliError {
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// The input CSV was malformed.
+    Csv(CsvError),
+    /// Snapshot (de)serialisation failed.
+    Persist(PersistError),
+    /// The partitioner failed.
+    Core(CoreError),
+    /// The storage engine failed.
+    Storage(StorageError),
+    /// Bad command-line usage; the payload is the message.
+    Usage(String),
+}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError::$variant(e)
+            }
+        }
+    };
+}
+from_err!(Io, std::io::Error);
+from_err!(Csv, CsvError);
+from_err!(Persist, PersistError);
+from_err!(Core, CoreError);
+from_err!(Storage, StorageError);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "io: {e}"),
+            CliError::Csv(e) => write!(f, "csv: {e}"),
+            CliError::Persist(e) => write!(f, "snapshot: {e}"),
+            CliError::Core(e) => write!(f, "partitioner: {e}"),
+            CliError::Storage(e) => write!(f, "storage: {e}"),
+            CliError::Usage(msg) => write!(f, "usage: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Options of [`load`].
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Rating weight `w`.
+    pub weight: f64,
+    /// Partition capacity `B` (entities).
+    pub capacity: u64,
+    /// Parallel load workers (1 = sequential).
+    pub threads: usize,
+    /// Buffer-pool pages for the load.
+    pub pool_pages: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self { weight: 0.2, capacity: 5_000, threads: 1, pool_pages: 1024 }
+    }
+}
+
+fn config_of(opts: &LoadOptions) -> Config {
+    Config {
+        weight: opts.weight,
+        capacity: Capacity::MaxEntities(opts.capacity),
+        ..Config::default()
+    }
+}
+
+/// `cind load`: parse a CSV of irregular entities, partition it with
+/// Cinderella, write a snapshot, and return a human-readable report.
+///
+/// # Errors
+/// CSV, I/O, partitioner, and snapshot errors.
+pub fn load(input: &Path, snapshot: &Path, opts: &LoadOptions) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(input)?;
+    let mut table = UniversalTable::new(opts.pool_pages);
+    let entities = parse_entities(&text, table.catalog_mut())?;
+    let n = entities.len();
+    let t0 = std::time::Instant::now();
+    let (cindy, _) = bulk_load(&mut table, config_of(opts), entities, opts.threads)?;
+    let elapsed = t0.elapsed();
+
+    let mut out = std::io::BufWriter::new(std::fs::File::create(snapshot)?);
+    table.snapshot(&mut out)?;
+    drop(out);
+
+    let stats = cindy.stats();
+    Ok(format!(
+        "loaded {n} entities ({} attributes) in {elapsed:.2?}\n\
+         partitions: {} ({} splits, {} created)\n\
+         snapshot: {}",
+        table.universe(),
+        cindy.catalog().len(),
+        stats.splits,
+        stats.partitions_created,
+        snapshot.display(),
+    ))
+}
+
+/// Options of [`query`].
+#[derive(Clone, Debug)]
+pub struct QueryOptions {
+    /// Maximum rows to render (`None` = all).
+    pub limit: Option<usize>,
+    /// Buffer-pool pages.
+    pub pool_pages: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self { limit: Some(20), pool_pages: 1024 }
+    }
+}
+
+fn render_value(v: &Option<Value>) -> String {
+    v.as_ref().map_or_else(|| "∅".to_owned(), Value::to_string)
+}
+
+/// `cind query`: restore a snapshot, rebuild the pruning catalog, and run
+/// one `SELECT attrs WHERE … IS NOT NULL OR …` query. Returns the rendered
+/// result table plus the pruning report.
+///
+/// # Errors
+/// Unknown attribute names are a usage error; plus snapshot/storage errors.
+pub fn query(
+    snapshot: &Path,
+    attrs: &[&str],
+    opts: &QueryOptions,
+) -> Result<String, CliError> {
+    if attrs.is_empty() {
+        return Err(CliError::Usage("query needs --attrs a,b,…".into()));
+    }
+    let mut file = std::io::BufReader::new(std::fs::File::open(snapshot)?);
+    let table = UniversalTable::restore(&mut file, opts.pool_pages)?;
+    let cindy = Cinderella::rebuild(&table, Config::default())?;
+
+    let q = Query::from_names(table.catalog(), attrs.iter().copied()).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown attribute among {:?}; try `cind stats` for the schema",
+            attrs
+        ))
+    })?;
+    let view: Vec<_> = cindy
+        .catalog()
+        .pruning_view()
+        .map(|(s, syn, _)| (s, syn.clone()))
+        .collect();
+    let p = plan(&q, view.iter().map(|(s, syn)| (*s, syn)));
+    let (result, rows) = execute_collect(&table, &q, &p)?;
+
+    let mut t = cind_metrics::Table::new(
+        std::iter::once("id".to_owned()).chain(attrs.iter().map(|a| (*a).to_owned())),
+    );
+    // execute_collect drops ids; re-project with ids via a second pass kept
+    // simple: render from the collected rows (ids are not part of the
+    // paper's query form, so we show a row counter instead).
+    let shown = opts.limit.unwrap_or(rows.len()).min(rows.len());
+    for (i, row) in rows.iter().take(shown).enumerate() {
+        let mut cells = vec![format!("#{i}")];
+        cells.extend(row.iter().map(render_value));
+        t.row(cells);
+    }
+    let mut out = t.render();
+    if shown < rows.len() {
+        out.push_str(&format!("\n… {} more rows", rows.len() - shown));
+    }
+    out.push_str(&format!(
+        "\n{} rows; scanned {} of {} partitions ({} pruned); {} pages read in {:.2?}",
+        result.rows,
+        result.segments_read,
+        result.segments_read + result.segments_pruned,
+        result.segments_pruned,
+        result.io.logical_reads,
+        result.duration,
+    ));
+    Ok(out)
+}
+
+/// `cind stats`: restore a snapshot and describe the table and its
+/// partitioning.
+///
+/// # Errors
+/// Snapshot and storage errors.
+pub fn stats(snapshot: &Path, pool_pages: usize) -> Result<String, CliError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(snapshot)?);
+    let table = UniversalTable::restore(&mut file, pool_pages)?;
+    let cindy = Cinderella::rebuild(&table, Config::default())?;
+
+    let mut out = format!(
+        "entities: {}\nattributes: {}\npartitions: {}\n\nper-partition:\n",
+        table.entity_count(),
+        table.universe(),
+        cindy.catalog().len(),
+    );
+    let mut t = cind_metrics::Table::new(["partition", "entities", "attrs", "sparseness", "pages"]);
+    for meta in cindy.catalog().iter() {
+        let pages = table.segment(meta.segment)?.page_count();
+        t.row([
+            meta.segment.to_string(),
+            meta.entities.to_string(),
+            meta.attr_synopsis.cardinality().to_string(),
+            format!("{:.3}", meta.sparseness()),
+            pages.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\n\nattributes: ");
+    let names: Vec<&str> = table.catalog().iter().map(|(_, n)| n).collect();
+    out.push_str(&names.join(", "));
+    Ok(out)
+}
+
+/// `cind merge`: restore, run a merge pass at `threshold`, and write the
+/// (re-partitioned) snapshot back.
+///
+/// # Errors
+/// Snapshot, storage, and partitioner errors.
+pub fn merge(snapshot: &Path, threshold: f64, pool_pages: usize) -> Result<String, CliError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(snapshot)?);
+    let mut table = UniversalTable::restore(&mut file, pool_pages)?;
+    let mut cindy = Cinderella::rebuild(&table, Config::default())?;
+    let before = cindy.catalog().len();
+    let report = cindy.merge_pass(&mut table, threshold)?;
+    let mut out = std::io::BufWriter::new(std::fs::File::create(snapshot)?);
+    table.snapshot(&mut out)?;
+    Ok(format!(
+        "merge pass at threshold {threshold}: {} → {} partitions \
+         ({} merges, {} entities moved, {} kept)",
+        before,
+        before - report.merges as usize,
+        report.merges,
+        report.entities_moved,
+        report.kept,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cind_cli_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn load_query_stats_cycle() {
+        let input = tmp("devices.csv");
+        std::fs::write(
+            &input,
+            "id,name,resolution,rotation,formFactor\n\
+             1,Canon S120,12.1,,\n\
+             2,Sony A99,24,,\n\
+             3,WD4000,,7200,\"3.5 inch\"\n\
+             4,Seagate X,,5400,\"2.5 inch\"\n",
+        )
+        .unwrap();
+        let snap = tmp("devices.cind");
+        let report = load(
+            &input,
+            &snap,
+            &LoadOptions { weight: 0.3, capacity: 100, ..LoadOptions::default() },
+        )
+        .unwrap();
+        assert!(report.contains("loaded 4 entities"), "{report}");
+        assert!(report.contains("partitions: 2"), "{report}");
+
+        let out = query(&snap, &["rotation"], &QueryOptions::default()).unwrap();
+        assert!(out.contains("2 rows"), "{out}");
+        assert!(out.contains("(1 pruned)"), "{out}");
+        assert!(out.contains("7200"), "{out}");
+
+        let s = stats(&snap, 64).unwrap();
+        assert!(s.contains("entities: 4"), "{s}");
+        assert!(s.contains("partitions: 2"), "{s}");
+        assert!(s.contains("formFactor"), "{s}");
+    }
+
+    #[test]
+    fn query_unknown_attribute_is_usage_error() {
+        let input = tmp("small.csv");
+        std::fs::write(&input, "id,a\n1,1\n").unwrap();
+        let snap = tmp("small.cind");
+        load(&input, &snap, &LoadOptions::default()).unwrap();
+        assert!(matches!(
+            query(&snap, &["nope"], &QueryOptions::default()),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            query(&snap, &[], &QueryOptions::default()),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn merge_command_rewrites_snapshot() {
+        // Many same-shape tiny partitions via a tiny capacity, then merge
+        // with a bigger default config at rebuild time? Rebuild uses the
+        // default capacity (5000), so all the small partitions become
+        // merge candidates.
+        let input = tmp("frag.csv");
+        let mut text = String::from("id,a,b\n");
+        for i in 0..50 {
+            text.push_str(&format!("{i},1,2\n"));
+        }
+        std::fs::write(&input, text).unwrap();
+        let snap = tmp("frag.cind");
+        load(
+            &input,
+            &snap,
+            &LoadOptions { weight: 0.3, capacity: 5, ..LoadOptions::default() },
+        )
+        .unwrap();
+        // B = 5 with identical entities fragments into many small
+        // partitions (the exact count depends on the split asymmetry).
+        let s = stats(&snap, 64).unwrap();
+        assert!(!s.contains("partitions: 1\n"), "{s}");
+        let report = merge(&snap, 1.0, 64).unwrap();
+        assert!(report.contains("→ 1 partitions"), "{report}");
+        let s = stats(&snap, 64).unwrap();
+        assert!(s.contains("partitions: 1"), "{s}");
+        // Data intact after the rewrite.
+        let out = query(&snap, &["a"], &QueryOptions { limit: None, pool_pages: 64 }).unwrap();
+        assert!(out.contains("50 rows"), "{out}");
+    }
+}

@@ -1,0 +1,110 @@
+//! `cind` binary: thin argument parsing over [`cind_cli::commands`].
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cind_cli::{load, merge, query, stats, CliError, LoadOptions, QueryOptions};
+
+const USAGE: &str = "\
+cind — universal-table manager with Cinderella online partitioning
+
+USAGE:
+  cind load  --input DATA.csv --snapshot TABLE.cind
+             [--weight W] [--capacity B] [--threads N]
+  cind query --snapshot TABLE.cind --attrs a,b,c [--limit N]
+  cind stats --snapshot TABLE.cind
+  cind merge --snapshot TABLE.cind [--threshold T]
+
+CSV format: header row names the attributes (optional leading `id`
+column); empty cells mean the attribute is absent.";
+
+struct Args {
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut flags = std::collections::HashMap::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("unexpected argument {flag}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("missing value for --{name}")))?;
+            flags.insert(name.to_owned(), value.clone());
+        }
+        Ok(Self { flags })
+    }
+
+    fn path(&self, name: &str) -> Result<PathBuf, CliError> {
+        self.flags
+            .get(name)
+            .map(PathBuf::from)
+            .ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad value for --{name}: {raw}"))),
+        }
+    }
+}
+
+fn run() -> Result<String, CliError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        return Err(CliError::Usage(USAGE.into()));
+    };
+    let args = Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "load" => {
+            let opts = LoadOptions {
+                weight: args.get("weight", 0.2)?,
+                capacity: args.get("capacity", 5_000)?,
+                threads: args.get("threads", 1)?,
+                pool_pages: args.get("pool", 1024)?,
+            };
+            load(&args.path("input")?, &args.path("snapshot")?, &opts)
+        }
+        "query" => {
+            let attrs_raw = args
+                .flags
+                .get("attrs")
+                .ok_or_else(|| CliError::Usage("--attrs a,b,… is required".into()))?
+                .clone();
+            let attrs: Vec<&str> =
+                attrs_raw.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            let opts = QueryOptions {
+                limit: Some(args.get("limit", 20usize)?),
+                pool_pages: args.get("pool", 1024)?,
+            };
+            query(&args.path("snapshot")?, &attrs, &opts)
+        }
+        "stats" => stats(&args.path("snapshot")?, args.get("pool", 1024)?),
+        "merge" => merge(
+            &args.path("snapshot")?,
+            args.get("threshold", 0.5)?,
+            args.get("pool", 1024)?,
+        ),
+        "help" | "--help" | "-h" => Ok(USAGE.into()),
+        other => Err(CliError::Usage(format!("unknown command {other}\n\n{USAGE}"))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Parameter advisor — an extension beyond the paper.
+//!
+//! §V shows that the right weight `w` and partition size limit `B` depend
+//! on the data's irregularity and the workload's selectivity profile
+//! ("the partition size limit should be set lower for very selective
+//! workloads and higher for less selective workloads"; "for other data
+//! sets … another weight is likely to be optimal"). The paper leaves the
+//! choice to the operator. This module automates it: it partitions a
+//! *sample* of the data under every candidate configuration, scores each
+//! with a cost blending Definition 1 efficiency and union overhead, and
+//! recommends the best.
+
+use cind_model::{Entity, Synopsis};
+use cind_storage::UniversalTable;
+
+use crate::efficiency::efficiency_of;
+use crate::partitioner::Cinderella;
+use crate::{Capacity, Config};
+
+/// One scored candidate configuration.
+#[derive(Clone, Debug)]
+pub struct CandidateScore {
+    /// The weight tried.
+    pub weight: f64,
+    /// The capacity tried.
+    pub capacity: u64,
+    /// Partitions produced on the sample.
+    pub partitions: usize,
+    /// Definition 1 efficiency on the sample.
+    pub efficiency: f64,
+    /// Mean number of partitions a workload query must union.
+    pub partitions_touched: f64,
+    /// Overhead-adjusted efficiency (higher is better): Definition 1 with a
+    /// fixed per-touched-partition cost added to the denominator, modelling
+    /// the union branch and its partially filled last page.
+    pub score: f64,
+}
+
+/// The advisor's output.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// The winning configuration (clone into a [`Config`]).
+    pub weight: f64,
+    /// The winning capacity.
+    pub capacity: u64,
+    /// All candidates, best first.
+    pub candidates: Vec<CandidateScore>,
+}
+
+/// Advisor knobs.
+#[derive(Clone, Debug)]
+pub struct AdvisorConfig {
+    /// Candidate weights (default: the paper's sweep 0.1–0.8).
+    pub weights: Vec<f64>,
+    /// Candidate capacities (entities per partition).
+    pub capacities: Vec<u64>,
+    /// Fixed cost (in `SIZE` cells) charged per partition a query touches,
+    /// modelling the union branch and its partially filled last page. 0
+    /// scores pure Definition 1 efficiency; ~64 cells ≈ one 8 KiB page of
+    /// small values.
+    pub union_cost_cells: u64,
+}
+
+impl Default for AdvisorConfig {
+    fn default() -> Self {
+        Self {
+            weights: vec![0.1, 0.2, 0.3, 0.5, 0.8],
+            capacities: vec![500, 2_000, 5_000, 20_000],
+            union_cost_cells: 64,
+        }
+    }
+}
+
+/// Scores every candidate `(w, B)` on `sample` against `workload` and
+/// recommends the best.
+///
+/// The sample should be a few thousand entities drawn from the stream the
+/// table will see; the workload is the query synopses of Definition 1.
+/// Cost: one Cinderella load of the sample per candidate — seconds, not
+/// hours, which is the point of sampling.
+///
+/// ```
+/// use cind_model::{AttrId, Entity, EntityId, Synopsis, Value};
+/// use cinderella_core::{recommend, AdvisorConfig};
+///
+/// let sample: Vec<Entity> = (0..50u64)
+///     .map(|i| {
+///         let attr = AttrId(if i % 2 == 0 { 0 } else { 4 });
+///         Entity::new(EntityId(i), [(attr, Value::Int(1))]).unwrap()
+///     })
+///     .collect();
+/// let workload = vec![Synopsis::from_bits(8, [0]), Synopsis::from_bits(8, [4])];
+/// let rec = recommend(&sample, 8, &workload, &AdvisorConfig::default());
+/// assert!(!rec.candidates.is_empty());
+/// assert!((0.0..=1.0).contains(&rec.weight));
+/// ```
+///
+/// # Panics
+/// Panics if `advisor` has no candidates or the sample is empty.
+pub fn recommend(
+    sample: &[Entity],
+    universe: usize,
+    workload: &[Synopsis],
+    advisor: &AdvisorConfig,
+) -> Recommendation {
+    assert!(!sample.is_empty(), "advisor needs a sample");
+    assert!(
+        !advisor.weights.is_empty() && !advisor.capacities.is_empty(),
+        "advisor needs candidates"
+    );
+    let entity_syns: Vec<(Synopsis, u64)> = sample
+        .iter()
+        .map(|e| (e.synopsis(universe), e.arity() as u64))
+        .collect();
+
+    let mut candidates = Vec::new();
+    for &w in &advisor.weights {
+        for &b in &advisor.capacities {
+            let mut table = UniversalTable::new(0);
+            for i in 0..universe {
+                // The advisor's scratch table needs ids 0..universe to line
+                // up with the sample's attribute ids.
+                table.catalog_mut().intern(&format!("__advisor_attr{i}"));
+            }
+            let mut cindy = Cinderella::new(Config {
+                weight: w,
+                capacity: Capacity::MaxEntities(b),
+                ..Config::default()
+            });
+            for e in sample {
+                cindy
+                    .insert(&mut table, e.clone())
+                    .expect("sample insert cannot fail");
+            }
+            let parts: Vec<(Synopsis, u64)> = cindy
+                .catalog()
+                .iter()
+                .map(|m| (m.attr_synopsis.clone(), m.size))
+                .collect();
+            let efficiency = efficiency_of(entity_syns.iter().cloned(), &parts, workload);
+            // Relevant cells (Definition 1's numerator) and the adjusted
+            // read cost: every touched partition costs its SIZE plus the
+            // fixed union overhead.
+            let mut relevant = 0u64;
+            for (syn, size) in &entity_syns {
+                let hits =
+                    workload.iter().filter(|q| !q.is_disjoint(syn)).count() as u64;
+                relevant += hits * size;
+            }
+            let mut read = 0u64;
+            let mut touched_total = 0u64;
+            for q in workload {
+                for (syn, size) in &parts {
+                    if !q.is_disjoint(syn) {
+                        read += size + advisor.union_cost_cells;
+                        touched_total += 1;
+                    }
+                }
+            }
+            let score = if read == 0 { 1.0 } else { relevant as f64 / read as f64 };
+            let partitions_touched = if workload.is_empty() {
+                0.0
+            } else {
+                touched_total as f64 / workload.len() as f64
+            };
+            candidates.push(CandidateScore {
+                weight: w,
+                capacity: b,
+                partitions: cindy.catalog().len(),
+                efficiency,
+                partitions_touched,
+                score,
+            });
+        }
+    }
+    candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
+    let best = &candidates[0];
+    Recommendation {
+        weight: best.weight,
+        capacity: best.capacity,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::{AttrId, EntityId, Value};
+
+    /// Two clean shapes and a one-attribute workload per shape.
+    fn sample() -> (Vec<Entity>, Vec<Synopsis>) {
+        let entities = (0..200u64)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0u32 } else { 4 };
+                Entity::new(
+                    EntityId(i),
+                    (0..3).map(|k| (AttrId(base + k), Value::Int(1))),
+                )
+                .unwrap()
+            })
+            .collect();
+        let workload = vec![
+            Synopsis::from_bits(8, [0]),
+            Synopsis::from_bits(8, [4]),
+        ];
+        (entities, workload)
+    }
+
+    #[test]
+    fn recommends_a_candidate_that_separates_the_shapes() {
+        let (entities, workload) = sample();
+        let rec = recommend(&entities, 8, &workload, &AdvisorConfig::default());
+        let best = &rec.candidates[0];
+        assert!(
+            (best.efficiency - 1.0).abs() < 1e-12,
+            "separable shapes must reach efficiency 1, got {best:?}"
+        );
+        // Candidates are sorted by score.
+        for w in rec.candidates.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert_eq!(rec.weight, best.weight);
+        assert_eq!(rec.capacity, best.capacity);
+    }
+
+    #[test]
+    fn union_penalty_prefers_fewer_partitions() {
+        let (entities, workload) = sample();
+        // Candidates that only differ in capacity: tiny B fragments the
+        // data, which the union penalty must punish.
+        let cfg = AdvisorConfig {
+            weights: vec![0.3],
+            capacities: vec![4, 1_000],
+            union_cost_cells: 64,
+        };
+        let rec = recommend(&entities, 8, &workload, &cfg);
+        assert_eq!(rec.capacity, 1_000, "{:?}", rec.candidates);
+    }
+
+    #[test]
+    fn all_scores_are_reported() {
+        let (entities, workload) = sample();
+        let cfg = AdvisorConfig {
+            weights: vec![0.1, 0.5],
+            capacities: vec![50, 500],
+            union_cost_cells: 64,
+        };
+        let rec = recommend(&entities, 8, &workload, &cfg);
+        assert_eq!(rec.candidates.len(), 4);
+        for c in &rec.candidates {
+            assert!(c.efficiency > 0.0 && c.efficiency <= 1.0);
+            assert!(c.score > 0.0 && c.score <= c.efficiency + 1e-12);
+            assert!(c.partitions_touched >= 1.0);
+            assert!(c.partitions > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample")]
+    fn empty_sample_panics() {
+        recommend(&[], 8, &[], &AdvisorConfig::default());
+    }
+}

@@ -1,0 +1,562 @@
+//! The partition catalog: synopses, sizes, starters, candidate index.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cind_bitset::BitSetOps;
+
+use cind_model::{EntityId, Synopsis};
+use cind_storage::SegmentId;
+
+use crate::rating::{global_rating, RatingInputs};
+use crate::starters::SplitStarters;
+
+/// Catalog entry of one partition.
+#[derive(Clone, Debug)]
+pub struct PartitionMeta {
+    /// The backing storage segment.
+    pub segment: SegmentId,
+    /// Synopsis in *rating* space (attributes in entity-based mode, queries
+    /// in workload-based mode). Exact: maintained by reference counts, so
+    /// bits clear when the last member carrying them leaves.
+    pub synopsis: Synopsis,
+    /// Synopsis in *attribute* space, used for query-time pruning. Equals
+    /// `synopsis` in entity-based mode.
+    pub attr_synopsis: Synopsis,
+    /// `SIZE(p)` — sum of member `SIZE(e)` under the configured size model.
+    pub size: u64,
+    /// Number of member entities.
+    pub entities: u64,
+    /// The split-starter pair.
+    pub starters: SplitStarters,
+    rating_counts: Vec<u32>,
+    attr_counts: Vec<u32>,
+}
+
+impl PartitionMeta {
+    fn new(segment: SegmentId) -> Self {
+        Self {
+            segment,
+            synopsis: Synopsis::default(),
+            attr_synopsis: Synopsis::default(),
+            size: 0,
+            entities: 0,
+            starters: SplitStarters::new(),
+            rating_counts: Vec::new(),
+            attr_counts: Vec::new(),
+        }
+    }
+
+    /// Sparseness of the partition: the fraction of empty cells in the
+    /// `entities × attributes(p)` rectangle (Fig. 7(d)). Zero for an empty
+    /// or perfectly dense partition.
+    ///
+    /// Meaningful under the `Cells` size model, where `size` counts filled
+    /// cells.
+    pub fn sparseness(&self) -> f64 {
+        let total = self.entities * u64::from(self.attr_synopsis.cardinality());
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.size as f64 / total as f64
+    }
+}
+
+fn bump(counts: &mut Vec<u32>, synopsis: &mut Synopsis, bits: &Synopsis) {
+    for attr in bits.iter() {
+        let idx = attr.index() as usize;
+        if counts.len() <= idx {
+            counts.resize(idx + 1, 0);
+        }
+        counts[idx] += 1;
+        if counts[idx] == 1 {
+            synopsis.bits_mut().grow(idx + 1);
+            synopsis.bits_mut().insert(attr.index());
+        }
+    }
+}
+
+fn drop_counts(counts: &mut [u32], synopsis: &mut Synopsis, bits: &Synopsis) {
+    for attr in bits.iter() {
+        let idx = attr.index() as usize;
+        assert!(counts.get(idx).copied().unwrap_or(0) > 0, "count underflow at {idx}");
+        counts[idx] -= 1;
+        if counts[idx] == 0 {
+            synopsis.bits_mut().remove(attr.index());
+        }
+    }
+}
+
+/// The partition catalog Cinderella scans on every insert (Algorithm 1,
+/// lines 3–7).
+///
+/// Invariant (property-tested): each partition's synopses equal the OR of
+/// its members' synopses, maintained exactly via per-attribute reference
+/// counts.
+///
+/// With `use_index`, an inverted rating-bit → partitions index restricts the
+/// scan to *candidate* partitions. Candidates are partitions that could rate
+/// `≥ 0`: those sharing a rating bit with the entity, those with `SIZE(p) =
+/// 0`, or all of them when `SIZE(e) = 0` (disjoint pairs with both sizes
+/// positive always rate strictly negative, so skipping them cannot change
+/// the argmax, and both paths visit candidates in ascending segment order so
+/// ties resolve identically).
+pub struct PartitionCatalog {
+    parts: BTreeMap<SegmentId, PartitionMeta>,
+    use_index: bool,
+    /// rating-bit → segments whose synopsis has (or once had) the bit.
+    /// Entries are validated against the live synopsis at query time and
+    /// pruned when a partition is removed.
+    postings: Vec<Vec<SegmentId>>,
+    /// Partitions with `SIZE(p) = 0` (rate neutrally against anything).
+    zero_size: BTreeSet<SegmentId>,
+}
+
+impl PartitionCatalog {
+    /// Creates an empty catalog; `use_index` enables the candidate index.
+    pub fn new(use_index: bool) -> Self {
+        Self {
+            parts: BTreeMap::new(),
+            use_index,
+            postings: Vec::new(),
+            zero_size: BTreeSet::new(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Iterates partitions in ascending segment order.
+    pub fn iter(&self) -> impl Iterator<Item = &PartitionMeta> {
+        self.parts.values()
+    }
+
+    /// Looks up one partition.
+    pub fn get(&self, seg: SegmentId) -> Option<&PartitionMeta> {
+        self.parts.get(&seg)
+    }
+
+    /// Mutable lookup (starters maintenance).
+    pub fn get_mut(&mut self, seg: SegmentId) -> Option<&mut PartitionMeta> {
+        self.parts.get_mut(&seg)
+    }
+
+    /// Registers a fresh, empty partition backed by `seg`.
+    ///
+    /// # Panics
+    /// Panics if `seg` is already cataloged.
+    pub fn create_partition(&mut self, seg: SegmentId) {
+        let prev = self.parts.insert(seg, PartitionMeta::new(seg));
+        assert!(prev.is_none(), "partition {seg} already cataloged");
+        self.zero_size.insert(seg);
+    }
+
+    /// Adopts a ready-made partition under a (new) segment id — the bulk
+    /// loader's stitch path. The metadata keeps its counts, synopses, and
+    /// starters; only the segment id is rebound.
+    ///
+    /// # Panics
+    /// Panics if `seg` is already cataloged.
+    pub(crate) fn adopt(&mut self, mut meta: PartitionMeta, seg: SegmentId) {
+        assert!(
+            !self.parts.contains_key(&seg),
+            "partition {seg} already cataloged"
+        );
+        meta.segment = seg;
+        if self.use_index {
+            for bit in meta.synopsis.iter() {
+                let idx = bit.index() as usize;
+                if self.postings.len() <= idx {
+                    self.postings.resize_with(idx + 1, Vec::new);
+                }
+                self.postings[idx].push(seg);
+            }
+        }
+        if meta.size == 0 {
+            self.zero_size.insert(seg);
+        }
+        self.parts.insert(seg, meta);
+    }
+
+    /// Removes a partition from the catalog, returning its metadata.
+    ///
+    /// # Panics
+    /// Panics if `seg` is not cataloged.
+    pub fn remove_partition(&mut self, seg: SegmentId) -> PartitionMeta {
+        let meta = self.parts.remove(&seg).expect("partition cataloged");
+        self.zero_size.remove(&seg);
+        if self.use_index {
+            for bit in meta.synopsis.iter() {
+                if let Some(list) = self.postings.get_mut(bit.index() as usize) {
+                    list.retain(|s| *s != seg);
+                }
+            }
+        }
+        meta
+    }
+
+    /// Accounts a new member entity of partition `seg`.
+    ///
+    /// `offer_starters` runs the Algorithm 1 starter update; pass `false`
+    /// when the caller already offered the entity (the insert path offers
+    /// *before* the capacity check, per the paper).
+    pub fn add_entity(
+        &mut self,
+        seg: SegmentId,
+        id: EntityId,
+        rating_syn: &Synopsis,
+        attr_syn: &Synopsis,
+        size: u64,
+        offer_starters: bool,
+    ) {
+        let use_index = self.use_index;
+        let meta = self.parts.get_mut(&seg).expect("partition cataloged");
+        let new_bits: Vec<u32> = rating_syn
+            .iter()
+            .filter(|a| !meta.synopsis.contains(*a))
+            .map(|a| a.index())
+            .collect();
+        bump(&mut meta.rating_counts, &mut meta.synopsis, rating_syn);
+        bump(&mut meta.attr_counts, &mut meta.attr_synopsis, attr_syn);
+        meta.entities += 1;
+        meta.size += size;
+        if offer_starters {
+            meta.starters.offer(id, rating_syn);
+        }
+        let now_positive = meta.size > 0;
+        if use_index {
+            for bit in new_bits {
+                let idx = bit as usize;
+                if self.postings.len() <= idx {
+                    self.postings.resize_with(idx + 1, Vec::new);
+                }
+                self.postings[idx].push(seg);
+            }
+        }
+        if now_positive {
+            self.zero_size.remove(&seg);
+        }
+    }
+
+    /// Accounts the removal of a member entity. Returns the remaining
+    /// member count (callers drop the partition at zero).
+    pub fn remove_entity(
+        &mut self,
+        seg: SegmentId,
+        id: EntityId,
+        rating_syn: &Synopsis,
+        attr_syn: &Synopsis,
+        size: u64,
+    ) -> u64 {
+        let meta = self.parts.get_mut(&seg).expect("partition cataloged");
+        drop_counts(&mut meta.rating_counts, &mut meta.synopsis, rating_syn);
+        drop_counts(&mut meta.attr_counts, &mut meta.attr_synopsis, attr_syn);
+        meta.entities -= 1;
+        meta.size -= size;
+        meta.starters.vacate(id);
+        // Stale postings for cleared bits are tolerated (validated on read).
+        if meta.size == 0 {
+            self.zero_size.insert(seg);
+        }
+        meta.entities
+    }
+
+    /// Algorithm 1 lines 3–7: scans the catalog and returns the best-rated
+    /// partition for the entity, with its rating, plus the number of
+    /// ratings computed. Ties go to the lowest segment id (first in scan
+    /// order). Returns `None` when the catalog is empty.
+    pub fn best_partition(
+        &self,
+        rating_syn: &Synopsis,
+        size_e: u64,
+        weight: f64,
+    ) -> (Option<(SegmentId, f64)>, u32) {
+        if self.use_index {
+            self.best_indexed(rating_syn, size_e, weight)
+        } else {
+            self.best_over(self.parts.values(), rating_syn, size_e, weight)
+        }
+    }
+
+    /// Best-rated partition among an explicit target list (restricted
+    /// insert during a split). Targets are rated in the given order; ties
+    /// keep the earlier target.
+    pub fn best_among(
+        &self,
+        targets: &[SegmentId],
+        rating_syn: &Synopsis,
+        size_e: u64,
+        weight: f64,
+    ) -> (Option<(SegmentId, f64)>, u32) {
+        self.best_over(
+            targets.iter().filter_map(|s| self.parts.get(s)),
+            rating_syn,
+            size_e,
+            weight,
+        )
+    }
+
+    fn best_over<'a>(
+        &self,
+        parts: impl Iterator<Item = &'a PartitionMeta>,
+        rating_syn: &Synopsis,
+        size_e: u64,
+        weight: f64,
+    ) -> (Option<(SegmentId, f64)>, u32) {
+        let mut best: Option<(SegmentId, f64)> = None;
+        let mut ratings = 0u32;
+        for meta in parts {
+            let inputs = RatingInputs::compute(rating_syn, size_e, &meta.synopsis, meta.size);
+            let r = global_rating(weight, &inputs);
+            ratings += 1;
+            if best.is_none_or(|(_, rb)| rb < r) {
+                best = Some((meta.segment, r));
+            }
+        }
+        (best, ratings)
+    }
+
+    fn best_indexed(
+        &self,
+        rating_syn: &Synopsis,
+        size_e: u64,
+        weight: f64,
+    ) -> (Option<(SegmentId, f64)>, u32) {
+        if size_e == 0 {
+            // Every partition rates neutrally; scan all to match the
+            // unindexed argmax exactly.
+            return self.best_over(self.parts.values(), rating_syn, size_e, weight);
+        }
+        // Cost gate: merging the posting lists costs their total length
+        // (entries overlap — e.g. all 16 lineitem columns point at the same
+        // partitions — so the candidate set is usually much smaller); the
+        // plain scan costs one rating per partition. Entities carrying a
+        // near-universal attribute produce posting work proportional to
+        // attrs × partitions, so the index can only lose there — fall
+        // back. It wins when the entity has only group-specific attributes
+        // (e.g. every TPC-H row: its columns map to partitions of its own
+        // relation only).
+        let mut work = self.zero_size.len();
+        for bit in rating_syn.iter() {
+            work += self
+                .postings
+                .get(bit.index() as usize)
+                .map_or(0, Vec::len);
+            if work >= self.parts.len() {
+                return self.best_over(self.parts.values(), rating_syn, size_e, weight);
+            }
+        }
+        let mut candidates: Vec<SegmentId> = self.zero_size.iter().copied().collect();
+        for bit in rating_syn.iter() {
+            if let Some(list) = self.postings.get(bit.index() as usize) {
+                // Entries are not validated against the live synopsis: a
+                // stale entry is a live partition that lost this bit, and
+                // rating a live partition is always sound — if it shares no
+                // bit with the entity it rates strictly negative and cannot
+                // displace a true candidate.
+                candidates.extend_from_slice(list);
+            }
+        }
+        // Ascending segment order, deduped — the plain scan's tie-break.
+        candidates.sort_unstable();
+        candidates.dedup();
+        let (best, ratings) = self.best_over(
+            candidates.iter().filter_map(|s| self.parts.get(s)),
+            rating_syn,
+            size_e,
+            weight,
+        );
+        // Non-candidates rate strictly negative; if no candidate exists the
+        // best over all partitions is negative too, which the caller maps to
+        // "create a new partition" — but Algorithm 1's scan would still
+        // *pick* one. Report the lowest-id partition with rating < 0 so both
+        // paths return identical results even when the caller ignores it.
+        if best.is_none() && !self.parts.is_empty() {
+            return self.best_over(
+                self.parts.values().take(1),
+                rating_syn,
+                size_e,
+                weight,
+            );
+        }
+        (best, ratings)
+    }
+
+    /// View for the query planner: `(segment, attribute synopsis, SIZE(p))`
+    /// per partition, ascending by segment.
+    pub fn pruning_view(&self) -> impl Iterator<Item = (SegmentId, &Synopsis, u64)> {
+        self.parts
+            .values()
+            .map(|m| (m.segment, &m.attr_synopsis, m.size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syn(bits: &[u32]) -> Synopsis {
+        Synopsis::from_bits(32, bits.iter().copied())
+    }
+
+    fn add(
+        cat: &mut PartitionCatalog,
+        seg: SegmentId,
+        id: u64,
+        bits: &[u32],
+        size: u64,
+    ) {
+        let s = syn(bits);
+        cat.add_entity(seg, EntityId(id), &s, &s, size, true);
+    }
+
+    #[test]
+    fn synopsis_is_or_of_members_with_refcounts() {
+        let mut cat = PartitionCatalog::new(false);
+        cat.create_partition(SegmentId(0));
+        add(&mut cat, SegmentId(0), 1, &[0, 1], 2);
+        add(&mut cat, SegmentId(0), 2, &[1, 2], 2);
+        let m = cat.get(SegmentId(0)).unwrap();
+        assert_eq!(m.synopsis, syn(&[0, 1, 2]));
+        assert_eq!(m.entities, 2);
+        assert_eq!(m.size, 4);
+        // Removing entity 1 clears bit 0 but keeps shared bit 1.
+        let s1 = syn(&[0, 1]);
+        let left = cat.remove_entity(SegmentId(0), EntityId(1), &s1, &s1, 2);
+        assert_eq!(left, 1);
+        let m = cat.get(SegmentId(0)).unwrap();
+        assert_eq!(m.synopsis, syn(&[1, 2]));
+        assert_eq!(m.size, 2);
+    }
+
+    #[test]
+    fn best_partition_prefers_overlap() {
+        let mut cat = PartitionCatalog::new(false);
+        cat.create_partition(SegmentId(0));
+        cat.create_partition(SegmentId(1));
+        add(&mut cat, SegmentId(0), 1, &[0, 1, 2], 3);
+        add(&mut cat, SegmentId(1), 2, &[8, 9], 2);
+        let (best, ratings) = cat.best_partition(&syn(&[0, 1]), 2, 0.5);
+        let (seg, r) = best.unwrap();
+        assert_eq!(seg, SegmentId(0));
+        assert!(r > 0.0);
+        assert_eq!(ratings, 2);
+    }
+
+    #[test]
+    fn empty_catalog_returns_none() {
+        let cat = PartitionCatalog::new(false);
+        let (best, ratings) = cat.best_partition(&syn(&[0]), 1, 0.5);
+        assert!(best.is_none());
+        assert_eq!(ratings, 0);
+    }
+
+    #[test]
+    fn ties_go_to_lowest_segment() {
+        let mut cat = PartitionCatalog::new(false);
+        cat.create_partition(SegmentId(0));
+        cat.create_partition(SegmentId(1));
+        add(&mut cat, SegmentId(0), 1, &[0, 1], 2);
+        add(&mut cat, SegmentId(1), 2, &[0, 1], 2);
+        let (best, _) = cat.best_partition(&syn(&[0, 1]), 2, 0.5);
+        assert_eq!(best.unwrap().0, SegmentId(0));
+    }
+
+    #[test]
+    fn indexed_matches_unindexed() {
+        // Mirror a mutation sequence across both catalogs and compare the
+        // argmax for several probe entities.
+        let probes: Vec<Vec<u32>> =
+            vec![vec![0, 1], vec![5], vec![2, 9], vec![], vec![0, 9, 11]];
+        let mut plain = PartitionCatalog::new(false);
+        let mut indexed = PartitionCatalog::new(true);
+        for cat in [&mut plain, &mut indexed] {
+            for s in 0..4u32 {
+                cat.create_partition(SegmentId(s));
+            }
+            add(cat, SegmentId(0), 1, &[0, 1, 2], 3);
+            add(cat, SegmentId(1), 2, &[5, 6], 2);
+            add(cat, SegmentId(2), 3, &[9, 10, 11], 3);
+            add(cat, SegmentId(3), 4, &[0, 9], 2);
+            // Shrink partition 0 so bit 2 clears (stale posting for idx 2).
+            let s = syn(&[0, 1, 2]);
+            cat.remove_entity(SegmentId(0), EntityId(1), &s, &s, 3);
+            add(cat, SegmentId(0), 5, &[0, 1], 2);
+        }
+        for probe in &probes {
+            let s = syn(probe);
+            let size = probe.len() as u64;
+            for w in [0.0, 0.2, 0.5, 1.0] {
+                let (a, _) = plain.best_partition(&s, size, w);
+                let (b, _) = indexed.best_partition(&s, size, w);
+                let (sa, ra) = a.unwrap();
+                let (sb, rb) = b.unwrap();
+                if ra >= 0.0 {
+                    // Non-negative best: the algorithm inserts into it, so
+                    // the argmax must match exactly.
+                    assert_eq!((sa, ra), (sb, rb), "probe {probe:?} w={w}");
+                } else {
+                    // Negative best: a new partition is created either way;
+                    // only the sign must agree.
+                    assert!(rb < 0.0, "probe {probe:?} w={w}: {ra} vs {rb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_scans_fewer_partitions() {
+        let mut cat = PartitionCatalog::new(true);
+        for s in 0..10u32 {
+            cat.create_partition(SegmentId(s));
+            add(&mut cat, SegmentId(s), u64::from(s), &[s, s + 10], 2);
+        }
+        let (_, ratings) = cat.best_partition(&syn(&[3]), 1, 0.5);
+        assert!(ratings < 10, "index should prune the scan, rated {ratings}");
+    }
+
+    #[test]
+    fn remove_partition_cleans_postings() {
+        let mut cat = PartitionCatalog::new(true);
+        cat.create_partition(SegmentId(0));
+        cat.create_partition(SegmentId(1));
+        add(&mut cat, SegmentId(0), 1, &[0], 1);
+        add(&mut cat, SegmentId(1), 2, &[0, 1], 2);
+        let meta = cat.remove_partition(SegmentId(0));
+        assert_eq!(meta.entities, 1);
+        let (best, _) = cat.best_partition(&syn(&[0]), 1, 0.5);
+        assert_eq!(best.unwrap().0, SegmentId(1));
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn sparseness_of_partition() {
+        let mut cat = PartitionCatalog::new(false);
+        cat.create_partition(SegmentId(0));
+        // 2 entities, 3 partition attrs, 4 filled cells → 1 - 4/6.
+        add(&mut cat, SegmentId(0), 1, &[0, 1], 2);
+        add(&mut cat, SegmentId(0), 2, &[1, 2], 2);
+        let m = cat.get(SegmentId(0)).unwrap();
+        assert!((m.sparseness() - (1.0 - 4.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_size_partitions_stay_candidates() {
+        let mut cat = PartitionCatalog::new(true);
+        cat.create_partition(SegmentId(0));
+        // Partition 0 holds one zero-size entity with an empty synopsis.
+        cat.add_entity(SegmentId(0), EntityId(1), &syn(&[]), &syn(&[]), 0, true);
+        // A disjoint probe should still see partition 0 (rating 0 ≥ 0
+        // beats creating a new partition in Algorithm 1's comparison).
+        let (best, _) = cat.best_partition(&syn(&[5]), 1, 0.5);
+        let (seg, r) = best.unwrap();
+        assert_eq!(seg, SegmentId(0));
+        assert_eq!(r, 0.0);
+    }
+}

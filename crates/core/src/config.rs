@@ -1,0 +1,119 @@
+//! Cinderella configuration.
+
+use cind_model::SizeModel;
+
+use crate::modes::SynopsisMode;
+
+/// Partition capacity limit — the paper's `B` / `MAXSIZE`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Capacity {
+    /// At most this many entities per partition. This is the limit the
+    /// paper's evaluation uses (B ∈ {500, 5000, 50000} entities).
+    MaxEntities(u64),
+    /// At most this much `SIZE()` per partition (cells or bytes, per the
+    /// configured [`SizeModel`]). Matches Algorithm 1's
+    /// `SIZE(p) + SIZE(e) > MAXSIZE` check literally.
+    MaxSize(u64),
+}
+
+impl Capacity {
+    /// Whether adding an entity of size `entity_size` to a partition of
+    /// `entities` entities and total size `part_size` would overflow.
+    pub fn would_overflow(&self, entities: u64, part_size: u64, entity_size: u64) -> bool {
+        match *self {
+            Capacity::MaxEntities(b) => entities + 1 > b,
+            Capacity::MaxSize(b) => part_size + entity_size > b,
+        }
+    }
+}
+
+/// Tuning knobs of the algorithm.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Rating weight `w ∈ [0, 1]` balancing positive vs. negative evidence
+    /// (§IV). `w = 0` admits only perfectly homogeneous partitions; the
+    /// paper finds 0.2–0.5 reasonable and uses 0.2 for DBpedia.
+    pub weight: f64,
+    /// Partition capacity `B`.
+    pub capacity: Capacity,
+    /// The `SIZE()` function of Definition 1.
+    pub size_model: SizeModel,
+    /// Entity-based or workload-based partitioning (§II).
+    pub mode: SynopsisMode,
+    /// Maintain an inverted attribute→partition index so the rating scan
+    /// only touches partitions that can rate ≥ 0 (candidate partitions).
+    /// Semantics-preserving; the `ablations` bench measures the speedup.
+    pub use_attr_index: bool,
+    /// Record a per-insert [`InsertEvent`](crate::InsertEvent) trace
+    /// (latency, split flag, ratings computed) for the Fig. 8 experiment.
+    pub record_events: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            weight: 0.2,
+            capacity: Capacity::MaxEntities(5000),
+            size_model: SizeModel::Cells,
+            mode: SynopsisMode::EntityBased,
+            use_attr_index: false,
+            record_events: false,
+        }
+    }
+}
+
+impl Config {
+    /// Validates the knobs (weight range, positive capacity).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range weight or a zero capacity; configs are
+    /// build-time values, so failing fast beats threading errors.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.weight) && self.weight.is_finite(),
+            "weight w must be in [0, 1], got {}",
+            self.weight
+        );
+        let cap_ok = match self.capacity {
+            Capacity::MaxEntities(b) => b >= 2,
+            Capacity::MaxSize(b) => b >= 1,
+        };
+        assert!(cap_ok, "capacity must allow at least two entities per partition");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_by_entities() {
+        let c = Capacity::MaxEntities(3);
+        assert!(!c.would_overflow(2, 999, 999));
+        assert!(c.would_overflow(3, 0, 0));
+    }
+
+    #[test]
+    fn overflow_by_size() {
+        let c = Capacity::MaxSize(100);
+        assert!(!c.would_overflow(999, 90, 10));
+        assert!(c.would_overflow(0, 90, 11));
+    }
+
+    #[test]
+    fn default_is_valid() {
+        Config::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn bad_weight_panics() {
+        Config { weight: 1.5, ..Config::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn tiny_capacity_panics() {
+        Config { capacity: Capacity::MaxEntities(1), ..Config::default() }.validate();
+    }
+}

@@ -1,0 +1,43 @@
+//! Core-layer errors.
+
+use cind_model::ModelError;
+use cind_storage::StorageError;
+
+/// Errors surfaced by the partitioner.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// The storage layer failed.
+    Storage(StorageError),
+    /// The model layer failed.
+    Model(ModelError),
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Model(e) => write!(f, "model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+        }
+    }
+}

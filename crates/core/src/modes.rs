@@ -1,0 +1,95 @@
+//! Entity-based vs. workload-based synopses (§II–III).
+
+use cind_model::{Entity, Synopsis};
+
+/// How entity (and hence partition) synopses are derived for *rating*.
+///
+/// §II: an entity-based solution clusters entities with similar attribute
+/// sets and is workload-independent; a workload-based solution clusters
+/// entities relevant to the same queries and is tailored to a known query
+/// set. §III: "for a workload-based partitioning, an entity synopsis lists
+/// the queries an entity is relevant to, while [for an entity-based
+/// partitioning] an entity synopsis lists the attributes an entity
+/// instantiates."
+///
+/// Query-time pruning always uses *attribute* synopses, which the partition
+/// catalog maintains in both modes.
+#[derive(Clone, Debug, Default)]
+pub enum SynopsisMode {
+    /// Rating synopsis = the entity's attribute set.
+    #[default]
+    EntityBased,
+    /// Rating synopsis = the set of workload queries the entity is relevant
+    /// to (query `q` is relevant iff `|e ∧ q| ≥ 1`). The vector holds the
+    /// workload's query synopses in attribute space; bit `i` of an entity's
+    /// rating synopsis corresponds to `queries[i]`.
+    WorkloadBased(Vec<Synopsis>),
+}
+
+impl SynopsisMode {
+    /// The rating-synopsis universe size given the attribute universe.
+    pub fn universe(&self, attr_universe: usize) -> usize {
+        match self {
+            SynopsisMode::EntityBased => attr_universe,
+            SynopsisMode::WorkloadBased(queries) => queries.len(),
+        }
+    }
+
+    /// Builds the rating synopsis of `entity` over `attr_universe`
+    /// attributes.
+    pub fn entity_synopsis(&self, entity: &Entity, attr_universe: usize) -> Synopsis {
+        match self {
+            SynopsisMode::EntityBased => entity.synopsis(attr_universe),
+            SynopsisMode::WorkloadBased(queries) => {
+                let attrs = entity.synopsis(attr_universe);
+                Synopsis::from_bits(
+                    queries.len(),
+                    queries
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, q)| !q.is_disjoint(&attrs))
+                        .map(|(i, _)| i as u32),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::{AttrId, EntityId, Value};
+
+    fn entity(attrs: &[u32]) -> Entity {
+        Entity::new(
+            EntityId(1),
+            attrs.iter().map(|&a| (AttrId(a), Value::Int(0))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn entity_based_is_the_attribute_set() {
+        let e = entity(&[1, 3]);
+        let s = SynopsisMode::EntityBased.entity_synopsis(&e, 8);
+        assert_eq!(s, Synopsis::from_bits(8, [1, 3]));
+        assert_eq!(SynopsisMode::EntityBased.universe(8), 8);
+    }
+
+    #[test]
+    fn workload_based_marks_relevant_queries() {
+        let queries = vec![
+            Synopsis::from_bits(8, [0]),    // q0: attr 0
+            Synopsis::from_bits(8, [1, 2]), // q1: attrs 1,2
+            Synopsis::from_bits(8, [5]),    // q2: attr 5
+        ];
+        let mode = SynopsisMode::WorkloadBased(queries);
+        assert_eq!(mode.universe(8), 3);
+        let e = entity(&[1, 3]); // relevant to q1 only
+        let s = mode.entity_synopsis(&e, 8);
+        assert_eq!(s, Synopsis::from_bits(3, [1]));
+        // An entity matching nothing has an empty rating synopsis.
+        let e = entity(&[7]);
+        assert!(mode.entity_synopsis(&e, 8).is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Partition placement across nodes — an extension beyond the paper.
+//!
+//! §II motivates the Online Partitioning Problem with distribution: "in
+//! distributed databases or distributed file systems, partitions are
+//! distributed among the nodes; in modern main-memory database systems …
+//! partitions resemble the local memory of each CPU core." Once Cinderella
+//! has produced the partitions, *where to put them* is the follow-up
+//! physical-design decision. This module implements the two canonical
+//! strategies and the metrics to compare them:
+//!
+//! * [`place_balanced`] — LPT greedy (largest partition first onto the
+//!   least-loaded node): minimises size imbalance, ignores structure.
+//! * [`place_affinity`] — co-locates partitions with overlapping synopses
+//!   (a query touching one partition of a node probably touches its
+//!   neighbours too), subject to a balance cap, trading a bounded amount
+//!   of imbalance for lower query *fan-out* (nodes contacted per query).
+
+use std::collections::HashMap;
+
+use cind_model::Synopsis;
+use cind_storage::SegmentId;
+
+use crate::catalog::PartitionCatalog;
+
+/// A placement of partitions onto `nodes` nodes.
+///
+/// ```
+/// use cind_model::{AttrId, Entity, EntityId, Value};
+/// use cind_storage::UniversalTable;
+/// use cinderella_core::{place_balanced, Cinderella, Config};
+///
+/// let mut table = UniversalTable::new(64);
+/// let a = table.catalog_mut().intern("a");
+/// let b = table.catalog_mut().intern("b");
+/// let mut cindy = Cinderella::new(Config::default());
+/// for i in 0..10u64 {
+///     let attr = if i % 2 == 0 { a } else { b };
+///     let e = Entity::new(EntityId(i), [(attr, Value::Int(1))]).unwrap();
+///     cindy.insert(&mut table, e)?;
+/// }
+/// let placement = place_balanced(cindy.catalog(), 2);
+/// assert_eq!(placement.assignment.len(), cindy.catalog().len());
+/// assert!(placement.imbalance() >= 1.0);
+/// # Ok::<(), cinderella_core::CoreError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Placement {
+    /// Partition → node.
+    pub assignment: HashMap<SegmentId, usize>,
+    /// Total `SIZE` placed on each node.
+    pub node_sizes: Vec<u64>,
+    /// OR of the synopses placed on each node.
+    pub node_synopses: Vec<Synopsis>,
+}
+
+impl Placement {
+    fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        Self {
+            assignment: HashMap::new(),
+            node_sizes: vec![0; nodes],
+            node_synopses: vec![Synopsis::default(); nodes],
+        }
+    }
+
+    fn assign(&mut self, seg: SegmentId, syn: &Synopsis, size: u64, node: usize) {
+        self.assignment.insert(seg, node);
+        self.node_sizes[node] += size;
+        self.node_synopses[node].merge(syn);
+    }
+
+    /// Load imbalance: `max(node size) / mean(node size)`; 1.0 is perfect.
+    /// 1.0 by convention when nothing is placed.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.node_sizes.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.node_sizes.len() as f64;
+        let max = *self.node_sizes.iter().max().expect("nodes > 0") as f64;
+        max / mean
+    }
+
+    /// Mean number of nodes a workload query must contact (a node is
+    /// contacted iff it hosts at least one non-pruned partition).
+    pub fn fanout(&self, catalog: &PartitionCatalog, workload: &[Synopsis]) -> f64 {
+        if workload.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        for q in workload {
+            let mut touched = vec![false; self.node_sizes.len()];
+            for meta in catalog.iter() {
+                if !q.is_disjoint(&meta.attr_synopsis) {
+                    if let Some(&n) = self.assignment.get(&meta.segment) {
+                        touched[n] = true;
+                    }
+                }
+            }
+            total += touched.iter().filter(|t| **t).count();
+        }
+        total as f64 / workload.len() as f64
+    }
+}
+
+/// Partitions sorted by descending size — both strategies place big rocks
+/// first.
+fn by_size_desc(catalog: &PartitionCatalog) -> Vec<(SegmentId, Synopsis, u64)> {
+    let mut parts: Vec<(SegmentId, Synopsis, u64)> = catalog
+        .iter()
+        .map(|m| (m.segment, m.attr_synopsis.clone(), m.size))
+        .collect();
+    parts.sort_by_key(|(seg, _, size)| (std::cmp::Reverse(*size), *seg));
+    parts
+}
+
+/// LPT greedy: every partition goes to the currently least-loaded node.
+///
+/// # Panics
+/// Panics if `nodes == 0`.
+pub fn place_balanced(catalog: &PartitionCatalog, nodes: usize) -> Placement {
+    let mut p = Placement::new(nodes);
+    for (seg, syn, size) in by_size_desc(catalog) {
+        let node = (0..nodes)
+            .min_by_key(|&n| p.node_sizes[n])
+            .expect("nodes > 0");
+        p.assign(seg, &syn, size, node);
+    }
+    p
+}
+
+/// Affinity-first: each partition goes to the node whose accumulated
+/// synopsis it overlaps most, among nodes whose load stays within
+/// `(1 + slack) × ideal`; falls back to the least-loaded node when none
+/// qualifies. `slack = 0` degenerates to (almost) balanced placement.
+///
+/// # Panics
+/// Panics if `nodes == 0` or `slack` is negative.
+pub fn place_affinity(catalog: &PartitionCatalog, nodes: usize, slack: f64) -> Placement {
+    assert!(slack >= 0.0, "slack must be non-negative");
+    let parts = by_size_desc(catalog);
+    let total: u64 = parts.iter().map(|(_, _, s)| s).sum();
+    let cap = (total as f64 / nodes as f64) * (1.0 + slack);
+    let mut p = Placement::new(nodes);
+    for (seg, syn, size) in parts {
+        let candidates: Vec<usize> = (0..nodes)
+            .filter(|&n| (p.node_sizes[n] + size) as f64 <= cap)
+            .collect();
+        let node = if candidates.is_empty() {
+            (0..nodes)
+                .min_by_key(|&n| p.node_sizes[n])
+                .expect("nodes > 0")
+        } else {
+            *candidates
+                .iter()
+                .max_by_key(|&&n| {
+                    // Prefer overlap; break ties toward the emptier node.
+                    (
+                        p.node_synopses[n].overlap(&syn),
+                        std::cmp::Reverse(p.node_sizes[n]),
+                    )
+                })
+                .expect("non-empty")
+        };
+        p.assign(seg, &syn, size, node);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::EntityId;
+
+    /// A catalog with `k` partitions per shape over `shapes` disjoint
+    /// shapes, each of the given size.
+    fn catalog(shapes: usize, per_shape: usize, size: u64) -> PartitionCatalog {
+        let mut cat = PartitionCatalog::new(false);
+        let mut seg = 0u32;
+        for s in 0..shapes {
+            for _ in 0..per_shape {
+                let id = SegmentId(seg);
+                seg += 1;
+                cat.create_partition(id);
+                let syn = Synopsis::from_bits(
+                    shapes * 4,
+                    (0..4).map(|k| (s * 4 + k) as u32),
+                );
+                cat.add_entity(id, EntityId(u64::from(seg)), &syn, &syn, size, true);
+            }
+        }
+        cat
+    }
+
+    fn shape_queries(shapes: usize) -> Vec<Synopsis> {
+        (0..shapes)
+            .map(|s| Synopsis::from_bits(shapes * 4, [(s * 4) as u32]))
+            .collect()
+    }
+
+    #[test]
+    fn balanced_placement_is_balanced() {
+        let cat = catalog(4, 3, 100);
+        let p = place_balanced(&cat, 4);
+        assert_eq!(p.assignment.len(), 12);
+        assert!((p.imbalance() - 1.0).abs() < 1e-9, "12×100 over 4 nodes is exact");
+    }
+
+    #[test]
+    fn affinity_placement_reduces_fanout() {
+        // 4 shapes × 4 partitions on 4 nodes: affinity can give each node
+        // one whole shape (fan-out 1); balanced placement scatters shapes.
+        let cat = catalog(4, 4, 100);
+        let queries = shape_queries(4);
+        let balanced = place_balanced(&cat, 4);
+        let affinity = place_affinity(&cat, 4, 0.05);
+        assert!((affinity.imbalance() - 1.0).abs() < 0.06);
+        let bf = balanced.fanout(&cat, &queries);
+        let af = affinity.fanout(&cat, &queries);
+        assert!((af - 1.0).abs() < 1e-9, "affinity fan-out must be 1, got {af}");
+        assert!(bf > af, "balanced fan-out {bf} must exceed affinity {af}");
+    }
+
+    #[test]
+    fn affinity_respects_the_balance_cap() {
+        // One giant shape: without the cap everything would pile onto one
+        // node.
+        let cat = catalog(1, 8, 100);
+        let p = place_affinity(&cat, 4, 0.10);
+        assert!(p.imbalance() <= 1.11, "imbalance {} exceeds slack", p.imbalance());
+    }
+
+    #[test]
+    fn single_node_trivia_and_empty_catalog() {
+        let cat = catalog(2, 2, 10);
+        let p = place_balanced(&cat, 1);
+        assert_eq!(p.imbalance(), 1.0);
+        assert_eq!(p.fanout(&cat, &shape_queries(2)), 1.0);
+
+        let empty = PartitionCatalog::new(false);
+        let p = place_balanced(&empty, 3);
+        assert_eq!(p.imbalance(), 1.0);
+        assert_eq!(p.fanout(&empty, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        place_balanced(&PartitionCatalog::new(false), 0);
+    }
+}

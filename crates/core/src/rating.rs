@@ -1,0 +1,171 @@
+//! The Cinderella partition rating (§IV of the paper).
+
+use cind_model::Synopsis;
+
+/// The raw ingredients of one entity/partition rating.
+///
+/// All five counts come from two fused bitset passes over the synopses;
+/// sizes come from the partition catalog.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RatingInputs {
+    /// `SIZE(e)`.
+    pub size_e: u64,
+    /// `SIZE(p)`.
+    pub size_p: u64,
+    /// `|e ∧ p|` — shared attributes.
+    pub overlap: u32,
+    /// `|¬e ∧ p|` — attributes the partition has but the entity lacks.
+    pub entity_missing: u32,
+    /// `|e ∧ ¬p|` — attributes the entity has but the partition lacks.
+    pub partition_missing: u32,
+    /// `|e ∨ p|` — union cardinality (normaliser).
+    pub union_count: u32,
+}
+
+impl RatingInputs {
+    /// Computes the counts for an entity synopsis `e` against a partition
+    /// synopsis `p`, with the given sizes.
+    pub fn compute(e: &Synopsis, size_e: u64, p: &Synopsis, size_p: u64) -> Self {
+        let overlap = e.overlap(p);
+        let card_e = e.cardinality();
+        let card_p = p.cardinality();
+        Self {
+            size_e,
+            size_p,
+            overlap,
+            entity_missing: card_p - overlap,
+            partition_missing: card_e - overlap,
+            union_count: card_e + card_p - overlap,
+        }
+    }
+}
+
+/// The local rating `r' = w·h⁺ − (1−w)·(h⁻_e + h⁻_p)` with
+///
+/// * homogeneity `h⁺ = (SIZE(p) + SIZE(e)) · |e ∧ p|`,
+/// * entity heterogeneity `h⁻_e = SIZE(e) · |¬e ∧ p|`,
+/// * partition heterogeneity `h⁻_p = SIZE(p) · |e ∧ ¬p|`.
+pub fn local_rating(w: f64, i: &RatingInputs) -> f64 {
+    let h_pos = (i.size_p + i.size_e) as f64 * f64::from(i.overlap);
+    let h_ent = i.size_e as f64 * f64::from(i.entity_missing);
+    let h_part = i.size_p as f64 * f64::from(i.partition_missing);
+    w * h_pos - (1.0 - w) * (h_ent + h_part)
+}
+
+/// The global rating `r = r' / ((SIZE(p) + SIZE(e)) · |e ∨ p|)`.
+///
+/// The normaliser is zero only when both operands carry no evidence at all
+/// (`|e ∨ p| = 0`, or both sizes are zero); `r'` is then also zero and the
+/// rating is defined as neutral 0 rather than NaN — such a pair neither
+/// attracts nor repels.
+pub fn global_rating(w: f64, i: &RatingInputs) -> f64 {
+    let denom = (i.size_p + i.size_e) as f64 * f64::from(i.union_count);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    local_rating(w, i) / denom
+}
+
+/// Convenience: global rating straight from synopses and sizes.
+pub fn rate(w: f64, e: &Synopsis, size_e: u64, p: &Synopsis, size_p: u64) -> f64 {
+    global_rating(w, &RatingInputs::compute(e, size_e, p, size_p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syn(bits: &[u32]) -> Synopsis {
+        Synopsis::from_bits(32, bits.iter().copied())
+    }
+
+    /// Hand-computed example in the shape of the paper's Fig. 3: the entity
+    /// shares two attributes with the partition, misses one of the
+    /// partition's and brings one of its own.
+    #[test]
+    fn hand_computed_rating() {
+        let e = syn(&[0, 1, 2]); // entity: a0 a1 a2
+        let p = syn(&[0, 1, 3]); // partition: a0 a1 a3
+        let i = RatingInputs::compute(&e, 3, &p, 12);
+        assert_eq!(i.overlap, 2);
+        assert_eq!(i.entity_missing, 1);
+        assert_eq!(i.partition_missing, 1);
+        assert_eq!(i.union_count, 4);
+        // h+ = (12+3)*2 = 30 ; h_e- = 3*1 = 3 ; h_p- = 12*1 = 12
+        let w = 0.5;
+        let r_local = local_rating(w, &i);
+        assert!((r_local - (0.5 * 30.0 - 0.5 * 15.0)).abs() < 1e-12);
+        let r = global_rating(w, &i);
+        assert!((r - 7.5 / (15.0 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_match_rates_w() {
+        // e == p: overlap = |e|, no heterogeneity.
+        // r = w*(S_p+S_e)*|e| / ((S_p+S_e)*|e|) = w.
+        let e = syn(&[1, 2, 3]);
+        let r = rate(0.3, &e, 3, &e, 30);
+        assert!((r - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_nonempty_rates_negative() {
+        let e = syn(&[0, 1]);
+        let p = syn(&[2, 3]);
+        for w in [0.0, 0.2, 0.5, 0.9] {
+            assert!(rate(w, &e, 2, &p, 10) < 0.0, "w={w}");
+        }
+        // …except at w = 1, where negative evidence is ignored entirely.
+        assert_eq!(rate(1.0, &e, 2, &p, 10), 0.0);
+    }
+
+    #[test]
+    fn weight_zero_rejects_any_heterogeneity() {
+        let e = syn(&[0, 1]);
+        let p = syn(&[0, 1, 2]); // partition has one extra attribute
+        assert!(rate(0.0, &e, 2, &p, 9) < 0.0);
+        // but a perfectly matching pair still rates 0 (not positive).
+        assert_eq!(rate(0.0, &e, 2, &syn(&[0, 1]), 9), 0.0);
+    }
+
+    #[test]
+    fn higher_weight_never_lowers_rating() {
+        let e = syn(&[0, 1, 4]);
+        let p = syn(&[0, 2, 4, 7]);
+        let mut prev = f64::NEG_INFINITY;
+        for step in 0..=10 {
+            let w = f64::from(step) / 10.0;
+            let r = rate(w, &e, 3, &p, 20);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn empty_evidence_is_neutral() {
+        let empty = syn(&[]);
+        assert_eq!(rate(0.5, &empty, 0, &empty, 0), 0.0);
+        // Empty entity against any partition: no overlap, no heterogeneity
+        // that weighs anything (sizes multiply to zero on the entity side,
+        // counts on the partition side).
+        let p = syn(&[1, 2]);
+        assert_eq!(rate(0.5, &empty, 0, &p, 10), 0.0);
+    }
+
+    #[test]
+    fn rating_is_bounded_by_plus_minus_one() {
+        // |r| ≤ max(w, 1-w) ≤ 1 because h+ ≤ (S_p+S_e)·|e∨p| and
+        // h_e- + h_p- ≤ (S_p+S_e)·|e∨p|.
+        let cases = [
+            (&[0u32, 1, 2][..], 3u64, &[0u32, 1, 3][..], 100u64),
+            (&[5][..], 1, &[5][..], 1),
+            (&[0, 1][..], 9, &[4, 5, 6][..], 2),
+        ];
+        for w in [0.0, 0.3, 1.0] {
+            for (eb, se, pb, sp) in cases {
+                let r = rate(w, &syn(eb), se, &syn(pb), sp);
+                assert!((-1.0..=1.0).contains(&r), "r={r} out of bounds");
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Metamorphic property tests on the §IV rating and the split-starter
+//! heuristic — algebraic identities that must hold for *any* synopses.
+
+use cind_model::{EntityId, Synopsis};
+use cinderella_core::starters::SplitStarters;
+use cinderella_core::{global_rating, RatingInputs};
+use proptest::prelude::*;
+
+const UNIVERSE: usize = 64;
+
+fn synopsis() -> impl Strategy<Value = Synopsis> {
+    prop::collection::btree_set(0u32..UNIVERSE as u32, 0..20)
+        .prop_map(|bits| Synopsis::from_bits(UNIVERSE, bits))
+}
+
+fn weight() -> impl Strategy<Value = f64> {
+    (0u8..=10).prop_map(|w| f64::from(w) / 10.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// |r| ≤ 1 always: both h⁺ and (h⁻_e + h⁻_p) are bounded by the
+    /// normaliser.
+    #[test]
+    fn rating_is_bounded(e in synopsis(), p in synopsis(), se in 0u64..1000, sp in 0u64..100_000, w in weight()) {
+        let r = global_rating(w, &RatingInputs::compute(&e, se, &p, sp));
+        prop_assert!(r.is_finite());
+        prop_assert!((-1.0..=1.0).contains(&r), "r = {r}");
+    }
+
+    /// The rating is monotonically non-decreasing in the weight w.
+    #[test]
+    fn rating_is_monotone_in_weight(e in synopsis(), p in synopsis(), se in 0u64..1000, sp in 0u64..100_000) {
+        let inputs = RatingInputs::compute(&e, se, &p, sp);
+        let mut prev = f64::NEG_INFINITY;
+        for step in 0..=10 {
+            let w = f64::from(step) / 10.0;
+            let r = global_rating(w, &inputs);
+            prop_assert!(r >= prev - 1e-12, "w={w}: {r} < {prev}");
+            prev = r;
+        }
+    }
+
+    /// The rating is symmetric: swapping the roles of entity and partition
+    /// (synopsis and size together) leaves it unchanged — h⁺ is symmetric
+    /// and the two heterogeneity terms swap.
+    #[test]
+    fn rating_is_symmetric(e in synopsis(), p in synopsis(), se in 0u64..1000, sp in 0u64..100_000, w in weight()) {
+        let forward = global_rating(w, &RatingInputs::compute(&e, se, &p, sp));
+        let backward = global_rating(w, &RatingInputs::compute(&p, sp, &e, se));
+        prop_assert!((forward - backward).abs() < 1e-12);
+    }
+
+    /// The rating is scale-invariant: multiplying both sizes by the same
+    /// factor changes nothing (it is a *ratio* of evidence).
+    #[test]
+    fn rating_is_scale_invariant(e in synopsis(), p in synopsis(), se in 1u64..100, sp in 1u64..1000, w in weight(), k in 1u64..50) {
+        let base = global_rating(w, &RatingInputs::compute(&e, se, &p, sp));
+        let scaled = global_rating(w, &RatingInputs::compute(&e, se * k, &p, sp * k));
+        prop_assert!((base - scaled).abs() < 1e-9, "{base} vs {scaled} at k={k}");
+    }
+
+    /// A perfect attribute match rates exactly w; disjoint non-empty
+    /// synopses with positive sizes rate strictly negative for w < 1.
+    #[test]
+    fn rating_anchors(e in synopsis(), se in 1u64..100, sp in 1u64..1000, w in weight()) {
+        prop_assume!(!e.is_empty());
+        let perfect = global_rating(w, &RatingInputs::compute(&e, se, &e, sp));
+        prop_assert!((perfect - w).abs() < 1e-12);
+
+        // Shift all bits by UNIVERSE to make a disjoint synopsis.
+        let other = Synopsis::from_bits(
+            2 * UNIVERSE,
+            e.iter().map(|a| a.index() + UNIVERSE as u32),
+        );
+        let e2 = Synopsis::from_bits(2 * UNIVERSE, e.iter().map(|a| a.index()));
+        let disjoint = global_rating(w, &RatingInputs::compute(&e2, se, &other, sp));
+        if w < 1.0 {
+            prop_assert!(disjoint < 0.0, "disjoint rated {disjoint} at w={w}");
+        } else {
+            prop_assert!(disjoint.abs() < 1e-12);
+        }
+    }
+
+    /// Split-starter maintenance: the pair difference never decreases over
+    /// any offer sequence, the starters are always entities that were
+    /// offered, and the cached diff is always achievable by the pair.
+    #[test]
+    fn starter_pair_diff_is_monotone(offers in prop::collection::vec(synopsis(), 1..30)) {
+        let mut st = SplitStarters::new();
+        let mut prev_diff = 0;
+        for (i, syn) in offers.iter().enumerate() {
+            st.offer(EntityId(i as u64), syn);
+            let diff = st.pair_diff();
+            prop_assert!(diff >= prev_diff, "pair diff shrank: {diff} < {prev_diff}");
+            prev_diff = diff;
+            // The cached diff matches the actual synopsis difference.
+            if let (Some((_, sa)), Some((_, sb))) = (st.a(), st.b()) {
+                prop_assert_eq!(diff, sa.diff(sb));
+            }
+            // Starter ids come from the offered sequence.
+            for (id, _) in [st.a(), st.b()].into_iter().flatten() {
+                prop_assert!(id.0 <= i as u64);
+            }
+        }
+    }
+
+    /// The heuristic never beats the exact best pair, but always reaches at
+    /// least half of it (each starter update keeps the locally best pair
+    /// involving the newcomer, a classic 2-approximation-style guarantee we
+    /// verify empirically here).
+    #[test]
+    fn starter_pair_is_competitive(offers in prop::collection::vec(synopsis(), 2..16)) {
+        let mut st = SplitStarters::new();
+        for (i, syn) in offers.iter().enumerate() {
+            st.offer(EntityId(i as u64), syn);
+        }
+        let mut exact = 0;
+        for i in 0..offers.len() {
+            for j in (i + 1)..offers.len() {
+                exact = exact.max(offers[i].diff(&offers[j]));
+            }
+        }
+        let heuristic = st.pair_diff();
+        prop_assert!(heuristic <= exact, "heuristic cannot exceed the true max");
+        prop_assert!(
+            2 * heuristic >= exact,
+            "heuristic {heuristic} fell below half of exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Synthetic query workload (§V-B construction).
+//!
+//! The paper: "We created multiple sets of attributes. Each of the
+//! individual attributes forms an attribute set. Additionally, we combined
+//! the 20 most frequent attributes to pairs and triples. […] We collected
+//! representative queries to reasonably cover the range of possible
+//! selectivities; three representative queries for each selectivity."
+//!
+//! [`WorkloadBuilder::build`] generates the full candidate set with exact
+//! selectivities (inclusion–exclusion over one pass of co-occurrence
+//! counting); [`WorkloadBuilder::representatives`] picks the binned
+//! representatives the figures average over.
+
+use cind_model::{AttrId, Entity};
+
+/// One candidate query: an attribute set plus its exact selectivity against
+/// the generated data.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// The queried attributes.
+    pub attrs: Vec<AttrId>,
+    /// Fraction of entities instantiating at least one of them.
+    pub selectivity: f64,
+    /// Human-readable label, e.g. `single(a3)` or `pair(a0,a5)`.
+    pub label: String,
+}
+
+/// Builds the paper's synthetic workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadBuilder {
+    /// How many of the most frequent attributes to combine (paper: 20).
+    pub top_k: usize,
+}
+
+impl Default for WorkloadBuilder {
+    fn default() -> Self {
+        Self { top_k: 20 }
+    }
+}
+
+impl WorkloadBuilder {
+    /// Generates all candidate queries: one singleton per attribute that
+    /// occurs at all, plus pairs and triples of the `top_k` most frequent
+    /// attributes, each with exact selectivity.
+    pub fn build(&self, universe: usize, entities: &[Entity]) -> Vec<QuerySpec> {
+        let n = entities.len().max(1) as f64;
+        // Pass 1: attribute frequencies.
+        let mut freq = vec![0u64; universe];
+        for e in entities {
+            for (a, _) in e.attrs() {
+                freq[a.0 as usize] += 1;
+            }
+        }
+        // Top-k attributes by frequency (stable: ties by id).
+        let mut ranked: Vec<u32> = (0..universe as u32).collect();
+        ranked.sort_by_key(|&a| (std::cmp::Reverse(freq[a as usize]), a));
+        let top: Vec<u32> = ranked
+            .iter()
+            .copied()
+            .take(self.top_k)
+            .filter(|&a| freq[a as usize] > 0)
+            .collect();
+        let k = top.len();
+        let rank_of = {
+            let mut m = vec![usize::MAX; universe];
+            for (r, &a) in top.iter().enumerate() {
+                m[a as usize] = r;
+            }
+            m
+        };
+        // Pass 2: pair and triple co-occurrence among the top-k.
+        let mut pair = vec![0u64; k * k];
+        let mut triple = std::collections::HashMap::<(usize, usize, usize), u64>::new();
+        for e in entities {
+            let present: Vec<usize> = e
+                .attrs()
+                .iter()
+                .filter_map(|(a, _)| {
+                    let r = rank_of[a.0 as usize];
+                    (r != usize::MAX).then_some(r)
+                })
+                .collect();
+            for (i, &a) in present.iter().enumerate() {
+                for &b in &present[i + 1..] {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    pair[lo * k + hi] += 1;
+                }
+            }
+            for (i, &a) in present.iter().enumerate() {
+                for (j, &b) in present.iter().enumerate().skip(i + 1) {
+                    for &c in &present[j + 1..] {
+                        let mut t = [a, b, c];
+                        t.sort_unstable();
+                        *triple.entry((t[0], t[1], t[2])).or_default() += 1;
+                    }
+                }
+            }
+        }
+
+        let mut specs = Vec::new();
+        // Singletons over every attribute that occurs.
+        for a in 0..universe as u32 {
+            if freq[a as usize] > 0 {
+                specs.push(QuerySpec {
+                    attrs: vec![AttrId(a)],
+                    selectivity: freq[a as usize] as f64 / n,
+                    label: format!("single(a{a})"),
+                });
+            }
+        }
+        // Pairs of top-k: |A ∪ B| = f_A + f_B − f_AB.
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let (a, b) = (top[i], top[j]);
+                let union = freq[a as usize] + freq[b as usize] - pair[i * k + j];
+                specs.push(QuerySpec {
+                    attrs: vec![AttrId(a), AttrId(b)],
+                    selectivity: union as f64 / n,
+                    label: format!("pair(a{a},a{b})"),
+                });
+            }
+        }
+        // Triples of top-k, by inclusion–exclusion.
+        for i in 0..k {
+            for j in (i + 1)..k {
+                for l in (j + 1)..k {
+                    let (a, b, c) = (top[i], top[j], top[l]);
+                    let f3 = triple.get(&(i, j, l)).copied().unwrap_or(0);
+                    let union = freq[a as usize] + freq[b as usize] + freq[c as usize]
+                        - pair[i * k + j]
+                        - pair[i * k + l]
+                        - pair[j * k + l]
+                        + f3;
+                    specs.push(QuerySpec {
+                        attrs: vec![AttrId(a), AttrId(b), AttrId(c)],
+                        selectivity: union as f64 / n,
+                        label: format!("triple(a{a},a{b},a{c})"),
+                    });
+                }
+            }
+        }
+        specs
+    }
+
+    /// Picks up to `per_bin` representatives per selectivity bin. `edges`
+    /// are ascending upper bin boundaries; a spec falls in the first bin
+    /// whose edge is ≥ its selectivity. Returns the picks sorted by
+    /// selectivity.
+    pub fn representatives(
+        specs: &[QuerySpec],
+        edges: &[f64],
+        per_bin: usize,
+    ) -> Vec<QuerySpec> {
+        let mut sorted: Vec<&QuerySpec> = specs.iter().collect();
+        sorted.sort_by(|a, b| a.selectivity.total_cmp(&b.selectivity));
+        let mut out: Vec<QuerySpec> = Vec::new();
+        let mut cursor = 0usize;
+        let mut lower = 0.0f64;
+        for &edge in edges {
+            let mut taken = 0;
+            // Specs are sorted; take the first `per_bin` in (lower, edge].
+            while cursor < sorted.len() && sorted[cursor].selectivity <= edge {
+                if sorted[cursor].selectivity > lower && taken < per_bin {
+                    out.push(sorted[cursor].clone());
+                    taken += 1;
+                }
+                cursor += 1;
+            }
+            lower = edge;
+        }
+        out
+    }
+
+    /// The selectivity bin edges the harnesses use (log-spaced over the
+    /// range Figs. 5–6 cover).
+    pub fn default_edges() -> Vec<f64> {
+        vec![0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::{EntityId, Value};
+
+    /// 10 entities: attr 0 on all, attr 1 on half, attr 2 on 20 %, attr 3
+    /// co-occurring with attr 1.
+    fn entities() -> Vec<Entity> {
+        (0..10u64)
+            .map(|i| {
+                let mut attrs = vec![(AttrId(0), Value::Int(1))];
+                if i % 2 == 0 {
+                    attrs.push((AttrId(1), Value::Int(1)));
+                    attrs.push((AttrId(3), Value::Int(1)));
+                }
+                if i % 5 == 0 {
+                    attrs.push((AttrId(2), Value::Int(1)));
+                }
+                Entity::new(EntityId(i), attrs).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn singleton_selectivities_are_frequencies() {
+        let specs = WorkloadBuilder { top_k: 4 }.build(4, &entities());
+        let get = |label: &str| {
+            specs
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap_or_else(|| panic!("{label} missing"))
+                .selectivity
+        };
+        assert!((get("single(a0)") - 1.0).abs() < 1e-12);
+        assert!((get("single(a1)") - 0.5).abs() < 1e-12);
+        assert!((get("single(a2)") - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_and_triple_use_inclusion_exclusion() {
+        let specs = WorkloadBuilder { top_k: 4 }.build(4, &entities());
+        // a1 ∪ a2: 5 + 2 − 1 (entity 0 has both) = 6 → 0.6.
+        let pair = specs
+            .iter()
+            .find(|s| s.label == "pair(a1,a2)" || s.label == "pair(a2,a1)")
+            .unwrap();
+        assert!((pair.selectivity - 0.6).abs() < 1e-12);
+        // a1 ∪ a2 ∪ a3 = a1 ∪ a2 (a3 ⊆ a1) = 0.6.
+        let triple = specs
+            .iter()
+            .find(|s| s.attrs.len() == 3 && !s.attrs.contains(&AttrId(0)))
+            .unwrap();
+        assert!((triple.selectivity - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_of_generated_specs() {
+        let specs = WorkloadBuilder { top_k: 4 }.build(4, &entities());
+        // 4 singletons + C(4,2)=6 pairs + C(4,3)=4 triples.
+        assert_eq!(specs.len(), 4 + 6 + 4);
+        // With top_k exceeding the live attributes, k clamps to 4.
+        let specs = WorkloadBuilder { top_k: 20 }.build(4, &entities());
+        assert_eq!(specs.len(), 4 + 6 + 4);
+    }
+
+    #[test]
+    fn representatives_cover_bins() {
+        let specs = WorkloadBuilder { top_k: 4 }.build(4, &entities());
+        let reps = WorkloadBuilder::representatives(&specs, &[0.3, 0.7, 1.0], 2);
+        assert!(reps.len() <= 6);
+        // Sorted by selectivity.
+        for w in reps.windows(2) {
+            assert!(w[0].selectivity <= w[1].selectivity);
+        }
+        // The low bin (≤ 0.3) and the top bin (> 0.7) both contribute.
+        assert!(reps.iter().any(|s| s.selectivity <= 0.3));
+        assert!(reps.iter().any(|s| s.selectivity > 0.7));
+        // Per-bin cap respected.
+        let low = reps.iter().filter(|s| s.selectivity <= 0.3).count();
+        assert!(low <= 2);
+    }
+}

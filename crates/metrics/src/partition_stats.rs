@@ -1,0 +1,85 @@
+//! Per-partitioning statistics — the four series of Fig. 7.
+
+use crate::Summary;
+
+/// One partition's raw numbers, as the Fig. 7 analysis needs them.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionNumbers {
+    /// Member entities (Fig. 7(b)).
+    pub entities: u64,
+    /// Attributes in the synopsis (Fig. 7(c)).
+    pub attributes: u32,
+    /// Sparseness of the `entities × attributes` rectangle (Fig. 7(d)).
+    pub sparseness: f64,
+}
+
+/// The Fig. 7 report for one partitioning.
+#[derive(Clone, Debug)]
+pub struct PartitioningReport {
+    /// Number of partitions (Fig. 7(a)).
+    pub partitions: usize,
+    /// Distribution of entities per partition.
+    pub entities: Option<Summary>,
+    /// Distribution of attributes per partition.
+    pub attributes: Option<Summary>,
+    /// Distribution of sparseness per partition.
+    pub sparseness: Option<Summary>,
+}
+
+impl PartitioningReport {
+    /// Builds the report from per-partition numbers.
+    pub fn from_partitions(parts: impl IntoIterator<Item = PartitionNumbers>) -> Self {
+        let parts: Vec<PartitionNumbers> = parts.into_iter().collect();
+        let col = |f: fn(&PartitionNumbers) -> f64| {
+            Summary::of(&parts.iter().map(f).collect::<Vec<f64>>())
+        };
+        Self {
+            partitions: parts.len(),
+            entities: col(|p| p.entities as f64),
+            attributes: col(|p| f64::from(p.attributes)),
+            sparseness: col(|p| p.sparseness),
+        }
+    }
+}
+
+impl std::fmt::Display for PartitioningReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "partitions: {}", self.partitions)?;
+        let line = |name: &str, s: &Option<Summary>| match s {
+            Some(s) => format!("  {name:<12} {s}"),
+            None => format!("  {name:<12} (no partitions)"),
+        };
+        writeln!(f, "{}", line("entities", &self.entities))?;
+        writeln!(f, "{}", line("attributes", &self.attributes))?;
+        write!(f, "{}", line("sparseness", &self.sparseness))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_the_three_series() {
+        let report = PartitioningReport::from_partitions([
+            PartitionNumbers { entities: 10, attributes: 4, sparseness: 0.0 },
+            PartitionNumbers { entities: 30, attributes: 8, sparseness: 0.5 },
+        ]);
+        assert_eq!(report.partitions, 2);
+        let e = report.entities.unwrap();
+        assert_eq!(e.min, 10.0);
+        assert_eq!(e.max, 30.0);
+        assert_eq!(e.mean, 20.0);
+        assert_eq!(report.attributes.unwrap().median, 6.0);
+        assert_eq!(report.sparseness.unwrap().max, 0.5);
+    }
+
+    #[test]
+    fn empty_partitioning() {
+        let report = PartitioningReport::from_partitions([]);
+        assert_eq!(report.partitions, 0);
+        assert!(report.entities.is_none());
+        let s = report.to_string();
+        assert!(s.contains("no partitions"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Text tables and CSV output for the harness binaries.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A fixed-width text table: headers plus rows of strings, rendered with
+/// column alignment. The harness binaries print one per figure/table so the
+/// console output reads like the paper's artifacts.
+///
+/// ```
+/// use cind_metrics::Table;
+/// let mut t = Table::new(["B", "splits"]);
+/// t.row(["500", "274"]).row(["50000", "0"]);
+/// let rendered = t.render();
+/// assert!(rendered.starts_with("B      splits"));
+/// assert_eq!(rendered.lines().count(), 4); // header + rule + 2 rows
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        for row in &self.rows {
+            out.push('\n');
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `path`.
+    ///
+    /// # Errors
+    /// I/O errors from file creation or writing.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut rows = Vec::with_capacity(self.rows.len() + 1);
+        rows.push(self.headers.clone());
+        rows.extend(self.rows.iter().cloned());
+        write_csv(path, &rows)
+    }
+}
+
+/// Writes rows of cells as CSV (quoting cells containing commas, quotes, or
+/// newlines).
+///
+/// # Errors
+/// I/O errors from file creation or writing.
+pub fn write_csv(path: &Path, rows: &[Vec<String>]) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .map(|cell| {
+                if cell.contains([',', '"', '\n']) {
+                    format!("\"{}\"", cell.replace('"', "\"\""))
+                } else {
+                    cell.clone()
+                }
+            })
+            .collect();
+        writeln!(out, "{}", line.join(","))?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["selectivity", "time"]);
+        t.row(["0.01", "1.5ms"]).row(["0.5", "200ms"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("selectivity"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("0.01"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let dir = std::env::temp_dir().join("cind_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        let rows = vec![
+            vec!["a".to_owned(), "b,c".to_owned()],
+            vec!["x\"y".to_owned(), "z".to_owned()],
+        ];
+        write_csv(&path, &rows).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,\"b,c\"\n\"x\"\"y\",z\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,107 @@
+//! Dynamically typed attribute values.
+
+/// A value instantiated for one attribute of one entity.
+///
+/// The universal table is schemaless per attribute: the same attribute may
+/// hold text for one entity and a number for another (DBpedia does exactly
+/// this). Values therefore carry their own type tag.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// Boolean flag.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl Value {
+    /// Serialized payload size in bytes (type tag excluded). This feeds the
+    /// byte-based [`SizeModel`](crate::SizeModel).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Text(s) => s.len(),
+        }
+    }
+
+    /// A short type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_lengths() {
+        assert_eq!(Value::Bool(true).payload_len(), 1);
+        assert_eq!(Value::Int(5).payload_len(), 8);
+        assert_eq!(Value::Float(1.5).payload_len(), 8);
+        assert_eq!(Value::Text("abc".into()).payload_len(), 3);
+        assert_eq!(Value::Text(String::new()).payload_len(), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from("x"), Value::Text("x".into()));
+        assert_eq!(Value::from(String::from("y")), Value::Text("y".into()));
+    }
+
+    #[test]
+    fn display_and_type_name() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Text("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Float(1.5).type_name(), "float");
+    }
+}

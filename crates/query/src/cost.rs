@@ -1,0 +1,98 @@
+//! Plan cost estimation (without execution).
+//!
+//! The executor measures what a plan *did*; the planner sometimes needs to
+//! know what a plan *would* cost — e.g. the CLI prints an estimate before
+//! running, and the advisor compares candidate partitionings. The estimate
+//! is exact for page counts (segments know their page counts) and an upper
+//! bound for entities (every entity of a surviving partition is scanned;
+//! how many *match* depends on the data).
+
+use cind_storage::{StorageError, UniversalTable};
+
+use crate::Plan;
+
+/// Estimated cost of executing a [`Plan`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CostEstimate {
+    /// Pages the scan will touch (exact — every page of every surviving
+    /// segment is read once).
+    pub pages: u64,
+    /// Entities the scan will decode (exact).
+    pub entities_scanned: u64,
+    /// Segments unioned (exact).
+    pub segments: usize,
+}
+
+/// Estimates `plan` against the current table state.
+///
+/// # Errors
+/// [`StorageError::NoSuchSegment`] if the plan references a dropped
+/// segment (the plan is stale).
+pub fn estimate(table: &UniversalTable, plan: &Plan) -> Result<CostEstimate, StorageError> {
+    let mut est = CostEstimate { segments: plan.segments.len(), ..Default::default() };
+    for &seg in &plan.segments {
+        let segment = table.segment(seg)?;
+        est.pages += segment.page_count() as u64;
+        est.entities_scanned += segment.record_count() as u64;
+    }
+    Ok(est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{execute, plan, Query};
+    use cind_model::{AttrId, Entity, EntityId, Synopsis, Value};
+
+    fn setup() -> (UniversalTable, Vec<(cind_storage::SegmentId, Synopsis)>) {
+        let mut t = UniversalTable::new(64);
+        t.catalog_mut().intern("a");
+        t.catalog_mut().intern("b");
+        let s1 = t.create_segment();
+        let s2 = t.create_segment();
+        for i in 0..50u64 {
+            let (seg, attr) = if i % 2 == 0 { (s1, 0) } else { (s2, 1) };
+            let e = Entity::new(
+                EntityId(i),
+                [(AttrId(attr), Value::Text("x".repeat(100)))],
+            )
+            .unwrap();
+            t.insert(seg, &e).unwrap();
+        }
+        let view = vec![
+            (s1, Synopsis::from_bits(2, [0])),
+            (s2, Synopsis::from_bits(2, [1])),
+        ];
+        (t, view)
+    }
+
+    #[test]
+    fn estimate_matches_execution_exactly() {
+        let (t, view) = setup();
+        let q = Query::from_attrs(2, [AttrId(0)]);
+        let p = plan(&q, view.iter().map(|(s, syn)| (*s, syn)));
+        let est = estimate(&t, &p).unwrap();
+        let r = execute(&t, &q, &p).unwrap();
+        assert_eq!(est.pages, r.io.logical_reads);
+        assert_eq!(est.entities_scanned, r.entities_scanned);
+        assert_eq!(est.segments, r.segments_read);
+    }
+
+    #[test]
+    fn empty_plan_costs_nothing() {
+        let (t, _) = setup();
+        let p = Plan { segments: Vec::new(), pruned: 2 };
+        let est = estimate(&t, &p).unwrap();
+        assert_eq!(est, CostEstimate { pages: 0, entities_scanned: 0, segments: 0 });
+    }
+
+    #[test]
+    fn stale_plan_is_an_error() {
+        let (t, _) = setup();
+        let p = Plan { segments: vec![cind_storage::SegmentId(99)], pruned: 0 };
+        assert!(matches!(
+            estimate(&t, &p),
+            Err(StorageError::NoSuchSegment(_))
+        ));
+    }
+}

@@ -1,0 +1,200 @@
+//! Plan execution over the universal table.
+
+use std::time::{Duration, Instant};
+
+use cind_model::{Entity, Value};
+use cind_storage::{IoStats, StorageError, UniversalTable};
+
+use crate::{Plan, Query};
+
+/// Measurements of one query execution.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Entities that satisfied the predicate.
+    pub rows: u64,
+    /// Non-null cells returned across all rows (the data the query was
+    /// actually after — the numerator of Definition 1 for this query).
+    pub cells: u64,
+    /// Entities scanned, matching or not (what was *read*).
+    pub entities_scanned: u64,
+    /// Segments scanned (the UNION ALL width).
+    pub segments_read: usize,
+    /// Partitions pruned before touching data.
+    pub segments_pruned: usize,
+    /// Buffer-pool counter delta for this execution.
+    pub io: IoStats,
+    /// Wall-clock execution time.
+    pub duration: Duration,
+}
+
+impl QueryResult {
+    /// Fraction of scanned entities that matched (1.0 when nothing was
+    /// scanned).
+    pub fn scan_precision(&self) -> f64 {
+        if self.entities_scanned == 0 {
+            1.0
+        } else {
+            self.rows as f64 / self.entities_scanned as f64
+        }
+    }
+}
+
+/// Executes `plan` for `query`, streaming matching entities into `sink`.
+///
+/// The scan goes segment by segment (the `UNION ALL`), touching the buffer
+/// pool once per page; the returned [`QueryResult`] carries the I/O delta
+/// and the wall time.
+pub fn execute_with(
+    table: &UniversalTable,
+    query: &Query,
+    plan: &Plan,
+    mut sink: impl FnMut(&Entity),
+) -> Result<QueryResult, StorageError> {
+    let io_before = table.io_stats();
+    let start = Instant::now();
+    let mut rows = 0u64;
+    let mut cells = 0u64;
+    let mut entities_scanned = 0u64;
+    for &seg in &plan.segments {
+        table.scan(seg, |e| {
+            entities_scanned += 1;
+            if query.matches(e) {
+                rows += 1;
+                cells += u64::from(query.projected_cells(e));
+                sink(e);
+            }
+        })?;
+    }
+    Ok(QueryResult {
+        rows,
+        cells,
+        entities_scanned,
+        segments_read: plan.segments.len(),
+        segments_pruned: plan.pruned,
+        io: table.io_stats().since(&io_before),
+        duration: start.elapsed(),
+    })
+}
+
+/// Executes `plan`, discarding row data (measurement runs).
+pub fn execute(
+    table: &UniversalTable,
+    query: &Query,
+    plan: &Plan,
+) -> Result<QueryResult, StorageError> {
+    execute_with(table, query, plan, |_| {})
+}
+
+/// A materialised result row: requested attributes in query order, `None`
+/// for NULL.
+pub type Row = Vec<Option<Value>>;
+
+/// Executes `plan` and materialises the projected rows.
+pub fn execute_collect(
+    table: &UniversalTable,
+    query: &Query,
+    plan: &Plan,
+) -> Result<(QueryResult, Vec<Row>), StorageError> {
+    let mut rows = Vec::new();
+    let result = execute_with(table, query, plan, |e| {
+        rows.push(query.project(e).into_iter().map(|v| v.cloned()).collect());
+    })?;
+    Ok((result, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner;
+    use cind_model::{AttrId, EntityId, Synopsis};
+
+    /// Two segments: 0 holds "cameras" (attrs 0,1), 1 holds "drives"
+    /// (attrs 2,3).
+    fn setup() -> (UniversalTable, Vec<(cind_storage::SegmentId, Synopsis)>) {
+        let mut t = UniversalTable::new(64);
+        for name in ["res", "zoom", "rpm", "cache"] {
+            t.catalog_mut().intern(name);
+        }
+        let cam = t.create_segment();
+        let drv = t.create_segment();
+        for i in 0..10u64 {
+            let e = Entity::new(
+                EntityId(i),
+                [(AttrId(0), Value::Int(1)), (AttrId(1), Value::Int(2))],
+            )
+            .unwrap();
+            t.insert(cam, &e).unwrap();
+        }
+        for i in 10..15u64 {
+            let e = Entity::new(
+                EntityId(i),
+                [(AttrId(2), Value::Int(3)), (AttrId(3), Value::Int(4))],
+            )
+            .unwrap();
+            t.insert(drv, &e).unwrap();
+        }
+        let view = vec![
+            (cam, Synopsis::from_bits(4, [0, 1])),
+            (drv, Synopsis::from_bits(4, [2, 3])),
+        ];
+        (t, view)
+    }
+
+    #[test]
+    fn pruned_execution_reads_only_relevant_segment() {
+        let (t, view) = setup();
+        let q = Query::from_attrs(4, [AttrId(2)]);
+        let plan = planner::plan(&q, view.iter().map(|(s, p)| (*s, p)));
+        let r = execute(&t, &q, &plan).unwrap();
+        assert_eq!(r.rows, 5);
+        assert_eq!(r.cells, 5);
+        assert_eq!(r.entities_scanned, 5);
+        assert_eq!(r.segments_read, 1);
+        assert_eq!(r.segments_pruned, 1);
+        assert_eq!(r.scan_precision(), 1.0);
+        assert!(r.io.logical_reads >= 1);
+    }
+
+    #[test]
+    fn unpruned_execution_reads_everything() {
+        let (t, view) = setup();
+        let q = Query::from_attrs(4, [AttrId(0), AttrId(2)]);
+        let plan = planner::plan(&q, view.iter().map(|(s, p)| (*s, p)));
+        let r = execute(&t, &q, &plan).unwrap();
+        assert_eq!(r.rows, 15);
+        assert_eq!(r.entities_scanned, 15);
+        assert_eq!(r.segments_read, 2);
+        assert_eq!(r.segments_pruned, 0);
+    }
+
+    #[test]
+    fn collect_returns_projected_rows() {
+        let (t, view) = setup();
+        let q = Query::from_attrs(4, [AttrId(3), AttrId(0)]);
+        let plan = planner::plan(&q, view.iter().map(|(s, p)| (*s, p)));
+        let (r, rows) = execute_collect(&t, &q, &plan).unwrap();
+        assert_eq!(r.rows, 15);
+        assert_eq!(rows.len(), 15);
+        // Camera rows project NULL for attr 3 and Int(1) for attr 0.
+        let cam_rows = rows
+            .iter()
+            .filter(|row| row[0].is_none())
+            .count();
+        assert_eq!(cam_rows, 10);
+        let drive_row = rows.iter().find(|row| row[0].is_some()).unwrap();
+        assert_eq!(drive_row[0], Some(Value::Int(4)));
+        assert_eq!(drive_row[1], None);
+    }
+
+    #[test]
+    fn empty_plan_reads_nothing() {
+        let (t, view) = setup();
+        let q = Query::from_attrs(5, [AttrId(4)]); // attribute nobody has
+        let plan = planner::plan(&q, view.iter().map(|(s, p)| (*s, p)));
+        let r = execute(&t, &q, &plan).unwrap();
+        assert_eq!(r.rows, 0);
+        assert_eq!(r.entities_scanned, 0);
+        assert_eq!(r.io.logical_reads, 0);
+        assert_eq!(r.segments_pruned, 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Partition pruning (§II) and plan construction.
+
+use cind_model::Synopsis;
+use cind_storage::SegmentId;
+
+use crate::Query;
+
+/// An execution plan: the segments that survive pruning, in catalog order —
+/// the equivalent of the prototype's rewritten `UNION ALL` over partition
+/// tables.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Segments to scan.
+    pub segments: Vec<SegmentId>,
+    /// Partitions pruned by the synopsis test.
+    pub pruned: usize,
+}
+
+impl Plan {
+    /// Fraction of partitions pruned (1.0 when there were none at all).
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.segments.len() + self.pruned;
+        if total == 0 {
+            1.0
+        } else {
+            self.pruned as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the plan for `query` against a partition view: any iterator of
+/// `(segment, attribute synopsis)` pairs, e.g.
+/// `cinderella_core::PartitionCatalog::pruning_view` or a baseline's
+/// assignment. A partition survives iff `|p ∧ q| ≠ 0`.
+pub fn plan<'a>(
+    query: &Query,
+    partitions: impl IntoIterator<Item = (SegmentId, &'a Synopsis)>,
+) -> Plan {
+    let q = query.synopsis();
+    let mut segments = Vec::new();
+    let mut pruned = 0usize;
+    for (seg, p) in partitions {
+        if q.is_disjoint(p) {
+            pruned += 1;
+        } else {
+            segments.push(seg);
+        }
+    }
+    Plan { segments, pruned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::AttrId;
+
+    fn syn(bits: &[u32]) -> Synopsis {
+        Synopsis::from_bits(16, bits.iter().copied())
+    }
+
+    #[test]
+    fn prunes_disjoint_partitions() {
+        let q = Query::from_attrs(16, [AttrId(0), AttrId(1)]);
+        let parts = [
+            (SegmentId(0), syn(&[0, 5])),  // overlaps on 0
+            (SegmentId(1), syn(&[7, 8])),  // pruned
+            (SegmentId(2), syn(&[1])),     // overlaps on 1
+            (SegmentId(3), syn(&[])),      // empty synopsis: pruned
+        ];
+        let plan = plan(&q, parts.iter().map(|(s, p)| (*s, p)));
+        assert_eq!(plan.segments, vec![SegmentId(0), SegmentId(2)]);
+        assert_eq!(plan.pruned, 2);
+        assert!((plan.pruned_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_view_yields_empty_plan() {
+        let q = Query::from_attrs(16, [AttrId(0)]);
+        let plan = plan(&q, std::iter::empty());
+        assert!(plan.segments.is_empty());
+        assert_eq!(plan.pruned, 0);
+        assert_eq!(plan.pruned_fraction(), 1.0);
+    }
+}

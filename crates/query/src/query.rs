@@ -1,0 +1,107 @@
+//! Query representation.
+
+use cind_model::{AttrId, AttributeCatalog, Entity, Synopsis, Value};
+
+/// A projection query over the universal table: "return attributes
+/// `{a₁, a₂, …}` of every entity instantiating at least one of them".
+#[derive(Clone, Debug)]
+pub struct Query {
+    attrs: Vec<AttrId>,
+    synopsis: Synopsis,
+}
+
+impl Query {
+    /// Builds a query from attribute ids over a universe of `universe`
+    /// attributes.
+    pub fn from_attrs(universe: usize, attrs: impl IntoIterator<Item = AttrId>) -> Self {
+        let attrs: Vec<AttrId> = attrs.into_iter().collect();
+        let synopsis = Synopsis::from_attrs(universe, attrs.iter().copied());
+        Self { attrs, synopsis }
+    }
+
+    /// Builds a query from attribute names; `None` if any name is not in
+    /// the catalog (such a query would be a user error — the attribute does
+    /// not exist anywhere in the table).
+    pub fn from_names<'a>(
+        catalog: &AttributeCatalog,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Option<Self> {
+        let attrs: Option<Vec<AttrId>> =
+            names.into_iter().map(|n| catalog.lookup(n)).collect();
+        Some(Self::from_attrs(catalog.len(), attrs?))
+    }
+
+    /// The requested attributes.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// The query synopsis `q`.
+    pub fn synopsis(&self) -> &Synopsis {
+        &self.synopsis
+    }
+
+    /// Whether `entity` satisfies the predicate (instantiates at least one
+    /// requested attribute).
+    pub fn matches(&self, entity: &Entity) -> bool {
+        self.attrs.iter().any(|a| entity.has(*a))
+    }
+
+    /// Projects the requested attributes out of `entity`, in query order;
+    /// absent attributes yield `None` (SQL NULL).
+    pub fn project<'e>(&self, entity: &'e Entity) -> Vec<Option<&'e Value>> {
+        self.attrs.iter().map(|a| entity.get(*a)).collect()
+    }
+
+    /// Number of requested attributes `entity` instantiates (the cells the
+    /// query actually returns for this row).
+    pub fn projected_cells(&self, entity: &Entity) -> u32 {
+        self.attrs.iter().filter(|a| entity.has(**a)).count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::EntityId;
+
+    fn entity(attrs: &[(u32, i64)]) -> Entity {
+        Entity::new(
+            EntityId(1),
+            attrs.iter().map(|&(a, v)| (AttrId(a), Value::Int(v))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_names_resolves_or_fails() {
+        let cat = AttributeCatalog::from_names(["name", "weight"]).unwrap();
+        let q = Query::from_names(&cat, ["weight"]).unwrap();
+        assert_eq!(q.attrs(), &[AttrId(1)]);
+        assert!(Query::from_names(&cat, ["nope"]).is_none());
+    }
+
+    #[test]
+    fn matches_any_requested_attribute() {
+        let q = Query::from_attrs(8, [AttrId(0), AttrId(5)]);
+        assert!(q.matches(&entity(&[(5, 1)])));
+        assert!(q.matches(&entity(&[(0, 1), (5, 1)])));
+        assert!(!q.matches(&entity(&[(3, 1)])));
+        assert!(!q.matches(&Entity::empty(EntityId(9))));
+    }
+
+    #[test]
+    fn projection_preserves_query_order_with_nulls() {
+        let q = Query::from_attrs(8, [AttrId(5), AttrId(0), AttrId(3)]);
+        let e = entity(&[(0, 10), (5, 50)]);
+        let row = q.project(&e);
+        assert_eq!(row, vec![Some(&Value::Int(50)), Some(&Value::Int(10)), None]);
+        assert_eq!(q.projected_cells(&e), 2);
+    }
+
+    #[test]
+    fn synopsis_matches_attr_set() {
+        let q = Query::from_attrs(8, [AttrId(1), AttrId(2)]);
+        assert_eq!(*q.synopsis(), Synopsis::from_bits(8, [1, 2]));
+    }
+}

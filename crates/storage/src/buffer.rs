@@ -1,0 +1,272 @@
+//! Accounting buffer pool (LRU).
+
+use crate::segment::SegmentId;
+use crate::IoStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Globally unique page address: a segment and a page index within it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PageKey {
+    /// The owning segment.
+    pub segment: SegmentId,
+    /// Page index within the segment.
+    pub page: u32,
+}
+
+/// An LRU page cache that classifies every access as hit or miss.
+///
+/// Page *contents* always live in their segment (this is a simulation
+/// substrate — see [`IoStats`]); the pool tracks only residency, so a scan
+/// over a table larger than the pool produces the same miss pattern a real
+/// buffer manager would, at zero copy cost. The LRU list is an intrusive
+/// doubly linked list over a slab, giving O(1) touch/evict.
+///
+/// Interior mutability (`parking_lot::Mutex`) lets read paths take `&self`.
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    capacity: usize,
+    map: HashMap<PageKey, usize>, // key -> slab index
+    slab: Vec<Node>,
+    head: usize, // most recently used; usize::MAX when empty
+    tail: usize, // least recently used
+    free: Vec<usize>,
+    stats: IoStats,
+}
+
+struct Node {
+    key: PageKey,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl BufferPool {
+    /// Creates a pool that can hold `capacity` pages. A capacity of 0
+    /// disables caching (every access is a miss).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                capacity,
+                map: HashMap::new(),
+                slab: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                free: Vec::new(),
+                stats: IoStats::default(),
+            }),
+        }
+    }
+
+    /// Records a read access to `key`. Returns `true` on a hit.
+    pub fn access(&self, key: PageKey) -> bool {
+        let mut g = self.inner.lock();
+        g.stats.logical_reads += 1;
+        if g.capacity == 0 {
+            g.stats.physical_reads += 1;
+            return false;
+        }
+        if let Some(&idx) = g.map.get(&key) {
+            g.unlink(idx);
+            g.push_front(idx);
+            true
+        } else {
+            g.stats.physical_reads += 1;
+            g.admit(key);
+            false
+        }
+    }
+
+    /// Records a write to `key` (also makes the page resident).
+    pub fn write(&self, key: PageKey) {
+        let mut g = self.inner.lock();
+        g.stats.page_writes += 1;
+        if g.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = g.map.get(&key) {
+            g.unlink(idx);
+            g.push_front(idx);
+        } else {
+            g.admit(key);
+        }
+    }
+
+    /// Drops all pages of `segment` from the pool (segment dropped/split).
+    pub fn invalidate_segment(&self, segment: SegmentId) {
+        let mut g = self.inner.lock();
+        let victims: Vec<usize> = g
+            .map
+            .iter()
+            .filter(|(k, _)| k.segment == segment)
+            .map(|(_, &i)| i)
+            .collect();
+        for idx in victims {
+            g.remove(idx);
+        }
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets counters to zero (residency is kept).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = IoStats::default();
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+impl Inner {
+    fn admit(&mut self, key: PageKey) {
+        if self.map.len() >= self.capacity {
+            let tail = self.tail;
+            debug_assert_ne!(tail, NIL);
+            self.remove(tail);
+            self.stats.evictions += 1;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Node { key, prev: NIL, next: NIL };
+                i
+            }
+            None => {
+                self.slab.push(Node { key, prev: NIL, next: NIL });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn remove(&mut self, idx: usize) {
+        self.unlink(idx);
+        let key = self.slab[idx].key;
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u32) -> PageKey {
+        PageKey { segment: SegmentId(0), page: p }
+    }
+
+    #[test]
+    fn misses_then_hits() {
+        let pool = BufferPool::new(4);
+        assert!(!pool.access(key(1)));
+        assert!(!pool.access(key(2)));
+        assert!(pool.access(key(1)));
+        let s = pool.stats();
+        assert_eq!(s.logical_reads, 3);
+        assert_eq!(s.physical_reads, 2);
+        assert_eq!(s.hits(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let pool = BufferPool::new(2);
+        pool.access(key(1));
+        pool.access(key(2));
+        pool.access(key(1)); // 2 is now LRU
+        pool.access(key(3)); // evicts 2
+        assert!(pool.access(key(1)), "1 should still be resident");
+        assert!(!pool.access(key(2)), "2 should have been evicted");
+        assert_eq!(pool.stats().evictions, 2); // 3 evicted 2, then 2 evicted 3
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let pool = BufferPool::new(0);
+        assert!(!pool.access(key(1)));
+        assert!(!pool.access(key(1)));
+        pool.write(key(1));
+        assert_eq!(pool.resident(), 0);
+        let s = pool.stats();
+        assert_eq!(s.physical_reads, 2);
+        assert_eq!(s.page_writes, 1);
+    }
+
+    #[test]
+    fn write_makes_resident() {
+        let pool = BufferPool::new(4);
+        pool.write(key(9));
+        assert!(pool.access(key(9)));
+    }
+
+    #[test]
+    fn invalidate_segment_drops_only_that_segment() {
+        let pool = BufferPool::new(8);
+        pool.access(PageKey { segment: SegmentId(1), page: 0 });
+        pool.access(PageKey { segment: SegmentId(1), page: 1 });
+        pool.access(PageKey { segment: SegmentId(2), page: 0 });
+        pool.invalidate_segment(SegmentId(1));
+        assert_eq!(pool.resident(), 1);
+        assert!(pool.access(PageKey { segment: SegmentId(2), page: 0 }));
+        assert!(!pool.access(PageKey { segment: SegmentId(1), page: 0 }));
+    }
+
+    #[test]
+    fn eviction_pressure_keeps_capacity() {
+        let pool = BufferPool::new(3);
+        for p in 0..100 {
+            pool.access(key(p));
+        }
+        assert_eq!(pool.resident(), 3);
+        assert_eq!(pool.stats().evictions, 97);
+        // The three most recent pages are resident.
+        assert!(pool.access(key(99)));
+        assert!(pool.access(key(98)));
+        assert!(pool.access(key(97)));
+    }
+
+    #[test]
+    fn reset_stats_keeps_residency() {
+        let pool = BufferPool::new(4);
+        pool.access(key(5));
+        pool.reset_stats();
+        assert_eq!(pool.stats(), IoStats::default());
+        assert!(pool.access(key(5)));
+    }
+}

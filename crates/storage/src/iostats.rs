@@ -1,0 +1,84 @@
+//! I/O accounting counters.
+
+/// Cumulative I/O counters of a [`BufferPool`](crate::BufferPool).
+///
+/// "Physical" reads are buffer-pool misses: in this simulation substrate no
+/// real disk exists, but the miss count is exactly the number of page reads
+/// a disk-resident deployment of the same plan would issue, which is the
+/// cost the paper's query experiments are sensitive to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IoStats {
+    /// Page accesses issued by scans and point lookups.
+    pub logical_reads: u64,
+    /// Accesses that missed the buffer pool.
+    pub physical_reads: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Page writes (record inserts, deletes, moves).
+    pub page_writes: u64,
+}
+
+impl IoStats {
+    /// Buffer-pool hits.
+    pub fn hits(&self) -> u64 {
+        self.logical_reads - self.physical_reads
+    }
+
+    /// Hit ratio in `[0, 1]`; 1.0 when nothing was read.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            1.0
+        } else {
+            self.hits() as f64 / self.logical_reads as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier`, for measuring one
+    /// operation's I/O as a delta between snapshots.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            evictions: self.evictions - earlier.evictions,
+            page_writes: self.page_writes - earlier.page_writes,
+        }
+    }
+}
+
+impl std::fmt::Display for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "logical={} physical={} evictions={} writes={} hit-ratio={:.3}",
+            self.logical_reads,
+            self.physical_reads,
+            self.evictions,
+            self.page_writes,
+            self.hit_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_ratio() {
+        let s = IoStats { logical_reads: 10, physical_reads: 3, evictions: 1, page_writes: 2 };
+        assert_eq!(s.hits(), 7);
+        assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
+        assert_eq!(IoStats::default().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn since_is_counterwise_difference() {
+        let a = IoStats { logical_reads: 10, physical_reads: 3, evictions: 1, page_writes: 2 };
+        let b = IoStats { logical_reads: 25, physical_reads: 9, evictions: 4, page_writes: 5 };
+        let d = b.since(&a);
+        assert_eq!(
+            d,
+            IoStats { logical_reads: 15, physical_reads: 6, evictions: 3, page_writes: 3 }
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Slotted heap pages.
+
+/// Page size in bytes. 8 KiB, matching the PostgreSQL default the paper's
+/// prototype ran on.
+pub const PAGE_SIZE: usize = 8192;
+
+/// On-page header footprint (slot count + free-space pointer).
+const HEADER: usize = 4;
+
+/// On-page footprint of one slot directory entry (offset + length).
+const SLOT: usize = 4;
+
+/// Maximum serialized record size a single (empty) page can hold.
+pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT;
+
+/// Index of a record slot within a page.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SlotId(pub u16);
+
+impl std::fmt::Display for SlotId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    offset: u16,
+    /// Record length; 0 marks a dead slot (records are never empty — they
+    /// carry at least an id and an arity byte).
+    len: u16,
+}
+
+/// An 8 KiB slotted page.
+///
+/// Record bytes grow from the front of the page; the slot directory is held
+/// out-of-band for clarity but *accounted* as if it grew from the back, so
+/// free-space arithmetic matches an on-disk slotted page exactly. Slot ids
+/// are stable across deletion and [compaction](Page::compact) — record
+/// references (`RecordId`) stay valid until the slot is explicitly deleted
+/// and reused.
+#[derive(Clone, Debug)]
+pub struct Page {
+    data: Vec<u8>,
+    slots: Vec<Slot>,
+    /// First free byte in `data`.
+    free_start: usize,
+    /// Bytes occupied by deleted records (reclaimable by compaction).
+    dead_bytes: usize,
+    dead_slots: usize,
+    live: usize,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// Creates an empty page.
+    pub fn new() -> Self {
+        Self {
+            data: vec![0; PAGE_SIZE],
+            slots: Vec::new(),
+            free_start: 0,
+            dead_bytes: 0,
+            dead_slots: 0,
+            live: 0,
+        }
+    }
+
+    /// Number of live records.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Bytes reclaimable by [`Page::compact`].
+    pub fn dead_bytes(&self) -> usize {
+        self.dead_bytes
+    }
+
+    /// Contiguous free bytes available right now (before compaction),
+    /// excluding space needed for a new slot entry.
+    fn contiguous_free(&self) -> usize {
+        PAGE_SIZE - HEADER - self.free_start - SLOT * self.slots.len()
+    }
+
+    /// Whether a record of `len` bytes fits, possibly after compaction.
+    pub fn fits(&self, len: usize) -> bool {
+        let slot_cost = if self.dead_slots > 0 { 0 } else { SLOT };
+        self.contiguous_free() + self.dead_bytes >= len + slot_cost
+    }
+
+    /// Inserts a record, compacting first if fragmentation requires it.
+    /// Returns the slot id, or `None` if the record does not fit.
+    ///
+    /// # Panics
+    /// Panics if `rec` is empty or longer than [`MAX_RECORD`] — the segment
+    /// layer screens both before calling.
+    pub fn insert(&mut self, rec: &[u8]) -> Option<SlotId> {
+        assert!(!rec.is_empty(), "records are never empty");
+        assert!(rec.len() <= MAX_RECORD, "record exceeds page capacity");
+        if !self.fits(rec.len()) {
+            return None;
+        }
+        let reuse = if self.dead_slots > 0 {
+            self.slots.iter().position(|s| s.len == 0)
+        } else {
+            None
+        };
+        let slot_cost = if reuse.is_some() { 0 } else { SLOT };
+        if self.contiguous_free() < rec.len() + slot_cost {
+            self.compact();
+        }
+        let offset = self.free_start;
+        self.data[offset..offset + rec.len()].copy_from_slice(rec);
+        self.free_start += rec.len();
+        let slot = Slot { offset: offset as u16, len: rec.len() as u16 };
+        let id = match reuse {
+            Some(i) => {
+                self.slots[i] = slot;
+                self.dead_slots -= 1;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.live += 1;
+        Some(SlotId(id as u16))
+    }
+
+    /// Deletes the record in `slot`. Returns `false` if the slot was already
+    /// dead or out of range.
+    pub fn delete(&mut self, slot: SlotId) -> bool {
+        match self.slots.get_mut(slot.0 as usize) {
+            Some(s) if s.len != 0 => {
+                self.dead_bytes += s.len as usize;
+                s.len = 0;
+                self.dead_slots += 1;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns the record bytes in `slot`, if live.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        self.slots.get(slot.0 as usize).and_then(|s| {
+            (s.len != 0).then(|| &self.data[s.offset as usize..(s.offset + s.len) as usize])
+        })
+    }
+
+    /// Rewrites live records contiguously, reclaiming dead bytes. Slot ids
+    /// are preserved.
+    pub fn compact(&mut self) {
+        if self.dead_bytes == 0 {
+            return;
+        }
+        let mut new_data = vec![0; PAGE_SIZE];
+        let mut cursor = 0usize;
+        for s in &mut self.slots {
+            if s.len == 0 {
+                continue;
+            }
+            let len = s.len as usize;
+            new_data[cursor..cursor + len]
+                .copy_from_slice(&self.data[s.offset as usize..s.offset as usize + len]);
+            s.offset = cursor as u16;
+            cursor += len;
+        }
+        self.data = new_data;
+        self.free_start = cursor;
+        self.dead_bytes = 0;
+    }
+
+    /// Iterates `(slot, record-bytes)` over live records in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.len != 0)
+            .map(|(i, s)| {
+                (
+                    SlotId(i as u16),
+                    &self.data[s.offset as usize..(s.offset + s.len) as usize],
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_delete() {
+        let mut p = Page::new();
+        let a = p.insert(b"aaaa").unwrap();
+        let b = p.insert(b"bb").unwrap();
+        assert_eq!(p.get(a), Some(&b"aaaa"[..]));
+        assert_eq!(p.get(b), Some(&b"bb"[..]));
+        assert_eq!(p.live_count(), 2);
+        assert!(p.delete(a));
+        assert!(!p.delete(a));
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.live_count(), 1);
+        assert_eq!(p.dead_bytes(), 4);
+    }
+
+    #[test]
+    fn dead_slot_is_reused() {
+        let mut p = Page::new();
+        let a = p.insert(b"aaaa").unwrap();
+        let _b = p.insert(b"bb").unwrap();
+        p.delete(a);
+        let c = p.insert(b"cccc").unwrap();
+        assert_eq!(c, a, "dead slot id should be recycled");
+        assert_eq!(p.get(c), Some(&b"cccc"[..]));
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = Page::new();
+        let rec = vec![7u8; 1000];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        // 8188 bytes of usable space, 1004 per record → 8 records.
+        assert_eq!(n, 8);
+        assert!(!p.fits(1000));
+        assert!(p.fits(100));
+    }
+
+    #[test]
+    fn compaction_reclaims_and_preserves_slots() {
+        let mut p = Page::new();
+        let rec = vec![7u8; 1000];
+        let slots: Vec<SlotId> = (0..8).map(|_| p.insert(&rec).unwrap()).collect();
+        // Delete every other record; page now has 4000 dead bytes.
+        for s in slots.iter().step_by(2) {
+            p.delete(*s);
+        }
+        assert_eq!(p.dead_bytes(), 4000);
+        // A 2000-byte record only fits after compaction (contiguous free is
+        // 8192-4-8000-32 = 156 bytes).
+        let big = vec![9u8; 2000];
+        let slot = p.insert(&big).unwrap();
+        assert_eq!(p.get(slot).unwrap(), &big[..]);
+        // Survivors are intact and still addressed by their old slot ids.
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(p.get(*s).unwrap(), &rec[..]);
+        }
+    }
+
+    #[test]
+    fn iter_yields_live_in_slot_order() {
+        let mut p = Page::new();
+        let a = p.insert(b"a").unwrap();
+        let b = p.insert(b"b").unwrap();
+        let c = p.insert(b"c").unwrap();
+        p.delete(b);
+        let got: Vec<(SlotId, Vec<u8>)> = p.iter().map(|(s, r)| (s, r.to_vec())).collect();
+        assert_eq!(got, vec![(a, b"a".to_vec()), (c, b"c".to_vec())]);
+    }
+
+    #[test]
+    fn max_record_fits_exactly() {
+        let mut p = Page::new();
+        let rec = vec![1u8; MAX_RECORD];
+        assert!(p.insert(&rec).is_some());
+        assert!(!p.fits(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page capacity")]
+    fn oversized_record_panics() {
+        Page::new().insert(&vec![0u8; MAX_RECORD + 1]);
+    }
+}

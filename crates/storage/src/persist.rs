@@ -1,0 +1,312 @@
+//! Snapshot persistence for universal tables.
+//!
+//! The engine is memory-resident (DESIGN.md §3: the buffer pool *accounts*
+//! rather than pages to disk), but a real deployment needs the table to
+//! survive restarts. This module serialises a whole [`UniversalTable`] —
+//! attribute catalog, segments, records — into one self-describing,
+//! checksummed snapshot stream and restores it bit-for-bit. Partitioning
+//! policy state is *not* persisted: partition synopses are derivable, so
+//! `cinderella-core` rebuilds its catalog from the restored table
+//! (`Cinderella::rebuild`), the same way the PostgreSQL prototype's views
+//! were derivable from its partition tables.
+//!
+//! Format (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic   : 8 bytes  "CINDSNP1"
+//! catalog : count, then per attribute: name-len, name-bytes
+//! segments: count, then per segment:
+//!             segment-id, record-count,
+//!             per record: len, record bytes (encoded entity)
+//! checksum: 8 bytes little-endian FNV-1a 64 of everything before it
+//! ```
+
+use std::io::{Read, Write};
+
+use crate::record::decode_entity_id;
+use crate::segment::SegmentId;
+use crate::varint;
+use crate::{StorageError, UniversalTable};
+
+const MAGIC: &[u8; 8] = b"CINDSNP1";
+
+/// FNV-1a 64-bit, the snapshot checksum.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Errors of the persistence layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failed.
+    Io(std::io::Error),
+    /// The stream is not a snapshot / is truncated / fails its checksum.
+    Corrupt(&'static str),
+    /// A record inside a valid snapshot failed to decode.
+    Storage(StorageError),
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<StorageError> for PersistError {
+    fn from(e: StorageError) -> Self {
+        PersistError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            PersistError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl UniversalTable {
+    /// Serialises the table into `out` as one snapshot.
+    ///
+    /// ```
+    /// use cind_model::{Entity, EntityId, Value};
+    /// use cind_storage::UniversalTable;
+    ///
+    /// let mut table = UniversalTable::new(8);
+    /// let a = table.catalog_mut().intern("a");
+    /// let seg = table.create_segment();
+    /// table.insert(seg, &Entity::new(EntityId(1), [(a, Value::Int(9))]).unwrap())?;
+    ///
+    /// let mut snapshot = Vec::new();
+    /// table.snapshot(&mut snapshot)?;
+    /// let restored = UniversalTable::restore(&mut &snapshot[..], 8)?;
+    /// assert_eq!(restored.get(EntityId(1))?, table.get(EntityId(1))?);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    /// I/O errors from the writer.
+    pub fn snapshot(&self, out: &mut impl Write) -> Result<(), PersistError> {
+        // Build in memory first: the checksum covers the whole body, and
+        // snapshots of this engine's scale (≤ a few hundred MB) fit.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        varint::encode(self.catalog().len() as u64, &mut buf);
+        for (_, name) in self.catalog().iter() {
+            varint::encode(name.len() as u64, &mut buf);
+            buf.extend_from_slice(name.as_bytes());
+        }
+        let segments: Vec<SegmentId> = self.segment_ids().collect();
+        varint::encode(segments.len() as u64, &mut buf);
+        for seg in segments {
+            let segment = self.segment(seg).expect("live segment");
+            varint::encode(u64::from(seg.0), &mut buf);
+            varint::encode(segment.record_count() as u64, &mut buf);
+            for (_, rec) in segment.iter() {
+                varint::encode(rec.len() as u64, &mut buf);
+                buf.extend_from_slice(rec);
+            }
+        }
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        out.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Restores a table from a snapshot stream. The buffer pool is fresh
+    /// (residency is runtime state), sized to `pool_pages`.
+    ///
+    /// # Errors
+    /// [`PersistError::Corrupt`] on a malformed or checksum-failing stream.
+    pub fn restore(input: &mut impl Read, pool_pages: usize) -> Result<Self, PersistError> {
+        let mut buf = Vec::new();
+        input.read_to_end(&mut buf)?;
+        if buf.len() < MAGIC.len() + 8 {
+            return Err(PersistError::Corrupt("truncated"));
+        }
+        let (body, tail) = buf.split_at(buf.len() - 8);
+        let expect = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        if fnv1a(body) != expect {
+            return Err(PersistError::Corrupt("checksum mismatch"));
+        }
+        if &body[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::Corrupt("bad magic"));
+        }
+        let mut pos = MAGIC.len();
+        let next = |body: &[u8], pos: &mut usize| -> Result<u64, PersistError> {
+            let (v, n) =
+                varint::decode(&body[*pos..]).ok_or(PersistError::Corrupt("varint"))?;
+            *pos += n;
+            Ok(v)
+        };
+        fn take<'b>(
+            body: &'b [u8],
+            pos: &mut usize,
+            len: usize,
+        ) -> Result<&'b [u8], PersistError> {
+            let s = body
+                .get(*pos..*pos + len)
+                .ok_or(PersistError::Corrupt("truncated body"))?;
+            *pos += len;
+            Ok(s)
+        }
+
+        let mut table = UniversalTable::new(pool_pages);
+        let attrs = next(body, &mut pos)?;
+        for _ in 0..attrs {
+            let len = next(body, &mut pos)? as usize;
+            let name = std::str::from_utf8(take(body, &mut pos, len)?)
+                .map_err(|_| PersistError::Corrupt("attribute name utf8"))?;
+            table.catalog_mut().intern(name);
+        }
+        let segments = next(body, &mut pos)?;
+        for _ in 0..segments {
+            let seg_id = u32::try_from(next(body, &mut pos)?)
+                .map_err(|_| PersistError::Corrupt("segment id overflow"))?;
+            let seg = table.restore_segment(SegmentId(seg_id))?;
+            let records = next(body, &mut pos)?;
+            for _ in 0..records {
+                let len = next(body, &mut pos)? as usize;
+                let rec = take(body, &mut pos, len)?;
+                // Validate eagerly so a corrupt record fails the restore,
+                // not a later scan.
+                let id = decode_entity_id(rec)?;
+                crate::record::decode_entity(rec)?;
+                table.restore_record(seg, id, rec)?;
+            }
+        }
+        if pos != body.len() {
+            return Err(PersistError::Corrupt("trailing bytes"));
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::{Entity, EntityId, Value};
+
+    fn sample_table() -> UniversalTable {
+        let mut t = UniversalTable::new(32);
+        let a = t.catalog_mut().intern("name");
+        let b = t.catalog_mut().intern("weight");
+        let s1 = t.create_segment();
+        let s2 = t.create_segment();
+        for i in 0..40u64 {
+            let seg = if i % 2 == 0 { s1 } else { s2 };
+            let e = Entity::new(
+                EntityId(i),
+                [
+                    (a, Value::Text(format!("thing-{i}"))),
+                    (b, Value::Int(i as i64 * 3)),
+                ],
+            )
+            .unwrap();
+            t.insert(seg, &e).unwrap();
+        }
+        // A hole: deletes must not resurrect.
+        t.delete(EntityId(6)).unwrap();
+        t
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        t.snapshot(&mut buf).unwrap();
+        let mut cursor = &buf[..];
+        let r = UniversalTable::restore(&mut cursor, 32).unwrap();
+
+        assert_eq!(r.entity_count(), t.entity_count());
+        assert_eq!(r.universe(), t.universe());
+        assert_eq!(
+            r.segment_ids().collect::<Vec<_>>(),
+            t.segment_ids().collect::<Vec<_>>()
+        );
+        for i in 0..40u64 {
+            let id = EntityId(i);
+            match t.get(id) {
+                Ok(orig) => {
+                    assert_eq!(r.get(id).unwrap(), orig);
+                    assert_eq!(r.location(id), t.location(id));
+                }
+                Err(_) => assert!(r.get(id).is_err(), "deleted entity resurrected"),
+            }
+        }
+        // The restored table keeps working: fresh segment ids don't clash.
+        let mut r = r;
+        let s = r.create_segment();
+        assert!(!t.segment_ids().any(|x| x == s));
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = UniversalTable::new(8);
+        let mut buf = Vec::new();
+        t.snapshot(&mut buf).unwrap();
+        let r = UniversalTable::restore(&mut &buf[..], 8).unwrap();
+        assert_eq!(r.entity_count(), 0);
+        assert_eq!(r.segment_count(), 0);
+        assert_eq!(r.universe(), 0);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let t = sample_table();
+        let mut buf = Vec::new();
+        t.snapshot(&mut buf).unwrap();
+
+        // Flip a byte in the middle: checksum must catch it.
+        let mut bad = buf.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xff;
+        assert!(matches!(
+            UniversalTable::restore(&mut &bad[..], 8),
+            Err(PersistError::Corrupt("checksum mismatch"))
+        ));
+
+        // Truncation.
+        assert!(matches!(
+            UniversalTable::restore(&mut &buf[..10], 8),
+            Err(PersistError::Corrupt(_))
+        ));
+
+        // Wrong magic (re-checksummed so only the magic is wrong).
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        let body_len = bad.len() - 8;
+        let sum = fnv1a(&bad[..body_len]);
+        bad[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            UniversalTable::restore(&mut &bad[..], 8),
+            Err(PersistError::Corrupt("bad magic"))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_table();
+        let dir = std::env::temp_dir().join("cind_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.cind");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+            t.snapshot(&mut f).unwrap();
+        }
+        let mut f = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+        let r = UniversalTable::restore(&mut f, 32).unwrap();
+        assert_eq!(r.entity_count(), t.entity_count());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,208 @@
+//! Self-describing entity records (interpreted attribute storage format).
+//!
+//! A record stores only the attributes an entity instantiates:
+//!
+//! ```text
+//! entity_id : varint
+//! arity     : varint
+//! attrs     : arity × ( attr_id: varint, tag: u8, payload )
+//! ```
+//!
+//! Payloads: `Bool` = 1 byte, `Int`/`Float` = 8 bytes little-endian,
+//! `Text` = varint length + UTF-8 bytes. Attributes are written in ascending
+//! id order (entities keep them sorted), which decodes back into a valid
+//! [`Entity`] without re-sorting.
+
+use crate::{varint, StorageError};
+use cind_model::{AttrId, Entity, EntityId, Value};
+
+const TAG_BOOL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+
+/// Serializes `entity` into a fresh byte vector.
+pub fn encode_entity(entity: &Entity) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + entity.arity() * 12);
+    varint::encode(entity.id().0, &mut out);
+    varint::encode(entity.arity() as u64, &mut out);
+    for (attr, value) in entity.attrs() {
+        varint::encode(attr.index() as u64, &mut out);
+        match value {
+            Value::Bool(b) => {
+                out.push(TAG_BOOL);
+                out.push(u8::from(*b));
+            }
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(x) => {
+                out.push(TAG_FLOAT);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(TAG_TEXT);
+                varint::encode(s.len() as u64, &mut out);
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes an entity from `buf`.
+///
+/// # Errors
+/// Returns [`StorageError::CorruptRecord`] on truncation, an unknown value
+/// tag, invalid UTF-8, or trailing garbage.
+pub fn decode_entity(buf: &[u8]) -> Result<Entity, StorageError> {
+    let corrupt = |what: &'static str| StorageError::CorruptRecord(what);
+    let mut pos = 0usize;
+    let read_varint = |buf: &[u8], pos: &mut usize| -> Result<u64, StorageError> {
+        let (v, n) = varint::decode(&buf[*pos..]).ok_or(corrupt("varint"))?;
+        *pos += n;
+        Ok(v)
+    };
+
+    let id = read_varint(buf, &mut pos)?;
+    let arity = read_varint(buf, &mut pos)? as usize;
+    let mut attrs = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let attr = read_varint(buf, &mut pos)?;
+        let attr = AttrId(u32::try_from(attr).map_err(|_| corrupt("attr id overflow"))?);
+        let tag = *buf.get(pos).ok_or(corrupt("missing tag"))?;
+        pos += 1;
+        let value = match tag {
+            TAG_BOOL => {
+                let b = *buf.get(pos).ok_or(corrupt("bool payload"))?;
+                pos += 1;
+                Value::Bool(b != 0)
+            }
+            TAG_INT => {
+                let bytes = buf.get(pos..pos + 8).ok_or(corrupt("int payload"))?;
+                pos += 8;
+                Value::Int(i64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+            }
+            TAG_FLOAT => {
+                let bytes = buf.get(pos..pos + 8).ok_or(corrupt("float payload"))?;
+                pos += 8;
+                Value::Float(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+            }
+            TAG_TEXT => {
+                let len = read_varint(buf, &mut pos)? as usize;
+                let bytes = buf.get(pos..pos + len).ok_or(corrupt("text payload"))?;
+                pos += len;
+                Value::Text(
+                    std::str::from_utf8(bytes)
+                        .map_err(|_| corrupt("text utf8"))?
+                        .to_owned(),
+                )
+            }
+            _ => return Err(corrupt("unknown tag")),
+        };
+        attrs.push((attr, value));
+    }
+    if pos != buf.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Entity::new(EntityId(id), attrs).map_err(|_| corrupt("duplicate attribute"))
+}
+
+/// Decodes only the entity id from the front of a record — cheap peeking for
+/// locator rebuilds and scans that filter by id.
+pub fn decode_entity_id(buf: &[u8]) -> Result<EntityId, StorageError> {
+    varint::decode(buf)
+        .map(|(v, _)| EntityId(v))
+        .ok_or(StorageError::CorruptRecord("varint"))
+}
+
+/// Decodes only the record header `(entity id, arity)` — cheap size
+/// accounting without materialising values.
+pub fn decode_header(buf: &[u8]) -> Result<(EntityId, usize), StorageError> {
+    let (id, n) = varint::decode(buf).ok_or(StorageError::CorruptRecord("varint"))?;
+    let (arity, _) = varint::decode(&buf[n..]).ok_or(StorageError::CorruptRecord("varint"))?;
+    Ok((EntityId(id), arity as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Entity {
+        Entity::new(
+            EntityId(300),
+            [
+                (AttrId(0), Value::Text("Canon PowerShot S120".into())),
+                (AttrId(3), Value::Float(12.1)),
+                (AttrId(7), Value::Int(198)),
+                (AttrId(90), Value::Bool(true)),
+                (AttrId(128), Value::Text(String::new())),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = sample();
+        let bytes = encode_entity(&e);
+        let back = decode_entity(&bytes).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn roundtrip_empty_entity() {
+        let e = Entity::empty(EntityId(0));
+        let bytes = encode_entity(&e);
+        assert_eq!(bytes, vec![0, 0]);
+        assert_eq!(decode_entity(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn peek_entity_id() {
+        let bytes = encode_entity(&sample());
+        assert_eq!(decode_entity_id(&bytes).unwrap(), EntityId(300));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_entity(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_entity(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut bytes = encode_entity(&sample());
+        bytes.push(0);
+        assert!(matches!(
+            decode_entity(&bytes),
+            Err(StorageError::CorruptRecord("trailing bytes"))
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_is_detected() {
+        // entity id 1, arity 1, attr 0, bogus tag 9
+        let bytes = vec![1, 1, 0, 9];
+        assert!(matches!(
+            decode_entity(&bytes),
+            Err(StorageError::CorruptRecord("unknown tag"))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_detected() {
+        // entity id 1, arity 1, attr 0, text tag, len 1, invalid byte
+        let bytes = vec![1, 1, 0, TAG_TEXT, 1, 0xff];
+        assert!(matches!(
+            decode_entity(&bytes),
+            Err(StorageError::CorruptRecord("text utf8"))
+        ));
+    }
+}

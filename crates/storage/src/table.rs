@@ -1,0 +1,498 @@
+//! The universal table: segments + attribute catalog + entity locator.
+
+use std::collections::BTreeMap;
+
+use cind_model::{AttributeCatalog, Entity, EntityId};
+
+use crate::buffer::PageKey;
+use crate::record::{decode_entity, encode_entity};
+use crate::segment::{RecordId, Segment, SegmentId};
+use crate::{BufferPool, IoStats, StorageError};
+
+/// A horizontally partitioned sparse universal table.
+///
+/// One [`Segment`] per partition, an [`AttributeCatalog`] interning the
+/// table's (wide, growing) attribute set, a locator index mapping each
+/// entity to its physical address, and a [`BufferPool`] that accounts every
+/// page access. The partitioning *policy* lives above this layer
+/// (`cinderella-core` and `cind-baselines`); the table just provides
+/// mechanism: create/drop segments and insert/delete/move/scan entities.
+///
+/// ```
+/// use cind_model::{Entity, EntityId, Value};
+/// use cind_storage::UniversalTable;
+///
+/// let mut table = UniversalTable::new(64);
+/// let name = table.catalog_mut().intern("name");
+/// let seg = table.create_segment();
+/// let e = Entity::new(EntityId(1), [(name, Value::from("WD4000"))]).unwrap();
+/// table.insert(seg, &e)?;
+/// assert_eq!(table.get(EntityId(1))?, e);
+/// assert_eq!(table.location(EntityId(1)), Some(seg));
+/// let mut seen = 0;
+/// table.scan(seg, |_| seen += 1)?;
+/// assert_eq!(seen, 1);
+/// # Ok::<(), cind_storage::StorageError>(())
+/// ```
+pub struct UniversalTable {
+    catalog: AttributeCatalog,
+    segments: BTreeMap<SegmentId, Segment>,
+    locator: std::collections::HashMap<EntityId, (SegmentId, RecordId)>,
+    pool: BufferPool,
+    next_segment: u32,
+    wal: Option<crate::wal::WalSink>,
+}
+
+impl UniversalTable {
+    /// Creates an empty table whose buffer pool holds `pool_pages` pages.
+    pub fn new(pool_pages: usize) -> Self {
+        Self {
+            catalog: AttributeCatalog::new(),
+            segments: BTreeMap::new(),
+            locator: std::collections::HashMap::new(),
+            pool: BufferPool::new(pool_pages),
+            next_segment: 0,
+            wal: None,
+        }
+    }
+
+    /// Attaches a write-ahead-log sink: from now on every mutation appends
+    /// one checksummed entry (see [`crate::wal`]). Replaces any previous
+    /// sink. Typical recovery: restore the last snapshot, then
+    /// [`crate::wal::replay`] the log written since.
+    pub fn attach_wal(&mut self, out: Box<dyn std::io::Write + Send>) {
+        self.wal = Some(crate::wal::WalSink::new(out, 0));
+    }
+
+    /// Flushes the attached WAL sink, if any.
+    ///
+    /// # Errors
+    /// I/O errors from the sink.
+    pub fn flush_wal(&mut self) -> std::io::Result<()> {
+        match &mut self.wal {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// The attribute catalog.
+    pub fn catalog(&self) -> &AttributeCatalog {
+        &self.catalog
+    }
+
+    /// Mutable attribute catalog (for interning new attributes).
+    pub fn catalog_mut(&mut self) -> &mut AttributeCatalog {
+        &mut self.catalog
+    }
+
+    /// Synopsis universe size (= number of cataloged attributes).
+    pub fn universe(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// The buffer pool (for stats snapshots).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Cumulative I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Allocates a fresh, empty segment.
+    pub fn create_segment(&mut self) -> SegmentId {
+        let id = SegmentId(self.next_segment);
+        self.next_segment += 1;
+        self.segments.insert(id, Segment::new(id));
+        if let Some(wal) = &mut self.wal {
+            wal.log_create_segment(&self.catalog, id);
+        }
+        id
+    }
+
+    /// Drops an **empty** segment.
+    ///
+    /// # Errors
+    /// [`StorageError::NoSuchSegment`] if unknown; panics if non-empty (a
+    /// policy bug — policies must move entities out first).
+    pub fn drop_segment(&mut self, id: SegmentId) -> Result<(), StorageError> {
+        let seg = self.segments.get(&id).ok_or(StorageError::NoSuchSegment(id))?;
+        assert!(seg.is_empty(), "dropping non-empty segment {id}");
+        self.segments.remove(&id);
+        self.pool.invalidate_segment(id);
+        if let Some(wal) = &mut self.wal {
+            wal.log_drop_segment(&self.catalog, id);
+        }
+        Ok(())
+    }
+
+    /// Ids of all live segments, ascending.
+    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.segments.keys().copied()
+    }
+
+    /// Number of live segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Borrows a segment.
+    pub fn segment(&self, id: SegmentId) -> Result<&Segment, StorageError> {
+        self.segments.get(&id).ok_or(StorageError::NoSuchSegment(id))
+    }
+
+    /// Total number of stored entities.
+    pub fn entity_count(&self) -> usize {
+        self.locator.len()
+    }
+
+    /// The segment currently holding `entity`.
+    pub fn location(&self, entity: EntityId) -> Option<SegmentId> {
+        self.locator.get(&entity).map(|(s, _)| *s)
+    }
+
+    /// Detaches a segment wholesale: its pages leave the table untouched
+    /// (records stay encoded) and every member disappears from the locator.
+    /// The inverse of [`UniversalTable::attach_segment`]; together they
+    /// move whole partitions between tables at page granularity — the bulk
+    /// loader's stitch path.
+    ///
+    /// # Errors
+    /// [`StorageError::NoSuchSegment`] if unknown.
+    pub fn detach_segment(&mut self, id: SegmentId) -> Result<Segment, StorageError> {
+        let seg = self
+            .segments
+            .remove(&id)
+            .ok_or(StorageError::NoSuchSegment(id))?;
+        for (_, rec) in seg.iter() {
+            let eid = crate::record::decode_entity_id(rec)?;
+            self.locator.remove(&eid);
+        }
+        self.pool.invalidate_segment(id);
+        Ok(seg)
+    }
+
+    /// Attaches a detached segment under a fresh id, indexing its records.
+    ///
+    /// # Errors
+    /// [`StorageError::DuplicateEntity`] if any member id is already stored
+    /// (checked before anything is mutated), [`StorageError::CorruptRecord`]
+    /// if a record fails to decode.
+    pub fn attach_segment(&mut self, mut seg: Segment) -> Result<SegmentId, StorageError> {
+        // Validate first: ids must decode and be fresh.
+        for (_, rec) in seg.iter() {
+            let eid = crate::record::decode_entity_id(rec)?;
+            if self.locator.contains_key(&eid) {
+                return Err(StorageError::DuplicateEntity(eid));
+            }
+        }
+        let id = SegmentId(self.next_segment);
+        self.next_segment += 1;
+        seg.set_id(id);
+        for (rid, rec) in seg.iter() {
+            let eid = crate::record::decode_entity_id(rec).expect("validated above");
+            self.locator.insert(eid, (id, rid));
+        }
+        self.segments.insert(id, seg);
+        Ok(id)
+    }
+
+    /// Re-creates a segment with a specific id during snapshot restore.
+    /// Keeps `next_segment` ahead of every restored id so fresh segments
+    /// never clash.
+    pub(crate) fn restore_segment(
+        &mut self,
+        id: SegmentId,
+    ) -> Result<SegmentId, StorageError> {
+        assert!(
+            !self.segments.contains_key(&id),
+            "snapshot contains segment {id} twice"
+        );
+        self.segments.insert(id, Segment::new(id));
+        self.next_segment = self.next_segment.max(id.0 + 1);
+        Ok(id)
+    }
+
+    /// Stores an already-encoded record during snapshot restore, indexing
+    /// it under `id` without re-encoding.
+    pub(crate) fn restore_record(
+        &mut self,
+        seg: SegmentId,
+        id: EntityId,
+        rec: &[u8],
+    ) -> Result<(), StorageError> {
+        if self.locator.contains_key(&id) {
+            return Err(StorageError::DuplicateEntity(id));
+        }
+        let segment = self
+            .segments
+            .get_mut(&seg)
+            .ok_or(StorageError::NoSuchSegment(seg))?;
+        let rid = segment.insert(rec)?;
+        self.locator.insert(id, (seg, rid));
+        Ok(())
+    }
+
+    /// Inserts `entity` into `seg`.
+    ///
+    /// # Errors
+    /// [`StorageError::DuplicateEntity`] if the id is already stored,
+    /// [`StorageError::NoSuchSegment`] / [`StorageError::RecordTooLarge`]
+    /// from the layers below.
+    pub fn insert(&mut self, seg: SegmentId, entity: &Entity) -> Result<(), StorageError> {
+        if self.locator.contains_key(&entity.id()) {
+            return Err(StorageError::DuplicateEntity(entity.id()));
+        }
+        let segment = self
+            .segments
+            .get_mut(&seg)
+            .ok_or(StorageError::NoSuchSegment(seg))?;
+        let record = encode_entity(entity);
+        let rid = segment.insert(&record)?;
+        self.pool.write(PageKey { segment: seg, page: rid.page });
+        self.locator.insert(entity.id(), (seg, rid));
+        if let Some(wal) = &mut self.wal {
+            wal.log_insert(&self.catalog, seg, &record);
+        }
+        Ok(())
+    }
+
+    /// Reads one entity by id (a point lookup through the locator; touches
+    /// one page).
+    pub fn get(&self, entity: EntityId) -> Result<Entity, StorageError> {
+        let &(seg, rid) = self
+            .locator
+            .get(&entity)
+            .ok_or(StorageError::NoSuchEntity(entity))?;
+        let segment = self.segments.get(&seg).ok_or(StorageError::NoSuchSegment(seg))?;
+        self.pool.access(PageKey { segment: seg, page: rid.page });
+        decode_entity(segment.get(rid)?)
+    }
+
+    /// Deletes one entity, returning it.
+    pub fn delete(&mut self, entity: EntityId) -> Result<Entity, StorageError> {
+        let (seg, rid) = self
+            .locator
+            .remove(&entity)
+            .ok_or(StorageError::NoSuchEntity(entity))?;
+        let segment = self
+            .segments
+            .get_mut(&seg)
+            .ok_or(StorageError::NoSuchSegment(seg))?;
+        let bytes = segment.delete(rid)?;
+        self.pool.write(PageKey { segment: seg, page: rid.page });
+        if let Some(wal) = &mut self.wal {
+            wal.log_delete(&self.catalog, entity);
+        }
+        decode_entity(&bytes)
+    }
+
+    /// Moves one entity to another segment (delete + insert, one locator
+    /// update). Returns the entity's size class unchanged; a move between
+    /// the same segment is a no-op.
+    pub fn move_entity(&mut self, entity: EntityId, to: SegmentId) -> Result<(), StorageError> {
+        let &(from, _) = self
+            .locator
+            .get(&entity)
+            .ok_or(StorageError::NoSuchEntity(entity))?;
+        if from == to {
+            return Ok(());
+        }
+        if !self.segments.contains_key(&to) {
+            return Err(StorageError::NoSuchSegment(to));
+        }
+        let e = self.delete(entity)?;
+        self.insert(to, &e)
+    }
+
+    /// Scans all entities of `seg`, invoking `f` for each. Touches the
+    /// buffer pool once per page, so I/O deltas around a scan reflect the
+    /// pages read.
+    pub fn scan(
+        &self,
+        seg: SegmentId,
+        mut f: impl FnMut(&Entity),
+    ) -> Result<(), StorageError> {
+        let segment = self.segments.get(&seg).ok_or(StorageError::NoSuchSegment(seg))?;
+        for page_idx in 0..segment.page_count() as u32 {
+            self.pool.access(PageKey { segment: seg, page: page_idx });
+            let page = segment.page(page_idx).expect("page in range");
+            for (_, bytes) in page.iter() {
+                f(&decode_entity(bytes)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects all entities of `seg` into a vector (testing convenience).
+    pub fn scan_collect(&self, seg: SegmentId) -> Result<Vec<Entity>, StorageError> {
+        let mut out = Vec::new();
+        self.scan(seg, |e| out.push(e.clone()))?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::{AttrId, Value};
+
+    fn entity(table: &mut UniversalTable, id: u64, attrs: &[(&str, i64)]) -> Entity {
+        let attrs: Vec<(AttrId, Value)> = attrs
+            .iter()
+            .map(|(name, v)| (table.catalog_mut().intern(name), Value::Int(*v)))
+            .collect();
+        Entity::new(EntityId(id), attrs).unwrap()
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut t = UniversalTable::new(64);
+        let seg = t.create_segment();
+        let e = entity(&mut t, 1, &[("name", 1), ("weight", 198)]);
+        t.insert(seg, &e).unwrap();
+        assert_eq!(t.entity_count(), 1);
+        assert_eq!(t.location(EntityId(1)), Some(seg));
+        assert_eq!(t.get(EntityId(1)).unwrap(), e);
+        let removed = t.delete(EntityId(1)).unwrap();
+        assert_eq!(removed, e);
+        assert_eq!(t.entity_count(), 0);
+        assert!(matches!(
+            t.get(EntityId(1)),
+            Err(StorageError::NoSuchEntity(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_insert_is_rejected() {
+        let mut t = UniversalTable::new(64);
+        let seg = t.create_segment();
+        let e = entity(&mut t, 1, &[("a", 1)]);
+        t.insert(seg, &e).unwrap();
+        assert!(matches!(
+            t.insert(seg, &e),
+            Err(StorageError::DuplicateEntity(EntityId(1)))
+        ));
+    }
+
+    #[test]
+    fn move_entity_relocates() {
+        let mut t = UniversalTable::new(64);
+        let a = t.create_segment();
+        let b = t.create_segment();
+        let e = entity(&mut t, 7, &[("x", 1)]);
+        t.insert(a, &e).unwrap();
+        t.move_entity(EntityId(7), b).unwrap();
+        assert_eq!(t.location(EntityId(7)), Some(b));
+        assert_eq!(t.segment(a).unwrap().record_count(), 0);
+        assert_eq!(t.segment(b).unwrap().record_count(), 1);
+        assert_eq!(t.get(EntityId(7)).unwrap(), e);
+        // Same-segment move is a no-op.
+        t.move_entity(EntityId(7), b).unwrap();
+        assert_eq!(t.location(EntityId(7)), Some(b));
+    }
+
+    #[test]
+    fn scan_visits_every_entity_and_counts_pages() {
+        let mut t = UniversalTable::new(64);
+        let seg = t.create_segment();
+        for i in 0..100 {
+            let e = entity(&mut t, i, &[("a", i as i64), ("b", 1)]);
+            t.insert(seg, &e).unwrap();
+        }
+        let before = t.io_stats();
+        let got = t.scan_collect(seg).unwrap();
+        assert_eq!(got.len(), 100);
+        let delta = t.io_stats().since(&before);
+        assert_eq!(
+            delta.logical_reads as usize,
+            t.segment(seg).unwrap().page_count()
+        );
+    }
+
+    #[test]
+    fn drop_segment_requires_empty() {
+        let mut t = UniversalTable::new(64);
+        let seg = t.create_segment();
+        t.drop_segment(seg).unwrap();
+        assert!(matches!(
+            t.drop_segment(seg),
+            Err(StorageError::NoSuchSegment(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty segment")]
+    fn drop_nonempty_segment_panics() {
+        let mut t = UniversalTable::new(64);
+        let seg = t.create_segment();
+        let e = entity(&mut t, 1, &[("a", 1)]);
+        t.insert(seg, &e).unwrap();
+        let _ = t.drop_segment(seg);
+    }
+
+    #[test]
+    fn detach_attach_moves_segments_between_tables() {
+        let mut src = UniversalTable::new(64);
+        let seg = src.create_segment();
+        let mut entities = Vec::new();
+        for i in 0..20 {
+            let e = entity(&mut src, i, &[("a", i as i64)]);
+            src.insert(seg, &e).unwrap();
+            entities.push(e);
+        }
+        src.delete(EntityId(3)).unwrap();
+        let detached = src.detach_segment(seg).unwrap();
+        assert_eq!(src.entity_count(), 0);
+        assert!(matches!(src.segment(seg), Err(StorageError::NoSuchSegment(_))));
+
+        let mut dst = UniversalTable::new(64);
+        dst.catalog_mut().intern("a");
+        dst.create_segment(); // occupy id 0 so the attach re-brands
+        let new_id = dst.attach_segment(detached).unwrap();
+        assert_ne!(new_id, seg);
+        assert_eq!(dst.entity_count(), 19);
+        for e in &entities {
+            if e.id() == EntityId(3) {
+                assert!(dst.get(e.id()).is_err());
+            } else {
+                assert_eq!(&dst.get(e.id()).unwrap(), e);
+                assert_eq!(dst.location(e.id()), Some(new_id));
+            }
+        }
+    }
+
+    #[test]
+    fn attach_rejects_duplicate_entities() {
+        let mut src = UniversalTable::new(64);
+        let seg = src.create_segment();
+        let e = entity(&mut src, 1, &[("a", 1)]);
+        src.insert(seg, &e).unwrap();
+        let detached = src.detach_segment(seg).unwrap();
+
+        let mut dst = UniversalTable::new(64);
+        let dseg = dst.create_segment();
+        let clash = entity(&mut dst, 1, &[("a", 9)]);
+        dst.insert(dseg, &clash).unwrap();
+        assert!(matches!(
+            dst.attach_segment(detached),
+            Err(StorageError::DuplicateEntity(EntityId(1)))
+        ));
+        // Nothing was mutated.
+        assert_eq!(dst.get(EntityId(1)).unwrap(), clash);
+        assert_eq!(dst.segment_count(), 1);
+    }
+
+    #[test]
+    fn segment_ids_are_fresh_and_sorted() {
+        let mut t = UniversalTable::new(64);
+        let a = t.create_segment();
+        let b = t.create_segment();
+        t.drop_segment(a).unwrap();
+        let c = t.create_segment();
+        assert_ne!(c, a, "ids are never recycled");
+        let ids: Vec<SegmentId> = t.segment_ids().collect();
+        assert_eq!(ids, vec![b, c]);
+    }
+}

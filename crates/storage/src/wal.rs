@@ -1,0 +1,416 @@
+//! Write-ahead logging — incremental durability between snapshots.
+//!
+//! [`UniversalTable::snapshot`](crate::UniversalTable::snapshot) is a full
+//! copy; a busy table cannot afford one per modification. Attaching a WAL
+//! sink ([`UniversalTable::attach_wal`]) makes every mutation append one
+//! self-describing, individually checksummed entry, so the recovery recipe
+//! becomes the classic *snapshot + log suffix*:
+//!
+//! ```text
+//! table.attach_wal(file)?;      // log every mutation from now on
+//! …mutations…                   // snapshot() any time for a new base
+//! // after a crash:
+//! let mut t = UniversalTable::restore(&mut base, pool)?;   // or ::new
+//! wal::replay(&mut t, &mut log)?;                          // exact state
+//! ```
+//!
+//! Entry kinds mirror the table's primitive mutations. `move_entity` is
+//! logged as its constituent delete + insert, and attribute definitions are
+//! emitted lazily (before the first entry that could reference them), so
+//! the log is self-contained: replaying onto an *empty* table reproduces
+//! catalog, segments (with identical ids), and every record.
+//!
+//! Framing per entry: `len: varint`, `body: len bytes`, `fnv1a64(body):
+//! 8 bytes LE`. A torn final entry (crash mid-write) is detected and
+//! reported with how many entries applied cleanly before it.
+
+use std::io::{Read, Write};
+
+use cind_model::EntityId;
+
+use crate::persist::PersistError;
+use crate::segment::SegmentId;
+use crate::varint;
+use crate::UniversalTable;
+
+const OP_DEFINE_ATTR: u8 = 1;
+const OP_CREATE_SEGMENT: u8 = 2;
+const OP_DROP_SEGMENT: u8 = 3;
+const OP_INSERT: u8 = 4;
+const OP_DELETE: u8 = 5;
+
+/// FNV-1a 64 (same as the snapshot checksum).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The table-side WAL state: the sink plus how many attributes have been
+/// defined in the log so far (for lazy `DefineAttr` emission).
+pub(crate) struct WalSink {
+    out: Box<dyn Write + Send>,
+    attrs_logged: usize,
+}
+
+impl WalSink {
+    pub(crate) fn new(out: Box<dyn Write + Send>, attrs_already: usize) -> Self {
+        Self { out, attrs_logged: attrs_already }
+    }
+
+    fn append(&mut self, body: &[u8]) {
+        let mut framed = Vec::with_capacity(body.len() + 12);
+        varint::encode(body.len() as u64, &mut framed);
+        framed.extend_from_slice(body);
+        framed.extend_from_slice(&fnv1a(body).to_le_bytes());
+        // A WAL write failure is not recoverable at this layer; the table
+        // mutation has already happened. Surfacing a panic here (rather
+        // than silently dropping durability) matches what a database would
+        // do on log-device failure.
+        self.out.write_all(&framed).expect("WAL append failed");
+    }
+
+    /// Emits `DefineAttr` entries for catalog ids not yet in the log.
+    fn sync_attrs(&mut self, catalog: &cind_model::AttributeCatalog) {
+        while self.attrs_logged < catalog.len() {
+            let id = cind_model::AttrId(self.attrs_logged as u32);
+            let name = catalog.name(id).expect("dense ids");
+            let mut body = vec![OP_DEFINE_ATTR];
+            varint::encode(name.len() as u64, &mut body);
+            body.extend_from_slice(name.as_bytes());
+            self.append(&body);
+            self.attrs_logged += 1;
+        }
+    }
+
+    pub(crate) fn log_create_segment(
+        &mut self,
+        catalog: &cind_model::AttributeCatalog,
+        id: SegmentId,
+    ) {
+        self.sync_attrs(catalog);
+        let mut body = vec![OP_CREATE_SEGMENT];
+        varint::encode(u64::from(id.0), &mut body);
+        self.append(&body);
+    }
+
+    pub(crate) fn log_drop_segment(
+        &mut self,
+        catalog: &cind_model::AttributeCatalog,
+        id: SegmentId,
+    ) {
+        self.sync_attrs(catalog);
+        let mut body = vec![OP_DROP_SEGMENT];
+        varint::encode(u64::from(id.0), &mut body);
+        self.append(&body);
+    }
+
+    pub(crate) fn log_insert(
+        &mut self,
+        catalog: &cind_model::AttributeCatalog,
+        seg: SegmentId,
+        record: &[u8],
+    ) {
+        self.sync_attrs(catalog);
+        let mut body = vec![OP_INSERT];
+        varint::encode(u64::from(seg.0), &mut body);
+        varint::encode(record.len() as u64, &mut body);
+        body.extend_from_slice(record);
+        self.append(&body);
+    }
+
+    pub(crate) fn log_delete(
+        &mut self,
+        catalog: &cind_model::AttributeCatalog,
+        id: EntityId,
+    ) {
+        self.sync_attrs(catalog);
+        let mut body = vec![OP_DELETE];
+        varint::encode(id.0, &mut body);
+        self.append(&body);
+    }
+
+    pub(crate) fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Outcome of a [`replay`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReplayReport {
+    /// Entries applied.
+    pub applied: usize,
+    /// Whether the log ended with a torn (incomplete or corrupt) final
+    /// entry, which was discarded — the expected shape after a crash
+    /// mid-append.
+    pub torn_tail: bool,
+}
+
+/// Replays a WAL stream onto `table` (typically a freshly restored
+/// snapshot, or an empty table for a log-only recovery).
+///
+/// A torn *final* entry is tolerated and reported; corruption anywhere
+/// else is an error (the log is broken, not merely cut short).
+///
+/// # Errors
+/// [`PersistError::Corrupt`] for mid-log corruption,
+/// [`PersistError::Storage`] if an entry does not apply (log/table
+/// mismatch).
+pub fn replay(table: &mut UniversalTable, input: &mut impl Read) -> Result<ReplayReport, PersistError> {
+    let mut buf = Vec::new();
+    input.read_to_end(&mut buf)?;
+    let mut pos = 0usize;
+    let mut report = ReplayReport { applied: 0, torn_tail: false };
+
+    while pos < buf.len() {
+        // Decode one frame; any failure in the *last* frame is a torn tail.
+        let frame_start = pos;
+        let tail = |report: &mut ReplayReport| {
+            report.torn_tail = true;
+        };
+        let Some((len, n)) = varint::decode(&buf[pos..]) else {
+            tail(&mut report);
+            break;
+        };
+        let len = len as usize;
+        let body_start = pos + n;
+        let Some(body) = buf.get(body_start..body_start + len) else {
+            tail(&mut report);
+            break;
+        };
+        let sum_start = body_start + len;
+        let Some(sum) = buf.get(sum_start..sum_start + 8) else {
+            tail(&mut report);
+            break;
+        };
+        let expect = u64::from_le_bytes(sum.try_into().expect("8 bytes"));
+        if fnv1a(body) != expect {
+            // A checksum failure at the very end is a torn tail; earlier it
+            // is corruption.
+            if sum_start + 8 >= buf.len() {
+                tail(&mut report);
+                break;
+            }
+            return Err(PersistError::Corrupt("wal entry checksum"));
+        }
+        pos = sum_start + 8;
+        let _ = frame_start;
+
+        apply_entry(table, body)?;
+        report.applied += 1;
+    }
+    Ok(report)
+}
+
+fn apply_entry(table: &mut UniversalTable, body: &[u8]) -> Result<(), PersistError> {
+    let corrupt = |what: &'static str| PersistError::Corrupt(what);
+    let (&tag, rest) = body.split_first().ok_or(corrupt("empty wal entry"))?;
+    let mut pos = 0usize;
+    let mut next = |rest: &[u8]| -> Result<u64, PersistError> {
+        let slice = rest.get(pos..).unwrap_or(&[]);
+        let (v, n) = varint::decode(slice).ok_or(corrupt("wal varint"))?;
+        pos += n;
+        Ok(v)
+    };
+    match tag {
+        OP_DEFINE_ATTR => {
+            let len = next(rest)? as usize;
+            let name = rest
+                .get(pos..pos + len)
+                .ok_or(corrupt("wal attr name"))?;
+            let name = std::str::from_utf8(name).map_err(|_| corrupt("wal attr utf8"))?;
+            table.catalog_mut().intern(name);
+        }
+        OP_CREATE_SEGMENT => {
+            let id = u32::try_from(next(rest)?).map_err(|_| corrupt("segment id"))?;
+            table.restore_segment(SegmentId(id))?;
+        }
+        OP_DROP_SEGMENT => {
+            let id = u32::try_from(next(rest)?).map_err(|_| corrupt("segment id"))?;
+            table.drop_segment(SegmentId(id))?;
+        }
+        OP_INSERT => {
+            let seg = u32::try_from(next(rest)?).map_err(|_| corrupt("segment id"))?;
+            let len = next(rest)? as usize;
+            let record = rest.get(pos..pos + len).ok_or(corrupt("wal record"))?;
+            let id = crate::record::decode_entity_id(record)?;
+            crate::record::decode_entity(record)?;
+            table.restore_record(SegmentId(seg), id, record)?;
+        }
+        OP_DELETE => {
+            let id = EntityId(next(rest)?);
+            table.delete(id)?;
+        }
+        _ => return Err(corrupt("unknown wal op")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::{AttrId, Entity, Value};
+    use std::sync::{Arc, Mutex};
+
+    /// A Write sink into a shared buffer, so tests can read the log back
+    /// while the table still owns the writer.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn mutate(table: &mut UniversalTable) -> SegmentId {
+        let a = table.catalog_mut().intern("a");
+        let b = table.catalog_mut().intern("b");
+        let s1 = table.create_segment();
+        let s2 = table.create_segment();
+        for i in 0..20u64 {
+            let (seg, attr) = if i % 2 == 0 { (s1, a) } else { (s2, b) };
+            let e = Entity::new(EntityId(i), [(attr, Value::Int(i as i64))]).unwrap();
+            table.insert(seg, &e).unwrap();
+        }
+        table.delete(EntityId(4)).unwrap();
+        table.move_entity(EntityId(6), s2).unwrap();
+        // Empty a segment and drop it.
+        let s3 = table.create_segment();
+        table.drop_segment(s3).unwrap();
+        s1
+    }
+
+    fn tables_equal(a: &UniversalTable, b: &UniversalTable) {
+        assert_eq!(a.entity_count(), b.entity_count());
+        assert_eq!(a.universe(), b.universe());
+        assert_eq!(
+            a.segment_ids().collect::<Vec<_>>(),
+            b.segment_ids().collect::<Vec<_>>()
+        );
+        for id in 0..40u64 {
+            let id = EntityId(id);
+            match a.get(id) {
+                Ok(e) => {
+                    assert_eq!(b.get(id).unwrap(), e);
+                    assert_eq!(a.location(id), b.location(id));
+                }
+                Err(_) => assert!(b.get(id).is_err()),
+            }
+        }
+    }
+
+    #[test]
+    fn replaying_the_log_reproduces_the_table() {
+        let log = SharedBuf::default();
+        let mut table = UniversalTable::new(16);
+        table.attach_wal(Box::new(log.clone()));
+        mutate(&mut table);
+
+        let bytes = log.0.lock().unwrap().clone();
+        let mut recovered = UniversalTable::new(16);
+        let report = replay(&mut recovered, &mut &bytes[..]).unwrap();
+        assert!(!report.torn_tail);
+        assert!(report.applied > 20);
+        tables_equal(&table, &recovered);
+    }
+
+    #[test]
+    fn snapshot_plus_log_suffix_recovers() {
+        // Mutations before the snapshot are NOT in the log (attach after).
+        let mut table = UniversalTable::new(16);
+        let a = table.catalog_mut().intern("a");
+        let seg = table.create_segment();
+        for i in 100..110u64 {
+            let e = Entity::new(EntityId(i), [(a, Value::Int(1))]).unwrap();
+            table.insert(seg, &e).unwrap();
+        }
+        let mut base = Vec::new();
+        table.snapshot(&mut base).unwrap();
+
+        let log = SharedBuf::default();
+        table.attach_wal(Box::new(log.clone()));
+        mutate(&mut table);
+
+        let mut recovered = UniversalTable::restore(&mut &base[..], 16).unwrap();
+        let bytes = log.0.lock().unwrap().clone();
+        replay(&mut recovered, &mut &bytes[..]).unwrap();
+        tables_equal(&table, &recovered);
+        // The pre-snapshot entities are there too.
+        assert!(recovered.get(EntityId(105)).is_ok());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_mid_log_corruption_is_not() {
+        let log = SharedBuf::default();
+        let mut table = UniversalTable::new(16);
+        table.attach_wal(Box::new(log.clone()));
+        mutate(&mut table);
+        let bytes = log.0.lock().unwrap().clone();
+
+        // Truncate inside the final entry: applied-so-far + torn flag.
+        let cut = bytes.len() - 3;
+        let mut recovered = UniversalTable::new(16);
+        let report = replay(&mut recovered, &mut &bytes[..cut]).unwrap();
+        assert!(report.torn_tail);
+        assert!(report.applied > 0);
+
+        // Flip a byte early in the log: hard error.
+        let mut bad = bytes.clone();
+        bad[bytes.len() / 4] ^= 0xff;
+        let mut recovered = UniversalTable::new(16);
+        assert!(replay(&mut recovered, &mut &bad[..]).is_err());
+    }
+
+    #[test]
+    fn detached_table_logs_nothing() {
+        let mut table = UniversalTable::new(16);
+        mutate(&mut table); // no WAL attached: must not panic
+        let log = SharedBuf::default();
+        table.attach_wal(Box::new(log.clone()));
+        // Attr definitions of pre-attach attributes are still emitted
+        // lazily with the first post-attach mutation.
+        let c = table.catalog_mut().intern("c");
+        let seg = table.create_segment();
+        let e = Entity::new(EntityId(1000), [(c, Value::Bool(true))]).unwrap();
+        table.insert(seg, &e).unwrap();
+
+        let bytes = log.0.lock().unwrap().clone();
+        let mut recovered = UniversalTable::new(16);
+        let report = replay(&mut recovered, &mut &bytes[..]).unwrap();
+        // 3 attrs + create + insert.
+        assert_eq!(report.applied, 5);
+        assert_eq!(recovered.entity_count(), 1);
+        assert_eq!(recovered.universe(), 3);
+        assert_eq!(recovered.get(EntityId(1000)).unwrap(), e);
+    }
+
+    #[test]
+    fn attr_ids_in_recovered_table_match() {
+        let log = SharedBuf::default();
+        let mut table = UniversalTable::new(16);
+        table.attach_wal(Box::new(log.clone()));
+        let x = table.catalog_mut().intern("x");
+        let y = table.catalog_mut().intern("y");
+        let seg = table.create_segment();
+        let e = Entity::new(
+            EntityId(0),
+            [(x, Value::Int(1)), (y, Value::Int(2))],
+        )
+        .unwrap();
+        table.insert(seg, &e).unwrap();
+
+        let bytes = log.0.lock().unwrap().clone();
+        let mut recovered = UniversalTable::new(16);
+        replay(&mut recovered, &mut &bytes[..]).unwrap();
+        assert_eq!(recovered.catalog().lookup("x"), Some(AttrId(0)));
+        assert_eq!(recovered.catalog().lookup("y"), Some(AttrId(1)));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests on storage internals: the buffer pool against a
+//! reference LRU, pages under random operation sequences, and snapshot
+//! corruption resistance.
+
+use cind_bitset as _; // silence unused-dep lint paths in some cargo setups
+use cind_model::{AttrId, Entity, EntityId, Value};
+use cind_storage::buffer::PageKey;
+use cind_storage::{BufferPool, Page, SegmentId, UniversalTable};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference LRU with the same admission/eviction semantics.
+struct RefLru {
+    capacity: usize,
+    /// Most recent first.
+    order: VecDeque<PageKey>,
+}
+
+impl RefLru {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, order: VecDeque::new() }
+    }
+
+    /// Returns hit?
+    fn access(&mut self, key: PageKey) -> bool {
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+            self.order.push_front(key);
+            true
+        } else {
+            if self.capacity == 0 {
+                return false;
+            }
+            if self.order.len() >= self.capacity {
+                self.order.pop_back();
+            }
+            self.order.push_front(key);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The slab-based intrusive LRU agrees with a naive reference on every
+    /// access of a random trace.
+    #[test]
+    fn buffer_pool_matches_reference_lru(
+        capacity in 0usize..8,
+        trace in prop::collection::vec((0u32..4, 0u32..12), 0..200),
+    ) {
+        let pool = BufferPool::new(capacity);
+        let mut reference = RefLru::new(capacity);
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (seg, page) in trace {
+            let key = PageKey { segment: SegmentId(seg), page };
+            let expect = reference.access(key);
+            let got = pool.access(key);
+            prop_assert_eq!(got, expect, "divergence at {:?}", key);
+            if expect { hits += 1 } else { misses += 1 }
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.logical_reads, hits + misses);
+        prop_assert_eq!(stats.physical_reads, misses);
+        prop_assert!(pool.resident() <= capacity.max(0));
+    }
+
+    /// Pages never lose or corrupt live records under arbitrary
+    /// insert/delete sequences (with compaction happening implicitly).
+    #[test]
+    fn page_survives_random_insert_delete(
+        ops in prop::collection::vec((any::<bool>(), 1usize..400, 0u16..64), 1..120),
+    ) {
+        let mut page = Page::new();
+        let mut model: std::collections::HashMap<u16, Vec<u8>> =
+            std::collections::HashMap::new();
+        let mut stamp = 0u8;
+        for (is_insert, len, pick) in ops {
+            if is_insert {
+                stamp = stamp.wrapping_add(1);
+                let rec = vec![stamp; len];
+                if let Some(slot) = page.insert(&rec) {
+                    model.insert(slot.0, rec);
+                }
+            } else if !model.is_empty() {
+                let keys: Vec<u16> = model.keys().copied().collect();
+                let slot = keys[pick as usize % keys.len()];
+                prop_assert!(page.delete(cind_storage::SlotId(slot)));
+                model.remove(&slot);
+            }
+            prop_assert_eq!(page.live_count(), model.len());
+        }
+        for (slot, rec) in &model {
+            prop_assert_eq!(
+                page.get(cind_storage::SlotId(*slot)).expect("live"),
+                &rec[..]
+            );
+        }
+    }
+
+    /// A snapshot with any single byte flipped never restores successfully
+    /// — and never panics.
+    #[test]
+    fn snapshot_detects_any_single_byte_flip(flip_pos in any::<prop::sample::Index>()) {
+        let mut table = UniversalTable::new(8);
+        let a = table.catalog_mut().intern("x");
+        let seg = table.create_segment();
+        for i in 0..10u64 {
+            let e = Entity::new(EntityId(i), [(a, Value::Int(i as i64))]).unwrap();
+            table.insert(seg, &e).unwrap();
+        }
+        let mut buf = Vec::new();
+        table.snapshot(&mut buf).unwrap();
+        let pos = flip_pos.index(buf.len());
+        buf[pos] ^= 0x5A;
+        prop_assert!(
+            UniversalTable::restore(&mut &buf[..], 8).is_err(),
+            "flip at {pos} of {} went undetected",
+            buf.len()
+        );
+    }
+
+    /// Attribute ids survive catalog interning order (sanity for AttrId
+    /// stability assumptions used across crates).
+    #[test]
+    fn catalog_ids_are_stable_and_dense(names in prop::collection::btree_set("[a-z]{1,8}", 1..30)) {
+        let mut table = UniversalTable::new(4);
+        let names: Vec<String> = names.into_iter().collect();
+        let ids: Vec<AttrId> = names
+            .iter()
+            .map(|n| table.catalog_mut().intern(n))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(id.0 as usize, i);
+            prop_assert_eq!(table.catalog().lookup(&names[i]), Some(*id));
+            // Re-interning never mints a new id.
+            prop_assert_eq!(table.catalog_mut().intern(&names[i]), *id);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration tests for the §VII extensions: the merge pass and the
+//! parallel bulk loader, exercised end to end on generated data.
+
+use cinderella::core::{bulk_load, Capacity, Cinderella, Config};
+use cinderella::datagen::{DbpediaConfig, DbpediaGenerator};
+use cinderella::model::{EntityId, Synopsis};
+use cinderella::storage::UniversalTable;
+
+const ENTITIES: usize = 6_000;
+
+fn dataset(table: &mut UniversalTable) -> Vec<cinderella::model::Entity> {
+    DbpediaGenerator::new(DbpediaConfig {
+        entities: ENTITIES,
+        ..DbpediaConfig::default()
+    })
+    .generate(table.catalog_mut())
+}
+
+fn config(b: u64) -> Config {
+    Config {
+        weight: 0.3,
+        capacity: Capacity::MaxEntities(b),
+        ..Config::default()
+    }
+}
+
+/// Checks the catalog invariants against the physical table.
+fn assert_consistent(table: &UniversalTable, cindy: &Cinderella) {
+    let universe = table.universe();
+    let total: u64 = cindy.catalog().iter().map(|m| m.entities).sum();
+    assert_eq!(total as usize, table.entity_count());
+    for meta in cindy.catalog().iter() {
+        let mut syn = Synopsis::empty(universe);
+        let mut cells = 0u64;
+        let mut count = 0u64;
+        table
+            .scan(meta.segment, |e| {
+                syn.merge(&e.synopsis(universe));
+                cells += e.arity() as u64;
+                count += 1;
+            })
+            .expect("scan");
+        assert_eq!(meta.attr_synopsis, syn);
+        assert_eq!(meta.size, cells);
+        assert_eq!(meta.entities, count);
+    }
+}
+
+#[test]
+fn merge_pass_repairs_after_mass_deletes() {
+    let mut table = UniversalTable::new(128);
+    let entities = dataset(&mut table);
+    let mut cindy = Cinderella::new(config(200));
+    for e in entities {
+        cindy.insert(&mut table, e).expect("insert");
+    }
+    let partitions_full = cindy.catalog().len();
+
+    // Delete 90 % of the data: the partitioning fragments.
+    for i in 0..ENTITIES as u64 {
+        if i % 10 != 0 {
+            cindy.delete(&mut table, EntityId(i)).expect("delete");
+        }
+    }
+    assert_consistent(&table, &cindy);
+    let partitions_fragmented = cindy.catalog().len();
+
+    let report = cindy.merge_pass(&mut table, 0.5).expect("merge pass");
+    assert!(report.merges > 0, "fragmented catalog must offer merges");
+    assert!(cindy.catalog().len() < partitions_fragmented);
+    assert_consistent(&table, &cindy);
+    // Capacity still respected after merging.
+    for m in cindy.catalog().iter() {
+        assert!(m.entities <= 200);
+    }
+    // Sanity: we are not back to more partitions than the full load had.
+    assert!(cindy.catalog().len() <= partitions_full);
+}
+
+#[test]
+fn merge_pass_is_idempotent() {
+    let mut table = UniversalTable::new(128);
+    let entities = dataset(&mut table);
+    let mut cindy = Cinderella::new(config(200));
+    for e in entities {
+        cindy.insert(&mut table, e).expect("insert");
+    }
+    for i in 0..ENTITIES as u64 {
+        if i % 5 != 0 {
+            cindy.delete(&mut table, EntityId(i)).expect("delete");
+        }
+    }
+    cindy.merge_pass(&mut table, 0.5).expect("first pass");
+    let after_first = cindy.catalog().len();
+    let report = cindy.merge_pass(&mut table, 0.5).expect("second pass");
+    assert_eq!(report.merges, 0, "second pass must find nothing (fixpoint)");
+    assert_eq!(cindy.catalog().len(), after_first);
+}
+
+#[test]
+fn bulk_load_matches_sequential_quality() {
+    // Sequential reference.
+    let mut seq_table = UniversalTable::new(128);
+    let entities = dataset(&mut seq_table);
+    let mut seq = Cinderella::new(config(1_000));
+    for e in entities {
+        seq.insert(&mut seq_table, e).expect("insert");
+    }
+
+    // Parallel load of the same data.
+    let mut par_table = UniversalTable::new(128);
+    let entities = dataset(&mut par_table);
+    let (par, report) =
+        bulk_load(&mut par_table, config(1_000), entities, 4).expect("bulk load");
+    assert_eq!(par_table.entity_count(), ENTITIES);
+    assert_consistent(&par_table, &par);
+    for m in par.catalog().iter() {
+        assert!(m.entities <= 1_000);
+    }
+    // The stitched partitioning must be in the same ballpark as the
+    // sequential one — within 3× on partition count (the loads see
+    // different orders, identical quality is not expected).
+    let (s, p) = (seq.catalog().len(), par.catalog().len());
+    assert!(
+        p <= s * 3 && s <= p * 3,
+        "sequential {s} vs parallel {p} partitions (report {report:?})"
+    );
+}
+
+#[test]
+fn bulk_load_then_online_modifications() {
+    // The stitched partitioner must keep working as a normal online
+    // instance afterwards.
+    let mut table = UniversalTable::new(128);
+    let entities = dataset(&mut table);
+    let (mut cindy, _) = bulk_load(&mut table, config(500), entities, 3).expect("bulk");
+    // Online phase: delete some, insert new, update one.
+    for i in 0..100u64 {
+        cindy.delete(&mut table, EntityId(i)).expect("delete");
+    }
+    let mut probe = UniversalTable::new(16);
+    let fresh = DbpediaGenerator::new(DbpediaConfig {
+        entities: 50,
+        seed: 999,
+        ..DbpediaConfig::default()
+    })
+    .generate(probe.catalog_mut());
+    for e in fresh {
+        let e = cinderella::model::Entity::new(
+            EntityId(1_000_000 + e.id().0),
+            e.attrs().to_vec(),
+        )
+        .expect("valid");
+        cindy.insert(&mut table, e).expect("insert");
+    }
+    assert_eq!(table.entity_count(), ENTITIES - 100 + 50);
+    assert_consistent(&table, &cindy);
+}

@@ -1,0 +1,137 @@
+//! Full durability cycle: partition online → snapshot → restore → rebuild
+//! the partitioner → continue modifying and querying.
+
+use cinderella::core::{Capacity, Cinderella, Config};
+use cinderella::datagen::{DbpediaConfig, DbpediaGenerator, WorkloadBuilder};
+use cinderella::model::{EntityId, Synopsis};
+use cinderella::query::{execute, plan, Query};
+use cinderella::storage::UniversalTable;
+
+const ENTITIES: usize = 5_000;
+
+fn config() -> Config {
+    Config {
+        weight: 0.3,
+        capacity: Capacity::MaxEntities(400),
+        ..Config::default()
+    }
+}
+
+fn loaded() -> (UniversalTable, Cinderella, Vec<cinderella::model::Entity>) {
+    let gen = DbpediaGenerator::new(DbpediaConfig {
+        entities: ENTITIES,
+        ..DbpediaConfig::default()
+    });
+    let mut table = UniversalTable::new(128);
+    let entities = gen.generate(table.catalog_mut());
+    let mut cindy = Cinderella::new(config());
+    for e in entities.clone() {
+        cindy.insert(&mut table, e).expect("insert");
+    }
+    (table, cindy, entities)
+}
+
+#[test]
+fn snapshot_restore_rebuild_preserves_everything() {
+    let (table, cindy, entities) = loaded();
+
+    let mut snapshot = Vec::new();
+    table.snapshot(&mut snapshot).expect("snapshot");
+    let restored = UniversalTable::restore(&mut &snapshot[..], 128).expect("restore");
+    let rebuilt = Cinderella::rebuild(&restored, config()).expect("rebuild");
+
+    // Same partitions, same synopses, same sizes.
+    assert_eq!(rebuilt.catalog().len(), cindy.catalog().len());
+    for (a, b) in rebuilt.catalog().iter().zip(cindy.catalog().iter()) {
+        assert_eq!(a.segment, b.segment);
+        assert_eq!(a.attr_synopsis, b.attr_synopsis);
+        assert_eq!(a.size, b.size);
+        assert_eq!(a.entities, b.entities);
+    }
+    // Same data.
+    assert_eq!(restored.entity_count(), ENTITIES);
+    for e in &entities {
+        assert_eq!(&restored.get(e.id()).expect("stored"), e);
+    }
+}
+
+#[test]
+fn queries_agree_before_and_after_the_cycle() {
+    let (table, cindy, entities) = loaded();
+    let universe = table.universe();
+    let specs = {
+        let all = WorkloadBuilder::default().build(universe, &entities);
+        WorkloadBuilder::representatives(&all, &WorkloadBuilder::default_edges(), 2)
+    };
+
+    let mut snapshot = Vec::new();
+    table.snapshot(&mut snapshot).expect("snapshot");
+    let restored = UniversalTable::restore(&mut &snapshot[..], 128).expect("restore");
+    let rebuilt = Cinderella::rebuild(&restored, config()).expect("rebuild");
+
+    for spec in &specs {
+        let q = Query::from_attrs(universe, spec.attrs.iter().copied());
+        let run = |t: &UniversalTable, c: &Cinderella| {
+            let view: Vec<_> = c
+                .catalog()
+                .pruning_view()
+                .map(|(s, syn, _)| (s, syn.clone()))
+                .collect();
+            let p = plan(&q, view.iter().map(|(s, syn)| (*s, syn)));
+            execute(t, &q, &p).expect("run")
+        };
+        let before = run(&table, &cindy);
+        let after = run(&restored, &rebuilt);
+        assert_eq!(before.rows, after.rows, "{}", spec.label);
+        assert_eq!(before.cells, after.cells, "{}", spec.label);
+        assert_eq!(
+            before.segments_pruned, after.segments_pruned,
+            "{}: pruning must be identical",
+            spec.label
+        );
+    }
+}
+
+#[test]
+fn online_modifications_continue_after_rebuild() {
+    let (table, _, _) = loaded();
+    let mut snapshot = Vec::new();
+    table.snapshot(&mut snapshot).expect("snapshot");
+    let mut restored = UniversalTable::restore(&mut &snapshot[..], 128).expect("restore");
+    let mut rebuilt = Cinderella::rebuild(&restored, config()).expect("rebuild");
+
+    // Delete a slice, insert fresh entities with new ids, update one.
+    for i in 0..200u64 {
+        rebuilt.delete(&mut restored, EntityId(i)).expect("delete");
+    }
+    let gen = DbpediaGenerator::new(DbpediaConfig {
+        entities: 100,
+        seed: 4242,
+        ..DbpediaConfig::default()
+    });
+    let mut probe = UniversalTable::new(16);
+    for e in gen.generate(probe.catalog_mut()) {
+        let e = cinderella::model::Entity::new(
+            EntityId(1_000_000 + e.id().0),
+            e.attrs().to_vec(),
+        )
+        .expect("valid");
+        rebuilt.insert(&mut restored, e).expect("insert");
+    }
+    assert_eq!(restored.entity_count(), ENTITIES - 200 + 100);
+
+    // Catalog still consistent with the table.
+    let universe = restored.universe();
+    for meta in rebuilt.catalog().iter() {
+        let mut syn = Synopsis::empty(universe);
+        let mut count = 0u64;
+        restored
+            .scan(meta.segment, |e| {
+                syn.merge(&e.synopsis(universe));
+                count += 1;
+            })
+            .expect("scan");
+        assert_eq!(meta.attr_synopsis, syn);
+        assert_eq!(meta.entities, count);
+    }
+}

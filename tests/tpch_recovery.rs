@@ -1,0 +1,118 @@
+//! Table I correctness: Cinderella on perfectly regular data must
+//! rediscover the schema and add only bounded scan overhead.
+
+use cinderella::core::{Capacity, Cinderella, Config};
+use cinderella::datagen::{tpch_query_columns, TpchConfig, TpchGenerator};
+use cinderella::model::Synopsis;
+use cinderella::query::{execute, plan, Query};
+use cinderella::storage::{SegmentId, UniversalTable};
+
+fn load(b: u64) -> (UniversalTable, Cinderella, TpchGenerator) {
+    let gen = TpchGenerator::new(TpchConfig { scale: 0.002, seed: 3 });
+    let mut table = UniversalTable::new(128);
+    let (entities, _) = gen.generate(table.catalog_mut());
+    let mut cindy = Cinderella::new(Config {
+        weight: 0.5,
+        capacity: Capacity::MaxEntities(b),
+        ..Config::default()
+    });
+    for e in entities {
+        cindy.insert(&mut table, e).expect("insert");
+    }
+    (table, cindy, gen)
+}
+
+#[test]
+fn every_partition_is_exactly_one_relation() {
+    for b in [500u64, 2_000, 10_000] {
+        let (table, cindy, gen) = load(b);
+        let relation_synopses: Vec<Synopsis> = gen
+            .schema()
+            .iter()
+            .map(|r| r.synopsis(table.catalog()))
+            .collect();
+        for meta in cindy.catalog().iter() {
+            assert!(
+                relation_synopses.contains(&meta.attr_synopsis),
+                "B={b}: partition {} mixes relations",
+                meta.segment
+            );
+            // Regular data ⇒ perfectly dense partitions.
+            assert_eq!(meta.sparseness(), 0.0, "B={b}: {}", meta.segment);
+        }
+    }
+}
+
+#[test]
+fn tpch_queries_agree_with_native_schema() {
+    let (cindy_table, cindy, gen) = load(2_000);
+
+    // Native schema: one segment per relation.
+    let mut native_table = UniversalTable::new(128);
+    let (entities, origin) = gen.generate(native_table.catalog_mut());
+    let segs: Vec<SegmentId> = gen
+        .schema()
+        .iter()
+        .map(|_| native_table.create_segment())
+        .collect();
+    for (e, rel) in entities.iter().zip(&origin) {
+        native_table.insert(segs[*rel], e).expect("native insert");
+    }
+    let native_view: Vec<(SegmentId, Synopsis)> = gen
+        .schema()
+        .iter()
+        .zip(&segs)
+        .map(|(rel, seg)| (*seg, rel.synopsis(native_table.catalog())))
+        .collect();
+    let cindy_view: Vec<(SegmentId, Synopsis)> = cindy
+        .catalog()
+        .pruning_view()
+        .map(|(s, syn, _)| (s, syn.clone()))
+        .collect();
+
+    let mut cindy_pages = 0u64;
+    let mut native_pages = 0u64;
+    for (name, cols) in tpch_query_columns() {
+        let q = Query::from_names(cindy_table.catalog(), cols.iter().copied())
+            .expect("columns interned");
+        let cp = plan(&q, cindy_view.iter().map(|(s, syn)| (*s, syn)));
+        let np = plan(&q, native_view.iter().map(|(s, syn)| (*s, syn)));
+        let cr = execute(&cindy_table, &q, &cp).expect("cinderella run");
+        let nr = execute(&native_table, &q, &np).expect("native run");
+        assert_eq!(cr.rows, nr.rows, "{name}");
+        assert_eq!(cr.cells, nr.cells, "{name}");
+        cindy_pages += cr.io.logical_reads;
+        native_pages += nr.io.logical_reads;
+    }
+    // Table I: the overhead of the discovered partitioning is small. In
+    // page terms it comes only from per-partition page fragmentation, so
+    // it is bounded by a modest factor.
+    assert!(
+        (cindy_pages as f64) < native_pages as f64 * 1.25,
+        "cinderella read {cindy_pages} pages vs native {native_pages}"
+    );
+}
+
+#[test]
+fn pruning_hits_only_referenced_relations() {
+    let (table, cindy, gen) = load(2_000);
+    // The Q1 column set references only lineitem; every scanned partition
+    // must be a lineitem partition.
+    let lineitem = gen.schema()[7].synopsis(table.catalog());
+    let q = Query::from_names(
+        table.catalog(),
+        tpch_query_columns()[0].1.iter().copied(),
+    )
+    .expect("Q1 columns");
+    let view: Vec<(SegmentId, Synopsis)> = cindy
+        .catalog()
+        .pruning_view()
+        .map(|(s, syn, _)| (s, syn.clone()))
+        .collect();
+    let p = plan(&q, view.iter().map(|(s, syn)| (*s, syn)));
+    assert!(!p.segments.is_empty());
+    for seg in &p.segments {
+        let meta = cindy.catalog().get(*seg).expect("cataloged");
+        assert_eq!(meta.attr_synopsis, lineitem, "{seg} is not a lineitem partition");
+    }
+}
