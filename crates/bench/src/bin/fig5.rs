@@ -10,7 +10,7 @@
 
 use cind_baselines::{Partitioner, Unpartitioned};
 use cind_bench::{
-    cinderella, dbpedia_dataset, load, measure_queries, ms, representative_queries,
+    cinderella, dbpedia_dataset, load, measure_queries_with, ms, representative_queries,
     ExperimentEnv, QueryPoint,
 };
 use cind_metrics::Table;
@@ -57,7 +57,14 @@ fn main() {
     let series: Vec<(String, Vec<QueryPoint>)> = scenarios
         .iter()
         .map(|(name, table, policy)| {
-            (name.clone(), measure_queries(table, policy.as_ref(), &specs, env.runs))
+            let pts = measure_queries_with(
+                table,
+                policy.as_ref(),
+                &specs,
+                env.runs,
+                env.parallelism(),
+            );
+            (name.clone(), pts)
         })
         .collect();
 
@@ -68,7 +75,11 @@ fn main() {
         }
     }
 
-    println!("Fig. 5 — avg query execution time [ms] vs selectivity (w = {WEIGHT})");
+    println!(
+        "Fig. 5 — avg query execution time [ms] vs selectivity (w = {WEIGHT}, {} thread{})",
+        env.threads.max(1),
+        if env.threads > 1 { "s" } else { "" }
+    );
     let mut headers = vec!["selectivity".to_owned(), "rows".to_owned()];
     headers.extend(series.iter().map(|(n, _)| format!("{n} [ms]")));
     headers.extend(series.iter().map(|(n, _)| format!("{n} [pages]")));

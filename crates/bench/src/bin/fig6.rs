@@ -8,7 +8,7 @@
 
 use cind_baselines::{Partitioner, Unpartitioned};
 use cind_bench::{
-    cinderella, dbpedia_dataset, load, measure_queries, ms, representative_queries,
+    cinderella, dbpedia_dataset, load, measure_queries_with, ms, representative_queries,
     ExperimentEnv, QueryPoint,
 };
 use cind_metrics::Table;
@@ -51,7 +51,14 @@ fn main() {
     let series: Vec<(String, Vec<QueryPoint>)> = scenarios
         .iter()
         .map(|(name, table, policy)| {
-            (name.clone(), measure_queries(table, policy.as_ref(), &specs, env.runs))
+            let pts = measure_queries_with(
+                table,
+                policy.as_ref(),
+                &specs,
+                env.runs,
+                env.parallelism(),
+            );
+            (name.clone(), pts)
         })
         .collect();
 

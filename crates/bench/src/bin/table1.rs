@@ -14,7 +14,7 @@ use cind_bench::{cinderella, ms, ExperimentEnv};
 use cind_datagen::{tpch_query_columns, TpchConfig, TpchGenerator};
 use cind_metrics::Table;
 use cind_model::Synopsis;
-use cind_query::{execute, plan, Query};
+use cind_query::{execute, plan_with, Query};
 use cind_storage::{SegmentId, UniversalTable};
 use std::time::Duration;
 
@@ -123,7 +123,11 @@ fn main() {
     for (qname, query) in &queries {
         let mut row = vec![qname.clone()];
         for (si, s) in scenarios.iter().enumerate() {
-            let p = plan(query, s.view.iter().map(|(seg, syn, _)| (*seg, syn)));
+            let p = plan_with(
+                query,
+                s.view.iter().map(|(seg, syn, _)| (*seg, syn)),
+                env.parallelism(),
+            );
             let mut best = Duration::MAX;
             let mut rows = 0;
             for run in 0..=env.runs {
@@ -148,7 +152,11 @@ fn main() {
         per_query.row(row);
     }
 
-    println!("Table I — query execution time on regular data (TPC-H)\n");
+    println!(
+        "Table I — query execution time on regular data (TPC-H), {} thread{}\n",
+        env.threads.max(1),
+        if env.threads > 1 { "s" } else { "" }
+    );
     println!("{}", per_query.render());
     env.maybe_csv("table1_per_query", &per_query);
 

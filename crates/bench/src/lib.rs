@@ -13,8 +13,10 @@
 //! | `ablations` | extensions: candidate index, synopsis modes, baselines |
 //!
 //! Every binary accepts `--entities N`, `--seed S`, `--runs R`,
-//! `--pool PAGES`, and `--csv DIR` (write the series as CSV files), and
-//! prints fixed-width tables mirroring the paper's artifacts.
+//! `--pool PAGES`, `--threads T` (fan surviving `UNION ALL` branches over
+//! `T` workers; 1 = the paper's sequential scans), and `--csv DIR` (write
+//! the series as CSV files), and prints fixed-width tables mirroring the
+//! paper's artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,7 +26,7 @@ use std::time::{Duration, Instant};
 use cind_baselines::Partitioner;
 use cind_datagen::{DbpediaConfig, DbpediaGenerator, QuerySpec, WorkloadBuilder};
 use cind_model::Entity;
-use cind_query::{execute, plan, Query};
+use cind_query::{execute, plan_with, Parallelism, Query};
 use cind_storage::UniversalTable;
 use cinderella_core::{Capacity, Cinderella, Config};
 
@@ -39,6 +41,9 @@ pub struct ExperimentEnv {
     pub runs: usize,
     /// Buffer-pool pages (small relative to the data, so scans miss).
     pub pool_pages: usize,
+    /// Worker threads for query execution (1 = the paper's sequential
+    /// scans; >1 fans surviving `UNION ALL` branches over a pool).
+    pub threads: usize,
     /// Directory for CSV output (`None` = console only).
     pub csv_dir: Option<std::path::PathBuf>,
 }
@@ -50,14 +55,16 @@ impl Default for ExperimentEnv {
             seed: 0xC1DE,
             runs: 3,
             pool_pages: 256,
+            threads: 1,
             csv_dir: None,
         }
     }
 }
 
 impl ExperimentEnv {
-    /// Parses `--entities`, `--seed`, `--runs`, `--pool`, `--csv` from the
-    /// process arguments; unknown flags abort with a usage message.
+    /// Parses `--entities`, `--seed`, `--runs`, `--pool`, `--threads`,
+    /// `--csv` from the process arguments; unknown flags abort with a
+    /// usage message.
     pub fn from_args() -> Self {
         let mut env = Self::default();
         let mut args = std::env::args().skip(1);
@@ -71,10 +78,11 @@ impl ExperimentEnv {
                 "--seed" => env.seed = value("--seed").parse().expect("u64"),
                 "--runs" => env.runs = value("--runs").parse().expect("usize"),
                 "--pool" => env.pool_pages = value("--pool").parse().expect("usize"),
+                "--threads" => env.threads = value("--threads").parse().expect("usize"),
                 "--csv" => env.csv_dir = Some(value("--csv").into()),
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --entities N --seed S --runs R --pool PAGES --csv DIR"
+                        "flags: --entities N --seed S --runs R --pool PAGES --threads T --csv DIR"
                     );
                     std::process::exit(0);
                 }
@@ -82,6 +90,15 @@ impl ExperimentEnv {
             }
         }
         env
+    }
+
+    /// The execution strategy the flags ask for.
+    pub fn parallelism(&self) -> Parallelism {
+        if self.threads <= 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Threads(self.threads)
+        }
     }
 
     /// Writes `table` to `<csv_dir>/<name>.csv` when CSV output is on.
@@ -154,11 +171,25 @@ pub struct QueryPoint {
 
 /// Runs each representative query `runs` times against `table` through the
 /// policy's pruning view; returns one point per query, in spec order.
+/// Sequential execution — the paper's configuration.
 pub fn measure_queries(
     table: &UniversalTable,
     policy: &dyn Partitioner,
     specs: &[QuerySpec],
     runs: usize,
+) -> Vec<QueryPoint> {
+    measure_queries_with(table, policy, specs, runs, Parallelism::Sequential)
+}
+
+/// [`measure_queries`] with an explicit execution strategy (the
+/// `--threads` knob). Aggregates are strategy-independent; only timing and
+/// hit ratios move.
+pub fn measure_queries_with(
+    table: &UniversalTable,
+    policy: &dyn Partitioner,
+    specs: &[QuerySpec],
+    runs: usize,
+    parallelism: Parallelism,
 ) -> Vec<QueryPoint> {
     let view = policy.pruning_view();
     let universe = table.universe();
@@ -166,7 +197,11 @@ pub fn measure_queries(
         .iter()
         .map(|spec| {
             let query = Query::from_attrs(universe, spec.attrs.iter().copied());
-            let p = plan(&query, view.iter().map(|(s, syn, _)| (*s, syn)));
+            let p = plan_with(
+                &query,
+                view.iter().map(|(s, syn, _)| (*s, syn)),
+                parallelism,
+            );
             // Warm-up run, then measured runs.
             let mut rows = 0;
             let mut total_time = Duration::ZERO;
@@ -247,5 +282,22 @@ mod tests {
             c_pages < u_pages,
             "selective queries must read fewer pages with Cinderella ({c_pages} vs {u_pages})"
         );
+
+        // Parallel measurement returns the same answers and pruning.
+        let par_points =
+            measure_queries_with(&table, &cindy, &specs, env.runs, Parallelism::Threads(4));
+        for (s, p) in cindy_points.iter().zip(&par_points) {
+            assert_eq!(s.rows, p.rows, "threads must not change answers");
+            assert_eq!(s.read, p.read);
+            assert_eq!(s.pruned, p.pruned);
+        }
+    }
+
+    #[test]
+    fn env_parallelism_maps_threads() {
+        let env = ExperimentEnv::default();
+        assert_eq!(env.parallelism(), Parallelism::Sequential);
+        let env = ExperimentEnv { threads: 4, ..ExperimentEnv::default() };
+        assert_eq!(env.parallelism(), Parallelism::Threads(4));
     }
 }

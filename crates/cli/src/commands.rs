@@ -3,7 +3,7 @@
 use std::path::Path;
 
 use cind_model::Value;
-use cind_query::{execute_collect, plan, Query};
+use cind_query::{execute_collect, plan_with, Parallelism, Query};
 use cind_storage::{PersistError, StorageError, UniversalTable};
 use cinderella_core::{bulk_load, Capacity, Cinderella, Config, CoreError};
 
@@ -121,11 +121,14 @@ pub struct QueryOptions {
     pub limit: Option<usize>,
     /// Buffer-pool pages.
     pub pool_pages: usize,
+    /// Worker threads for the scan (1 = sequential; >1 fans the surviving
+    /// `UNION ALL` branches over a pool).
+    pub threads: usize,
 }
 
 impl Default for QueryOptions {
     fn default() -> Self {
-        Self { limit: Some(20), pool_pages: 1024 }
+        Self { limit: Some(20), pool_pages: 1024, threads: 1 }
     }
 }
 
@@ -162,7 +165,12 @@ pub fn query(
         .pruning_view()
         .map(|(s, syn, _)| (s, syn.clone()))
         .collect();
-    let p = plan(&q, view.iter().map(|(s, syn)| (*s, syn)));
+    let parallelism = if opts.threads > 1 {
+        Parallelism::Threads(opts.threads)
+    } else {
+        Parallelism::Sequential
+    };
+    let p = plan_with(&q, view.iter().map(|(s, syn)| (*s, syn)), parallelism);
     let (result, rows) = execute_collect(&table, &q, &p)?;
 
     let mut t = cind_metrics::Table::new(
@@ -338,7 +346,7 @@ mod tests {
         let s = stats(&snap, 64).unwrap();
         assert!(s.contains("partitions: 1"), "{s}");
         // Data intact after the rewrite.
-        let out = query(&snap, &["a"], &QueryOptions { limit: None, pool_pages: 64 }).unwrap();
+        let out = query(&snap, &["a"], &QueryOptions { limit: None, pool_pages: 64, threads: 2 }).unwrap();
         assert!(out.contains("50 rows"), "{out}");
     }
 }

@@ -11,7 +11,7 @@ cind — universal-table manager with Cinderella online partitioning
 USAGE:
   cind load  --input DATA.csv --snapshot TABLE.cind
              [--weight W] [--capacity B] [--threads N]
-  cind query --snapshot TABLE.cind --attrs a,b,c [--limit N]
+  cind query --snapshot TABLE.cind --attrs a,b,c [--limit N] [--threads N]
   cind stats --snapshot TABLE.cind
   cind merge --snapshot TABLE.cind [--threshold T]
 
@@ -82,6 +82,7 @@ fn run() -> Result<String, CliError> {
             let opts = QueryOptions {
                 limit: Some(args.get("limit", 20usize)?),
                 pool_pages: args.get("pool", 1024)?,
+                threads: args.get("threads", 1)?,
             };
             query(&args.path("snapshot")?, &attrs, &opts)
         }

@@ -72,7 +72,7 @@ proptest! {
         match query(
             &snap,
             &[attr.as_str()],
-            &QueryOptions { limit: None, pool_pages: 64 },
+            &QueryOptions { limit: None, pool_pages: 64, ..QueryOptions::default() },
         ) {
             Ok(out) => {
                 prop_assert!(

@@ -107,7 +107,7 @@ impl ProductGenerator {
             "resolution" => Value::Float(f64::from(rng.gen_range(50..500)) / 10.0),
             "screen" => Value::Float(f64::from(rng.gen_range(20..700)) / 10.0),
             "storage" => Value::Text(format!("{}GB", 2u32 << rng.gen_range(0..10))),
-            "rotation" => Value::Int([5400, 7200, 10_000][rng.gen_range(0..3)]),
+            "rotation" => Value::Int([5400, 7200, 10_000][rng.gen_range(0..3usize)]),
             "aperture" => Value::Float(f64::from(rng.gen_range(10..40)) / 10.0),
             _ => Value::Bool(true),
         }

@@ -1,11 +1,22 @@
 //! Plan execution over the universal table.
+//!
+//! Two strategies share one result shape: [`execute_with`] walks the
+//! surviving segments in plan order on the calling thread, and
+//! [`execute_parallel`] fans them out over a scoped worker pool. Workers
+//! claim branches from a shared atomic cursor, scan through the table's
+//! [`ReadView`](cind_storage::ReadView) (per-shard pool locks, lock-free
+//! I/O counters), and record per-segment partial aggregates; the partials
+//! are merged *in plan order*, so `rows`, `cells`, and `entities_scanned`
+//! — and the row order of [`execute_collect`] — are identical to the
+//! sequential run regardless of worker interleaving.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use cind_model::{Entity, Value};
 use cind_storage::{IoStats, StorageError, UniversalTable};
 
-use crate::{Plan, Query};
+use crate::{Parallelism, Plan, Query};
 
 /// Measurements of one query execution.
 #[derive(Clone, Debug)]
@@ -76,30 +87,181 @@ pub fn execute_with(
     })
 }
 
-/// Executes `plan`, discarding row data (measurement runs).
+/// Executes `plan`, discarding row data (measurement runs). Honours the
+/// plan's [`Parallelism`] knob: sequential plans run on the calling
+/// thread, parallel plans fan out via [`execute_parallel`].
 pub fn execute(
     table: &UniversalTable,
     query: &Query,
     plan: &Plan,
 ) -> Result<QueryResult, StorageError> {
-    execute_with(table, query, plan, |_| {})
+    match plan.parallelism {
+        Parallelism::Sequential => execute_with(table, query, plan, |_| {}),
+        p => execute_parallel(table, query, plan, p.workers(plan.segments.len())),
+    }
 }
 
 /// A materialised result row: requested attributes in query order, `None`
 /// for NULL.
 pub type Row = Vec<Option<Value>>;
 
-/// Executes `plan` and materialises the projected rows.
+/// Executes `plan` and materialises the projected rows. Honours the plan's
+/// [`Parallelism`] knob; row order (plan order, then scan order within a
+/// segment) is identical for every strategy.
 pub fn execute_collect(
     table: &UniversalTable,
     query: &Query,
     plan: &Plan,
 ) -> Result<(QueryResult, Vec<Row>), StorageError> {
-    let mut rows = Vec::new();
-    let result = execute_with(table, query, plan, |e| {
-        rows.push(query.project(e).into_iter().map(|v| v.cloned()).collect());
-    })?;
-    Ok((result, rows))
+    match plan.parallelism {
+        Parallelism::Sequential => {
+            let mut rows = Vec::new();
+            let result = execute_with(table, query, plan, |e| {
+                rows.push(query.project(e).into_iter().map(|v| v.cloned()).collect());
+            })?;
+            Ok((result, rows))
+        }
+        p => {
+            let workers = p.workers(plan.segments.len());
+            let (result, partials) = scan_parallel(table, query, plan, workers, true)?;
+            let rows = partials.into_iter().flat_map(|p| p.out).collect();
+            Ok((result, rows))
+        }
+    }
+}
+
+/// Executes `plan` with `threads` workers, fanning the surviving segments
+/// (the `UNION ALL` branches) over a scoped thread pool.
+///
+/// Aggregates (`rows`, `cells`, `entities_scanned`, pruning counts) are
+/// merged in plan order and equal the sequential result exactly; the I/O
+/// delta covers all workers (the pool's counters are process-global
+/// atomics). `threads` is clamped to `[1, branches]`.
+///
+/// # Errors
+/// A storage error from one of the workers, if any branch fails.
+///
+/// # Panics
+/// Panics if a worker thread panics.
+pub fn execute_parallel(
+    table: &UniversalTable,
+    query: &Query,
+    plan: &Plan,
+    threads: usize,
+) -> Result<QueryResult, StorageError> {
+    let (result, _) = scan_parallel(table, query, plan, threads, false)?;
+    Ok(result)
+}
+
+/// Per-segment partial aggregates produced by one worker.
+#[derive(Default)]
+struct SegPartial {
+    rows: u64,
+    cells: u64,
+    entities_scanned: u64,
+    out: Vec<Row>,
+}
+
+/// The shared parallel scan: workers claim branch indices from an atomic
+/// cursor, each branch's partial lands in its plan-order slot, and the
+/// merge walks the slots in order.
+fn scan_parallel(
+    table: &UniversalTable,
+    query: &Query,
+    plan: &Plan,
+    threads: usize,
+    collect: bool,
+) -> Result<(QueryResult, Vec<SegPartial>), StorageError> {
+    let branches = plan.segments.len();
+    let workers = threads.clamp(1, branches.max(1));
+    let io_before = table.io_stats();
+    let start = Instant::now();
+
+    let view = table.read_view();
+    let cursor = AtomicUsize::new(0);
+    let worker_results: Vec<Result<Vec<(usize, SegPartial)>, StorageError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut done: Vec<(usize, SegPartial)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= branches {
+                                return Ok(done);
+                            }
+                            let mut p = SegPartial::default();
+                            view.scan(plan.segments[i], |e| {
+                                p.entities_scanned += 1;
+                                if query.matches(e) {
+                                    p.rows += 1;
+                                    p.cells += u64::from(query.projected_cells(e));
+                                    if collect {
+                                        p.out.push(
+                                            query
+                                                .project(e)
+                                                .into_iter()
+                                                .map(|v| v.cloned())
+                                                .collect(),
+                                        );
+                                    }
+                                }
+                            })?;
+                            done.push((i, p));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query worker panicked"))
+                .collect()
+        });
+
+    // Merge the per-thread deltas in plan order: slot each partial by its
+    // branch index, then fold the slots left to right.
+    let mut slots: Vec<Option<SegPartial>> = (0..branches).map(|_| None).collect();
+    let mut first_error: Option<StorageError> = None;
+    for r in worker_results {
+        match r {
+            Ok(parts) => {
+                for (i, p) in parts {
+                    slots[i] = Some(p);
+                }
+            }
+            Err(e) => {
+                first_error.get_or_insert(e);
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let mut rows = 0u64;
+    let mut cells = 0u64;
+    let mut entities_scanned = 0u64;
+    let partials: Vec<SegPartial> = slots
+        .into_iter()
+        .map(|s| s.expect("every branch either completed or errored"))
+        .inspect(|p| {
+            rows += p.rows;
+            cells += p.cells;
+            entities_scanned += p.entities_scanned;
+        })
+        .collect();
+    Ok((
+        QueryResult {
+            rows,
+            cells,
+            entities_scanned,
+            segments_read: branches,
+            segments_pruned: plan.pruned,
+            io: table.io_stats().since(&io_before),
+            duration: start.elapsed(),
+        },
+        partials,
+    ))
 }
 
 #[cfg(test)]
@@ -196,5 +358,69 @@ mod tests {
         assert_eq!(r.entities_scanned, 0);
         assert_eq!(r.io.logical_reads, 0);
         assert_eq!(r.segments_pruned, 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_aggregates() {
+        let (t, view) = setup();
+        let q = Query::from_attrs(4, [AttrId(0), AttrId(2)]);
+        let plan = planner::plan(&q, view.iter().map(|(s, p)| (*s, p)));
+        let seq = execute(&t, &q, &plan).unwrap();
+        for threads in [1, 2, 8] {
+            let par = execute_parallel(&t, &q, &plan, threads).unwrap();
+            assert_eq!(par.rows, seq.rows, "{threads} threads");
+            assert_eq!(par.cells, seq.cells);
+            assert_eq!(par.entities_scanned, seq.entities_scanned);
+            assert_eq!(par.segments_read, seq.segments_read);
+            assert_eq!(par.segments_pruned, seq.segments_pruned);
+            assert_eq!(par.io.logical_reads, seq.io.logical_reads);
+        }
+    }
+
+    #[test]
+    fn execute_dispatches_on_the_plan_knob() {
+        let (t, view) = setup();
+        let q = Query::from_attrs(4, [AttrId(0), AttrId(2)]);
+        let seq_plan = planner::plan(&q, view.iter().map(|(s, p)| (*s, p)));
+        let par_plan = seq_plan.clone().with_parallelism(Parallelism::Threads(2));
+        let seq = execute(&t, &q, &seq_plan).unwrap();
+        let par = execute(&t, &q, &par_plan).unwrap();
+        assert_eq!(par.rows, seq.rows);
+        assert_eq!(par.entities_scanned, seq.entities_scanned);
+    }
+
+    #[test]
+    fn parallel_collect_preserves_plan_order() {
+        let (t, view) = setup();
+        let q = Query::from_attrs(4, [AttrId(0), AttrId(2)]);
+        let plan = planner::plan(&q, view.iter().map(|(s, p)| (*s, p)));
+        let (_, seq_rows) = execute_collect(&t, &q, &plan).unwrap();
+        let par_plan = plan.with_parallelism(Parallelism::Threads(4));
+        let (r, par_rows) = execute_collect(&t, &q, &par_plan).unwrap();
+        assert_eq!(r.rows as usize, par_rows.len());
+        assert_eq!(seq_rows, par_rows, "row order must be deterministic");
+    }
+
+    #[test]
+    fn parallel_on_empty_plan_is_fine() {
+        let (t, view) = setup();
+        let q = Query::from_attrs(5, [AttrId(4)]);
+        let plan = planner::plan(&q, view.iter().map(|(s, p)| (*s, p)));
+        let r = execute_parallel(&t, &q, &plan, 8).unwrap();
+        assert_eq!(r.rows, 0);
+        assert_eq!(r.segments_read, 0);
+        assert_eq!(r.segments_pruned, 2);
+    }
+
+    #[test]
+    fn parallel_surfaces_storage_errors() {
+        let (t, _) = setup();
+        let q = Query::from_attrs(4, [AttrId(0)]);
+        let plan = Plan {
+            segments: vec![cind_storage::SegmentId(99)],
+            pruned: 0,
+            parallelism: Parallelism::Sequential,
+        };
+        assert!(execute_parallel(&t, &q, &plan, 4).is_err());
     }
 }

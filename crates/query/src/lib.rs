@@ -20,6 +20,9 @@
 //!   catalog or a baseline's).
 //! * [`executor::execute`] — runs the plan, returning a [`QueryResult`]
 //!   with logical/physical I/O deltas and timing.
+//! * [`executor::execute_parallel`] — the same scan with the `UNION ALL`
+//!   branches fanned over a worker pool and merged deterministically;
+//!   [`planner::Parallelism`] selects the strategy per plan.
 //! * [`mod@selectivity`] — the fraction of entities a query returns, the x-axis
 //!   of Figs. 5 and 6.
 //!
@@ -59,7 +62,7 @@ mod query;
 pub mod selectivity;
 
 pub use cost::{estimate, CostEstimate};
-pub use executor::{execute, execute_collect, QueryResult};
-pub use planner::{plan, Plan};
+pub use executor::{execute, execute_collect, execute_parallel, QueryResult};
+pub use planner::{plan, plan_with, Parallelism, Plan};
 pub use query::Query;
 pub use selectivity::{selectivity, selectivity_of};

@@ -1,9 +1,10 @@
-//! Accounting buffer pool (LRU).
+//! Accounting buffer pool: sharded LRU, safe for concurrent readers.
 
+use crate::iostats::AtomicIoStats;
 use crate::segment::SegmentId;
 use crate::IoStats;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Globally unique page address: a segment and a page index within it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -19,22 +20,32 @@ pub struct PageKey {
 /// Page *contents* always live in their segment (this is a simulation
 /// substrate — see [`IoStats`]); the pool tracks only residency, so a scan
 /// over a table larger than the pool produces the same miss pattern a real
-/// buffer manager would, at zero copy cost. The LRU list is an intrusive
-/// doubly linked list over a slab, giving O(1) touch/evict.
+/// buffer manager would, at zero copy cost. Each shard's LRU list is an
+/// intrusive doubly linked list over a slab, giving O(1) touch/evict.
 ///
-/// Interior mutability (`parking_lot::Mutex`) lets read paths take `&self`.
+/// **Concurrency.** The pool is sharded: a page key hashes to one of
+/// `shard_count()` independently locked LRU shards, so concurrent readers
+/// (parallel segment scans) contend only when they touch the same shard.
+/// The [`IoStats`] counters are lock-free atomics updated outside the shard
+/// locks. [`BufferPool::new`] builds a single-shard pool whose hit/miss/
+/// eviction sequence is exactly the classic global LRU (what the
+/// reference-LRU property tests check); [`BufferPool::with_shards`] trades
+/// that global recency order for parallelism by giving each shard
+/// `capacity / shards` frames.
 pub struct BufferPool {
-    inner: Mutex<Inner>,
+    shards: Box<[Mutex<Shard>]>,
+    /// `shards.len() - 1`; the shard count is a power of two.
+    mask: usize,
+    stats: AtomicIoStats,
 }
 
-struct Inner {
+struct Shard {
     capacity: usize,
     map: HashMap<PageKey, usize>, // key -> slab index
     slab: Vec<Node>,
     head: usize, // most recently used; usize::MAX when empty
     tail: usize, // least recently used
     free: Vec<usize>,
-    stats: IoStats,
 }
 
 struct Node {
@@ -46,93 +57,143 @@ struct Node {
 const NIL: usize = usize::MAX;
 
 impl BufferPool {
-    /// Creates a pool that can hold `capacity` pages. A capacity of 0
-    /// disables caching (every access is a miss).
+    /// Creates a single-shard pool that can hold `capacity` pages — exact
+    /// global LRU semantics. A capacity of 0 disables caching (every
+    /// access is a miss).
     pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, 1)
+    }
+
+    /// Creates a pool of `capacity` total pages spread over `shards`
+    /// independently locked LRU shards (rounded up to a power of two).
+    /// More shards reduce lock contention under parallel scans; eviction
+    /// decisions become per-shard rather than globally recency-ordered.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let base = capacity / n;
+        let rem = capacity % n;
+        let shards: Vec<Mutex<Shard>> = (0..n)
+            .map(|i| {
+                Mutex::new(Shard {
+                    capacity: base + usize::from(i < rem),
+                    map: HashMap::new(),
+                    slab: Vec::new(),
+                    head: NIL,
+                    tail: NIL,
+                    free: Vec::new(),
+                })
+            })
+            .collect();
         Self {
-            inner: Mutex::new(Inner {
-                capacity,
-                map: HashMap::new(),
-                slab: Vec::new(),
-                head: NIL,
-                tail: NIL,
-                free: Vec::new(),
-                stats: IoStats::default(),
-            }),
+            shards: shards.into_boxed_slice(),
+            mask: n - 1,
+            stats: AtomicIoStats::default(),
         }
+    }
+
+    /// Number of LRU shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: PageKey) -> &Mutex<Shard> {
+        // Cheap multiplicative hash over (segment, page); the high bits
+        // carry the mixing, so fold them down before masking.
+        let h = (u64::from(key.segment.0))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (u64::from(key.page)).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        let idx = ((h ^ (h >> 32)) as usize) & self.mask;
+        &self.shards[idx]
     }
 
     /// Records a read access to `key`. Returns `true` on a hit.
     pub fn access(&self, key: PageKey) -> bool {
-        let mut g = self.inner.lock();
-        g.stats.logical_reads += 1;
-        if g.capacity == 0 {
-            g.stats.physical_reads += 1;
-            return false;
-        }
-        if let Some(&idx) = g.map.get(&key) {
-            g.unlink(idx);
-            g.push_front(idx);
-            true
-        } else {
-            g.stats.physical_reads += 1;
-            g.admit(key);
-            false
-        }
+        let (hit, evicted) = {
+            let mut g = self.shard(key).lock().expect("shard poisoned");
+            if g.capacity == 0 {
+                (false, 0)
+            } else if let Some(&idx) = g.map.get(&key) {
+                g.unlink(idx);
+                g.push_front(idx);
+                (true, 0)
+            } else {
+                let evicted = g.admit(key);
+                (false, evicted)
+            }
+        };
+        self.stats.record_access(hit, evicted);
+        hit
     }
 
     /// Records a write to `key` (also makes the page resident).
     pub fn write(&self, key: PageKey) {
-        let mut g = self.inner.lock();
-        g.stats.page_writes += 1;
-        if g.capacity == 0 {
-            return;
-        }
-        if let Some(&idx) = g.map.get(&key) {
-            g.unlink(idx);
-            g.push_front(idx);
-        } else {
-            g.admit(key);
-        }
+        let evicted = {
+            let mut g = self.shard(key).lock().expect("shard poisoned");
+            if g.capacity == 0 {
+                0
+            } else if let Some(&idx) = g.map.get(&key) {
+                g.unlink(idx);
+                g.push_front(idx);
+                0
+            } else {
+                g.admit(key)
+            }
+        };
+        self.stats.record_write(evicted);
     }
 
     /// Drops all pages of `segment` from the pool (segment dropped/split).
     pub fn invalidate_segment(&self, segment: SegmentId) {
-        let mut g = self.inner.lock();
-        let victims: Vec<usize> = g
-            .map
-            .iter()
-            .filter(|(k, _)| k.segment == segment)
-            .map(|(_, &i)| i)
-            .collect();
-        for idx in victims {
-            g.remove(idx);
+        for shard in self.shards.iter() {
+            let mut g = shard.lock().expect("shard poisoned");
+            let victims: Vec<usize> = g
+                .map
+                .iter()
+                .filter(|(k, _)| k.segment == segment)
+                .map(|(_, &i)| i)
+                .collect();
+            for idx in victims {
+                g.remove(idx);
+            }
         }
     }
 
     /// Snapshot of the cumulative counters.
     pub fn stats(&self) -> IoStats {
-        self.inner.lock().stats
+        self.stats.snapshot()
     }
 
     /// Resets counters to zero (residency is kept).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = IoStats::default();
+        self.stats.reset();
     }
 
-    /// Number of currently resident pages.
+    /// Merges an externally accumulated delta into the counters (used by
+    /// callers that account I/O in per-thread deltas and fold them in on
+    /// completion).
+    pub fn merge_stats(&self, delta: &IoStats) {
+        self.stats.add(delta);
+    }
+
+    /// Number of currently resident pages across all shards.
     pub fn resident(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").map.len())
+            .sum()
     }
 }
 
-impl Inner {
-    fn admit(&mut self, key: PageKey) {
+impl Shard {
+    /// Admits `key`, evicting the shard-LRU page if full. Returns the
+    /// number of evictions (0 or 1).
+    fn admit(&mut self, key: PageKey) -> u64 {
+        let mut evicted = 0;
         if self.map.len() >= self.capacity {
             let tail = self.tail;
             debug_assert_ne!(tail, NIL);
             self.remove(tail);
-            self.stats.evictions += 1;
+            evicted = 1;
         }
         let idx = match self.free.pop() {
             Some(i) => {
@@ -146,6 +207,7 @@ impl Inner {
         };
         self.map.insert(key, idx);
         self.push_front(idx);
+        evicted
     }
 
     fn remove(&mut self, idx: usize) {
@@ -268,5 +330,95 @@ mod tests {
         pool.reset_stats();
         assert_eq!(pool.stats(), IoStats::default());
         assert!(pool.access(key(5)));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(BufferPool::with_shards(64, 1).shard_count(), 1);
+        assert_eq!(BufferPool::with_shards(64, 3).shard_count(), 4);
+        assert_eq!(BufferPool::with_shards(64, 8).shard_count(), 8);
+        assert_eq!(BufferPool::new(64).shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_pool_respects_total_capacity() {
+        let pool = BufferPool::with_shards(16, 4);
+        for p in 0..1000 {
+            pool.access(key(p));
+        }
+        assert!(pool.resident() <= 16);
+        let s = pool.stats();
+        assert_eq!(s.logical_reads, 1000);
+        assert_eq!(s.physical_reads + s.hits(), s.logical_reads);
+    }
+
+    #[test]
+    fn sharded_pool_still_caches_hot_pages() {
+        let pool = BufferPool::with_shards(32, 4);
+        for round in 0..10 {
+            for p in 0..8 {
+                let hit = pool.access(key(p));
+                if round > 0 {
+                    assert!(hit, "page {p} should stay resident in round {round}");
+                }
+            }
+        }
+        assert_eq!(pool.stats().physical_reads, 8);
+    }
+
+    #[test]
+    fn sharded_invalidate_reaches_every_shard() {
+        // Capacity far above the working set: per-shard capacity is
+        // capacity/shards, and the hash can skew keys toward one shard,
+        // so a tight pool would evict and blur the resident count.
+        let pool = BufferPool::with_shards(512, 8);
+        for p in 0..32 {
+            pool.access(PageKey { segment: SegmentId(7), page: p });
+            pool.access(PageKey { segment: SegmentId(8), page: p });
+        }
+        pool.invalidate_segment(SegmentId(7));
+        assert_eq!(pool.resident(), 32);
+        for p in 0..32 {
+            assert!(!pool.access(PageKey { segment: SegmentId(7), page: p }));
+        }
+    }
+
+    #[test]
+    fn merge_stats_folds_external_deltas() {
+        let pool = BufferPool::new(4);
+        pool.access(key(1));
+        pool.merge_stats(&IoStats {
+            logical_reads: 10,
+            physical_reads: 4,
+            evictions: 1,
+            page_writes: 2,
+        });
+        let s = pool.stats();
+        assert_eq!(s.logical_reads, 11);
+        assert_eq!(s.physical_reads, 5);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.page_writes, 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe_and_balanced() {
+        let pool = BufferPool::with_shards(64, 8);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        pool.access(PageKey {
+                            segment: SegmentId(t % 4),
+                            page: i % 100,
+                        });
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.logical_reads, 8000);
+        assert_eq!(s.physical_reads + s.hits(), 8000);
+        assert!(pool.resident() <= 64);
     }
 }

@@ -1,5 +1,7 @@
 //! I/O accounting counters.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Cumulative I/O counters of a [`BufferPool`](crate::BufferPool).
 ///
 /// "Physical" reads are buffer-pool misses: in this simulation substrate no
@@ -45,6 +47,82 @@ impl IoStats {
     }
 }
 
+impl std::ops::AddAssign for IoStats {
+    /// Counter-wise accumulation — the merge step for per-thread deltas.
+    fn add_assign(&mut self, rhs: IoStats) {
+        self.logical_reads += rhs.logical_reads;
+        self.physical_reads += rhs.physical_reads;
+        self.evictions += rhs.evictions;
+        self.page_writes += rhs.page_writes;
+    }
+}
+
+/// Lock-free [`IoStats`] accumulator shared by concurrent readers.
+///
+/// Counters are monotonic and independent, so every update uses `Relaxed`
+/// ordering: a [`AtomicIoStats::snapshot`] taken while no reader is
+/// mid-access is exact, and delta measurement (snapshot before/after an
+/// operation, [`IoStats::since`]) stays correct even when the operation
+/// itself ran on many threads.
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    logical_reads: AtomicU64,
+    physical_reads: AtomicU64,
+    evictions: AtomicU64,
+    page_writes: AtomicU64,
+}
+
+impl AtomicIoStats {
+    /// Records one page access: a logical read, plus a physical read on a
+    /// miss, plus any evictions the admission caused.
+    pub fn record_access(&self, hit: bool, evicted: u64) {
+        self.logical_reads.fetch_add(1, Ordering::Relaxed);
+        if !hit {
+            self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one page write plus any evictions its admission caused.
+    pub fn record_write(&self, evicted: u64) {
+        self.page_writes.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds a per-thread [`IoStats`] delta into the shared counters.
+    pub fn add(&self, delta: &IoStats) {
+        self.logical_reads
+            .fetch_add(delta.logical_reads, Ordering::Relaxed);
+        self.physical_reads
+            .fetch_add(delta.physical_reads, Ordering::Relaxed);
+        self.evictions.fetch_add(delta.evictions, Ordering::Relaxed);
+        self.page_writes
+            .fetch_add(delta.page_writes, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot of the counters.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.logical_reads.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.page_writes.store(0, Ordering::Relaxed);
+    }
+}
+
 impl std::fmt::Display for IoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -69,6 +147,32 @@ mod tests {
         assert_eq!(s.hits(), 7);
         assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
         assert_eq!(IoStats::default().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = IoStats { logical_reads: 10, physical_reads: 3, evictions: 1, page_writes: 2 };
+        a += IoStats { logical_reads: 5, physical_reads: 2, evictions: 0, page_writes: 1 };
+        assert_eq!(
+            a,
+            IoStats { logical_reads: 15, physical_reads: 5, evictions: 1, page_writes: 3 }
+        );
+    }
+
+    #[test]
+    fn atomic_stats_roundtrip() {
+        let stats = AtomicIoStats::default();
+        stats.record_access(false, 1);
+        stats.record_access(true, 0);
+        stats.record_write(0);
+        stats.add(&IoStats { logical_reads: 8, physical_reads: 2, evictions: 0, page_writes: 3 });
+        let s = stats.snapshot();
+        assert_eq!(s.logical_reads, 10);
+        assert_eq!(s.physical_reads, 3);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.page_writes, 4);
+        stats.reset();
+        assert_eq!(stats.snapshot(), IoStats::default());
     }
 
     #[test]

@@ -17,15 +17,18 @@
 //!   and compaction.
 //! * [`segment::Segment`] — an unordered heap of pages holding one
 //!   *partition* of the universal table.
-//! * [`buffer::BufferPool`] — an LRU page cache that *accounts* rather than
-//!   caches: pages always live in memory (this is a simulation substrate),
-//!   but every access is classified as a hit or a miss so experiments can
-//!   report logical and "physical" I/O alongside wall time.
+//! * [`buffer::BufferPool`] — a sharded LRU page cache that *accounts*
+//!   rather than caches: pages always live in memory (this is a simulation
+//!   substrate), but every access is classified as a hit or a miss so
+//!   experiments can report logical and "physical" I/O alongside wall time.
 //! * [`table::UniversalTable`] — the façade: attribute catalog, segments,
 //!   an entity locator index, and entity-level insert/delete/move/scan.
 //!
 //! Everything is deterministic and single-writer; readers go through
-//! interior-mutable I/O counters (`parking_lot`) so scans take `&self`.
+//! per-shard locks and lock-free I/O counters so scans take `&self`, and
+//! [`table::ReadView`] packages the read-only state as a `Send + Sync`
+//! handle for parallel segment scans (`UNION ALL` branches on separate
+//! threads).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,10 +47,10 @@ mod iostats;
 
 pub use buffer::BufferPool;
 pub use error::StorageError;
-pub use iostats::IoStats;
+pub use iostats::{AtomicIoStats, IoStats};
 pub use page::{Page, SlotId, PAGE_SIZE};
 pub use persist::PersistError;
 pub use record::{decode_entity, encode_entity};
 pub use segment::{RecordId, Segment, SegmentId};
-pub use table::UniversalTable;
+pub use table::{ReadView, UniversalTable};
 pub use wal::{replay, ReplayReport};

@@ -46,11 +46,17 @@ pub struct UniversalTable {
 impl UniversalTable {
     /// Creates an empty table whose buffer pool holds `pool_pages` pages.
     pub fn new(pool_pages: usize) -> Self {
+        Self::with_pool(BufferPool::new(pool_pages))
+    }
+
+    /// Creates an empty table over a caller-built buffer pool — the way to
+    /// get a sharded pool (`BufferPool::with_shards`) for parallel scans.
+    pub fn with_pool(pool: BufferPool) -> Self {
         Self {
             catalog: AttributeCatalog::new(),
             segments: BTreeMap::new(),
             locator: std::collections::HashMap::new(),
-            pool: BufferPool::new(pool_pages),
+            pool,
             next_segment: 0,
             wal: None,
         }
@@ -258,16 +264,24 @@ impl UniversalTable {
         Ok(())
     }
 
+    /// A `Send + Sync` read handle over the table's immutable state: the
+    /// catalog, the segments, the locator, and the (internally locked)
+    /// buffer pool. Parallel query execution shares one `ReadView` across
+    /// worker threads while the table's `&mut self` write API stays
+    /// single-writer by construction.
+    pub fn read_view(&self) -> ReadView<'_> {
+        ReadView {
+            catalog: &self.catalog,
+            segments: &self.segments,
+            locator: &self.locator,
+            pool: &self.pool,
+        }
+    }
+
     /// Reads one entity by id (a point lookup through the locator; touches
     /// one page).
     pub fn get(&self, entity: EntityId) -> Result<Entity, StorageError> {
-        let &(seg, rid) = self
-            .locator
-            .get(&entity)
-            .ok_or(StorageError::NoSuchEntity(entity))?;
-        let segment = self.segments.get(&seg).ok_or(StorageError::NoSuchSegment(seg))?;
-        self.pool.access(PageKey { segment: seg, page: rid.page });
-        decode_entity(segment.get(rid)?)
+        self.read_view().get(entity)
     }
 
     /// Deletes one entity, returning it.
@@ -312,9 +326,94 @@ impl UniversalTable {
     pub fn scan(
         &self,
         seg: SegmentId,
+        f: impl FnMut(&Entity),
+    ) -> Result<(), StorageError> {
+        self.read_view().scan(seg, f)
+    }
+
+    /// Collects all entities of `seg` into a vector (testing convenience).
+    pub fn scan_collect(&self, seg: SegmentId) -> Result<Vec<Entity>, StorageError> {
+        self.read_view().scan_collect(seg)
+    }
+}
+
+/// A `Send + Sync` read-only handle over a [`UniversalTable`].
+///
+/// Obtained from [`UniversalTable::read_view`]; cheap to copy, and safe to
+/// share across scan worker threads: every field it borrows is either
+/// immutable for the borrow's duration (catalog, segments, locator — the
+/// borrow checker excludes writers) or internally synchronised (the
+/// [`BufferPool`]'s sharded locks and atomic counters).
+#[derive(Clone, Copy)]
+pub struct ReadView<'a> {
+    catalog: &'a AttributeCatalog,
+    segments: &'a BTreeMap<SegmentId, Segment>,
+    locator: &'a std::collections::HashMap<EntityId, (SegmentId, RecordId)>,
+    pool: &'a BufferPool,
+}
+
+impl ReadView<'_> {
+    /// The attribute catalog.
+    pub fn catalog(&self) -> &AttributeCatalog {
+        self.catalog
+    }
+
+    /// Synopsis universe size (= number of cataloged attributes).
+    pub fn universe(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// The buffer pool (for stats snapshots).
+    pub fn pool(&self) -> &BufferPool {
+        self.pool
+    }
+
+    /// Cumulative I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Ids of all live segments, ascending.
+    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.segments.keys().copied()
+    }
+
+    /// Borrows a segment.
+    pub fn segment(&self, id: SegmentId) -> Result<&Segment, StorageError> {
+        self.segments.get(&id).ok_or(StorageError::NoSuchSegment(id))
+    }
+
+    /// Total number of stored entities.
+    pub fn entity_count(&self) -> usize {
+        self.locator.len()
+    }
+
+    /// The segment currently holding `entity`.
+    pub fn location(&self, entity: EntityId) -> Option<SegmentId> {
+        self.locator.get(&entity).map(|(s, _)| *s)
+    }
+
+    /// Reads one entity by id (a point lookup through the locator; touches
+    /// one page).
+    pub fn get(&self, entity: EntityId) -> Result<Entity, StorageError> {
+        let &(seg, rid) = self
+            .locator
+            .get(&entity)
+            .ok_or(StorageError::NoSuchEntity(entity))?;
+        let segment = self.segment(seg)?;
+        self.pool.access(PageKey { segment: seg, page: rid.page });
+        decode_entity(segment.get(rid)?)
+    }
+
+    /// Scans all entities of `seg`, invoking `f` for each. Touches the
+    /// buffer pool once per page, so I/O deltas around a scan reflect the
+    /// pages read.
+    pub fn scan(
+        &self,
+        seg: SegmentId,
         mut f: impl FnMut(&Entity),
     ) -> Result<(), StorageError> {
-        let segment = self.segments.get(&seg).ok_or(StorageError::NoSuchSegment(seg))?;
+        let segment = self.segment(seg)?;
         for page_idx in 0..segment.page_count() as u32 {
             self.pool.access(PageKey { segment: seg, page: page_idx });
             let page = segment.page(page_idx).expect("page in range");
@@ -482,6 +581,52 @@ mod tests {
         // Nothing was mutated.
         assert_eq!(dst.get(EntityId(1)).unwrap(), clash);
         assert_eq!(dst.segment_count(), 1);
+    }
+
+    #[test]
+    fn read_view_is_send_sync_and_agrees_with_table() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let mut t = UniversalTable::with_pool(BufferPool::with_shards(64, 4));
+        let seg = t.create_segment();
+        let e = entity(&mut t, 1, &[("a", 1), ("b", 2)]);
+        t.insert(seg, &e).unwrap();
+        let view = t.read_view();
+        assert_send_sync(&view);
+        assert_eq!(view.entity_count(), 1);
+        assert_eq!(view.universe(), t.universe());
+        assert_eq!(view.location(EntityId(1)), Some(seg));
+        assert_eq!(view.get(EntityId(1)).unwrap(), e);
+        assert_eq!(view.scan_collect(seg).unwrap(), vec![e]);
+        assert_eq!(
+            view.segment_ids().collect::<Vec<_>>(),
+            t.segment_ids().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn read_view_scans_run_concurrently() {
+        let mut t = UniversalTable::with_pool(BufferPool::with_shards(32, 4));
+        let segs: Vec<SegmentId> = (0..4).map(|_| t.create_segment()).collect();
+        for i in 0..200u64 {
+            let e = entity(&mut t, i, &[("a", i as i64)]);
+            t.insert(segs[(i % 4) as usize], &e).unwrap();
+        }
+        let view = t.read_view();
+        let counts: Vec<usize> = std::thread::scope(|s| {
+            segs.iter()
+                .map(|&seg| {
+                    s.spawn(move || {
+                        let mut n = 0;
+                        view.scan(seg, |_| n += 1).unwrap();
+                        n
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 200);
     }
 
     #[test]

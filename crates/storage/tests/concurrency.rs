@@ -1,0 +1,196 @@
+//! Concurrency stress tests for the sharded buffer pool and the
+//! `ReadView` scan path: many threads hammer overlapping segments while
+//! the test checks that the lock-free counters balance exactly and the
+//! pool's resident set never exceeds capacity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cind_model::{AttrId, Entity, EntityId, Value};
+use cind_storage::buffer::PageKey;
+use cind_storage::{BufferPool, SegmentId, UniversalTable};
+
+/// Drives `threads` workers over `keys_per_thread` accesses each, with all
+/// workers sharing the same small set of segments (maximum shard overlap),
+/// then checks the global counter identities.
+fn hammer_pool(pool: &BufferPool, threads: u32, keys_per_thread: u32) {
+    let hits = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let pool = &pool;
+            let hits = &hits;
+            s.spawn(move || {
+                let mut local_hits = 0u64;
+                for i in 0..keys_per_thread {
+                    // Overlapping working sets: every thread touches the
+                    // same 4 segments; page ids interleave thread-locally
+                    // and globally so both hits and misses occur.
+                    let key = PageKey {
+                        segment: SegmentId(i % 4),
+                        page: (i * 7 + t) % 97,
+                    };
+                    if pool.access(key) {
+                        local_hits += 1;
+                    }
+                }
+                hits.fetch_add(local_hits, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let s = pool.stats();
+    let expected_logical = u64::from(threads) * u64::from(keys_per_thread);
+    assert_eq!(s.logical_reads, expected_logical, "every access counted once");
+    assert_eq!(
+        s.physical_reads + hits.load(Ordering::Relaxed),
+        s.logical_reads,
+        "hit/miss classification balances: every logical read is one or the other"
+    );
+    assert_eq!(
+        s.hits(),
+        hits.load(Ordering::Relaxed),
+        "pool-side hit count equals the sum of per-thread observations"
+    );
+}
+
+#[test]
+fn sharded_pool_survives_overlapping_writers() {
+    let pool = BufferPool::with_shards(64, 8);
+    hammer_pool(&pool, 8, 2_000);
+    assert!(pool.resident() <= 64, "capacity bound holds under contention");
+}
+
+#[test]
+fn tiny_pool_thrashes_without_losing_counts() {
+    // Capacity far below the working set: almost every access evicts.
+    let pool = BufferPool::with_shards(4, 4);
+    hammer_pool(&pool, 8, 1_000);
+    assert!(pool.resident() <= 4);
+    let s = pool.stats();
+    assert!(s.evictions > 0, "a thrashing pool must evict");
+}
+
+#[test]
+fn invalidation_races_with_readers() {
+    // Readers hammer two segments while another thread repeatedly
+    // invalidates one of them; counters must still balance and the
+    // invalidated segment's pages must be gone at the end.
+    let pool = BufferPool::with_shards(128, 8);
+    std::thread::scope(|s| {
+        for t in 0..4u32 {
+            let pool = &pool;
+            s.spawn(move || {
+                for i in 0..2_000u32 {
+                    pool.access(PageKey {
+                        segment: SegmentId(t % 2),
+                        page: i % 50,
+                    });
+                }
+            });
+        }
+        let pool = &pool;
+        s.spawn(move || {
+            for _ in 0..100 {
+                pool.invalidate_segment(SegmentId(0));
+                std::thread::yield_now();
+            }
+        });
+    });
+    pool.invalidate_segment(SegmentId(0));
+    let s = pool.stats();
+    assert_eq!(s.logical_reads, 8_000);
+    assert_eq!(s.physical_reads + s.hits(), s.logical_reads);
+    // Only segment-1 pages may remain.
+    assert!(pool.resident() <= 50);
+}
+
+/// Builds a table with `segments` segments × `per_segment` entities.
+fn build_table(segments: u32, per_segment: u64) -> (UniversalTable, Vec<SegmentId>) {
+    let mut table = UniversalTable::with_pool(BufferPool::with_shards(256, 8));
+    for i in 0..8 {
+        table.catalog_mut().intern(&format!("a{i}"));
+    }
+    let segs: Vec<SegmentId> = (0..segments).map(|_| table.create_segment()).collect();
+    let mut id = 0u64;
+    for &seg in &segs {
+        for _ in 0..per_segment {
+            let e = Entity::new(
+                EntityId(id),
+                [
+                    (AttrId((id % 8) as u32), Value::Int(id as i64)),
+                    (AttrId(((id + 3) % 8) as u32), Value::Bool(true)),
+                ],
+            )
+            .unwrap();
+            table.insert(seg, &e).unwrap();
+            id += 1;
+        }
+    }
+    (table, segs)
+}
+
+#[test]
+fn concurrent_read_views_agree_with_sequential_scan() {
+    let (table, segs) = build_table(8, 100);
+    let view = table.read_view();
+
+    // Sequential reference counts.
+    let mut expected = vec![0u64; segs.len()];
+    for (i, &seg) in segs.iter().enumerate() {
+        table.scan(seg, |_| expected[i] += 1).unwrap();
+    }
+
+    // 8 threads each scan every segment through the shared view.
+    let counted: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let segs = &segs;
+                s.spawn(move || {
+                    let mut counts = vec![0u64; segs.len()];
+                    for (i, &seg) in segs.iter().enumerate() {
+                        view.scan(seg, |_| counts[i] += 1).unwrap();
+                    }
+                    counts
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for counts in counted {
+        assert_eq!(counts, expected, "every reader sees every entity");
+    }
+
+    // 9 full passes (1 sequential + 8 threaded) over all pages: the
+    // counters must account for all of them.
+    let s = table.io_stats();
+    assert_eq!(s.physical_reads + s.hits(), s.logical_reads);
+}
+
+/// Long-running variant for soak testing: `cargo test -- --ignored`.
+#[test]
+#[ignore = "long-running stress variant; run explicitly with --ignored"]
+fn sharded_pool_soak() {
+    let pool = BufferPool::with_shards(256, 16);
+    for round in 0..20 {
+        hammer_pool(&pool, 16, 50_000);
+        assert!(pool.resident() <= 256, "round {round}");
+        pool.reset_stats();
+    }
+    let (table, segs) = build_table(16, 500);
+    let view = table.read_view();
+    std::thread::scope(|s| {
+        for _ in 0..16 {
+            let segs = &segs;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let mut n = 0u64;
+                    for &seg in segs {
+                        view.scan(seg, |_| n += 1).unwrap();
+                    }
+                    assert_eq!(n, 16 * 500);
+                }
+            });
+        }
+    });
+    let s = table.io_stats();
+    assert_eq!(s.physical_reads + s.hits(), s.logical_reads);
+}

@@ -64,7 +64,7 @@ proptest! {
         let stats = pool.stats();
         prop_assert_eq!(stats.logical_reads, hits + misses);
         prop_assert_eq!(stats.physical_reads, misses);
-        prop_assert!(pool.resident() <= capacity.max(0));
+        prop_assert!(pool.resident() <= capacity);
     }
 
     /// Pages never lose or corrupt live records under arbitrary

@@ -1,0 +1,300 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this shim provides the
+//! subset of criterion's API the workspace's benches use — `Criterion`,
+//! benchmark groups, `iter`/`iter_batched`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple measurement loop: a short warm-up, then `sample_size` timed
+//! samples whose minimum / mean / maximum are printed per benchmark.
+//!
+//! No statistical analysis, HTML reports, or baselines; good enough to
+//! compare configurations (e.g. sequential vs parallel execution) by eye
+//! or by script.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one routine call
+/// per sample regardless; the variants exist for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Work-rate annotation for a benchmark group (printed with the timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+
+    /// Just the parameter part.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations (one routine invocation each).
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run a few iterations untimed.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] with the input passed by `&mut`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, times: &[Duration], throughput: Option<Throughput>) {
+    if times.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let rate = throughput.map_or(String::new(), |t| match t {
+        Throughput::Elements(n) => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Throughput::Bytes(n) => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+    });
+    println!(
+        "{name:<50} [{:>10.3?} {:>10.3?} {:>10.3?}]{rate}",
+        min, mean, max
+    );
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration work rate printed with the timings.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Shortens the measurement; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        if self.criterion.matches(&full) {
+            let times = self.criterion.run_one(self.sample_size, f);
+            report(&full, &times, self.throughput);
+        }
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.matches(&full) {
+            let times = self.criterion.run_one(self.sample_size, |b| f(b, input));
+            report(&full, &times, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark; nothing buffered).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_samples: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as the first
+        // non-flag argument; honour it so single benches can be run.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Self { default_samples: 20, filter }
+    }
+}
+
+impl Criterion {
+    fn run_one(
+        &mut self,
+        samples: usize,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> Vec<Duration> {
+        let mut b = Bencher { samples, times: Vec::new() };
+        f(&mut b);
+        b.times
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.into_id();
+        if self.matches(&name) {
+            let samples = self.default_samples;
+            let times = self.run_one(samples, f);
+            report(&name, &times, None);
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// Declares a function running the given benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

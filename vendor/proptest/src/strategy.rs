@@ -1,0 +1,492 @@
+//! Strategies: deterministic value generators parameterised by an RNG.
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of values of type `Self::Value`. The shim equivalent of
+/// proptest's `Strategy` (generation only — no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// String strategy from a `[class]{m,n}` pattern (the only regex shape the
+/// workspace uses). The class supports literal characters and `a-z` ranges.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (alphabet, min, max) = parse_pattern(self);
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let mut chars = pattern.chars().peekable();
+    assert_eq!(
+        chars.next(),
+        Some('['),
+        "unsupported string pattern {pattern:?}: expected [class]{{m,n}}"
+    );
+    let mut alphabet = Vec::new();
+    let mut class = Vec::new();
+    for c in chars.by_ref() {
+        if c == ']' {
+            break;
+        }
+        class.push(c);
+    }
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            assert!(lo <= hi, "bad range in pattern {pattern:?}");
+            alphabet.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+    let rest: String = chars.collect();
+    let body = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported string pattern {pattern:?}"));
+    let (min, max) = match body.split_once(',') {
+        Some((m, n)) => (m.trim().parse().unwrap(), n.trim().parse().unwrap()),
+        None => {
+            let n = body.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    assert!(min <= max, "bad repetition in pattern {pattern:?}");
+    (alphabet, min, max)
+}
+
+// ---- any::<T>() ----------------------------------------------------------
+
+/// Types with a canonical full-domain strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+    /// That strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (full domain for integers and bools).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-domain strategy backed by the RNG's standard distribution.
+pub struct StandardStrategy<T>(pub(crate) PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for StandardStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen::<T>()
+    }
+}
+
+macro_rules! arbitrary_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = StandardStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                StandardStrategy(PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// ---- prop_oneof ----------------------------------------------------------
+
+/// Object-safe strategy facade used by [`Union`] for heterogeneous arms.
+pub trait DynStrategy<V> {
+    /// Draws one value.
+    fn dyn_generate(&self, rng: &mut StdRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Boxes a strategy for use in a [`Union`].
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn DynStrategy<S::Value>> {
+    Box::new(s)
+}
+
+/// Weighted choice over strategies with a common value type
+/// (the `prop_oneof!` backend).
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn DynStrategy<V>>)>,
+    total: u32,
+}
+
+impl<V> Union<V> {
+    /// A union of `(weight, strategy)` arms; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, Box<dyn DynStrategy<V>>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Self { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w {
+                return arm.dyn_generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+// ---- collections ---------------------------------------------------------
+
+/// A size specification for collection strategies: an exact count, `m..n`,
+/// or `m..=n`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, StdRng, Strategy};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// `Vec<T>` with a size drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet<T>`: draws up to the sampled count of elements (duplicates
+    /// collapse, as in upstream proptest the final size may undershoot, but
+    /// never below 1 when the minimum is ≥ 1).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// The [`btree_set`] strategy.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeMap<K, V>` with up to the sampled count of entries.
+    pub fn btree_map<K, V>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    /// The [`btree_map`] strategy.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// `Option<T>` strategies.
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// `Option<T>`: `Some` three times out of four, like upstream's default
+    /// bias toward interesting values.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+
+    /// The [`of`] strategy.
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_bool(0.75) {
+                Some(self.element.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::{Arbitrary, StandardStrategy};
+    use std::marker::PhantomData;
+
+    /// An index into a collection whose length is only known at use site:
+    /// `any::<Index>()` generates one, [`Index::index`] projects it onto
+    /// `0..len`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this sample onto `0..len`. `len` must be non-zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl rand::Standard for Index {
+        fn sample_standard<R: rand::Rng>(rng: &mut R) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = StandardStrategy<Index>;
+        fn arbitrary() -> Self::Strategy {
+            StandardStrategy(PhantomData)
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = case_rng("shim::ranges", 0);
+        for _ in 0..200 {
+            let v = (0u32..7).generate(&mut rng);
+            assert!(v < 7);
+            let (a, b, c) = (0u32..4, 1usize..10, 0u16..=3).generate(&mut rng);
+            assert!(a < 4 && (1..10).contains(&b) && c <= 3);
+        }
+    }
+
+    #[test]
+    fn string_pattern_matches_class_and_length() {
+        let mut rng = case_rng("shim::string", 0);
+        for _ in 0..100 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = "[a-zA-Z0-9 äöü€]{0,40}".generate(&mut rng);
+            assert!(t.chars().count() <= 40);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " äöü€".contains(c)));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let u: Union<u32> = crate::prop_oneof![
+            3 => (0u32..1).prop_map(|_| 0u32),
+            1 => (0u32..1).prop_map(|_| 1u32),
+        ];
+        let mut rng = case_rng("shim::union", 0);
+        let ones = (0..4000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!((700..1300).contains(&ones), "weight 1/4 arm hit {ones}/4000");
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = case_rng("shim::coll", 0);
+        for _ in 0..50 {
+            let v = collection::vec(0u32..100, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let exact = collection::vec(0u32..100, 6usize).generate(&mut rng);
+            assert_eq!(exact.len(), 6);
+            let s = collection::btree_set(0u32..1000, 1..6).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 6);
+            let m = collection::btree_map(0u32..50, 0i64..5, 0..10).generate(&mut rng);
+            assert!(m.len() < 10);
+        }
+    }
+
+    #[test]
+    fn index_projects_into_range() {
+        let mut rng = case_rng("shim::index", 0);
+        for _ in 0..100 {
+            let ix = any::<sample::Index>().generate(&mut rng);
+            assert!(ix.index(17) < 17);
+        }
+    }
+}
