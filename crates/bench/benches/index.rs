@@ -1,0 +1,125 @@
+//! Microbench: the packed-arena catalog index at scale — insert-path scan
+//! throughput and plan latency at 1 000 and 10 000 partitions, index on vs
+//! off. The numbers recorded in `BENCH_PR2.json` come from this bench (run
+//! with `CRITERION_JSON`).
+//!
+//! The synthetic catalog mimics the paper's DBpedia observation: entities
+//! cluster into latent groups with mostly group-local attributes, so an
+//! entity's candidate set (partitions sharing an attribute) is a small
+//! slice of the catalog.
+
+use cind_model::{EntityId, Synopsis};
+use cind_query::{plan, plan_from_survivors, Query};
+use cind_storage::SegmentId;
+use cinderella_core::{IndexMode, PartitionCatalog};
+use criterion::{
+    black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion,
+    Throughput,
+};
+
+/// Latent attribute groups; each partition's synopsis is drawn from one.
+const GROUPS: usize = 128;
+const ATTRS_PER_GROUP: usize = 16;
+const UNIVERSE: usize = GROUPS * ATTRS_PER_GROUP;
+
+/// A synopsis of `n` attributes from group `g`, phase-shifted by `seed`.
+fn group_synopsis(g: usize, seed: usize, n: usize) -> Synopsis {
+    let base = (g % GROUPS) * ATTRS_PER_GROUP;
+    Synopsis::from_bits(
+        UNIVERSE,
+        (0..n).map(|i| (base + (seed + i * 3) % ATTRS_PER_GROUP) as u32),
+    )
+}
+
+fn catalog_with(parts: usize, mode: IndexMode) -> PartitionCatalog {
+    let mut cat = PartitionCatalog::new(mode);
+    for s in 0..parts {
+        let seg = SegmentId(s as u32);
+        cat.create_partition(seg);
+        let syn = group_synopsis(s, s / GROUPS, 8);
+        cat.add_entity(seg, EntityId(s as u64), &syn, &syn, 1_000, true);
+    }
+    cat
+}
+
+/// A stream of probe entities cycling through the groups.
+fn probes(n: usize) -> Vec<(Synopsis, u64)> {
+    (0..n).map(|i| (group_synopsis(i * 7, i, 5), 5)).collect()
+}
+
+const BATCH: usize = 64;
+
+fn bench_insert_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index/insert");
+    g.sample_size(10).throughput(Throughput::Elements(BATCH as u64));
+    for parts in [1_000usize, 10_000] {
+        for (label, mode) in [("off", IndexMode::Off), ("on", IndexMode::On)] {
+            let cat = catalog_with(parts, mode);
+            let stream = probes(BATCH);
+            g.bench_with_input(
+                BenchmarkId::new(label, parts),
+                &parts,
+                |b, _| {
+                    // Fresh catalog per sample so Algorithm 1's full insert
+                    // accounting (rate, then maintain counts + arena +
+                    // presence rows) is measured, not just the scan.
+                    b.iter_batched_ref(
+                        || cat.clone(),
+                        |cat| {
+                            for (i, (syn, size)) in stream.iter().enumerate() {
+                                let (best, _) =
+                                    cat.best_partition(black_box(syn), *size, 0.2);
+                                let (seg, _) = best.expect("non-empty catalog");
+                                cat.add_entity(
+                                    seg,
+                                    EntityId((parts + i) as u64),
+                                    syn,
+                                    syn,
+                                    *size,
+                                    true,
+                                );
+                            }
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("index/plan");
+    for parts in [1_000usize, 10_000] {
+        let cat = catalog_with(parts, IndexMode::On);
+        let query = Query::from_attrs(
+            UNIVERSE,
+            group_synopsis(3, 1, 3).iter(),
+        );
+        g.bench_with_input(BenchmarkId::new("off", parts), &parts, |b, _| {
+            // The per-partition |p ∧ q| = 0 test over the full catalog view.
+            b.iter(|| {
+                plan(
+                    black_box(&query),
+                    cat.pruning_view().map(|(s, syn, _)| (s, syn)),
+                )
+                .segments
+                .len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("on", parts), &parts, |b, _| {
+            // Survivor set = OR of |q| presence bitmaps.
+            b.iter(|| {
+                let (segments, pruned) = cat
+                    .plan_survivors(black_box(query.synopsis()))
+                    .expect("index on");
+                plan_from_survivors(segments, pruned).segments.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert_scan, bench_plan);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 use cind_model::{EntityId, Synopsis};
 use cind_storage::SegmentId;
 use cinderella_core::catalog::PartitionCatalog;
-use cinderella_core::{global_rating, RatingInputs};
+use cinderella_core::{global_rating, IndexMode, RatingInputs};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const UNIVERSE: usize = 100;
@@ -25,8 +25,8 @@ fn bench_single_rating(c: &mut Criterion) {
     });
 }
 
-fn catalog_with(parts: usize, indexed: bool) -> PartitionCatalog {
-    let mut cat = PartitionCatalog::new(indexed);
+fn catalog_with(parts: usize, mode: IndexMode) -> PartitionCatalog {
+    let mut cat = PartitionCatalog::new(mode);
     for s in 0..parts {
         let seg = SegmentId(s as u32);
         cat.create_partition(seg);
@@ -41,8 +41,8 @@ fn catalog_with(parts: usize, indexed: bool) -> PartitionCatalog {
 fn bench_catalog_scan(c: &mut Criterion) {
     let mut g = c.benchmark_group("rating/best_partition");
     for parts in [10usize, 100, 1_000] {
-        let plain = catalog_with(parts, false);
-        let indexed = catalog_with(parts, true);
+        let plain = catalog_with(parts, IndexMode::Off);
+        let indexed = catalog_with(parts, IndexMode::On);
         let e = synopsis(5, 7);
         g.bench_with_input(BenchmarkId::new("scan", parts), &parts, |b, _| {
             b.iter(|| plain.best_partition(black_box(&e), 7, 0.2))

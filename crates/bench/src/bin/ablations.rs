@@ -79,7 +79,11 @@ fn candidate_index_study(env: &ExperimentEnv) {
             let mut policy = Cinderella::new(Config {
                 weight,
                 capacity: Capacity::MaxEntities(b),
-                use_attr_index: use_index,
+                index: if use_index {
+                    cinderella_core::IndexMode::On
+                } else {
+                    cinderella_core::IndexMode::Off
+                },
                 ..Config::default()
             });
             let d = load(&mut policy, &mut table, entities);

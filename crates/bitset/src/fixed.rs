@@ -1,7 +1,7 @@
 //! Dense bitset with a fixed universe size.
 
-use crate::ops::BitSetOps;
-use crate::{blocks_for, BITS};
+use crate::ops::{BitSetOps, FusedCounts};
+use crate::{blocks_for, words, BITS};
 
 /// A dense bitset over a fixed universe `0..capacity`, stored as `u64`
 /// blocks.
@@ -148,6 +148,16 @@ impl BitSetOps for FixedBitSet {
 
     fn and_count(&self, other: &Self) -> u32 {
         self.zip_count(other, |a, b| a & b)
+    }
+
+    fn fused_counts(&self, other: &Self) -> FusedCounts {
+        words::fused_counts(&self.blocks, &other.blocks)
+    }
+
+    fn is_disjoint(&self, other: &Self) -> bool {
+        // Early exit on the first shared word, instead of popcounting the
+        // whole intersection — the planner's per-partition pruning test.
+        words::is_disjoint(&self.blocks, &other.blocks)
     }
 
     fn or_count(&self, other: &Self) -> u32 {

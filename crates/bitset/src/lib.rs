@@ -49,11 +49,12 @@ mod growable;
 mod hybrid;
 mod ops;
 mod sparse;
+pub mod words;
 
 pub use fixed::FixedBitSet;
 pub use growable::GrowableBitSet;
 pub use hybrid::{HybridBitSet, PROMOTE_AT};
-pub use ops::BitSetOps;
+pub use ops::{BitSetOps, FusedCounts};
 pub use sparse::SparseBitSet;
 
 /// Number of bits per storage block.

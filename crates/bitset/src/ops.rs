@@ -1,5 +1,19 @@
 //! The common operation set shared by all synopsis bitset representations.
 
+/// The four cardinalities one entity/partition rating needs, produced by a
+/// single fused pass over two bit sets: `|a ∧ b|`, `|a ∨ b|`, `|a|`, `|b|`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FusedCounts {
+    /// `|a ∧ b|` — intersection cardinality.
+    pub and: u32,
+    /// `|a ∨ b|` — union cardinality.
+    pub or: u32,
+    /// `|a|` — cardinality of the left operand.
+    pub left: u32,
+    /// `|b|` — cardinality of the right operand.
+    pub right: u32,
+}
+
 /// Set-algebra operations required by Cinderella's rating and split-starter
 /// maintenance.
 ///
@@ -27,6 +41,16 @@ pub trait BitSetOps {
 
     /// `|self ∧ other|` — size of the intersection.
     fn and_count(&self, other: &Self) -> u32;
+
+    /// All four rating cardinalities (`|self ∧ other|`, `|self ∨ other|`,
+    /// `|self|`, `|other|`) in one call. The default composes the separate
+    /// counts; dense representations override it with a single word loop.
+    fn fused_counts(&self, other: &Self) -> FusedCounts {
+        let and = self.and_count(other);
+        let left = self.count();
+        let right = other.count();
+        FusedCounts { and, or: left + right - and, left, right }
+    }
 
     /// `|self ∨ other|` — size of the union.
     fn or_count(&self, other: &Self) -> u32 {

@@ -38,6 +38,11 @@ macro_rules! agree_with_reference {
                 prop_assert_eq!(sb.andnot_count(&sa), b_not_a);
                 prop_assert_eq!(sa.is_disjoint(&sb), and == 0);
                 prop_assert_eq!(sa.is_subset(&sb), a_not_b == 0);
+                let fused = sa.fused_counts(&sb);
+                prop_assert_eq!(fused.and, and);
+                prop_assert_eq!(fused.or, or);
+                prop_assert_eq!(fused.left, sa.count());
+                prop_assert_eq!(fused.right, sb.count());
                 // Count and iteration agree with the reference set.
                 let ra: BTreeSet<u32> = a.iter().copied().collect();
                 prop_assert_eq!(sa.count() as usize, ra.len());
@@ -114,5 +119,35 @@ proptest! {
         let mut ha = HybridBitSet::from_iter(UNIVERSE as usize, a.iter().copied());
         ha.union_with(&HybridBitSet::from_iter(UNIVERSE as usize, b.iter().copied()));
         prop_assert_eq!(ha.iter_ones().collect::<Vec<_>>(), expect);
+    }
+
+    /// The raw word-slice kernels agree with the reference, including with
+    /// mismatched slice lengths (implicit zero-extension).
+    #[test]
+    fn word_kernels_agree(a in bits(), b in bits(), cap_a in 1u32..=UNIVERSE, cap_b in 1u32..=UNIVERSE) {
+        let a: Vec<u32> = a.into_iter().filter(|&x| x < cap_a).collect();
+        let b: Vec<u32> = b.into_iter().filter(|&x| x < cap_b).collect();
+        let (and, or, _, _, _) = reference(&a, &b);
+        let fa = FixedBitSet::from_iter(cap_a as usize, a.iter().copied());
+        let fb = FixedBitSet::from_iter(cap_b as usize, b.iter().copied());
+        let fused = cind_bitset::words::fused_counts(fa.blocks(), fb.blocks());
+        prop_assert_eq!(fused.and, and);
+        prop_assert_eq!(fused.or, or);
+        prop_assert_eq!(fused.left, fa.count());
+        prop_assert_eq!(fused.right, fb.count());
+        prop_assert_eq!(
+            cind_bitset::words::is_disjoint(fa.blocks(), fb.blocks()),
+            and == 0
+        );
+        prop_assert_eq!(cind_bitset::words::and_count(fa.blocks(), fb.blocks()), and);
+        prop_assert_eq!(
+            cind_bitset::words::iter_ones(fa.blocks()).collect::<Vec<_>>(),
+            fa.iter_ones().collect::<Vec<_>>()
+        );
+        // Bitsets of unequal capacity take the same early-exit path.
+        prop_assert_eq!(fa.is_disjoint(&fb), and == 0);
+        let cross = fa.fused_counts(&fb);
+        prop_assert_eq!(cross.and, and);
+        prop_assert_eq!(cross.or, or);
     }
 }

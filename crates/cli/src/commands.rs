@@ -3,9 +3,9 @@
 use std::path::Path;
 
 use cind_model::Value;
-use cind_query::{execute_collect, plan_with, Parallelism, Query};
+use cind_query::{execute_collect, plan_from_survivors, plan_with, Parallelism, Query};
 use cind_storage::{PersistError, StorageError, UniversalTable};
-use cinderella_core::{bulk_load, Capacity, Cinderella, Config, CoreError};
+use cinderella_core::{bulk_load, Capacity, Cinderella, Config, CoreError, IndexMode};
 
 use crate::csv::{parse_entities, CsvError};
 
@@ -67,11 +67,19 @@ pub struct LoadOptions {
     pub threads: usize,
     /// Buffer-pool pages for the load.
     pub pool_pages: usize,
+    /// Catalog index mode (`auto`/`on`/`off`) for the rating scan.
+    pub index: IndexMode,
 }
 
 impl Default for LoadOptions {
     fn default() -> Self {
-        Self { weight: 0.2, capacity: 5_000, threads: 1, pool_pages: 1024 }
+        Self {
+            weight: 0.2,
+            capacity: 5_000,
+            threads: 1,
+            pool_pages: 1024,
+            index: IndexMode::default(),
+        }
     }
 }
 
@@ -79,6 +87,7 @@ fn config_of(opts: &LoadOptions) -> Config {
     Config {
         weight: opts.weight,
         capacity: Capacity::MaxEntities(opts.capacity),
+        index: opts.index,
         ..Config::default()
     }
 }
@@ -124,11 +133,14 @@ pub struct QueryOptions {
     /// Worker threads for the scan (1 = sequential; >1 fans the surviving
     /// `UNION ALL` branches over a pool).
     pub threads: usize,
+    /// Catalog index mode: `auto`/`on` plan via the attribute-presence
+    /// bitmaps, `off` tests every partition's synopsis.
+    pub index: IndexMode,
 }
 
 impl Default for QueryOptions {
     fn default() -> Self {
-        Self { limit: Some(20), pool_pages: 1024, threads: 1 }
+        Self { limit: Some(20), pool_pages: 1024, threads: 1, index: IndexMode::default() }
     }
 }
 
@@ -152,7 +164,8 @@ pub fn query(
     }
     let mut file = std::io::BufReader::new(std::fs::File::open(snapshot)?);
     let table = UniversalTable::restore(&mut file, opts.pool_pages)?;
-    let cindy = Cinderella::rebuild(&table, Config::default())?;
+    let cindy =
+        Cinderella::rebuild(&table, Config { index: opts.index, ..Config::default() })?;
 
     let q = Query::from_names(table.catalog(), attrs.iter().copied()).ok_or_else(|| {
         CliError::Usage(format!(
@@ -160,17 +173,26 @@ pub fn query(
             attrs
         ))
     })?;
-    let view: Vec<_> = cindy
-        .catalog()
-        .pruning_view()
-        .map(|(s, syn, _)| (s, syn.clone()))
-        .collect();
     let parallelism = if opts.threads > 1 {
         Parallelism::Threads(opts.threads)
     } else {
         Parallelism::Sequential
     };
-    let p = plan_with(&q, view.iter().map(|(s, syn)| (*s, syn)), parallelism);
+    // Survivor set from the catalog's attribute-presence bitmaps; with the
+    // index off, fall back to the per-partition |p ∧ q| = 0 test.
+    let p = match cindy.catalog().plan_survivors(q.synopsis()) {
+        Some((segments, pruned)) => {
+            plan_from_survivors(segments, pruned).with_parallelism(parallelism)
+        }
+        None => {
+            let view: Vec<_> = cindy
+                .catalog()
+                .pruning_view()
+                .map(|(s, syn, _)| (s, syn.clone()))
+                .collect();
+            plan_with(&q, view.iter().map(|(s, syn)| (*s, syn)), parallelism)
+        }
+    };
     let (result, rows) = execute_collect(&table, &q, &p)?;
 
     let mut t = cind_metrics::Table::new(
@@ -296,6 +318,27 @@ mod tests {
         assert!(out.contains("(1 pruned)"), "{out}");
         assert!(out.contains("7200"), "{out}");
 
+        // Indexed and unindexed planning agree row for row.
+        let indexed = query(
+            &snap,
+            &["rotation"],
+            &QueryOptions { index: IndexMode::On, ..QueryOptions::default() },
+        )
+        .unwrap();
+        let unindexed = query(
+            &snap,
+            &["rotation"],
+            &QueryOptions { index: IndexMode::Off, ..QueryOptions::default() },
+        )
+        .unwrap();
+        let strip_timing = |s: &str| {
+            s.lines()
+                .map(|l| l.split("; ").take(2).collect::<Vec<_>>().join("; "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip_timing(&indexed), strip_timing(&unindexed));
+
         let s = stats(&snap, 64).unwrap();
         assert!(s.contains("entities: 4"), "{s}");
         assert!(s.contains("partitions: 2"), "{s}");
@@ -346,7 +389,12 @@ mod tests {
         let s = stats(&snap, 64).unwrap();
         assert!(s.contains("partitions: 1"), "{s}");
         // Data intact after the rewrite.
-        let out = query(&snap, &["a"], &QueryOptions { limit: None, pool_pages: 64, threads: 2 }).unwrap();
+        let out = query(
+            &snap,
+            &["a"],
+            &QueryOptions { limit: None, pool_pages: 64, threads: 2, ..QueryOptions::default() },
+        )
+        .unwrap();
         assert!(out.contains("50 rows"), "{out}");
     }
 }

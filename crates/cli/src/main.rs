@@ -10,10 +10,14 @@ cind — universal-table manager with Cinderella online partitioning
 
 USAGE:
   cind load  --input DATA.csv --snapshot TABLE.cind
-             [--weight W] [--capacity B] [--threads N]
+             [--weight W] [--capacity B] [--threads N] [--index auto|on|off]
   cind query --snapshot TABLE.cind --attrs a,b,c [--limit N] [--threads N]
+             [--index auto|on|off]
   cind stats --snapshot TABLE.cind
   cind merge --snapshot TABLE.cind [--threshold T]
+
+--index routes the rating scan and query planning through the catalog's
+attribute-presence bitmap index (auto = cost-gated, the default).
 
 CSV format: header row names the attributes (optional leading `id`
 column); empty cells mean the attribute is absent.";
@@ -68,6 +72,7 @@ fn run() -> Result<String, CliError> {
                 capacity: args.get("capacity", 5_000)?,
                 threads: args.get("threads", 1)?,
                 pool_pages: args.get("pool", 1024)?,
+                index: args.get("index", cinderella_core::IndexMode::default())?,
             };
             load(&args.path("input")?, &args.path("snapshot")?, &opts)
         }
@@ -83,6 +88,7 @@ fn run() -> Result<String, CliError> {
                 limit: Some(args.get("limit", 20usize)?),
                 pool_pages: args.get("pool", 1024)?,
                 threads: args.get("threads", 1)?,
+                index: args.get("index", cinderella_core::IndexMode::default())?,
             };
             query(&args.path("snapshot")?, &attrs, &opts)
         }

@@ -1,0 +1,259 @@
+//! Packed synopsis arena and attribute-presence bitmaps — the storage the
+//! rating and planning hot paths sweep.
+//!
+//! Algorithm 1 rates the incoming entity against *every* partition, and the
+//! planner tests *every* partition for `|p ∧ q| = 0`. With per-partition
+//! heap-allocated synopses both loops pointer-chase one allocation per
+//! partition. This module packs all rating synopses into one contiguous
+//! `u64` arena (a fixed-stride row per partition, plus parallel `SegmentId`
+//! and `SIZE(p)` columns), so the scan is a linear walk over adjacent cache
+//! lines, and maintains per-attribute *partition-presence* bitmaps (one bit
+//! per arena slot) so the candidate set of an entity — and the survivor set
+//! of a query — is the OR of `|attrs|` bitmaps: `O(|q| · P/64)` words
+//! instead of `O(P · U/64)`.
+//!
+//! Both structures are maintained exactly on insert, delete, split, and
+//! merge by [`PartitionCatalog`](crate::PartitionCatalog); rows and presence
+//! columns clear when a partition is removed, so there are no stale entries
+//! to validate at read time.
+
+use cind_bitset::{BitSetOps, FixedBitSet};
+use cind_storage::SegmentId;
+
+/// Contiguous storage for partition rating synopses.
+///
+/// Each live partition owns one *slot*: a `stride`-word row in the packed
+/// `words` buffer plus entries in the parallel `segs` / `sizes` columns.
+/// Slots of removed partitions are zeroed and recycled through a free list,
+/// so the arena stays dense under churn. The stride grows (rows re-laid out)
+/// when the attribute universe outgrows the current row width.
+#[derive(Clone, Debug, Default)]
+pub struct SynopsisArena {
+    words: Vec<u64>,
+    stride: usize,
+    segs: Vec<SegmentId>,
+    sizes: Vec<u64>,
+    live: Vec<bool>,
+    free: Vec<usize>,
+}
+
+const WORD_BITS: usize = u64::BITS as usize;
+
+impl SynopsisArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of slot rows (live and recycled).
+    pub fn slots(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Words per slot row.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Whether `slot` currently backs a partition.
+    pub fn is_live(&self, slot: usize) -> bool {
+        self.live[slot]
+    }
+
+    /// The segment bound to `slot`.
+    pub fn seg(&self, slot: usize) -> SegmentId {
+        self.segs[slot]
+    }
+
+    /// `SIZE(p)` of the partition at `slot`.
+    pub fn size(&self, slot: usize) -> u64 {
+        self.sizes[slot]
+    }
+
+    /// Updates `SIZE(p)` of the partition at `slot`.
+    pub fn set_size(&mut self, slot: usize, size: u64) {
+        self.sizes[slot] = size;
+    }
+
+    /// The packed synopsis row of `slot`.
+    pub fn row(&self, slot: usize) -> &[u64] {
+        &self.words[slot * self.stride..(slot + 1) * self.stride]
+    }
+
+    /// Allocates a zeroed slot for `seg`, recycling a freed row if one
+    /// exists.
+    pub fn alloc(&mut self, seg: SegmentId) -> usize {
+        if let Some(slot) = self.free.pop() {
+            debug_assert!(!self.live[slot]);
+            debug_assert!(self.row(slot).iter().all(|w| *w == 0));
+            self.segs[slot] = seg;
+            self.sizes[slot] = 0;
+            self.live[slot] = true;
+            slot
+        } else {
+            let slot = self.segs.len();
+            self.words.resize(self.words.len() + self.stride, 0);
+            self.segs.push(seg);
+            self.sizes.push(0);
+            self.live.push(true);
+            slot
+        }
+    }
+
+    /// Releases `slot`: zeroes the row and recycles it.
+    pub fn release(&mut self, slot: usize) {
+        assert!(self.live[slot], "releasing a dead slot");
+        let stride = self.stride;
+        self.words[slot * stride..(slot + 1) * stride].fill(0);
+        self.sizes[slot] = 0;
+        self.live[slot] = false;
+        self.free.push(slot);
+    }
+
+    /// Sets `bit` in the row of `slot`, widening the stride if the
+    /// attribute universe outgrew the current row width.
+    pub fn insert_bit(&mut self, slot: usize, bit: u32) {
+        let word = bit as usize / WORD_BITS;
+        if word >= self.stride {
+            self.grow_stride((word + 1).next_power_of_two());
+        }
+        self.words[slot * self.stride + word] |= 1u64 << (bit as usize % WORD_BITS);
+    }
+
+    /// Clears `bit` in the row of `slot`.
+    pub fn remove_bit(&mut self, slot: usize, bit: u32) {
+        let word = bit as usize / WORD_BITS;
+        if word < self.stride {
+            self.words[slot * self.stride + word] &= !(1u64 << (bit as usize % WORD_BITS));
+        }
+    }
+
+    fn grow_stride(&mut self, new_stride: usize) {
+        debug_assert!(new_stride > self.stride);
+        let mut words = vec![0u64; new_stride * self.segs.len()];
+        for slot in 0..self.segs.len() {
+            let src = &self.words[slot * self.stride..(slot + 1) * self.stride];
+            words[slot * new_stride..slot * new_stride + self.stride].copy_from_slice(src);
+        }
+        self.words = words;
+        self.stride = new_stride;
+    }
+
+    /// Iterates the live slots, ascending by slot index (NOT by segment —
+    /// callers that need the catalog's segment-order tie-break compare
+    /// segment ids explicitly).
+    pub fn live_slots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, &alive)| alive.then_some(slot))
+    }
+}
+
+/// Per-attribute partition-presence bitmaps: `rows[attr]` has bit `slot`
+/// set iff the partition in `slot` currently carries `attr` in the indexed
+/// synopsis space. Maintained exactly (set on refcount 0→1, cleared on
+/// 1→0 and on partition removal).
+#[derive(Clone, Debug, Default)]
+pub struct PresenceIndex {
+    rows: Vec<FixedBitSet>,
+}
+
+impl PresenceIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The slot bitmap of `attr`, if any partition ever carried it.
+    pub fn row(&self, attr: u32) -> Option<&FixedBitSet> {
+        self.rows.get(attr as usize)
+    }
+
+    /// Marks `slot` as carrying `attr`.
+    pub fn set(&mut self, attr: u32, slot: usize) {
+        let idx = attr as usize;
+        if self.rows.len() <= idx {
+            self.rows.resize_with(idx + 1, FixedBitSet::default);
+        }
+        let row = &mut self.rows[idx];
+        row.grow(slot + 1);
+        row.insert(slot as u32);
+    }
+
+    /// Clears `slot` from the bitmap of `attr`.
+    pub fn clear(&mut self, attr: u32, slot: usize) {
+        if let Some(row) = self.rows.get_mut(attr as usize) {
+            row.remove(slot as u32);
+        }
+    }
+
+    /// ORs the bitmaps of `attrs` into `acc` — the candidate/survivor set
+    /// computation. `acc` grows as needed.
+    pub fn union_rows_into(&self, attrs: impl Iterator<Item = u32>, acc: &mut FixedBitSet) {
+        for attr in attrs {
+            if let Some(row) = self.rows.get(attr as usize) {
+                acc.union_with(row);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_recycles_slots() {
+        let mut a = SynopsisArena::new();
+        let s0 = a.alloc(SegmentId(0));
+        let s1 = a.alloc(SegmentId(1));
+        assert_eq!((s0, s1), (0, 1));
+        a.insert_bit(s0, 5);
+        a.set_size(s0, 7);
+        a.release(s0);
+        // The recycled row comes back zeroed.
+        let s2 = a.alloc(SegmentId(2));
+        assert_eq!(s2, s0);
+        assert!(a.row(s2).iter().all(|w| *w == 0));
+        assert_eq!(a.size(s2), 0);
+        assert_eq!(a.seg(s2), SegmentId(2));
+        assert_eq!(a.live_slots().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn stride_grows_preserving_rows() {
+        let mut a = SynopsisArena::new();
+        let s0 = a.alloc(SegmentId(0));
+        let s1 = a.alloc(SegmentId(1));
+        a.insert_bit(s0, 3);
+        a.insert_bit(s1, 63);
+        assert_eq!(a.stride(), 1);
+        a.insert_bit(s1, 200); // word 3 → stride rounds up to 4
+        assert_eq!(a.stride(), 4);
+        assert_eq!(a.row(s0)[0], 1 << 3);
+        assert_eq!(a.row(s1)[0], 1 << 63);
+        assert_eq!(a.row(s1)[3], 1 << (200 - 192));
+        a.remove_bit(s1, 200);
+        assert_eq!(a.row(s1)[3], 0);
+        // Removing a bit beyond the stride is a no-op, not a panic.
+        a.remove_bit(s0, 100_000);
+    }
+
+    #[test]
+    fn presence_rows_or_together() {
+        let mut p = PresenceIndex::new();
+        p.set(2, 0);
+        p.set(2, 5);
+        p.set(7, 3);
+        let mut acc = FixedBitSet::default();
+        p.union_rows_into([2u32, 7, 9].into_iter(), &mut acc);
+        assert_eq!(acc.iter_ones().collect::<Vec<_>>(), vec![0, 3, 5]);
+        p.clear(2, 5);
+        let mut acc = FixedBitSet::default();
+        p.union_rows_into([2u32].into_iter(), &mut acc);
+        assert_eq!(acc.iter_ones().collect::<Vec<_>>(), vec![0]);
+        // Clearing an attribute no partition ever carried is fine.
+        p.clear(100, 0);
+    }
+}

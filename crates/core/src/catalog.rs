@@ -1,12 +1,14 @@
 //! The partition catalog: synopses, sizes, starters, candidate index.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
-use cind_bitset::BitSetOps;
+use cind_bitset::{words, BitSetOps, FixedBitSet};
 
 use cind_model::{EntityId, Synopsis};
 use cind_storage::SegmentId;
 
+use crate::arena::{PresenceIndex, SynopsisArena};
+use crate::config::IndexMode;
 use crate::rating::{global_rating, RatingInputs};
 use crate::starters::SplitStarters;
 
@@ -15,12 +17,10 @@ use crate::starters::SplitStarters;
 pub struct PartitionMeta {
     /// The backing storage segment.
     pub segment: SegmentId,
-    /// Synopsis in *rating* space (attributes in entity-based mode, queries
-    /// in workload-based mode). Exact: maintained by reference counts, so
-    /// bits clear when the last member carrying them leaves.
-    pub synopsis: Synopsis,
-    /// Synopsis in *attribute* space, used for query-time pruning. Equals
-    /// `synopsis` in entity-based mode.
+    /// Synopsis in *attribute* space, used for query-time pruning (and
+    /// equal to the rating synopsis in entity-based mode). Exact:
+    /// maintained by reference counts, so bits clear when the last member
+    /// carrying them leaves.
     pub attr_synopsis: Synopsis,
     /// `SIZE(p)` — sum of member `SIZE(e)` under the configured size model.
     pub size: u64,
@@ -28,22 +28,55 @@ pub struct PartitionMeta {
     pub entities: u64,
     /// The split-starter pair.
     pub starters: SplitStarters,
+    /// Per-attribute member counts in rating space. The set `{i :
+    /// rating_counts[i] > 0}` IS the partition's rating synopsis; the
+    /// packed copy the hot loops scan lives in the catalog's
+    /// [`SynopsisArena`] row of this partition.
     rating_counts: Vec<u32>,
     attr_counts: Vec<u32>,
+    /// The partition's arena slot (meaningless while the meta is detached
+    /// from a catalog, e.g. between `remove_partition` and `adopt`).
+    slot: usize,
 }
 
 impl PartitionMeta {
-    fn new(segment: SegmentId) -> Self {
+    fn new(segment: SegmentId, slot: usize) -> Self {
         Self {
             segment,
-            synopsis: Synopsis::default(),
             attr_synopsis: Synopsis::default(),
             size: 0,
             entities: 0,
             starters: SplitStarters::new(),
             rating_counts: Vec::new(),
             attr_counts: Vec::new(),
+            slot,
         }
+    }
+
+    /// Materialises the partition's synopsis in *rating* space (attributes
+    /// in entity-based mode, queries in workload-based mode) from the
+    /// reference counts. The hot paths never call this — they sweep the
+    /// packed arena rows instead; it serves cold passes (merge rating) and
+    /// tests.
+    pub fn rating_synopsis(&self) -> Synopsis {
+        Synopsis::from_bits(
+            self.rating_counts.len(),
+            self.rating_counts
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(i, _)| i as u32),
+        )
+    }
+
+    /// The rating-space bits, ascending — the refcount view without
+    /// materialising a bitset.
+    fn rating_bits(&self) -> impl Iterator<Item = u32> + '_ {
+        self.rating_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, _)| i as u32)
     }
 
     /// Sparseness of the partition: the fraction of empty cells in the
@@ -61,7 +94,9 @@ impl PartitionMeta {
     }
 }
 
-fn bump(counts: &mut Vec<u32>, synopsis: &mut Synopsis, bits: &Synopsis) {
+/// Bumps the per-attribute refcounts for `bits`, reporting each count that
+/// went 0→1 (a newly present attribute) to `on_new`.
+fn bump(counts: &mut Vec<u32>, bits: &Synopsis, mut on_new: impl FnMut(u32)) {
     for attr in bits.iter() {
         let idx = attr.index() as usize;
         if counts.len() <= idx {
@@ -69,19 +104,20 @@ fn bump(counts: &mut Vec<u32>, synopsis: &mut Synopsis, bits: &Synopsis) {
         }
         counts[idx] += 1;
         if counts[idx] == 1 {
-            synopsis.bits_mut().grow(idx + 1);
-            synopsis.bits_mut().insert(attr.index());
+            on_new(attr.index());
         }
     }
 }
 
-fn drop_counts(counts: &mut [u32], synopsis: &mut Synopsis, bits: &Synopsis) {
+/// Drops the refcounts for `bits`, reporting each count that went 1→0 (an
+/// attribute no member carries any more) to `on_clear`.
+fn drop_counts(counts: &mut [u32], bits: &Synopsis, mut on_clear: impl FnMut(u32)) {
     for attr in bits.iter() {
         let idx = attr.index() as usize;
         assert!(counts.get(idx).copied().unwrap_or(0) > 0, "count underflow at {idx}");
         counts[idx] -= 1;
         if counts[idx] == 0 {
-            synopsis.bits_mut().remove(attr.index());
+            on_clear(attr.index());
         }
     }
 }
@@ -91,34 +127,51 @@ fn drop_counts(counts: &mut [u32], synopsis: &mut Synopsis, bits: &Synopsis) {
 ///
 /// Invariant (property-tested): each partition's synopses equal the OR of
 /// its members' synopses, maintained exactly via per-attribute reference
-/// counts.
+/// counts; the packed arena row and the presence bitmaps mirror the
+/// refcount view exactly.
 ///
-/// With `use_index`, an inverted rating-bit → partitions index restricts the
-/// scan to *candidate* partitions. Candidates are partitions that could rate
-/// `≥ 0`: those sharing a rating bit with the entity, those with `SIZE(p) =
-/// 0`, or all of them when `SIZE(e) = 0` (disjoint pairs with both sizes
-/// positive always rate strictly negative, so skipping them cannot change
-/// the argmax, and both paths visit candidates in ascending segment order so
-/// ties resolve identically).
+/// The two hot loops never walk the `BTreeMap`:
+///
+/// * the rating scan sweeps the [`SynopsisArena`] — one contiguous
+///   fixed-stride row per partition, rated with a single fused word pass —
+///   and, with the index on, first ORs per-attribute *presence bitmaps*
+///   into the candidate set (partitions that could rate `≥ 0`: those
+///   sharing a rating bit with the entity, plus those with `SIZE(p) = 0`);
+/// * the planner's survivor set is the OR of `|q|` presence bitmaps in
+///   attribute space ([`PartitionCatalog::plan_survivors`]).
+///
+/// Candidate soundness: with `w < 1` a disjoint pair with both sizes
+/// positive rates strictly negative, so skipping non-candidates cannot
+/// change a non-negative argmax. At `w = 1` negative evidence has weight
+/// zero and disjoint pairs rate `0`, so the indexed path falls back to the
+/// full sweep (as it does for `SIZE(e) = 0`, where every partition rates
+/// neutrally).
+#[derive(Clone, Debug)]
 pub struct PartitionCatalog {
     parts: BTreeMap<SegmentId, PartitionMeta>,
-    use_index: bool,
-    /// rating-bit → segments whose synopsis has (or once had) the bit.
-    /// Entries are validated against the live synopsis at query time and
-    /// pruned when a partition is removed.
-    postings: Vec<Vec<SegmentId>>,
-    /// Partitions with `SIZE(p) = 0` (rate neutrally against anything).
-    zero_size: BTreeSet<SegmentId>,
+    mode: IndexMode,
+    /// Packed rating synopses + `SIZE(p)` + segment, one slot per
+    /// partition.
+    arena: SynopsisArena,
+    /// rating-bit → slot bitmap (candidate index for the insert scan).
+    rating_presence: PresenceIndex,
+    /// attribute-bit → slot bitmap (survivor index for the planner).
+    attr_presence: PresenceIndex,
+    /// Slots of partitions with `SIZE(p) = 0` (rate neutrally against
+    /// anything, so they are always candidates).
+    zero_size: FixedBitSet,
 }
 
 impl PartitionCatalog {
-    /// Creates an empty catalog; `use_index` enables the candidate index.
-    pub fn new(use_index: bool) -> Self {
+    /// Creates an empty catalog with the given candidate-index mode.
+    pub fn new(mode: IndexMode) -> Self {
         Self {
             parts: BTreeMap::new(),
-            use_index,
-            postings: Vec::new(),
-            zero_size: BTreeSet::new(),
+            mode,
+            arena: SynopsisArena::new(),
+            rating_presence: PresenceIndex::new(),
+            attr_presence: PresenceIndex::new(),
+            zero_size: FixedBitSet::default(),
         }
     }
 
@@ -152,14 +205,16 @@ impl PartitionCatalog {
     /// # Panics
     /// Panics if `seg` is already cataloged.
     pub fn create_partition(&mut self, seg: SegmentId) {
-        let prev = self.parts.insert(seg, PartitionMeta::new(seg));
+        let slot = self.arena.alloc(seg);
+        let prev = self.parts.insert(seg, PartitionMeta::new(seg, slot));
         assert!(prev.is_none(), "partition {seg} already cataloged");
-        self.zero_size.insert(seg);
+        self.zero_size.grow(slot + 1);
+        self.zero_size.insert(slot as u32);
     }
 
     /// Adopts a ready-made partition under a (new) segment id — the bulk
     /// loader's stitch path. The metadata keeps its counts, synopses, and
-    /// starters; only the segment id is rebound.
+    /// starters; only the segment id (and arena slot) is rebound.
     ///
     /// # Panics
     /// Panics if `seg` is already cataloged.
@@ -169,17 +224,19 @@ impl PartitionCatalog {
             "partition {seg} already cataloged"
         );
         meta.segment = seg;
-        if self.use_index {
-            for bit in meta.synopsis.iter() {
-                let idx = bit.index() as usize;
-                if self.postings.len() <= idx {
-                    self.postings.resize_with(idx + 1, Vec::new);
-                }
-                self.postings[idx].push(seg);
-            }
+        let slot = self.arena.alloc(seg);
+        meta.slot = slot;
+        for bit in meta.rating_bits() {
+            self.arena.insert_bit(slot, bit);
+            self.rating_presence.set(bit, slot);
         }
+        for bit in meta.attr_synopsis.iter() {
+            self.attr_presence.set(bit.index(), slot);
+        }
+        self.arena.set_size(slot, meta.size);
+        self.zero_size.grow(slot + 1);
         if meta.size == 0 {
-            self.zero_size.insert(seg);
+            self.zero_size.insert(slot as u32);
         }
         self.parts.insert(seg, meta);
     }
@@ -190,14 +247,15 @@ impl PartitionCatalog {
     /// Panics if `seg` is not cataloged.
     pub fn remove_partition(&mut self, seg: SegmentId) -> PartitionMeta {
         let meta = self.parts.remove(&seg).expect("partition cataloged");
-        self.zero_size.remove(&seg);
-        if self.use_index {
-            for bit in meta.synopsis.iter() {
-                if let Some(list) = self.postings.get_mut(bit.index() as usize) {
-                    list.retain(|s| *s != seg);
-                }
-            }
+        let slot = meta.slot;
+        for bit in meta.rating_bits() {
+            self.rating_presence.clear(bit, slot);
         }
+        for bit in meta.attr_synopsis.iter() {
+            self.attr_presence.clear(bit.index(), slot);
+        }
+        self.zero_size.remove(slot as u32);
+        self.arena.release(slot);
         meta
     }
 
@@ -215,32 +273,27 @@ impl PartitionCatalog {
         size: u64,
         offer_starters: bool,
     ) {
-        let use_index = self.use_index;
-        let meta = self.parts.get_mut(&seg).expect("partition cataloged");
-        let new_bits: Vec<u32> = rating_syn
-            .iter()
-            .filter(|a| !meta.synopsis.contains(*a))
-            .map(|a| a.index())
-            .collect();
-        bump(&mut meta.rating_counts, &mut meta.synopsis, rating_syn);
-        bump(&mut meta.attr_counts, &mut meta.attr_synopsis, attr_syn);
+        let Self { parts, arena, rating_presence, attr_presence, zero_size, .. } = self;
+        let meta = parts.get_mut(&seg).expect("partition cataloged");
+        let slot = meta.slot;
+        bump(&mut meta.rating_counts, rating_syn, |bit| {
+            arena.insert_bit(slot, bit);
+            rating_presence.set(bit, slot);
+        });
+        let attr_synopsis = &mut meta.attr_synopsis;
+        bump(&mut meta.attr_counts, attr_syn, |bit| {
+            attr_synopsis.bits_mut().grow(bit as usize + 1);
+            attr_synopsis.bits_mut().insert(bit);
+            attr_presence.set(bit, slot);
+        });
         meta.entities += 1;
         meta.size += size;
+        arena.set_size(slot, meta.size);
         if offer_starters {
             meta.starters.offer(id, rating_syn);
         }
-        let now_positive = meta.size > 0;
-        if use_index {
-            for bit in new_bits {
-                let idx = bit as usize;
-                if self.postings.len() <= idx {
-                    self.postings.resize_with(idx + 1, Vec::new);
-                }
-                self.postings[idx].push(seg);
-            }
-        }
-        if now_positive {
-            self.zero_size.remove(&seg);
+        if meta.size > 0 {
+            zero_size.remove(slot as u32);
         }
     }
 
@@ -254,33 +307,60 @@ impl PartitionCatalog {
         attr_syn: &Synopsis,
         size: u64,
     ) -> u64 {
-        let meta = self.parts.get_mut(&seg).expect("partition cataloged");
-        drop_counts(&mut meta.rating_counts, &mut meta.synopsis, rating_syn);
-        drop_counts(&mut meta.attr_counts, &mut meta.attr_synopsis, attr_syn);
+        let Self { parts, arena, rating_presence, attr_presence, zero_size, .. } = self;
+        let meta = parts.get_mut(&seg).expect("partition cataloged");
+        let slot = meta.slot;
+        drop_counts(&mut meta.rating_counts, rating_syn, |bit| {
+            arena.remove_bit(slot, bit);
+            rating_presence.clear(bit, slot);
+        });
+        let attr_synopsis = &mut meta.attr_synopsis;
+        drop_counts(&mut meta.attr_counts, attr_syn, |bit| {
+            attr_synopsis.bits_mut().remove(bit);
+            attr_presence.clear(bit, slot);
+        });
         meta.entities -= 1;
         meta.size -= size;
+        arena.set_size(slot, meta.size);
         meta.starters.vacate(id);
-        // Stale postings for cleared bits are tolerated (validated on read).
         if meta.size == 0 {
-            self.zero_size.insert(seg);
+            zero_size.grow(slot + 1);
+            zero_size.insert(slot as u32);
         }
         meta.entities
     }
 
+    /// Whether the rating scan goes through the candidate index.
+    fn rate_indexed(&self) -> bool {
+        match self.mode {
+            IndexMode::On => true,
+            IndexMode::Off => false,
+            IndexMode::Auto => self.parts.len() >= IndexMode::AUTO_MIN_PARTITIONS,
+        }
+    }
+
     /// Algorithm 1 lines 3–7: scans the catalog and returns the best-rated
     /// partition for the entity, with its rating, plus the number of
-    /// ratings computed. Ties go to the lowest segment id (first in scan
-    /// order). Returns `None` when the catalog is empty.
+    /// ratings computed. Ties go to the lowest segment id. Returns `None`
+    /// when the catalog is empty.
     pub fn best_partition(
         &self,
         rating_syn: &Synopsis,
         size_e: u64,
         weight: f64,
     ) -> (Option<(SegmentId, f64)>, u32) {
-        if self.use_index {
+        // Strict negativity of non-candidates needs `SIZE(e) > 0`, `w < 1`,
+        // and a non-empty entity synopsis: a zero-size entity rates
+        // neutrally everywhere, at `w = 1` negative evidence has weight
+        // zero, and an empty entity synopsis rates 0 against any partition
+        // whose synopsis is also empty (`|e ∨ p| = 0` — neutral by
+        // definition) even when that partition is not in any presence row.
+        // In those cases non-candidates can tie the argmax, so only the
+        // full sweep is exact.
+        if self.rate_indexed() && size_e > 0 && weight < 1.0 && !rating_syn.is_empty() {
             self.best_indexed(rating_syn, size_e, weight)
         } else {
-            self.best_over(self.parts.values(), rating_syn, size_e, weight)
+            self.best_sweep(rating_syn, size_e, weight)
         }
     }
 
@@ -294,102 +374,120 @@ impl PartitionCatalog {
         size_e: u64,
         weight: f64,
     ) -> (Option<(SegmentId, f64)>, u32) {
-        self.best_over(
-            targets.iter().filter_map(|s| self.parts.get(s)),
-            rating_syn,
-            size_e,
-            weight,
-        )
-    }
-
-    fn best_over<'a>(
-        &self,
-        parts: impl Iterator<Item = &'a PartitionMeta>,
-        rating_syn: &Synopsis,
-        size_e: u64,
-        weight: f64,
-    ) -> (Option<(SegmentId, f64)>, u32) {
+        let e_words = rating_syn.bits().blocks();
         let mut best: Option<(SegmentId, f64)> = None;
         let mut ratings = 0u32;
-        for meta in parts {
-            let inputs = RatingInputs::compute(rating_syn, size_e, &meta.synopsis, meta.size);
-            let r = global_rating(weight, &inputs);
+        for &seg in targets {
+            let Some(meta) = self.parts.get(&seg) else { continue };
+            let r = self.rate_slot(meta.slot, e_words, size_e, weight);
             ratings += 1;
             if best.is_none_or(|(_, rb)| rb < r) {
-                best = Some((meta.segment, r));
+                best = Some((seg, r));
             }
         }
         (best, ratings)
     }
 
+    /// Rates the partition in `slot` against an entity given as raw
+    /// synopsis words — one fused kernel pass over the packed row.
+    fn rate_slot(&self, slot: usize, e_words: &[u64], size_e: u64, weight: f64) -> f64 {
+        let counts = words::fused_counts(e_words, self.arena.row(slot));
+        let inputs = RatingInputs::from_fused(counts, size_e, self.arena.size(slot));
+        global_rating(weight, &inputs)
+    }
+
+    /// The full linear sweep over the packed arena: every live slot is
+    /// rated. Slot order is allocation order, not segment order, so the
+    /// scan tie-break (lowest segment id among maximal ratings) is applied
+    /// explicitly — the winner is order-independent.
+    fn best_sweep(
+        &self,
+        rating_syn: &Synopsis,
+        size_e: u64,
+        weight: f64,
+    ) -> (Option<(SegmentId, f64)>, u32) {
+        let e_words = rating_syn.bits().blocks();
+        let mut best: Option<(SegmentId, f64)> = None;
+        let mut ratings = 0u32;
+        for slot in self.arena.live_slots() {
+            let r = self.rate_slot(slot, e_words, size_e, weight);
+            ratings += 1;
+            let seg = self.arena.seg(slot);
+            if best.is_none_or(|(bs, br)| br < r || (br == r && seg < bs)) {
+                best = Some((seg, r));
+            }
+        }
+        (best, ratings)
+    }
+
+    /// The indexed scan: OR the presence bitmaps of the entity's rating
+    /// bits (plus the zero-size slots) into the candidate set, then rate
+    /// only the candidates. Each candidate is rated exactly once — the
+    /// bitmap OR deduplicates partitions that share several attributes
+    /// with the entity by construction.
     fn best_indexed(
         &self,
         rating_syn: &Synopsis,
         size_e: u64,
         weight: f64,
     ) -> (Option<(SegmentId, f64)>, u32) {
-        if size_e == 0 {
-            // Every partition rates neutrally; scan all to match the
-            // unindexed argmax exactly.
-            return self.best_over(self.parts.values(), rating_syn, size_e, weight);
-        }
-        // Cost gate: merging the posting lists costs their total length
-        // (entries overlap — e.g. all 16 lineitem columns point at the same
-        // partitions — so the candidate set is usually much smaller); the
-        // plain scan costs one rating per partition. Entities carrying a
-        // near-universal attribute produce posting work proportional to
-        // attrs × partitions, so the index can only lose there — fall
-        // back. It wins when the entity has only group-specific attributes
-        // (e.g. every TPC-H row: its columns map to partitions of its own
-        // relation only).
-        let mut work = self.zero_size.len();
-        for bit in rating_syn.iter() {
-            work += self
-                .postings
-                .get(bit.index() as usize)
-                .map_or(0, Vec::len);
-            if work >= self.parts.len() {
-                return self.best_over(self.parts.values(), rating_syn, size_e, weight);
+        let mut candidates = self.zero_size.clone();
+        self.rating_presence
+            .union_rows_into(rating_syn.iter().map(|a| a.index()), &mut candidates);
+
+        let e_words = rating_syn.bits().blocks();
+        let mut best: Option<(SegmentId, f64)> = None;
+        let mut ratings = 0u32;
+        for slot in candidates.iter_ones() {
+            let slot = slot as usize;
+            let r = self.rate_slot(slot, e_words, size_e, weight);
+            ratings += 1;
+            let seg = self.arena.seg(slot);
+            if best.is_none_or(|(bs, br)| br < r || (br == r && seg < bs)) {
+                best = Some((seg, r));
             }
         }
-        let mut candidates: Vec<SegmentId> = self.zero_size.iter().copied().collect();
-        for bit in rating_syn.iter() {
-            if let Some(list) = self.postings.get(bit.index() as usize) {
-                // Entries are not validated against the live synopsis: a
-                // stale entry is a live partition that lost this bit, and
-                // rating a live partition is always sound — if it shares no
-                // bit with the entity it rates strictly negative and cannot
-                // displace a true candidate.
-                candidates.extend_from_slice(list);
-            }
-        }
-        // Ascending segment order, deduped — the plain scan's tie-break.
-        candidates.sort_unstable();
-        candidates.dedup();
-        let (best, ratings) = self.best_over(
-            candidates.iter().filter_map(|s| self.parts.get(s)),
-            rating_syn,
-            size_e,
-            weight,
-        );
         // Non-candidates rate strictly negative; if no candidate exists the
         // best over all partitions is negative too, which the caller maps to
         // "create a new partition" — but Algorithm 1's scan would still
         // *pick* one. Report the lowest-id partition with rating < 0 so both
         // paths return identical results even when the caller ignores it.
-        if best.is_none() && !self.parts.is_empty() {
-            return self.best_over(
-                self.parts.values().take(1),
-                rating_syn,
-                size_e,
-                weight,
-            );
+        if best.is_none() {
+            if let Some(meta) = self.parts.values().next() {
+                let r = self.rate_slot(meta.slot, e_words, size_e, weight);
+                return (Some((meta.segment, r)), ratings);
+            }
         }
         (best, ratings)
     }
 
+    /// The planner's survivor set for query synopsis `q` via the
+    /// attribute-presence bitmaps: segments whose partition shares at least
+    /// one attribute with `q` (ascending — the catalog's plan order), plus
+    /// the pruned count. Returns `None` when the index mode is `Off`, in
+    /// which case callers fall back to the per-partition `is_disjoint`
+    /// test over [`PartitionCatalog::pruning_view`].
+    ///
+    /// Exactness (property-tested): a partition survives the `|p ∧ q| = 0`
+    /// test iff it carries one of `q`'s attributes, iff its slot is set in
+    /// one of the ORed presence rows.
+    pub fn plan_survivors(&self, q: &Synopsis) -> Option<(Vec<SegmentId>, usize)> {
+        if self.mode == IndexMode::Off {
+            return None;
+        }
+        let mut acc = FixedBitSet::default();
+        self.attr_presence
+            .union_rows_into(q.iter().map(|a| a.index()), &mut acc);
+        let mut survivors: Vec<SegmentId> =
+            acc.iter_ones().map(|slot| self.arena.seg(slot as usize)).collect();
+        survivors.sort_unstable();
+        let pruned = self.parts.len() - survivors.len();
+        Some((survivors, pruned))
+    }
+
     /// View for the query planner: `(segment, attribute synopsis, SIZE(p))`
-    /// per partition, ascending by segment.
+    /// per partition, ascending by segment — the per-partition pruning
+    /// oracle (and the fallback when the index is off).
     pub fn pruning_view(&self) -> impl Iterator<Item = (SegmentId, &Synopsis, u64)> {
         self.parts
             .values()
@@ -418,12 +516,12 @@ mod tests {
 
     #[test]
     fn synopsis_is_or_of_members_with_refcounts() {
-        let mut cat = PartitionCatalog::new(false);
+        let mut cat = PartitionCatalog::new(IndexMode::Off);
         cat.create_partition(SegmentId(0));
         add(&mut cat, SegmentId(0), 1, &[0, 1], 2);
         add(&mut cat, SegmentId(0), 2, &[1, 2], 2);
         let m = cat.get(SegmentId(0)).unwrap();
-        assert_eq!(m.synopsis, syn(&[0, 1, 2]));
+        assert_eq!(m.rating_synopsis(), syn(&[0, 1, 2]));
         assert_eq!(m.entities, 2);
         assert_eq!(m.size, 4);
         // Removing entity 1 clears bit 0 but keeps shared bit 1.
@@ -431,13 +529,30 @@ mod tests {
         let left = cat.remove_entity(SegmentId(0), EntityId(1), &s1, &s1, 2);
         assert_eq!(left, 1);
         let m = cat.get(SegmentId(0)).unwrap();
-        assert_eq!(m.synopsis, syn(&[1, 2]));
+        assert_eq!(m.rating_synopsis(), syn(&[1, 2]));
         assert_eq!(m.size, 2);
     }
 
     #[test]
+    fn arena_row_mirrors_refcount_synopsis() {
+        // The packed row the hot path scans must equal the refcount view
+        // through adds, removes, and partition removal/adoption.
+        let mut cat = PartitionCatalog::new(IndexMode::On);
+        cat.create_partition(SegmentId(0));
+        add(&mut cat, SegmentId(0), 1, &[0, 5, 31], 3);
+        add(&mut cat, SegmentId(0), 2, &[5, 7], 2);
+        let s = syn(&[0, 5, 31]);
+        cat.remove_entity(SegmentId(0), EntityId(1), &s, &s, 3);
+        let m = cat.get(SegmentId(0)).unwrap();
+        let row_bits: Vec<u32> = words::iter_ones(cat.arena.row(m.slot)).collect();
+        let syn_bits: Vec<u32> = m.rating_synopsis().iter().map(|a| a.index()).collect();
+        assert_eq!(row_bits, syn_bits);
+        assert_eq!(row_bits, vec![5, 7]);
+    }
+
+    #[test]
     fn best_partition_prefers_overlap() {
-        let mut cat = PartitionCatalog::new(false);
+        let mut cat = PartitionCatalog::new(IndexMode::Off);
         cat.create_partition(SegmentId(0));
         cat.create_partition(SegmentId(1));
         add(&mut cat, SegmentId(0), 1, &[0, 1, 2], 3);
@@ -451,15 +566,17 @@ mod tests {
 
     #[test]
     fn empty_catalog_returns_none() {
-        let cat = PartitionCatalog::new(false);
-        let (best, ratings) = cat.best_partition(&syn(&[0]), 1, 0.5);
-        assert!(best.is_none());
-        assert_eq!(ratings, 0);
+        for mode in [IndexMode::Off, IndexMode::On, IndexMode::Auto] {
+            let cat = PartitionCatalog::new(mode);
+            let (best, ratings) = cat.best_partition(&syn(&[0]), 1, 0.5);
+            assert!(best.is_none());
+            assert_eq!(ratings, 0);
+        }
     }
 
     #[test]
     fn ties_go_to_lowest_segment() {
-        let mut cat = PartitionCatalog::new(false);
+        let mut cat = PartitionCatalog::new(IndexMode::Off);
         cat.create_partition(SegmentId(0));
         cat.create_partition(SegmentId(1));
         add(&mut cat, SegmentId(0), 1, &[0, 1], 2);
@@ -469,13 +586,40 @@ mod tests {
     }
 
     #[test]
+    fn ties_go_to_lowest_segment_against_slot_order() {
+        // Recycle slots so that slot order disagrees with segment order:
+        // the sweep's explicit tie-break must still pick the lowest segment.
+        let mut cat = PartitionCatalog::new(IndexMode::Off);
+        cat.create_partition(SegmentId(7));
+        add(&mut cat, SegmentId(7), 1, &[0, 1], 2); // slot 0
+        cat.create_partition(SegmentId(9));
+        add(&mut cat, SegmentId(9), 2, &[0, 1], 2); // slot 1
+        cat.remove_partition(SegmentId(7)); // frees slot 0
+        cat.create_partition(SegmentId(3)); // recycles slot 0… wait, 3 < 9
+        add(&mut cat, SegmentId(3), 3, &[0, 1], 2);
+        let (best, _) = cat.best_partition(&syn(&[0, 1]), 2, 0.5);
+        assert_eq!(best.unwrap().0, SegmentId(3));
+        // And for the indexed path.
+        let mut cat2 = PartitionCatalog::new(IndexMode::On);
+        cat2.create_partition(SegmentId(7));
+        add(&mut cat2, SegmentId(7), 1, &[0, 1], 2);
+        cat2.create_partition(SegmentId(9));
+        add(&mut cat2, SegmentId(9), 2, &[0, 1], 2);
+        cat2.remove_partition(SegmentId(7));
+        cat2.create_partition(SegmentId(3));
+        add(&mut cat2, SegmentId(3), 3, &[0, 1], 2);
+        let (best, _) = cat2.best_partition(&syn(&[0, 1]), 2, 0.5);
+        assert_eq!(best.unwrap().0, SegmentId(3));
+    }
+
+    #[test]
     fn indexed_matches_unindexed() {
         // Mirror a mutation sequence across both catalogs and compare the
         // argmax for several probe entities.
         let probes: Vec<Vec<u32>> =
             vec![vec![0, 1], vec![5], vec![2, 9], vec![], vec![0, 9, 11]];
-        let mut plain = PartitionCatalog::new(false);
-        let mut indexed = PartitionCatalog::new(true);
+        let mut plain = PartitionCatalog::new(IndexMode::Off);
+        let mut indexed = PartitionCatalog::new(IndexMode::On);
         for cat in [&mut plain, &mut indexed] {
             for s in 0..4u32 {
                 cat.create_partition(SegmentId(s));
@@ -484,7 +628,7 @@ mod tests {
             add(cat, SegmentId(1), 2, &[5, 6], 2);
             add(cat, SegmentId(2), 3, &[9, 10, 11], 3);
             add(cat, SegmentId(3), 4, &[0, 9], 2);
-            // Shrink partition 0 so bit 2 clears (stale posting for idx 2).
+            // Shrink partition 0 so bit 2 clears from row and presence.
             let s = syn(&[0, 1, 2]);
             cat.remove_entity(SegmentId(0), EntityId(1), &s, &s, 3);
             add(cat, SegmentId(0), 5, &[0, 1], 2);
@@ -512,7 +656,7 @@ mod tests {
 
     #[test]
     fn indexed_scans_fewer_partitions() {
-        let mut cat = PartitionCatalog::new(true);
+        let mut cat = PartitionCatalog::new(IndexMode::On);
         for s in 0..10u32 {
             cat.create_partition(SegmentId(s));
             add(&mut cat, SegmentId(s), u64::from(s), &[s, s + 10], 2);
@@ -522,8 +666,38 @@ mod tests {
     }
 
     #[test]
-    fn remove_partition_cleans_postings() {
-        let mut cat = PartitionCatalog::new(true);
+    fn candidates_are_deduplicated() {
+        // A partition sharing many attributes with the entity must be
+        // rated once, not once per shared attribute.
+        let mut cat = PartitionCatalog::new(IndexMode::On);
+        cat.create_partition(SegmentId(0));
+        add(&mut cat, SegmentId(0), 1, &[0, 1, 2, 3, 4, 5], 6);
+        cat.create_partition(SegmentId(1));
+        add(&mut cat, SegmentId(1), 2, &[20], 1);
+        let (best, ratings) = cat.best_partition(&syn(&[0, 1, 2, 3, 4, 5]), 6, 0.5);
+        assert_eq!(best.unwrap().0, SegmentId(0));
+        assert_eq!(ratings, 1, "one rating despite six shared attributes");
+    }
+
+    #[test]
+    fn auto_mode_gates_on_partition_count() {
+        let mut cat = PartitionCatalog::new(IndexMode::Auto);
+        for s in 0..IndexMode::AUTO_MIN_PARTITIONS as u32 {
+            cat.create_partition(SegmentId(s));
+            add(&mut cat, SegmentId(s), u64::from(s), &[s % 32], 2);
+        }
+        // At the gate: candidates only.
+        let (_, ratings) = cat.best_partition(&syn(&[0]), 1, 0.5);
+        assert!(ratings < IndexMode::AUTO_MIN_PARTITIONS as u32);
+        // Below the gate: full sweep.
+        cat.remove_partition(SegmentId(0));
+        let (_, ratings) = cat.best_partition(&syn(&[1]), 1, 0.5);
+        assert_eq!(ratings, IndexMode::AUTO_MIN_PARTITIONS as u32 - 1);
+    }
+
+    #[test]
+    fn remove_partition_cleans_presence() {
+        let mut cat = PartitionCatalog::new(IndexMode::On);
         cat.create_partition(SegmentId(0));
         cat.create_partition(SegmentId(1));
         add(&mut cat, SegmentId(0), 1, &[0], 1);
@@ -533,11 +707,37 @@ mod tests {
         let (best, _) = cat.best_partition(&syn(&[0]), 1, 0.5);
         assert_eq!(best.unwrap().0, SegmentId(1));
         assert_eq!(cat.len(), 1);
+        let (survivors, pruned) = cat.plan_survivors(&syn(&[0])).unwrap();
+        assert_eq!(survivors, vec![SegmentId(1)]);
+        assert_eq!(pruned, 0);
+    }
+
+    #[test]
+    fn plan_survivors_matches_disjoint_oracle() {
+        let mut cat = PartitionCatalog::new(IndexMode::On);
+        for (s, bits) in [(0u32, &[0u32, 1][..]), (1, &[5][..]), (2, &[1, 9][..])] {
+            cat.create_partition(SegmentId(s));
+            add(&mut cat, SegmentId(s), u64::from(s), bits, 2);
+        }
+        for q in [&[1u32][..], &[0, 5][..], &[7][..], &[][..]] {
+            let q = syn(q);
+            let oracle: Vec<SegmentId> = cat
+                .pruning_view()
+                .filter(|(_, p, _)| !q.is_disjoint(p))
+                .map(|(s, _, _)| s)
+                .collect();
+            let (survivors, pruned) = cat.plan_survivors(&q).unwrap();
+            assert_eq!(survivors, oracle);
+            assert_eq!(pruned, cat.len() - survivors.len());
+        }
+        assert!(PartitionCatalog::new(IndexMode::Off)
+            .plan_survivors(&syn(&[0]))
+            .is_none());
     }
 
     #[test]
     fn sparseness_of_partition() {
-        let mut cat = PartitionCatalog::new(false);
+        let mut cat = PartitionCatalog::new(IndexMode::Off);
         cat.create_partition(SegmentId(0));
         // 2 entities, 3 partition attrs, 4 filled cells → 1 - 4/6.
         add(&mut cat, SegmentId(0), 1, &[0, 1], 2);
@@ -548,7 +748,7 @@ mod tests {
 
     #[test]
     fn zero_size_partitions_stay_candidates() {
-        let mut cat = PartitionCatalog::new(true);
+        let mut cat = PartitionCatalog::new(IndexMode::On);
         cat.create_partition(SegmentId(0));
         // Partition 0 holds one zero-size entity with an empty synopsis.
         cat.add_entity(SegmentId(0), EntityId(1), &syn(&[]), &syn(&[]), 0, true);

@@ -27,6 +27,50 @@ impl Capacity {
     }
 }
 
+/// Whether the catalog maintains the packed candidate/survivor index (the
+/// attribute-presence bitmaps of [`crate::arena`]) and routes the rating
+/// scan and query planning through it.
+///
+/// The index is semantics-preserving at every mode: the indexed rating scan
+/// returns the same best partition as the full sweep whenever the best
+/// rating is non-negative (the only case Algorithm 1 acts on), and the
+/// survivor set equals per-partition `|p ∧ q| = 0` pruning exactly — both
+/// are property-tested. The knob exists for A/B measurement and for
+/// workloads small enough that the index's constant overhead is not worth
+/// paying.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IndexMode {
+    /// Cost-gated: the rating scan uses the index once the catalog has at
+    /// least [`IndexMode::AUTO_MIN_PARTITIONS`] partitions (below that, the
+    /// linear arena sweep is already a handful of cache lines); planning
+    /// always uses it. The default.
+    #[default]
+    Auto,
+    /// Always rate and plan through the index.
+    On,
+    /// Never: every insert sweeps all partitions, every plan tests every
+    /// partition — the paper prototype's behaviour and the A/B baseline.
+    Off,
+}
+
+impl IndexMode {
+    /// The `Auto` gate: catalogs smaller than this are swept linearly.
+    pub const AUTO_MIN_PARTITIONS: usize = 64;
+}
+
+impl std::str::FromStr for IndexMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "on" => Ok(Self::On),
+            "off" => Ok(Self::Off),
+            other => Err(format!("bad index mode {other:?}; use auto|on|off")),
+        }
+    }
+}
+
 /// Tuning knobs of the algorithm.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -40,10 +84,11 @@ pub struct Config {
     pub size_model: SizeModel,
     /// Entity-based or workload-based partitioning (§II).
     pub mode: SynopsisMode,
-    /// Maintain an inverted attribute→partition index so the rating scan
-    /// only touches partitions that can rate ≥ 0 (candidate partitions).
-    /// Semantics-preserving; the `ablations` bench measures the speedup.
-    pub use_attr_index: bool,
+    /// The candidate/survivor index mode: rate and plan through the
+    /// attribute-presence bitmaps (`On`), never (`Off`), or cost-gated
+    /// (`Auto`). Semantics-preserving; the `ablations` and `index` benches
+    /// measure the speedup.
+    pub index: IndexMode,
     /// Record a per-insert [`InsertEvent`](crate::InsertEvent) trace
     /// (latency, split flag, ratings computed) for the Fig. 8 experiment.
     pub record_events: bool,
@@ -56,7 +101,7 @@ impl Default for Config {
             capacity: Capacity::MaxEntities(5000),
             size_model: SizeModel::Cells,
             mode: SynopsisMode::EntityBased,
-            use_attr_index: false,
+            index: IndexMode::Auto,
             record_events: false,
         }
     }
@@ -103,6 +148,14 @@ mod tests {
     #[test]
     fn default_is_valid() {
         Config::default().validate();
+    }
+
+    #[test]
+    fn index_mode_parses() {
+        assert_eq!("auto".parse::<IndexMode>().unwrap(), IndexMode::Auto);
+        assert_eq!("on".parse::<IndexMode>().unwrap(), IndexMode::On);
+        assert_eq!("off".parse::<IndexMode>().unwrap(), IndexMode::Off);
+        assert!("ON".parse::<IndexMode>().is_err());
     }
 
     #[test]

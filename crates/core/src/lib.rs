@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+pub mod arena;
 pub mod bulk;
 pub mod catalog;
 pub mod config;
@@ -70,9 +71,10 @@ pub mod starters;
 mod error;
 
 pub use advisor::{recommend, AdvisorConfig, CandidateScore, Recommendation};
+pub use arena::{PresenceIndex, SynopsisArena};
 pub use bulk::{bulk_load, BulkLoadReport};
 pub use catalog::{PartitionCatalog, PartitionMeta};
-pub use config::{Capacity, Config};
+pub use config::{Capacity, Config, IndexMode};
 pub use efficiency::{efficiency, efficiency_of};
 pub use error::CoreError;
 pub use events::{InsertEvent, InsertOutcome, Stats};

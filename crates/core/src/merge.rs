@@ -141,7 +141,7 @@ impl Cinderella {
     ) -> Result<Option<u64>, CoreError> {
         let meta = self.catalog().get(seg).expect("candidate cataloged");
         let (src_syn, src_size, src_entities) =
-            (meta.synopsis.clone(), meta.size, meta.entities);
+            (meta.rating_synopsis(), meta.size, meta.entities);
 
         // Rate the whole partition like an entity against every peer.
         let mut best: Option<(cind_storage::SegmentId, f64)> = None;
@@ -165,7 +165,7 @@ impl Cinderella {
                 self.config().weight,
                 &src_syn,
                 src_size,
-                &peer.synopsis,
+                &peer.rating_synopsis(),
                 peer.size,
             );
             if r >= 0.0 && best.is_none_or(|(_, rb)| rb < r) {

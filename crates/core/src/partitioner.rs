@@ -45,7 +45,7 @@ impl Cinderella {
     /// Panics if the configuration is invalid (see [`Config::validate`]).
     pub fn new(config: Config) -> Self {
         config.validate();
-        let catalog = PartitionCatalog::new(config.use_attr_index);
+        let catalog = PartitionCatalog::new(config.index);
         Self { config, catalog, stats: Stats::default(), events: Vec::new() }
     }
 

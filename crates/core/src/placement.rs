@@ -175,7 +175,7 @@ mod tests {
     /// A catalog with `k` partitions per shape over `shapes` disjoint
     /// shapes, each of the given size.
     fn catalog(shapes: usize, per_shape: usize, size: u64) -> PartitionCatalog {
-        let mut cat = PartitionCatalog::new(false);
+        let mut cat = PartitionCatalog::new(crate::IndexMode::Off);
         let mut seg = 0u32;
         for s in 0..shapes {
             for _ in 0..per_shape {
@@ -237,7 +237,7 @@ mod tests {
         assert_eq!(p.imbalance(), 1.0);
         assert_eq!(p.fanout(&cat, &shape_queries(2)), 1.0);
 
-        let empty = PartitionCatalog::new(false);
+        let empty = PartitionCatalog::new(crate::IndexMode::Off);
         let p = place_balanced(&empty, 3);
         assert_eq!(p.imbalance(), 1.0);
         assert_eq!(p.fanout(&empty, &[]), 0.0);
@@ -246,6 +246,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
-        place_balanced(&PartitionCatalog::new(false), 0);
+        place_balanced(&PartitionCatalog::new(crate::IndexMode::Off), 0);
     }
 }

@@ -1,11 +1,13 @@
 //! The Cinderella partition rating (§IV of the paper).
 
+use cind_bitset::FusedCounts;
 use cind_model::Synopsis;
 
 /// The raw ingredients of one entity/partition rating.
 ///
-/// All five counts come from two fused bitset passes over the synopses;
-/// sizes come from the partition catalog.
+/// All four set cardinalities come from a *single* fused word pass over the
+/// synopses ([`Synopsis::fused`] or the arena's word kernel); sizes come
+/// from the partition catalog.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct RatingInputs {
     /// `SIZE(e)`.
@@ -24,18 +26,22 @@ pub struct RatingInputs {
 
 impl RatingInputs {
     /// Computes the counts for an entity synopsis `e` against a partition
-    /// synopsis `p`, with the given sizes.
+    /// synopsis `p`, with the given sizes — one fused pass over the words.
     pub fn compute(e: &Synopsis, size_e: u64, p: &Synopsis, size_p: u64) -> Self {
-        let overlap = e.overlap(p);
-        let card_e = e.cardinality();
-        let card_p = p.cardinality();
+        Self::from_fused(e.fused(p), size_e, size_p)
+    }
+
+    /// The counts from an already-computed fused kernel result, with the
+    /// left operand the entity and the right the partition. This is the
+    /// arena sweep's entry point: the kernel ran on raw word rows.
+    pub fn from_fused(c: FusedCounts, size_e: u64, size_p: u64) -> Self {
         Self {
             size_e,
             size_p,
-            overlap,
-            entity_missing: card_p - overlap,
-            partition_missing: card_e - overlap,
-            union_count: card_e + card_p - overlap,
+            overlap: c.and,
+            entity_missing: c.right - c.and,
+            partition_missing: c.left - c.and,
+            union_count: c.or,
         }
     }
 }

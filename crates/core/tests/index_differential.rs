@@ -1,0 +1,201 @@
+//! Differential suite for the catalog's candidate index: the indexed
+//! rating scan against the full arena sweep, on randomized catalogs that
+//! see entity additions, removals, zero-size partitions, and splits
+//! (partition removal + redistribution onto fresh segments, which also
+//! exercises arena slot recycling).
+//!
+//! Contract (see `PartitionCatalog::best_partition`): whenever the best
+//! rating is non-negative — the only case Algorithm 1 acts on the returned
+//! partition — the indexed argmax equals the sweep argmax exactly,
+//! including the lowest-segment tie-break; when negative, both paths agree
+//! the best is negative (the caller creates a new partition either way).
+
+use cind_model::{EntityId, Synopsis};
+use cind_storage::SegmentId;
+use cinderella_core::{IndexMode, PartitionCatalog};
+use proptest::prelude::*;
+
+const UNIVERSE: usize = 24;
+
+fn syn(bits: &[u32]) -> Synopsis {
+    Synopsis::from_bits(UNIVERSE, bits.iter().copied())
+}
+
+/// One randomized catalog history, replayed identically on any mode.
+#[derive(Clone, Debug)]
+struct Script {
+    nparts: usize,
+    /// (attrs, size, partition pick) — size 0 makes zero-size members,
+    /// empty attrs make empty synopses.
+    entities: Vec<(Vec<u32>, u64, prop::sample::Index)>,
+    /// (partition pick, member pick) removals, applied best-effort.
+    removals: Vec<(prop::sample::Index, prop::sample::Index)>,
+    /// Partitions to split in two (remove + redistribute onto new segs).
+    splits: Vec<prop::sample::Index>,
+}
+
+/// Mirror member: (entity id, attrs, size).
+type Member = (u64, Vec<u32>, u64);
+
+/// Replays `script` on a fresh catalog of the given mode. Both modes see
+/// byte-identical mutation sequences, so any divergence is the index's.
+fn build(script: &Script, mode: IndexMode) -> PartitionCatalog {
+    let mut cat = PartitionCatalog::new(mode);
+    // Mirror of live partitions: (seg, members).
+    let mut live: Vec<(u32, Vec<Member>)> = Vec::new();
+    let mut next_seg = 0u32;
+    let mut next_id = 0u64;
+    for _ in 0..script.nparts {
+        cat.create_partition(SegmentId(next_seg));
+        live.push((next_seg, Vec::new()));
+        next_seg += 1;
+    }
+    for (attrs, size, pick) in &script.entities {
+        let slot = pick.index(live.len());
+        let (seg, members) = &mut live[slot];
+        let s = syn(attrs);
+        cat.add_entity(SegmentId(*seg), EntityId(next_id), &s, &s, *size, true);
+        members.push((next_id, attrs.clone(), *size));
+        next_id += 1;
+    }
+    for (ppick, mpick) in &script.removals {
+        let slot = ppick.index(live.len());
+        let (seg, members) = &mut live[slot];
+        if members.is_empty() {
+            continue;
+        }
+        let (id, attrs, size) = members.remove(mpick.index(members.len()));
+        let s = syn(&attrs);
+        let left = cat.remove_entity(SegmentId(*seg), EntityId(id), &s, &s, size);
+        if left == 0 {
+            // The partitioner drops empty partitions; mirror that so the
+            // sweep and the index both stop seeing them.
+            cat.remove_partition(SegmentId(*seg));
+            live.remove(slot);
+            if live.is_empty() {
+                cat.create_partition(SegmentId(next_seg));
+                live.push((next_seg, Vec::new()));
+                next_seg += 1;
+            }
+        }
+    }
+    for pick in &script.splits {
+        let slot = pick.index(live.len());
+        let (seg, members) = live[slot].clone();
+        if members.len() < 2 {
+            continue;
+        }
+        cat.remove_partition(SegmentId(seg));
+        live.remove(slot);
+        let (a, b) = (next_seg, next_seg + 1);
+        next_seg += 2;
+        cat.create_partition(SegmentId(a));
+        cat.create_partition(SegmentId(b));
+        let mut halves = (Vec::new(), Vec::new());
+        for (i, (id, attrs, size)) in members.into_iter().enumerate() {
+            let target = if i % 2 == 0 { a } else { b };
+            let s = syn(&attrs);
+            cat.add_entity(SegmentId(target), EntityId(id), &s, &s, size, true);
+            if i % 2 == 0 {
+                halves.0.push((id, attrs, size));
+            } else {
+                halves.1.push((id, attrs, size));
+            }
+        }
+        live.push((a, halves.0));
+        live.push((b, halves.1));
+    }
+    cat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_argmax_matches_full_scan(
+        nparts in 1usize..8,
+        entities in prop::collection::vec(
+            (
+                prop::collection::vec(0u32..UNIVERSE as u32, 0..5),
+                0u64..4,
+                any::<prop::sample::Index>(),
+            ),
+            1..60,
+        ),
+        removals in prop::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>()),
+            0..12,
+        ),
+        splits in prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+        probes in prop::collection::vec(
+            (prop::collection::vec(0u32..UNIVERSE as u32, 0..5), 0u64..4),
+            1..6,
+        ),
+    ) {
+        let script = Script { nparts, entities, removals, splits };
+        let plain = build(&script, IndexMode::Off);
+        let indexed = build(&script, IndexMode::On);
+        prop_assert_eq!(plain.len(), indexed.len());
+
+        for (attrs, size) in &probes {
+            let e = syn(attrs);
+            // 1.0 exercises the w = 1 fallback; the rest the indexed path.
+            for w in [0.0, 0.3, 0.7, 1.0] {
+                let (a, _) = plain.best_partition(&e, *size, w);
+                let (b, _) = indexed.best_partition(&e, *size, w);
+                let (sa, ra) = a.expect("catalog never empty");
+                let (sb, rb) = b.expect("catalog never empty");
+                if ra >= 0.0 {
+                    prop_assert_eq!(
+                        (sa, ra), (sb, rb),
+                        "probe {:?} size {} w {}", attrs, size, w
+                    );
+                } else {
+                    prop_assert!(
+                        rb < 0.0,
+                        "probe {:?} w {}: sweep {} vs indexed {}", attrs, w, ra, rb
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn survivor_bitmap_matches_disjoint_pruning(
+        nparts in 1usize..8,
+        entities in prop::collection::vec(
+            (
+                prop::collection::vec(0u32..UNIVERSE as u32, 0..5),
+                0u64..4,
+                any::<prop::sample::Index>(),
+            ),
+            1..60,
+        ),
+        removals in prop::collection::vec(
+            (any::<prop::sample::Index>(), any::<prop::sample::Index>()),
+            0..12,
+        ),
+        splits in prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+        queries in prop::collection::vec(
+            prop::collection::vec(0u32..UNIVERSE as u32, 0..4),
+            1..6,
+        ),
+    ) {
+        let script = Script { nparts, entities, removals, splits };
+        for mode in [IndexMode::On, IndexMode::Auto] {
+            let cat = build(&script, mode);
+            for qattrs in &queries {
+                let q = syn(qattrs);
+                let oracle: Vec<SegmentId> = cat
+                    .pruning_view()
+                    .filter(|(_, p, _)| !q.is_disjoint(p))
+                    .map(|(s, _, _)| s)
+                    .collect();
+                let (survivors, pruned) =
+                    cat.plan_survivors(&q).expect("index not off");
+                prop_assert_eq!(&survivors, &oracle, "query {:?}", qattrs);
+                prop_assert_eq!(pruned, cat.len() - survivors.len());
+            }
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Attribute-set synopses and the paper's set operators.
 
-use cind_bitset::{BitSetOps, FixedBitSet};
+use cind_bitset::{BitSetOps, FixedBitSet, FusedCounts};
 
 use crate::AttrId;
 
@@ -86,6 +86,14 @@ impl Synopsis {
         self.bits.or_count(&other.bits)
     }
 
+    /// All four rating cardinalities — `|self ∧ other|`, `|self ∨ other|`,
+    /// `|self|`, `|other|` — from one fused word pass. A full §IV rating
+    /// needs exactly these counts, so this is the one bitset call on the
+    /// insert hot path.
+    pub fn fused(&self, other: &Self) -> FusedCounts {
+        self.bits.fused_counts(&other.bits)
+    }
+
     /// `|self ⊕ other|` — the paper's `DIFF` for split-starter maintenance.
     pub fn diff(&self, other: &Self) -> u32 {
         self.bits.xor_count(&other.bits)
@@ -164,6 +172,17 @@ mod tests {
         assert!(s.contains(AttrId(3)));
         assert!(s.is_subset(&syn(&[3, 4])));
         assert!(!syn(&[3, 4]).is_subset(&s));
+    }
+
+    #[test]
+    fn fused_matches_the_separate_operators() {
+        let e = syn(&[0, 2, 8]);
+        let p = syn(&[0, 8, 3, 5]);
+        let c = e.fused(&p);
+        assert_eq!(c.and, e.overlap(&p));
+        assert_eq!(c.or, e.union_count(&p));
+        assert_eq!(c.left, e.cardinality());
+        assert_eq!(c.right, p.cardinality());
     }
 
     #[test]

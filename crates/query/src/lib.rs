@@ -63,6 +63,6 @@ pub mod selectivity;
 
 pub use cost::{estimate, CostEstimate};
 pub use executor::{execute, execute_collect, execute_parallel, QueryResult};
-pub use planner::{plan, plan_with, Parallelism, Plan};
+pub use planner::{plan, plan_from_survivors, plan_with, Parallelism, Plan};
 pub use query::Query;
 pub use selectivity::{selectivity, selectivity_of};

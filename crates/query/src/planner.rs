@@ -105,6 +105,21 @@ pub fn plan_with<'a>(
     Plan { segments, pruned, parallelism }
 }
 
+/// Builds the plan from a precomputed survivor set — the output of
+/// `cinderella_core::PartitionCatalog::plan_survivors`, which derives the
+/// same set as [`plan`]'s per-partition `|p ∧ q| = 0` test from the
+/// catalog's attribute-presence bitmaps in `O(|q| · P/64)` words instead of
+/// `O(P)` synopsis tests. The two are differential-tested against each
+/// other; [`plan`] stays the oracle and the fallback when the catalog index
+/// is off.
+///
+/// `segments` must be in catalog (ascending segment) order — the executor
+/// merges results deterministically in plan order.
+pub fn plan_from_survivors(segments: Vec<SegmentId>, pruned: usize) -> Plan {
+    debug_assert!(segments.windows(2).all(|w| w[0] < w[1]), "survivors not sorted");
+    Plan { segments, pruned, parallelism: Parallelism::Sequential }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +163,17 @@ mod tests {
         assert_eq!(Parallelism::Threads(4).workers(0), 1, "empty plan is fine");
         assert!(Parallelism::Auto.workers(64) >= 1);
         assert!(Parallelism::Auto.workers(2) <= 2);
+    }
+
+    #[test]
+    fn plan_from_survivors_builds_the_same_plan_shape() {
+        let p = plan_from_survivors(vec![SegmentId(0), SegmentId(2)], 2);
+        assert_eq!(p.segments, vec![SegmentId(0), SegmentId(2)]);
+        assert_eq!(p.pruned, 2);
+        assert!((p.pruned_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(p.parallelism, Parallelism::Sequential);
+        let empty = plan_from_survivors(Vec::new(), 0);
+        assert_eq!(empty.pruned_fraction(), 1.0);
     }
 
     #[test]

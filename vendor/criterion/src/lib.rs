@@ -10,6 +10,11 @@
 //! No statistical analysis, HTML reports, or baselines; good enough to
 //! compare configurations (e.g. sequential vs parallel execution) by eye
 //! or by script.
+//!
+//! For scripts, set `CRITERION_JSON=path` to additionally append one JSON
+//! line per benchmark (`{"name", "samples", "min_ns", "mean_ns", "max_ns"`,
+//! plus `"throughput_per_s"` when the group declares a [`Throughput`]`}`) —
+//! the format the repo's `BENCH_*.json` records are built from.
 
 #![forbid(unsafe_code)]
 
@@ -146,18 +151,56 @@ fn report(name: &str, times: &[Duration], throughput: Option<Throughput>) {
     let min = times.iter().min().copied().unwrap_or_default();
     let max = times.iter().max().copied().unwrap_or_default();
     let mean = times.iter().sum::<Duration>() / times.len() as u32;
-    let rate = throughput.map_or(String::new(), |t| match t {
-        Throughput::Elements(n) => {
-            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
-        }
-        Throughput::Bytes(n) => {
-            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
-        }
+    let per_sec = throughput.map(|t| match t {
+        Throughput::Elements(n) | Throughput::Bytes(n) => n as f64 / mean.as_secs_f64(),
     });
+    let rate = match (throughput, per_sec) {
+        (Some(Throughput::Elements(_)), Some(r)) => format!("  {r:>12.0} elem/s"),
+        (Some(Throughput::Bytes(_)), Some(r)) => format!("  {r:>12.0} B/s"),
+        _ => String::new(),
+    };
     println!(
         "{name:<50} [{:>10.3?} {:>10.3?} {:>10.3?}]{rate}",
         min, mean, max
     );
+    maybe_json(name, times, min, mean, max, per_sec);
+}
+
+/// When `CRITERION_JSON` names a file, appends the benchmark's summary as
+/// one JSON line — the ndjson feed harness scripts aggregate.
+fn maybe_json(
+    name: &str,
+    times: &[Duration],
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    per_sec: Option<f64>,
+) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    // Benchmark names are workspace-chosen (`group/function/param`) and
+    // never contain quotes or backslashes, so plain formatting is valid
+    // JSON here.
+    let mut line = format!(
+        "{{\"name\":\"{name}\",\"samples\":{},\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}",
+        times.len(),
+        min.as_nanos(),
+        mean.as_nanos(),
+        max.as_nanos(),
+    );
+    if let Some(rate) = per_sec {
+        line.push_str(&format!(",\"throughput_per_s\":{rate:.1}"));
+    }
+    line.push('}');
+    use std::io::Write;
+    let file = std::fs::OpenOptions::new().create(true).append(true).open(&path);
+    match file {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{line}");
+        }
+        Err(e) => eprintln!("criterion shim: cannot append to {path}: {e}"),
+    }
 }
 
 /// A named set of related benchmarks sharing configuration.
