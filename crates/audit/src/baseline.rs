@@ -1,0 +1,186 @@
+//! The panic-site baseline: a ratchet, not an allowlist.
+//!
+//! `audit-baseline.toml` records, per library file, how many
+//! `unwrap()`/`expect()`/`panic!` sites existed when the audit was
+//! introduced. CIND-A002 fails a file only when it *exceeds* its recorded
+//! count — new panic sites are rejected, old ones are tolerated until
+//! burned down. `cind-audit check --write-baseline` regenerates the file
+//! from the current tree, and refuses to grow any entry: the baseline only
+//! shrinks.
+//!
+//! The format is the flat subset of TOML this crate can parse without a
+//! dependency: comments, blank lines, and `"path" = count` pairs.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::Finding;
+
+/// Parses the baseline file; a missing file is an empty baseline.
+///
+/// # Errors
+/// `Err(message)` on unparseable lines or I/O failures other than
+/// not-found.
+pub fn read(path: &Path) -> Result<BTreeMap<String, u64>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(format!("reading {}: {e}", path.display())),
+    };
+    parse(&text).map_err(|(n, why)| format!("{}:{n}: {why}", path.display()))
+}
+
+/// Parses baseline text. Errors carry `(line number, reason)`.
+///
+/// # Errors
+/// Lines that are not comments, blanks, or `"path" = count`.
+pub fn parse(text: &str) -> Result<BTreeMap<String, u64>, (usize, &'static str)> {
+    let mut out = BTreeMap::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) =
+            line.split_once('=').ok_or((n + 1, "expected `\"path\" = count`"))?;
+        let key = key.trim().trim_matches('"');
+        if key.is_empty() {
+            return Err((n + 1, "empty path"));
+        }
+        let count: u64 =
+            value.trim().parse().map_err(|_| (n + 1, "count is not an integer"))?;
+        out.insert(key.to_owned(), count);
+    }
+    Ok(out)
+}
+
+/// Renders a baseline in the format [`parse`] reads, sorted by path.
+#[must_use]
+pub fn render(counts: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from(
+        "# cind-audit panic-site baseline (rule CIND-A002).\n\
+         # Counts only shrink: burn a site down, then regenerate with\n\
+         # `cargo run -p cind-audit -- check --write-baseline`.\n",
+    );
+    for (path, count) in counts {
+        out.push_str(&format!("\"{path}\" = {count}\n"));
+    }
+    out
+}
+
+/// Filters raw CIND-A002 findings through the baseline: a file at or under
+/// its recorded count is clean; a file over it reports every site, plus a
+/// summary line naming the budget.
+#[must_use]
+pub fn apply(raw: Vec<Finding>, baseline: &BTreeMap<String, u64>) -> Vec<Finding> {
+    let mut by_file: BTreeMap<&str, Vec<&Finding>> = BTreeMap::new();
+    for f in &raw {
+        by_file.entry(&f.file).or_default().push(f);
+    }
+    let mut out = Vec::new();
+    for (file, findings) in by_file {
+        let allowed = baseline.get(file).copied().unwrap_or(0);
+        if findings.len() as u64 > allowed {
+            out.push(Finding {
+                file: file.to_owned(),
+                line: findings[0].line,
+                rule: "CIND-A002",
+                message: format!(
+                    "{} panic sites but the baseline allows {allowed} \
+                     (shrink, or burn down and --write-baseline)",
+                    findings.len()
+                ),
+            });
+            out.extend(findings.into_iter().cloned());
+        }
+    }
+    out
+}
+
+/// Computes the new baseline from raw findings, enforcing the ratchet:
+/// no entry may exceed the old baseline.
+///
+/// # Errors
+/// `Err(files)` naming files whose count grew.
+pub fn shrink(
+    raw: &[Finding],
+    old: &BTreeMap<String, u64>,
+) -> Result<BTreeMap<String, u64>, Vec<String>> {
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for f in raw {
+        *counts.entry(f.file.clone()).or_default() += 1;
+    }
+    let grew: Vec<String> = counts
+        .iter()
+        .filter(|(file, &n)| n > old.get(*file).copied().unwrap_or(0) && !old.is_empty())
+        .map(|(file, &n)| {
+            format!("{file}: {n} > {}", old.get(file).copied().unwrap_or(0))
+        })
+        .collect();
+    if grew.is_empty() {
+        Ok(counts)
+    } else {
+        Err(grew)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule: "CIND-A002",
+            message: "`unwrap()` in library code".into(),
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_render() {
+        let mut b = BTreeMap::new();
+        b.insert("crates/a/src/lib.rs".to_owned(), 3);
+        b.insert("crates/b/src/x.rs".to_owned(), 1);
+        assert_eq!(parse(&render(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("not a pair").is_err());
+        assert!(parse("\"x\" = lots").is_err());
+        assert_eq!(parse("# only comments\n\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn apply_suppresses_at_or_under_budget_and_reports_over() {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("a.rs".to_owned(), 2);
+        // Exactly at budget: clean.
+        let clean = apply(vec![finding("a.rs", 1), finding("a.rs", 9)], &baseline);
+        assert!(clean.is_empty(), "{clean:?}");
+        // One over: the summary plus all three sites surface.
+        let over = apply(
+            vec![finding("a.rs", 1), finding("a.rs", 9), finding("a.rs", 20)],
+            &baseline,
+        );
+        assert_eq!(over.len(), 4, "{over:?}");
+        assert!(over[0].message.contains("3 panic sites"), "{}", over[0].message);
+        // A file absent from the baseline has budget zero.
+        let unknown = apply(vec![finding("new.rs", 5)], &baseline);
+        assert_eq!(unknown.len(), 2);
+    }
+
+    #[test]
+    fn shrink_refuses_to_grow() {
+        let mut old = BTreeMap::new();
+        old.insert("a.rs".to_owned(), 1);
+        let grown = shrink(&[finding("a.rs", 1), finding("a.rs", 2)], &old);
+        assert!(grown.is_err());
+        let shrunk = shrink(&[finding("a.rs", 1)], &old).unwrap();
+        assert_eq!(shrunk.get("a.rs"), Some(&1));
+        // First-ever baseline (old empty) records freely.
+        let fresh = shrink(&[finding("a.rs", 1), finding("a.rs", 2)], &BTreeMap::new());
+        assert_eq!(fresh.unwrap().get("a.rs"), Some(&2));
+    }
+}

@@ -1,0 +1,119 @@
+#![forbid(unsafe_code)]
+//! `cind-audit` binary: `cargo run -p cind-audit -- check`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cind_audit::{baseline, rules, run_all};
+
+const USAGE: &str = "\
+cind-audit — workspace lint pass for the Cinderella codebase
+
+USAGE:
+  cind-audit check [--format text|json] [--write-baseline] [--root DIR]
+
+Exit status: 0 clean, 1 findings, 2 usage/IO error.
+--write-baseline regenerates audit-baseline.toml from the current tree
+(refusing to grow any entry: the panic baseline only shrinks).";
+
+fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
+    explicit.unwrap_or_else(|| {
+        // crates/audit -> crates -> workspace root.
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    let mut saw_check = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" => saw_check = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => return Err(format!("bad --format {other:?}\n\n{USAGE}")),
+            },
+            "--write-baseline" => write_baseline = true,
+            "--root" => {
+                root = Some(PathBuf::from(
+                    it.next().ok_or_else(|| format!("--root needs a value\n\n{USAGE}"))?,
+                ));
+            }
+            "help" | "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument {other}\n\n{USAGE}")),
+        }
+    }
+    if !saw_check {
+        return Err(USAGE.to_owned());
+    }
+
+    let root = workspace_root(root);
+    let files = load(&root)?;
+    let baseline_path = root.join("audit-baseline.toml");
+    let old_baseline = baseline::read(&baseline_path)?;
+
+    if write_baseline {
+        let raw = rules::panic_sites(&files);
+        let new = baseline::shrink(&raw, &old_baseline).map_err(|grew| {
+            format!(
+                "refusing to grow the panic baseline:\n  {}",
+                grew.join("\n  ")
+            )
+        })?;
+        std::fs::write(&baseline_path, baseline::render(&new))
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "wrote {} ({} files, {} sites)",
+            baseline_path.display(),
+            new.len(),
+            new.values().sum::<u64>()
+        );
+    }
+
+    let current_baseline =
+        if write_baseline { baseline::read(&baseline_path)? } else { old_baseline };
+    let findings = run_all(&files, &current_baseline);
+    if json {
+        let objects: Vec<String> = findings.iter().map(cind_audit::Finding::to_json).collect();
+        println!("[{}]", objects.join(","));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "cind-audit: {} finding{} over {} files",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            files.len()
+        );
+    }
+    Ok(findings.is_empty())
+}
+
+fn load(root: &Path) -> Result<Vec<cind_audit::SourceFile>, String> {
+    let files = cind_audit::load_workspace(root)
+        .map_err(|e| format!("loading workspace at {}: {e}", root.display()))?;
+    if files.is_empty() {
+        return Err(format!("no sources under {} — wrong --root?", root.display()));
+    }
+    Ok(files)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

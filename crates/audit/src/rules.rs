@@ -1,0 +1,493 @@
+//! The five audit rules. Each takes the loaded workspace and returns
+//! machine-readable [`Finding`]s; each has a self-test seeding the
+//! violation it exists to catch.
+
+use crate::scan::{line_of, lines};
+use crate::{Finding, SourceFile};
+
+/// CIND-A001: every crate root (`src/lib.rs`, `src/main.rs`,
+/// `src/bin/*.rs`) declares `#![forbid(unsafe_code)]`.
+///
+/// `forbid` (not `deny`) so no inner module can re-allow it: the engine's
+/// concurrency claims (sharded pool, parallel scan) rest on the borrow
+/// checker, and this keeps that audit-enforced rather than convention.
+#[must_use]
+pub fn forbid_unsafe(files: &[SourceFile]) -> Vec<Finding> {
+    files
+        .iter()
+        .filter(|f| is_crate_root(&f.path))
+        .filter(|f| !f.code.contains("#![forbid(unsafe_code)]"))
+        .map(|f| Finding {
+            file: f.path.clone(),
+            line: 1,
+            rule: "CIND-A001",
+            message: "crate root is missing #![forbid(unsafe_code)]".into(),
+        })
+        .collect()
+}
+
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("/src/lib.rs")
+        || path.ends_with("/src/main.rs")
+        || path == "src/lib.rs"
+        || path == "src/main.rs"
+        || (path.contains("/src/bin/") && path.ends_with(".rs"))
+}
+
+/// CIND-A002, raw pass: every `unwrap()`/`expect()`/`panic!` site in
+/// non-test library code. The caller nets these against the baseline
+/// ([`crate::baseline::apply`]); binaries (`main.rs`, `src/bin/`) are out
+/// of scope — the rule protects code other crates link against.
+#[must_use]
+pub fn panic_sites(files: &[SourceFile]) -> Vec<Finding> {
+    const TOKENS: [&str; 3] = [".unwrap()", ".expect(", "panic!"];
+    let mut out = Vec::new();
+    for f in files {
+        if !is_library_code(&f.path) {
+            continue;
+        }
+        for (n, line) in lines(&f.code) {
+            for tok in TOKENS {
+                for _ in line.matches(tok) {
+                    out.push(Finding {
+                        file: f.path.clone(),
+                        line: n,
+                        rule: "CIND-A002",
+                        message: format!("`{tok}` in library code"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_library_code(path: &str) -> bool {
+    !path.ends_with("/main.rs") && !path.contains("/src/bin/")
+}
+
+/// CIND-A003: lock discipline in `cind-storage`'s buffer pool.
+///
+/// Two checks over `crates/storage/src/buffer.rs`:
+///
+/// 1. **One shard latch at a time.** A `let`-bound guard from `.lock(` is
+///    considered held until its enclosing block closes; any further
+///    `.lock(` while one is held is a deadlock-shaped bug (shard order is
+///    caller-dependent). Temporary guards (`shard.lock().…` in expression
+///    position) are checked against held guards but do not themselves
+///    hold past their statement.
+/// 2. **`IoStats` only via its atomic API.** A direct assignment
+///    (`stats.<field> =`, `+=`, …) would need `&mut` and would un-share
+///    the pool; the counters must go through `fetch_add`-style methods.
+#[must_use]
+pub fn lock_discipline(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !f.path.ends_with("storage/src/buffer.rs") {
+            continue;
+        }
+        out.extend(nested_lock_findings(f));
+        out.extend(stats_write_findings(f));
+    }
+    out
+}
+
+fn nested_lock_findings(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let code = f.code.as_bytes();
+    let mut depth: usize = 0;
+    // Brace depths at which a let-bound guard is currently held.
+    let mut held: Vec<usize> = Vec::new();
+    // Whether the current statement began with `let` (guard will be bound).
+    let mut stmt_is_let = false;
+    let mut i = 0;
+    while i < code.len() {
+        match code[i] {
+            b'{' => {
+                depth += 1;
+                stmt_is_let = false;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                held.retain(|&d| d <= depth);
+                stmt_is_let = false;
+            }
+            b';' => stmt_is_let = false,
+            b'l' if f.code[i..].starts_with("let")
+                && !prev_is_ident(code, i)
+                && code.get(i + 3).is_some_and(|c| c.is_ascii_whitespace()) =>
+            {
+                stmt_is_let = true;
+            }
+            b'.' if f.code[i..].starts_with(".lock(") => {
+                if !held.is_empty() {
+                    out.push(Finding {
+                        file: f.path.clone(),
+                        line: line_of(&f.code, i),
+                        rule: "CIND-A003",
+                        message: "shard latch acquired while another is held \
+                                  (guards must drop before the next .lock())"
+                            .into(),
+                    });
+                }
+                if stmt_is_let {
+                    held.push(depth);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+fn prev_is_ident(code: &[u8], i: usize) -> bool {
+    i > 0 && (code[i - 1].is_ascii_alphanumeric() || code[i - 1] == b'_')
+}
+
+fn stats_write_findings(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (n, line) in lines(&f.code) {
+        let mut from = 0;
+        while let Some(pos) = line[from..].find("stats.") {
+            let at = from + pos;
+            let rest = &line[at + "stats.".len()..];
+            let field_len =
+                rest.bytes().take_while(|c| c.is_ascii_alphanumeric() || *c == b'_').count();
+            let after = rest[field_len..].trim_start();
+            let direct_write = (after.starts_with('=') && !after.starts_with("=="))
+                || after.starts_with("+=")
+                || after.starts_with("-=");
+            if field_len > 0 && direct_write {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line: n,
+                    rule: "CIND-A003",
+                    message: format!(
+                        "IoStats field `{}` written directly; use the atomic API",
+                        &rest[..field_len]
+                    ),
+                });
+            }
+            from = at + "stats.".len();
+        }
+    }
+    out
+}
+
+/// CIND-A004: every field of `cinderella_core::Config` is doc-commented
+/// and reachable from the CLI as `--kebab-case-name`.
+///
+/// The struct is parsed from `crates/core/src/config.rs` raw text (doc
+/// comments do not survive the code view); the flag search runs over the
+/// raw text of `crates/cli/src` so usage strings count as wiring evidence
+/// alongside `args.get("…")` parsing.
+#[must_use]
+pub fn config_coverage(files: &[SourceFile]) -> Vec<Finding> {
+    let Some(config) = files.iter().find(|f| f.path.ends_with("core/src/config.rs")) else {
+        return Vec::new(); // synthetic trees without the crate: nothing to check
+    };
+    let cli_text: String = files
+        .iter()
+        .filter(|f| f.path.contains("cli/src/"))
+        .map(|f| f.raw.as_str())
+        .collect();
+    let mut out = Vec::new();
+    for field in config_fields(&config.raw) {
+        if !field.documented {
+            out.push(Finding {
+                file: config.path.clone(),
+                line: field.line,
+                rule: "CIND-A004",
+                message: format!("Config field `{}` has no doc comment", field.name),
+            });
+        }
+        let flag = format!("--{}", field.name.replace('_', "-"));
+        if !cli_text.contains(&flag) {
+            out.push(Finding {
+                file: config.path.clone(),
+                line: field.line,
+                rule: "CIND-A004",
+                message: format!(
+                    "Config field `{}` is not wired to a `{flag}` CLI flag",
+                    field.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+struct ConfigField {
+    name: String,
+    line: usize,
+    documented: bool,
+}
+
+/// Extracts `pub <name>:` fields of `pub struct Config { … }` with their
+/// line numbers and whether a `///` line directly precedes them.
+fn config_fields(raw: &str) -> Vec<ConfigField> {
+    let mut out = Vec::new();
+    let all: Vec<&str> = raw.lines().collect();
+    let Some(start) = all.iter().position(|l| l.trim_start().starts_with("pub struct Config {"))
+    else {
+        return out;
+    };
+    let mut depth = 0usize;
+    for (off, line) in all[start..].iter().enumerate() {
+        depth += line.matches('{').count();
+        depth = depth.saturating_sub(line.matches('}').count());
+        if off > 0 && depth == 0 {
+            break;
+        }
+        let trimmed = line.trim_start();
+        if off > 0 && depth == 1 && trimmed.starts_with("pub ") {
+            if let Some(name) = trimmed
+                .strip_prefix("pub ")
+                .and_then(|r| r.split_once(':'))
+                .map(|(n, _)| n.trim())
+            {
+                if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    let documented = all[start + off - 1].trim_start().starts_with("///");
+                    out.push(ConfigField {
+                        name: name.to_owned(),
+                        line: start + off + 1,
+                        documented,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// CIND-A005: deterministic replay and planning paths never read the wall
+/// clock. WAL replay, snapshot restore, query planning, and the catalog's
+/// split/rating machinery must produce identical results run-to-run; an
+/// `Instant::now()` that leaks into a decision breaks replayability.
+#[must_use]
+pub fn no_wall_clock(files: &[SourceFile]) -> Vec<Finding> {
+    const DETERMINISTIC: [&str; 7] = [
+        "storage/src/wal.rs",
+        "storage/src/persist.rs",
+        "query/src/planner.rs",
+        "core/src/catalog.rs",
+        "core/src/arena.rs",
+        "core/src/rating.rs",
+        "core/src/placement.rs",
+    ];
+    const CLOCKS: [&str; 2] = ["Instant::now", "SystemTime"];
+    let mut out = Vec::new();
+    for f in files {
+        if !DETERMINISTIC.iter().any(|d| f.path.ends_with(d)) {
+            continue;
+        }
+        for (n, line) in lines(&f.code) {
+            for clock in CLOCKS {
+                if line.contains(clock) {
+                    out.push(Finding {
+                        file: f.path.clone(),
+                        line: n,
+                        rule: "CIND-A005",
+                        message: format!("`{clock}` in a deterministic replay/plan path"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, raw: &str) -> SourceFile {
+        SourceFile::new(path, raw)
+    }
+
+    // ---- CIND-A001 -----------------------------------------------------
+
+    #[test]
+    fn a001_catches_missing_forbid_and_accepts_present() {
+        let bad = file("crates/x/src/lib.rs", "//! docs\npub fn f() {}\n");
+        let good =
+            file("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n");
+        let non_root = file("crates/x/src/inner.rs", "pub fn f() {}\n");
+        let found = forbid_unsafe(&[bad, non_root]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "CIND-A001");
+        assert_eq!(found[0].line, 1);
+        assert!(forbid_unsafe(&[good]).is_empty());
+    }
+
+    #[test]
+    fn a001_covers_bin_targets_and_root_package() {
+        let bins = [
+            file("crates/bench/src/bin/fig4.rs", "fn main() {}\n"),
+            file("crates/cli/src/main.rs", "fn main() {}\n"),
+            file("src/lib.rs", "pub mod x;\n"),
+        ];
+        assert_eq!(forbid_unsafe(&bins).len(), 3);
+    }
+
+    // ---- CIND-A002 -----------------------------------------------------
+
+    #[test]
+    fn a002_counts_sites_in_library_code_only() {
+        let lib = file(
+            "crates/x/src/lib.rs",
+            "fn f(x: Option<u8>) { x.unwrap(); }\n\
+             fn g(x: Option<u8>) { x.expect(\"reason\"); panic!(\"boom\"); }\n\
+             #[cfg(test)]\nmod tests { fn t() { None::<u8>.unwrap(); } }\n",
+        );
+        let main = file("crates/x/src/main.rs", "fn main() { None::<u8>.unwrap(); }\n");
+        let found = panic_sites(&[lib, main]);
+        assert_eq!(found.len(), 3, "{found:?}");
+        assert!(found.iter().all(|f| f.rule == "CIND-A002"));
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].line, 2);
+        assert!(found.iter().all(|f| f.file.ends_with("lib.rs")), "binaries exempt");
+    }
+
+    #[test]
+    fn a002_ignores_comments_doc_examples_and_strings() {
+        let lib = file(
+            "crates/x/src/lib.rs",
+            "/// ```\n/// x.unwrap();\n/// ```\n\
+             // a comment saying panic!\n\
+             fn f() { let s = \"don't .unwrap() me\"; let _ = s; }\n",
+        );
+        assert!(panic_sites(&[lib]).is_empty());
+    }
+
+    // ---- CIND-A003 -----------------------------------------------------
+
+    #[test]
+    fn a003_catches_nested_shard_lock() {
+        let bad = file(
+            "crates/storage/src/buffer.rs",
+            "impl P {\n\
+             fn steal(&self) {\n\
+                 let mut g = self.shards[0].lock().unwrap();\n\
+                 let other = self.shards[1].lock().unwrap();\n\
+                 g.merge(other);\n\
+             }\n\
+             }\n",
+        );
+        let found = lock_discipline(&[bad]);
+        let nested: Vec<_> =
+            found.iter().filter(|f| f.message.contains("latch")).collect();
+        assert_eq!(nested.len(), 1, "{found:?}");
+        assert_eq!(nested[0].line, 4);
+        assert_eq!(nested[0].rule, "CIND-A003");
+    }
+
+    #[test]
+    fn a003_allows_sequential_per_shard_locking() {
+        let good = file(
+            "crates/storage/src/buffer.rs",
+            "impl P {\n\
+             fn sweep(&self) {\n\
+                 for shard in self.shards.iter() {\n\
+                     let g = shard.lock().unwrap();\n\
+                     g.touch();\n\
+                 }\n\
+             }\n\
+             fn count(&self) -> usize {\n\
+                 self.shards.iter().map(|s| s.lock().unwrap().len()).sum()\n\
+             }\n\
+             }\n",
+        );
+        let found = nested_lock_findings(&good);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn a003_catches_direct_stats_write_but_not_atomic_api() {
+        let bad = file(
+            "crates/storage/src/buffer.rs",
+            "fn f(&self, hit: bool) {\n\
+                 self.stats.logical_reads += 1;\n\
+                 self.stats.evictions = 9;\n\
+                 if self.stats.hits == 0 {}\n\
+                 self.stats.record_access(hit, false);\n\
+             }\n",
+        );
+        let found = stats_write_findings(&bad);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert_eq!((found[0].line, found[1].line), (2, 3));
+        assert!(found[0].message.contains("logical_reads"));
+    }
+
+    #[test]
+    fn a003_only_fires_on_the_buffer_pool() {
+        let elsewhere = file(
+            "crates/core/src/catalog.rs",
+            "fn f(&self) { let a = x.lock().unwrap(); let b = y.lock().unwrap(); }\n",
+        );
+        assert!(lock_discipline(&[elsewhere]).is_empty());
+    }
+
+    // ---- CIND-A004 -----------------------------------------------------
+
+    fn config_src(with_doc: bool) -> String {
+        format!(
+            "pub struct Config {{\n\
+             {}    pub weight: f64,\n\
+             \x20   /// Capacity B.\n\
+             \x20   pub max_size: u64,\n\
+             }}\n",
+            if with_doc { "    /// Weight w.\n" } else { "" }
+        )
+    }
+
+    #[test]
+    fn a004_catches_undocumented_and_unwired_fields() {
+        let config = file("crates/core/src/config.rs", &config_src(false));
+        let cli = file("crates/cli/src/main.rs", "const USAGE: &str = \"--max-size N\";\n");
+        let found = config_coverage(&[config, cli]);
+        // `weight`: undocumented AND unwired; `max_size`: wired + documented.
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found[0].message.contains("doc comment"), "{found:?}");
+        assert!(found[1].message.contains("--weight"), "{found:?}");
+        assert!(found.iter().all(|f| f.rule == "CIND-A004"));
+    }
+
+    #[test]
+    fn a004_accepts_documented_wired_fields() {
+        let config = file("crates/core/src/config.rs", &config_src(true));
+        let cli = file(
+            "crates/cli/src/main.rs",
+            "const USAGE: &str = \"--weight W --max-size N\";\n",
+        );
+        assert!(config_coverage(&[config, cli]).is_empty());
+    }
+
+    // ---- CIND-A005 -----------------------------------------------------
+
+    #[test]
+    fn a005_catches_wall_clock_in_deterministic_paths_only() {
+        let planner = file(
+            "crates/query/src/planner.rs",
+            "fn plan() { let t0 = std::time::Instant::now(); let _ = t0; }\n",
+        );
+        let executor = file(
+            "crates/query/src/executor.rs",
+            "fn run() { let t0 = std::time::Instant::now(); let _ = t0; }\n",
+        );
+        let found = no_wall_clock(&[planner, executor]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "CIND-A005");
+        assert!(found[0].file.ends_with("planner.rs"), "timing code elsewhere is fine");
+    }
+
+    #[test]
+    fn a005_catches_system_time_in_wal() {
+        let wal = file(
+            "crates/storage/src/wal.rs",
+            "fn stamp() { let _ = std::time::SystemTime::now(); }\n",
+        );
+        assert_eq!(no_wall_clock(&[wal]).len(), 1);
+    }
+}

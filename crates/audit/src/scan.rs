@@ -1,0 +1,285 @@
+//! Length-preserving source transforms: blank comments, string literals,
+//! and `#[cfg(test)]` regions so rules can match tokens without a parser.
+//!
+//! Everything here replaces text with spaces rather than removing it, so a
+//! byte offset in the transformed text is the same line and column in the
+//! file — findings point at real locations.
+
+/// Blanks comments (`//…`, `/* … */` with nesting, incl. doc comments),
+/// string literals (`"…"` with escapes, raw `r#"…"#`), and character
+/// literals, preserving newlines and length.
+#[must_use]
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b'
+                if is_raw_string_start(b, i) =>
+            {
+                // r"…", r#"…"#, br#"…"#: count hashes, blank to the
+                // matching `"#…#` terminator.
+                let mut j = i + 1;
+                if b[j] == b'r' {
+                    j += 1;
+                }
+                let hash_start = j;
+                while j < b.len() && b[j] == b'#' {
+                    j += 1;
+                }
+                let hashes = j - hash_start;
+                debug_assert_eq!(b[j], b'"');
+                j += 1;
+                // Find `"` followed by `hashes` hashes.
+                while j < b.len() {
+                    if b[j] == b'"' && b[j + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+                    {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    j += 1;
+                }
+                for c in &mut out[i..j.min(b.len())] {
+                    if *c != b'\n' {
+                        *c = b' ';
+                    }
+                }
+                i = j;
+            }
+            b'"' | b'b' if b[i] == b'"' || (b[i] == b'b' && b.get(i + 1) == Some(&b'"')) => {
+                if b[i] == b'b' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+                out[i] = b' ';
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        out[i] = b' ';
+                        if i + 1 < b.len() && b[i + 1] != b'\n' {
+                            out[i + 1] = b' ';
+                        }
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out[i] = b' ';
+                        i += 1;
+                        break;
+                    } else {
+                        if b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs. lifetime: `'x'` / `'\n'` are literals,
+                // `'a` in `<'a>` is not.
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char: blank through the closing quote.
+                    out[i] = b' ';
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        out[i] = b' ';
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        out[i] = b' ';
+                        i += 1;
+                    }
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    out[i + 2] = b' ';
+                    i += 3;
+                } else {
+                    i += 1; // lifetime; leave it
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // r"…" | r#"…" | br"…" | br#"…"
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) != Some(&b'r') {
+            return false;
+        }
+    }
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+        // Reject identifiers like `for` / `expr` ending in r before a
+        // string: require `r` to start a token.
+        && (i == 0 || !b[i - 1].is_ascii_alphanumeric() && b[i - 1] != b'_')
+}
+
+/// Blanks every `#[cfg(test)]`-attributed item in already-stripped text:
+/// from the attribute through the item's matching `}` (or `;` for non-block
+/// items). Input must come from [`strip_comments_and_strings`] so braces
+/// inside strings cannot unbalance the walk.
+#[must_use]
+pub fn mask_test_regions(stripped: &str) -> String {
+    const ATTR: &str = "#[cfg(test)]";
+    let mut out = stripped.as_bytes().to_vec();
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(ATTR) {
+        let start = from + pos;
+        // Walk forward to the end of the attributed item: the matching `}`
+        // of its first brace, or a `;` seen before any brace.
+        let bytes = stripped.as_bytes();
+        let mut j = start + ATTR.len();
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = j + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for c in &mut out[start..end] {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+        from = end;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The full code view: comments and strings stripped, test regions masked.
+#[must_use]
+pub fn code_view(raw: &str) -> String {
+    mask_test_regions(&strip_comments_and_strings(raw))
+}
+
+/// Yields `(1-based line number, line)` pairs.
+pub fn lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().map(|(i, l)| (i + 1, l))
+}
+
+/// 1-based line number of byte offset `at`.
+#[must_use]
+pub fn line_of(text: &str, at: usize) -> usize {
+    text.as_bytes()[..at.min(text.len())].iter().filter(|&&c| c == b'\n').count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_doc_comments() {
+        let s = strip_comments_and_strings("let x = 1; // c.unwrap()\n/// doc panic!\nlet y;");
+        assert!(!s.contains("unwrap"), "{s}");
+        assert!(!s.contains("panic"), "{s}");
+        assert!(s.contains("let y;"));
+        assert_eq!(s.lines().count(), 3, "line structure preserved");
+    }
+
+    #[test]
+    fn strips_nested_block_comments_and_strings() {
+        let s = strip_comments_and_strings(
+            "a /* outer /* inner */ still */ b \"str with } and \\\" quote\" c",
+        );
+        assert!(!s.contains("inner") && !s.contains("still"), "{s}");
+        assert!(!s.contains('}'), "{s}");
+        assert!(s.contains('a') && s.contains('b') && s.contains('c'));
+    }
+
+    #[test]
+    fn strips_raw_strings_and_char_literals() {
+        let s = strip_comments_and_strings("r#\"raw \" panic!\"# '{' 'a' <'a, 'b> '\\n'");
+        assert!(!s.contains("panic"), "{s}");
+        assert!(!s.contains('{'), "{s}");
+        assert!(s.contains("<'a, 'b>"), "lifetimes survive: {s}");
+    }
+
+    #[test]
+    fn masks_cfg_test_mod_but_not_library_code() {
+        let src = "\
+fn real() { maybe.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); panic!(); }
+}
+fn also_real() {}
+";
+        let v = code_view(src);
+        assert!(v.contains("fn real"), "{v}");
+        assert!(v.contains("maybe.unwrap()"), "{v}");
+        assert!(v.contains("fn also_real"), "{v}");
+        assert!(!v.contains("fn t"), "{v}");
+        assert!(!v.contains("panic!"), "{v}");
+        assert_eq!(v.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masks_cfg_test_on_statement_without_eating_rest_of_file() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let v = code_view(src);
+        assert!(!v.contains("foo::bar"), "{v}");
+        assert!(v.contains("fn real"), "{v}");
+    }
+
+    #[test]
+    fn line_of_counts_newlines() {
+        let t = "a\nbb\nccc";
+        assert_eq!(line_of(t, 0), 1);
+        assert_eq!(line_of(t, 2), 2);
+        assert_eq!(line_of(t, t.len() - 1), 3);
+    }
+}

@@ -28,6 +28,15 @@ pub trait Partitioner {
         self.pruning_view().len()
     }
 
+    /// Deep structural self-check against the stored table, one diagnostic
+    /// per violated invariant. The stateless baselines have nothing to
+    /// cross-check and report clean by default; Cinderella routes this to
+    /// its full catalog/arena/index validator so policy-generic tests can
+    /// assert structural health without downcasting.
+    fn validate_structure(&self, _table: &UniversalTable) -> Vec<String> {
+        Vec::new()
+    }
+
     /// Bulk-loads a batch by repeated insert (policies with batch knowledge
     /// override this).
     fn load(
@@ -65,6 +74,13 @@ impl Partitioner for Cinderella {
     fn partition_count(&self) -> usize {
         self.catalog().len()
     }
+
+    fn validate_structure(&self, table: &UniversalTable) -> Vec<String> {
+        match Cinderella::validate(self, table) {
+            Ok(violations) => violations.iter().map(ToString::to_string).collect(),
+            Err(e) => vec![format!("validation scan failed: {e}")],
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +102,7 @@ mod tests {
         assert_eq!(view.len(), 1);
         assert!(view[0].1.contains(a));
         assert_eq!(view[0].2, 1);
+        assert!(p.validate_structure(&table).is_empty());
         let removed = p.delete(&mut table, EntityId(1)).unwrap();
         assert_eq!(removed.id(), EntityId(1));
         assert_eq!(p.partition_count(), 0);

@@ -23,6 +23,8 @@
 //!    workload B — vs entity-based partitioning, which §II predicts is
 //!    "more general and robust".
 
+#![forbid(unsafe_code)]
+
 use cind_baselines::{
     HashPartitioner, OfflineClustering, OfflineConfig, Partitioner, RangePartitioner,
     Unpartitioned,

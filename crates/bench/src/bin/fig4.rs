@@ -6,6 +6,8 @@
 //! entity, eleven on > 30 %, 85 % of attributes on < 10 %, entity arity
 //! mostly 2–15 with a tail to ~27, overall sparseness ≈ 0.94.
 
+#![forbid(unsafe_code)]
+
 use cind_bench::{dbpedia_dataset, ExperimentEnv};
 use cind_metrics::Table;
 use cind_storage::UniversalTable;

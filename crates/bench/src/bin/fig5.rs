@@ -8,6 +8,8 @@
 //! selectivity ≈ 0.2 (early pruning), the universal table is flat, small B
 //! helps very selective queries but adds union overhead for broad ones.
 
+#![forbid(unsafe_code)]
+
 use cind_baselines::{Partitioner, Unpartitioned};
 use cind_bench::{
     cinderella, dbpedia_dataset, load, measure_queries_with, ms, representative_queries,

@@ -6,6 +6,8 @@
 //! partitions — slightly better for very unselective queries. The paper
 //! finds w = 0.2 a good balance for DBpedia.
 
+#![forbid(unsafe_code)]
+
 use cind_baselines::{Partitioner, Unpartitioned};
 use cind_bench::{
     cinderella, dbpedia_dataset, load, measure_queries_with, ms, representative_queries,

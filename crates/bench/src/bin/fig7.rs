@@ -7,6 +7,8 @@
 //! (d) sparseness per partition (0 at w = 0, growing with w, mostly below
 //!     the data set's overall 0.94).
 
+#![forbid(unsafe_code)]
+
 use cind_bench::{cinderella, dbpedia_dataset, load, ms, ExperimentEnv};
 use cind_metrics::{PartitioningReport, Table};
 use cind_metrics::partition_stats::PartitionNumbers;

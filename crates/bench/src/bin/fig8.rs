@@ -7,6 +7,8 @@
 //! 448 / 100 / 0 for B = 500 / 5000 / 50000 at 100 k entities) while the
 //! *cost* of each split grows with B.
 
+#![forbid(unsafe_code)]
+
 use cind_bench::{dbpedia_dataset, load, ms, ExperimentEnv};
 use cind_metrics::{LatencyHistogram, Table};
 use cind_storage::UniversalTable;

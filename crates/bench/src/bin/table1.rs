@@ -9,6 +9,8 @@
 //! does. Expected shape: overhead within a few percent, shrinking as B
 //! grows (fewer partitions to union).
 
+#![forbid(unsafe_code)]
+
 use cind_baselines::Partitioner;
 use cind_bench::{cinderella, ms, ExperimentEnv};
 use cind_datagen::{tpch_query_columns, TpchConfig, TpchGenerator};

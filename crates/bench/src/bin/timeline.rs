@@ -9,6 +9,8 @@
 //! efficiency, partition count, and mean partition fill at checkpoints,
 //! with and without the merge-pass maintenance extension during decay.
 
+#![forbid(unsafe_code)]
+
 use cind_bench::{dbpedia_dataset, representative_queries, ExperimentEnv};
 use cind_metrics::Table;
 use cind_model::{Entity, EntityId, Synopsis};

@@ -2,10 +2,12 @@
 
 use std::path::Path;
 
-use cind_model::Value;
+use cind_model::{AttributeCatalog, SizeModel, Value};
 use cind_query::{execute_collect, plan_from_survivors, plan_with, Parallelism, Query};
 use cind_storage::{PersistError, StorageError, UniversalTable};
-use cinderella_core::{bulk_load, Capacity, Cinderella, Config, CoreError, IndexMode};
+use cinderella_core::{
+    bulk_load, Capacity, Cinderella, Config, CoreError, IndexMode, SynopsisMode,
+};
 
 use crate::csv::{parse_entities, CsvError};
 
@@ -24,6 +26,9 @@ pub enum CliError {
     Storage(StorageError),
     /// Bad command-line usage; the payload is the message.
     Usage(String),
+    /// Deep validation (`cind check`) found structural invariant
+    /// violations; the payload is the rendered diagnostics, one per line.
+    Invariant(String),
 }
 
 macro_rules! from_err {
@@ -50,11 +55,83 @@ impl std::fmt::Display for CliError {
             CliError::Core(e) => write!(f, "partitioner: {e}"),
             CliError::Storage(e) => write!(f, "storage: {e}"),
             CliError::Usage(msg) => write!(f, "usage: {msg}"),
+            CliError::Invariant(report) => {
+                write!(f, "invariant violations:\n{report}")
+            }
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+/// The `--mode` flag: which synopsis space rates entities (§II).
+///
+/// Workload mode carries the workload itself as attribute-name queries,
+/// resolved against the catalog once the input's schema is known.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModeSpec {
+    /// Rating synopsis = the entity's attribute set (the default).
+    Entity,
+    /// Rating synopsis = relevant workload queries; each inner vec is one
+    /// query's attribute names.
+    Workload(Vec<Vec<String>>),
+}
+
+impl std::str::FromStr for ModeSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "entity" {
+            return Ok(Self::Entity);
+        }
+        let Some(spec) = s.strip_prefix("workload:") else {
+            return Err(format!(
+                "bad mode {s:?}; use entity or workload:a,b;c,d (queries \
+                 split by `;`, attributes by `,`)"
+            ));
+        };
+        let queries: Vec<Vec<String>> = spec
+            .split(';')
+            .map(|q| {
+                q.split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_owned)
+                    .collect()
+            })
+            .filter(|q: &Vec<String>| !q.is_empty())
+            .collect();
+        if queries.is_empty() {
+            return Err("workload mode needs at least one query, e.g. workload:a,b".into());
+        }
+        Ok(Self::Workload(queries))
+    }
+}
+
+impl ModeSpec {
+    /// Resolves the spec against a concrete attribute catalog.
+    fn resolve(&self, catalog: &AttributeCatalog) -> Result<SynopsisMode, CliError> {
+        match self {
+            ModeSpec::Entity => Ok(SynopsisMode::EntityBased),
+            ModeSpec::Workload(queries) => {
+                let synopses = queries
+                    .iter()
+                    .map(|q| {
+                        Query::from_names(catalog, q.iter().map(String::as_str))
+                            .map(|query| query.synopsis().clone())
+                            .ok_or_else(|| {
+                                CliError::Usage(format!(
+                                    "--mode workload query {q:?} names an attribute \
+                                     absent from the input"
+                                ))
+                            })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(SynopsisMode::WorkloadBased(synopses))
+            }
+        }
+    }
+}
 
 /// Options of [`load`].
 #[derive(Clone, Debug)]
@@ -63,6 +140,13 @@ pub struct LoadOptions {
     pub weight: f64,
     /// Partition capacity `B` (entities).
     pub capacity: u64,
+    /// The `SIZE()` function (`cells`/`bytes`) behind sparseness and
+    /// capacity accounting.
+    pub size_model: SizeModel,
+    /// Entity-based or workload-based rating synopses.
+    pub mode: ModeSpec,
+    /// Record the per-insert event trace and summarise it in the report.
+    pub record_events: bool,
     /// Parallel load workers (1 = sequential).
     pub threads: usize,
     /// Buffer-pool pages for the load.
@@ -76,6 +160,9 @@ impl Default for LoadOptions {
         Self {
             weight: 0.2,
             capacity: 5_000,
+            size_model: SizeModel::Cells,
+            mode: ModeSpec::Entity,
+            record_events: false,
             threads: 1,
             pool_pages: 1024,
             index: IndexMode::default(),
@@ -83,13 +170,15 @@ impl Default for LoadOptions {
     }
 }
 
-fn config_of(opts: &LoadOptions) -> Config {
-    Config {
+fn config_of(opts: &LoadOptions, catalog: &AttributeCatalog) -> Result<Config, CliError> {
+    Ok(Config {
         weight: opts.weight,
         capacity: Capacity::MaxEntities(opts.capacity),
+        size_model: opts.size_model,
+        mode: opts.mode.resolve(catalog)?,
+        record_events: opts.record_events,
         index: opts.index,
-        ..Config::default()
-    }
+    })
 }
 
 /// `cind load`: parse a CSV of irregular entities, partition it with
@@ -102,8 +191,9 @@ pub fn load(input: &Path, snapshot: &Path, opts: &LoadOptions) -> Result<String,
     let mut table = UniversalTable::new(opts.pool_pages);
     let entities = parse_entities(&text, table.catalog_mut())?;
     let n = entities.len();
+    let config = config_of(opts, table.catalog())?;
     let t0 = std::time::Instant::now();
-    let (cindy, _) = bulk_load(&mut table, config_of(opts), entities, opts.threads)?;
+    let (mut cindy, _) = bulk_load(&mut table, config, entities, opts.threads)?;
     let elapsed = t0.elapsed();
 
     let mut out = std::io::BufWriter::new(std::fs::File::create(snapshot)?);
@@ -111,7 +201,7 @@ pub fn load(input: &Path, snapshot: &Path, opts: &LoadOptions) -> Result<String,
     drop(out);
 
     let stats = cindy.stats();
-    Ok(format!(
+    let mut report = format!(
         "loaded {n} entities ({} attributes) in {elapsed:.2?}\n\
          partitions: {} ({} splits, {} created)\n\
          snapshot: {}",
@@ -120,7 +210,19 @@ pub fn load(input: &Path, snapshot: &Path, opts: &LoadOptions) -> Result<String,
         stats.splits,
         stats.partitions_created,
         snapshot.display(),
-    ))
+    );
+    if opts.record_events {
+        let events = cindy.take_events();
+        let splits = events.iter().filter(|e| e.outcome.is_split()).count();
+        let total: std::time::Duration = events.iter().map(|e| e.duration).sum();
+        report.push_str(&format!(
+            "\nevents: {} inserts recorded ({} splits, {:.2?} total insert time)",
+            events.len(),
+            splits,
+            total,
+        ));
+    }
+    Ok(report)
 }
 
 /// Options of [`query`].
@@ -281,6 +383,34 @@ pub fn merge(snapshot: &Path, threshold: f64, pool_pages: usize) -> Result<Strin
     ))
 }
 
+/// `cind check`: restore a snapshot, rebuild the partitioning catalog, and
+/// run the full structural validation — arena/free-list consistency,
+/// presence-bitmap refcounts, partition synopses vs. the stored entities,
+/// split-starter membership, segment accounting. Returns a short clean
+/// report, or [`CliError::Invariant`] listing every violation.
+///
+/// This is the release-build entry to the same checks `debug_assertions`
+/// builds run at every split/merge/relayout boundary.
+///
+/// # Errors
+/// Snapshot/storage errors, and [`CliError::Invariant`] on violations.
+pub fn check(snapshot: &Path, pool_pages: usize) -> Result<String, CliError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(snapshot)?);
+    let table = UniversalTable::restore(&mut file, pool_pages)?;
+    let cindy = Cinderella::rebuild(&table, Config::default())?;
+    let violations = cindy.validate(&table)?;
+    if violations.is_empty() {
+        Ok(format!(
+            "ok: {} entities in {} partitions, all structural invariants hold\n\
+             (arena, presence index, catalog refcounts, starters, segment accounting)",
+            table.entity_count(),
+            cindy.catalog().len(),
+        ))
+    } else {
+        Err(CliError::Invariant(cinderella_core::validate::render(&violations)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +473,66 @@ mod tests {
         assert!(s.contains("entities: 4"), "{s}");
         assert!(s.contains("partitions: 2"), "{s}");
         assert!(s.contains("formFactor"), "{s}");
+    }
+
+    #[test]
+    fn mode_spec_parses() {
+        assert_eq!("entity".parse::<ModeSpec>().unwrap(), ModeSpec::Entity);
+        assert_eq!(
+            "workload:a,b;c".parse::<ModeSpec>().unwrap(),
+            ModeSpec::Workload(vec![
+                vec!["a".to_owned(), "b".to_owned()],
+                vec!["c".to_owned()]
+            ])
+        );
+        assert!("workload:".parse::<ModeSpec>().is_err());
+        assert!("Entity".parse::<ModeSpec>().is_err());
+    }
+
+    #[test]
+    fn load_honours_mode_size_model_and_event_trace() {
+        let input = tmp("modes.csv");
+        std::fs::write(
+            &input,
+            "id,a,b,c\n1,1,2,\n2,3,4,\n3,,,5\n4,,,6\n",
+        )
+        .unwrap();
+        let snap = tmp("modes.cind");
+        let report = load(
+            &input,
+            &snap,
+            &LoadOptions {
+                weight: 0.3,
+                capacity: 100,
+                size_model: SizeModel::Bytes,
+                mode: "workload:a,b;c".parse().unwrap(),
+                record_events: true,
+                ..LoadOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(report.contains("loaded 4 entities"), "{report}");
+        assert!(report.contains("events: 4 inserts recorded"), "{report}");
+
+        // A workload query naming an unknown attribute is a usage error.
+        let err = load(
+            &input,
+            &snap,
+            &LoadOptions { mode: "workload:nope".parse().unwrap(), ..LoadOptions::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn check_command_validates_a_snapshot() {
+        let input = tmp("check.csv");
+        std::fs::write(&input, "id,a,b\n1,1,\n2,,2\n3,3,\n").unwrap();
+        let snap = tmp("check.cind");
+        load(&input, &snap, &LoadOptions::default()).unwrap();
+        let report = check(&snap, 64).unwrap();
+        assert!(report.contains("all structural invariants hold"), "{report}");
+        assert!(report.contains("3 entities"), "{report}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! cind query  --snapshot table.cind --attrs rotation,formFactor [--limit N]
 //! cind stats  --snapshot table.cind
 //! cind merge  --snapshot table.cind --threshold 0.5
+//! cind check  --snapshot table.cind
 //! ```
 //!
 //! Everything is a library function ([`commands`]) so the whole surface is
@@ -23,4 +24,6 @@
 pub mod commands;
 pub mod csv;
 
-pub use commands::{load, merge, query, stats, CliError, LoadOptions, QueryOptions};
+pub use commands::{
+    check, load, merge, query, stats, CliError, LoadOptions, ModeSpec, QueryOptions,
+};

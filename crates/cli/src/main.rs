@@ -1,23 +1,37 @@
 //! `cind` binary: thin argument parsing over [`cind_cli::commands`].
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cind_cli::{load, merge, query, stats, CliError, LoadOptions, QueryOptions};
+use cind_cli::{check, load, merge, query, stats, CliError, LoadOptions, QueryOptions};
 
 const USAGE: &str = "\
 cind — universal-table manager with Cinderella online partitioning
 
 USAGE:
   cind load  --input DATA.csv --snapshot TABLE.cind
-             [--weight W] [--capacity B] [--threads N] [--index auto|on|off]
+             [--weight W] [--capacity B] [--size-model cells|bytes]
+             [--mode entity|workload:a,b;c,d] [--record-events true|false]
+             [--threads N] [--index auto|on|off]
   cind query --snapshot TABLE.cind --attrs a,b,c [--limit N] [--threads N]
              [--index auto|on|off]
   cind stats --snapshot TABLE.cind
   cind merge --snapshot TABLE.cind [--threshold T]
+  cind check --snapshot TABLE.cind
 
+--size-model picks the SIZE() function of Definition 1: instantiated
+cells (default) or serialized bytes.
+--mode rates entities by their attribute set (entity, default) or by the
+relevant queries of a workload given inline (queries split by `;`,
+attribute names by `,`).
+--record-events true traces every sequential insert (latency, split flag)
+and summarises the trace in the load report.
 --index routes the rating scan and query planning through the catalog's
 attribute-presence bitmap index (auto = cost-gated, the default).
+check restores the snapshot, rebuilds the partitioning, and runs the full
+structural invariant validation (exit status 1 on violations).
 
 CSV format: header row names the attributes (optional leading `id`
 column); empty cells mean the attribute is absent.";
@@ -70,6 +84,9 @@ fn run() -> Result<String, CliError> {
             let opts = LoadOptions {
                 weight: args.get("weight", 0.2)?,
                 capacity: args.get("capacity", 5_000)?,
+                size_model: args.get("size-model", cind_model::SizeModel::Cells)?,
+                mode: args.get("mode", cind_cli::ModeSpec::Entity)?,
+                record_events: args.get("record-events", false)?,
                 threads: args.get("threads", 1)?,
                 pool_pages: args.get("pool", 1024)?,
                 index: args.get("index", cinderella_core::IndexMode::default())?,
@@ -93,6 +110,7 @@ fn run() -> Result<String, CliError> {
             query(&args.path("snapshot")?, &attrs, &opts)
         }
         "stats" => stats(&args.path("snapshot")?, args.get("pool", 1024)?),
+        "check" => check(&args.path("snapshot")?, args.get("pool", 1024)?),
         "merge" => merge(
             &args.path("snapshot")?,
             args.get("threshold", 0.5)?,

@@ -20,6 +20,8 @@
 use cind_bitset::{BitSetOps, FixedBitSet};
 use cind_storage::SegmentId;
 
+use crate::validate::InvariantViolation;
+
 /// Contiguous storage for partition rating synopses.
 ///
 /// Each live partition owns one *slot*: a `stride`-word row in the packed
@@ -137,6 +139,76 @@ impl SynopsisArena {
         }
         self.words = words;
         self.stride = new_stride;
+        #[cfg(debug_assertions)]
+        {
+            let violations = self.validate();
+            assert!(
+                violations.is_empty(),
+                "arena invariants violated after stride relayout:\n{}",
+                crate::validate::render(&violations)
+            );
+        }
+    }
+
+    /// Cross-checks the arena's structural invariants, returning every
+    /// violation found: parallel-column lengths, packed-buffer sizing,
+    /// free-list integrity (in-range, duplicate-free, dead, covering every
+    /// dead slot), and the zeroed-row / zero-size guarantee for recycled
+    /// slots that [`alloc`](Self::alloc) relies on.
+    pub fn validate(&self) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        let mut v = |detail: String| out.push(InvariantViolation::new("arena", detail));
+        let slots = self.segs.len();
+        if self.sizes.len() != slots || self.live.len() != slots {
+            v(format!(
+                "parallel columns disagree: {} segs, {} sizes, {} live flags",
+                slots,
+                self.sizes.len(),
+                self.live.len()
+            ));
+            return out; // Slot walks below would index out of bounds.
+        }
+        if self.words.len() != self.stride * slots {
+            v(format!(
+                "packed buffer holds {} words, want stride {} × {} slots = {}",
+                self.words.len(),
+                self.stride,
+                slots,
+                self.stride * slots
+            ));
+            return out;
+        }
+        let mut on_free = vec![false; slots];
+        for &slot in &self.free {
+            if slot >= slots {
+                v(format!("free list entry {slot} out of range ({slots} slots)"));
+                continue;
+            }
+            if on_free[slot] {
+                v(format!("slot {slot} appears twice on the free list"));
+            }
+            on_free[slot] = true;
+            if self.live[slot] {
+                v(format!("slot {slot} is on the free list but marked live"));
+            }
+        }
+        for (slot, &freed) in on_free.iter().enumerate().take(slots) {
+            if !self.live[slot] {
+                if !freed {
+                    v(format!("dead slot {slot} is missing from the free list"));
+                }
+                if self.row(slot).iter().any(|w| *w != 0) {
+                    v(format!("dead slot {slot} has a non-zero synopsis row"));
+                }
+                if self.sizes[slot] != 0 {
+                    v(format!(
+                        "dead slot {slot} has non-zero size {}",
+                        self.sizes[slot]
+                    ));
+                }
+            }
+        }
+        out
     }
 
     /// Iterates the live slots, ascending by slot index (NOT by segment —
@@ -197,6 +269,40 @@ impl PresenceIndex {
             }
         }
     }
+
+    /// Number of attribute rows ever materialised (rows of attributes no
+    /// partition carries any more stay allocated, with all bits clear).
+    pub fn attrs(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cross-checks the index against the arena it mirrors: every set bit
+    /// must reference an in-range, live slot — presence of a dead or
+    /// out-of-range slot would let the candidate/survivor OR resurrect a
+    /// removed partition. Returns every violation found.
+    pub fn validate(&self, arena: &SynopsisArena) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        for (attr, row) in self.rows.iter().enumerate() {
+            for slot in row.iter_ones() {
+                let slot = slot as usize;
+                if slot >= arena.slots() {
+                    out.push(InvariantViolation::new(
+                        "presence",
+                        format!(
+                            "attr {attr}: bit for slot {slot} out of range ({} slots)",
+                            arena.slots()
+                        ),
+                    ));
+                } else if !arena.is_live(slot) {
+                    out.push(InvariantViolation::new(
+                        "presence",
+                        format!("attr {attr}: bit set for dead slot {slot}"),
+                    ));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +344,64 @@ mod tests {
         assert_eq!(a.row(s1)[3], 0);
         // Removing a bit beyond the stride is a no-op, not a panic.
         a.remove_bit(s0, 100_000);
+    }
+
+    /// A healthy arena under churn validates clean.
+    #[test]
+    fn validate_accepts_churned_arena() {
+        let mut a = SynopsisArena::new();
+        for i in 0..6u32 {
+            let s = a.alloc(SegmentId(i));
+            a.insert_bit(s, i * 13);
+            a.set_size(s, u64::from(i));
+        }
+        a.release(1);
+        a.release(3);
+        let _ = a.alloc(SegmentId(9));
+        assert!(a.validate().is_empty(), "{:?}", a.validate());
+    }
+
+    /// Each seeded corruption is reported precisely — by the right check,
+    /// naming the right slot — and never panics the validator.
+    #[test]
+    fn validate_reports_each_seeded_corruption() {
+        let corrupted = |f: fn(&mut SynopsisArena), needle: &str| {
+            let mut a = SynopsisArena::new();
+            let s0 = a.alloc(SegmentId(0));
+            let _s1 = a.alloc(SegmentId(1));
+            a.insert_bit(s0, 3);
+            a.release(s0);
+            f(&mut a);
+            let report = crate::validate::render(&a.validate());
+            assert!(report.contains(needle), "wanted {needle:?} in:\n{report}");
+        };
+        corrupted(|a| a.free.push(99), "free list entry 99 out of range");
+        corrupted(|a| a.free.push(0), "slot 0 appears twice on the free list");
+        corrupted(|a| a.free.push(1), "slot 1 is on the free list but marked live");
+        corrupted(|a| a.free.clear(), "dead slot 0 is missing from the free list");
+        corrupted(|a| a.words[0] = 0b100, "dead slot 0 has a non-zero synopsis row");
+        corrupted(|a| a.sizes[0] = 7, "dead slot 0 has non-zero size 7");
+        corrupted(|a| a.live.pop().map_or((), |_| ()), "parallel columns disagree");
+        corrupted(|a| a.words.push(0), "packed buffer holds 3 words");
+    }
+
+    /// Presence bits pointing at dead or out-of-range slots are reported
+    /// per attribute.
+    #[test]
+    fn presence_validate_reports_stale_bits() {
+        let mut a = SynopsisArena::new();
+        let s0 = a.alloc(SegmentId(0));
+        let _s1 = a.alloc(SegmentId(1));
+        let mut p = PresenceIndex::new();
+        p.set(4, s0);
+        assert!(p.validate(&a).is_empty());
+        a.release(s0);
+        let report = crate::validate::render(&p.validate(&a));
+        assert!(report.contains("attr 4: bit set for dead slot 0"), "{report}");
+        let mut p = PresenceIndex::new();
+        p.set(2, 9);
+        let report = crate::validate::render(&p.validate(&a));
+        assert!(report.contains("attr 2: bit for slot 9 out of range"), "{report}");
     }
 
     #[test]

@@ -150,6 +150,7 @@ pub fn bulk_load(
     merged.merge_pass(table, 1.0)?;
     report.stitch_merges = merged.stats().merges - before;
     report.partitions = merged.catalog().len();
+    merged.debug_validate_catalog();
     Ok((merged, report))
 }
 

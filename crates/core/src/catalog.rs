@@ -11,6 +11,7 @@ use crate::arena::{PresenceIndex, SynopsisArena};
 use crate::config::IndexMode;
 use crate::rating::{global_rating, RatingInputs};
 use crate::starters::SplitStarters;
+use crate::validate::InvariantViolation;
 
 /// Catalog entry of one partition.
 #[derive(Clone, Debug)]
@@ -493,6 +494,249 @@ impl PartitionCatalog {
             .values()
             .map(|m| (m.segment, &m.attr_synopsis, m.size))
     }
+
+    /// Cross-checks every catalog-internal invariant — the consistency of
+    /// the refcount view (source of truth) with the packed arena rows, the
+    /// presence bitmaps, the zero-size candidate set, and the starter pairs
+    /// — returning every violation found. Metadata-only: no storage access;
+    /// the entity-level cross-check against stored segments is
+    /// [`Cinderella::validate`](crate::Cinderella::validate).
+    pub fn validate(&self) -> Vec<InvariantViolation> {
+        let mut out = self.arena.validate();
+        out.extend(self.rating_presence.validate(&self.arena));
+        out.extend(self.attr_presence.validate(&self.arena));
+        let live = self.arena.live_slots().count();
+        if live != self.parts.len() {
+            push_cat(&mut out, format!(
+                "{} live arena slots but {} cataloged partitions",
+                live,
+                self.parts.len()
+            ));
+        }
+
+        // Expected presence-bit sets, rebuilt from the refcounts as the
+        // per-partition checks walk the metas.
+        let mut want_rating: std::collections::BTreeSet<(u32, usize)> =
+            std::collections::BTreeSet::new();
+        let mut want_attr: std::collections::BTreeSet<(u32, usize)> =
+            std::collections::BTreeSet::new();
+        let mut slot_owner: BTreeMap<usize, SegmentId> = BTreeMap::new();
+
+        for (seg, meta) in &self.parts {
+            let seg = *seg;
+            if meta.segment != seg {
+                push_cat(&mut out, format!(
+                    "keyed under {seg} but meta names segment {}",
+                    meta.segment
+                ));
+            }
+            let slot = meta.slot;
+            if slot >= self.arena.slots() {
+                push_cat(&mut out, format!(
+                    "{seg}: slot {slot} out of range ({} slots)",
+                    self.arena.slots()
+                ));
+                continue;
+            }
+            if let Some(prev) = slot_owner.insert(slot, seg) {
+                push_cat(&mut out, format!("{seg}: slot {slot} already owned by {prev}"));
+            }
+            if !self.arena.is_live(slot) {
+                push_cat(&mut out, format!("{seg}: slot {slot} is not live in the arena"));
+                continue;
+            }
+            if self.arena.seg(slot) != seg {
+                push_cat(&mut out, format!(
+                    "{seg}: arena slot {slot} bound to segment {}",
+                    self.arena.seg(slot)
+                ));
+            }
+            if self.arena.size(slot) != meta.size {
+                push_cat(&mut out, format!(
+                    "{seg}: arena SIZE(p) {} but meta size {}",
+                    self.arena.size(slot),
+                    meta.size
+                ));
+            }
+            let row_bits: Vec<u32> = words::iter_ones(self.arena.row(slot)).collect();
+            let count_bits: Vec<u32> = meta.rating_bits().collect();
+            if row_bits != count_bits {
+                push_cat(&mut out, format!(
+                    "{seg}: packed row bits {row_bits:?} but rating refcounts say {count_bits:?}"
+                ));
+            }
+            let attr_bits: Vec<u32> = meta.attr_synopsis.iter().map(|a| a.index()).collect();
+            let attr_count_bits: Vec<u32> = meta
+                .attr_counts
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(i, _)| i as u32)
+                .collect();
+            if attr_bits != attr_count_bits {
+                push_cat(&mut out, format!(
+                    "{seg}: attr synopsis bits {attr_bits:?} but attr refcounts say \
+                     {attr_count_bits:?}"
+                ));
+            }
+            let zero_bit = self.zero_size.contains(slot as u32);
+            if zero_bit != (meta.size == 0) {
+                push_cat(&mut out, format!(
+                    "{seg}: size {} but zero-size bit for slot {slot} is {zero_bit}",
+                    meta.size
+                ));
+            }
+            if meta.entities == 0 && (meta.size != 0 || !count_bits.is_empty()) {
+                push_cat(&mut out, format!(
+                    "{seg}: no entities but size {} and {} rating bits",
+                    meta.size,
+                    count_bits.len()
+                ));
+            }
+            for (space, counts) in
+                [("rating", &meta.rating_counts), ("attr", &meta.attr_counts)]
+            {
+                for (bit, &c) in counts.iter().enumerate() {
+                    if u64::from(c) > meta.entities {
+                        push_cat(&mut out, format!(
+                            "{seg}: {space} refcount {c} for bit {bit} exceeds {} entities",
+                            meta.entities
+                        ));
+                    }
+                }
+            }
+            if let Err(why) = meta.starters.check() {
+                out.push(InvariantViolation::new("starters", format!("{seg}: {why}")));
+            }
+            want_rating.extend(count_bits.iter().map(|&b| (b, slot)));
+            want_attr.extend(attr_bits.iter().map(|&b| (b, slot)));
+        }
+
+        for (space, index, want) in [
+            ("rating", &self.rating_presence, &want_rating),
+            ("attr", &self.attr_presence, &want_attr),
+        ] {
+            let mut have: std::collections::BTreeSet<(u32, usize)> =
+                std::collections::BTreeSet::new();
+            for attr in 0..index.attrs() as u32 {
+                if let Some(row) = index.row(attr) {
+                    have.extend(row.iter_ones().map(|slot| (attr, slot as usize)));
+                }
+            }
+            for (bit, slot) in want.difference(&have) {
+                out.push(InvariantViolation::new(
+                    "presence",
+                    format!(
+                        "{space} bit {bit} of slot {slot} ({}) missing from the index",
+                        self.arena.seg(*slot)
+                    ),
+                ));
+            }
+            for (bit, slot) in have.difference(want) {
+                out.push(InvariantViolation::new(
+                    "presence",
+                    format!(
+                        "{space} index claims bit {bit} for slot {slot}, refcounts disagree"
+                    ),
+                ));
+            }
+        }
+
+        for slot in self.zero_size.iter_ones() {
+            let slot = slot as usize;
+            if slot >= self.arena.slots() || !self.arena.is_live(slot) {
+                out.push(InvariantViolation::new(
+                    "catalog",
+                    format!("zero-size bit set for dead slot {slot}"),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Cross-checks partition `seg` against its actual stored members —
+    /// `(id, rating synopsis, attribute synopsis, SIZE(e))` per entity, as
+    /// recomputed from storage by the caller. Verifies the OR-of-members
+    /// synopsis law (via the full refcount recomputation), the entity and
+    /// size accounting, and starter membership. Returns every violation.
+    pub(crate) fn validate_members(
+        &self,
+        seg: SegmentId,
+        members: &[(EntityId, Synopsis, Synopsis, u64)],
+    ) -> Vec<InvariantViolation> {
+        let mut out = Vec::new();
+        let Some(meta) = self.parts.get(&seg) else {
+            push_cat(&mut out, format!("{seg}: not cataloged but has stored members"));
+            return out;
+        };
+        if meta.entities != members.len() as u64 {
+            push_cat(&mut out, format!(
+                "{seg}: meta counts {} entities, segment stores {}",
+                meta.entities,
+                members.len()
+            ));
+        }
+        let stored_size: u64 = members.iter().map(|(_, _, _, s)| s).sum();
+        if meta.size != stored_size {
+            push_cat(&mut out, format!(
+                "{seg}: meta size {} but members sum to {stored_size}",
+                meta.size
+            ));
+        }
+        // Recompute both refcount columns from the members and compare —
+        // this subsumes "partition synopsis == OR of member synopses" and
+        // catches count drift that the OR alone would mask.
+        for (space, counts, proj) in [
+            ("rating", &meta.rating_counts, 1usize),
+            ("attr", &meta.attr_counts, 2),
+        ] {
+            let mut want: Vec<u32> = Vec::new();
+            for m in members {
+                let syn = if proj == 1 { &m.1 } else { &m.2 };
+                for attr in syn.iter() {
+                    let idx = attr.index() as usize;
+                    if want.len() <= idx {
+                        want.resize(idx + 1, 0);
+                    }
+                    want[idx] += 1;
+                }
+            }
+            let width = want.len().max(counts.len());
+            for bit in 0..width {
+                let w = want.get(bit).copied().unwrap_or(0);
+                let h = counts.get(bit).copied().unwrap_or(0);
+                if w != h {
+                    push_cat(&mut out, format!(
+                        "{seg}: {space} refcount for bit {bit} is {h}, members say {w}"
+                    ));
+                }
+            }
+        }
+        for (name, starter) in [("A", meta.starters.a()), ("B", meta.starters.b())] {
+            let Some((id, cached)) = starter else { continue };
+            match members.iter().find(|(mid, ..)| *mid == id) {
+                None => out.push(InvariantViolation::new(
+                    "starters",
+                    format!("{seg}: starter {name} ({id:?}) is not a member"),
+                )),
+                Some((_, rating, _, _)) if rating != cached => {
+                    out.push(InvariantViolation::new(
+                        "starters",
+                        format!(
+                            "{seg}: cached synopsis of starter {name} ({id:?}) is stale"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Appends a catalog-structure violation (shared by the validators).
+fn push_cat(out: &mut Vec<InvariantViolation>, detail: String) {
+    out.push(InvariantViolation::new("catalog", detail));
 }
 
 #[cfg(test)]
@@ -548,6 +792,144 @@ mod tests {
         let syn_bits: Vec<u32> = m.rating_synopsis().iter().map(|a| a.index()).collect();
         assert_eq!(row_bits, syn_bits);
         assert_eq!(row_bits, vec![5, 7]);
+    }
+
+    /// A healthy two-partition catalog validates clean in every index mode.
+    #[test]
+    fn validate_accepts_healthy_catalog() {
+        for mode in [IndexMode::Off, IndexMode::On, IndexMode::Auto] {
+            let mut cat = PartitionCatalog::new(mode);
+            cat.create_partition(SegmentId(0));
+            cat.create_partition(SegmentId(1));
+            add(&mut cat, SegmentId(0), 1, &[0, 1], 2);
+            add(&mut cat, SegmentId(0), 2, &[1, 2], 2);
+            add(&mut cat, SegmentId(1), 3, &[8], 1);
+            let s = syn(&[1, 2]);
+            cat.remove_entity(SegmentId(0), EntityId(2), &s, &s, 2);
+            let report = crate::validate::render(&cat.validate());
+            assert!(report.is_empty(), "{report}");
+        }
+    }
+
+    /// Every seeded corruption of the catalog/arena/index triad is
+    /// reported by the specific cross-check that owns the invariant.
+    #[test]
+    fn validate_reports_each_seeded_catalog_corruption() {
+        let corrupted = |f: fn(&mut PartitionCatalog), needle: &str| {
+            let mut cat = PartitionCatalog::new(IndexMode::On);
+            cat.create_partition(SegmentId(0));
+            cat.create_partition(SegmentId(7));
+            add(&mut cat, SegmentId(0), 1, &[0, 1], 2);
+            add(&mut cat, SegmentId(7), 2, &[4], 1);
+            f(&mut cat);
+            let report = crate::validate::render(&cat.validate());
+            assert!(report.contains(needle), "wanted {needle:?} in:\n{report}");
+        };
+        // Meta size drifts from the packed arena column.
+        corrupted(
+            |c| c.parts.get_mut(&SegmentId(0)).unwrap().size += 1,
+            "arena SIZE(p) 2 but meta size 3",
+        );
+        // A rating refcount appears without its packed-row bit.
+        corrupted(
+            |c| {
+                let m = c.parts.get_mut(&SegmentId(0)).unwrap();
+                m.rating_counts.resize(10, 0);
+                m.rating_counts[9] = 1;
+            },
+            "rating refcounts say [0, 1, 9]",
+        );
+        // The attr synopsis gains a bit its refcounts do not back.
+        corrupted(
+            |c| {
+                let m = c.parts.get_mut(&SegmentId(7)).unwrap();
+                m.attr_synopsis.bits_mut().grow(32);
+                m.attr_synopsis.bits_mut().insert(9);
+            },
+            "attr synopsis bits [4, 9] but attr refcounts say [4]",
+        );
+        // Zero-size bit set for a partition with data.
+        corrupted(
+            |c| {
+                let slot = c.parts[&SegmentId(0)].slot;
+                c.zero_size.grow(slot + 1);
+                c.zero_size.insert(slot as u32);
+            },
+            "size 2 but zero-size bit",
+        );
+        // Presence index loses a bit the refcounts demand …
+        corrupted(
+            |c| {
+                let slot = c.parts[&SegmentId(0)].slot;
+                c.rating_presence.clear(0, slot);
+            },
+            "rating bit 0 of slot 0 (seg0) missing from the index",
+        );
+        // … or claims one they do not.
+        corrupted(
+            |c| {
+                let slot = c.parts[&SegmentId(7)].slot;
+                c.attr_presence.set(30, slot);
+            },
+            "attr index claims bit 30 for slot 1, refcounts disagree",
+        );
+        // Two metas fighting over one arena slot.
+        corrupted(
+            |c| {
+                let slot0 = c.parts[&SegmentId(0)].slot;
+                c.parts.get_mut(&SegmentId(7)).unwrap().slot = slot0;
+            },
+            "slot 0 already owned by seg0",
+        );
+        // Refcount exceeding the member count.
+        corrupted(
+            |c| c.parts.get_mut(&SegmentId(7)).unwrap().entities = 0,
+            "rating refcount 1 for bit 4 exceeds 0 entities",
+        );
+        // Meta keyed under the wrong segment.
+        corrupted(
+            |c| {
+                let meta = c.parts.remove(&SegmentId(7)).unwrap();
+                c.parts.insert(SegmentId(9), meta);
+            },
+            "keyed under seg9 but meta names segment seg7",
+        );
+    }
+
+    /// `validate_members` cross-checks the catalog against what a segment
+    /// actually stores: member counts, size sums, per-bit refcounts, and
+    /// split-starter membership.
+    #[test]
+    fn validate_members_reports_stored_vs_cataloged_drift() {
+        let mut cat = PartitionCatalog::new(IndexMode::On);
+        cat.create_partition(SegmentId(0));
+        add(&mut cat, SegmentId(0), 1, &[0, 1], 2);
+        add(&mut cat, SegmentId(0), 2, &[1, 2], 2);
+        let member = |id: u64, bits: &[u32], size: u64| {
+            (EntityId(id), syn(bits), syn(bits), size)
+        };
+        // The true membership: clean.
+        let good = vec![member(1, &[0, 1], 2), member(2, &[1, 2], 2)];
+        assert!(cat.validate_members(SegmentId(0), &good).is_empty());
+        // A member the catalog never accounted.
+        let extra = vec![good[0].clone(), good[1].clone(), member(3, &[5], 1)];
+        let report = crate::validate::render(&cat.validate_members(SegmentId(0), &extra));
+        assert!(report.contains("meta counts 2 entities, segment stores 3"), "{report}");
+        assert!(report.contains("members say 1"), "refcount drift surfaces: {report}");
+        // A size that disagrees.
+        let resized = vec![good[0].clone(), member(2, &[1, 2], 9)];
+        let report =
+            crate::validate::render(&cat.validate_members(SegmentId(0), &resized));
+        assert!(report.contains("meta size 4 but members sum to 11"), "{report}");
+        // A starter that is not stored.
+        let vanished = vec![good[1].clone(), member(9, &[0, 1], 2)];
+        let report =
+            crate::validate::render(&cat.validate_members(SegmentId(0), &vanished));
+        assert!(report.contains("is not a member"), "{report}");
+        // An uncataloged segment with stored members.
+        let report =
+            crate::validate::render(&cat.validate_members(SegmentId(42), &good));
+        assert!(report.contains("not cataloged but has stored members"), "{report}");
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod partitioner;
 pub mod placement;
 pub mod rating;
 pub mod starters;
+pub mod validate;
 
 mod error;
 
@@ -83,3 +84,4 @@ pub use modes::SynopsisMode;
 pub use partitioner::Cinderella;
 pub use placement::{place_affinity, place_balanced, Placement};
 pub use rating::{global_rating, local_rating, RatingInputs};
+pub use validate::InvariantViolation;

@@ -122,6 +122,7 @@ impl Cinderella {
                 break;
             }
         }
+        self.debug_validate_catalog();
         Ok(report)
     }
 

@@ -8,6 +8,7 @@ use cind_storage::{SegmentId, StorageError, UniversalTable};
 use crate::catalog::PartitionCatalog;
 use crate::config::Config;
 use crate::events::{InsertEvent, InsertOutcome, Stats};
+use crate::validate::InvariantViolation;
 use crate::CoreError;
 
 /// The Cinderella online partitioner.
@@ -100,12 +101,93 @@ impl Cinderella {
                     .add_entity(seg, e.id(), &rating_syn, &attr_syn, size, true);
             }
         }
+        cindy.debug_validate_catalog();
         Ok(cindy)
     }
 
     /// Mutable catalog access for the in-crate bulk/merge machinery.
     pub(crate) fn catalog_mut(&mut self) -> &mut PartitionCatalog {
         &mut self.catalog
+    }
+
+    /// Deep structural validation: the catalog's internal cross-checks
+    /// ([`PartitionCatalog::validate`]) plus the entity-level laws that
+    /// need storage — the catalog and the table agree on the segment set,
+    /// every partition's synopses/size/entity-count equal what its stored
+    /// members imply (the OR-of-members law via full refcount
+    /// recomputation), and the split starters are members with fresh cached
+    /// synopses. Scans every segment once; run it at rest (end of test,
+    /// `cind check`), not on the hot path.
+    ///
+    /// # Errors
+    /// Storage errors from the segment scans.
+    pub fn validate(
+        &self,
+        table: &UniversalTable,
+    ) -> Result<Vec<InvariantViolation>, CoreError> {
+        let mut out = self.catalog.validate();
+        let table_segs: std::collections::BTreeSet<SegmentId> =
+            table.segment_ids().collect();
+        let catalog_segs: std::collections::BTreeSet<SegmentId> =
+            self.catalog.iter().map(|m| m.segment).collect();
+        for seg in catalog_segs.difference(&table_segs) {
+            out.push(InvariantViolation::new(
+                "table",
+                format!("partition {seg} has no backing segment in the table"),
+            ));
+        }
+        for seg in table_segs.difference(&catalog_segs) {
+            out.push(InvariantViolation::new(
+                "table",
+                format!("segment {seg} is stored but not cataloged"),
+            ));
+        }
+        let mut stored = 0usize;
+        for &seg in catalog_segs.intersection(&table_segs) {
+            let members: Vec<_> = table
+                .scan_collect(seg)?
+                .into_iter()
+                .map(|e| {
+                    let (rating_syn, attr_syn, size) = self.synopses(table, &e);
+                    (e.id(), rating_syn, attr_syn, size)
+                })
+                .collect();
+            for (id, ..) in &members {
+                if table.location(*id) != Some(seg) {
+                    out.push(InvariantViolation::new(
+                        "table",
+                        format!("entity {id:?} stored in {seg} but located elsewhere"),
+                    ));
+                }
+            }
+            stored += members.len();
+            out.extend(self.catalog.validate_members(seg, &members));
+        }
+        if stored != table.entity_count() {
+            out.push(InvariantViolation::new(
+                "table",
+                format!(
+                    "segments store {stored} entities, table counts {}",
+                    table.entity_count()
+                ),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Debug-build assertion of the catalog-internal invariants — the hook
+    /// the structural boundaries (split, merge, bulk stitch, rebuild) call.
+    /// Compiled to nothing in release builds.
+    pub(crate) fn debug_validate_catalog(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let violations = self.catalog.validate();
+            assert!(
+                violations.is_empty(),
+                "catalog invariants violated:\n{}",
+                crate::validate::render(&violations)
+            );
+        }
     }
 
     /// Counts `n` inserts at once (segment adoption by the bulk loader).
@@ -266,6 +348,7 @@ impl Cinderella {
 
         table.drop_segment(seg)?;
         self.stats.splits += 1;
+        self.debug_validate_catalog();
         Ok(InsertOutcome::Split { from: seg, into: (seg_a, seg_b) })
     }
 
@@ -309,6 +392,7 @@ impl Cinderella {
         }
         table.drop_segment(from)?;
         self.stats.merges += 1;
+        self.debug_validate_catalog();
         Ok(())
     }
 

@@ -102,6 +102,32 @@ impl SplitStarters {
         }
     }
 
+    /// Checks the pair's internal invariants: the slots are left-packed (B
+    /// is empty whenever A is), the two starters are distinct entities, and
+    /// the cached `diff_ab` matches the synopses. Returns a diagnostic for
+    /// the first violation.
+    pub(crate) fn check(&self) -> Result<(), String> {
+        match (&self.a, &self.b) {
+            (None, Some((b, _))) => {
+                Err(format!("starter B ({b:?}) filled while starter A is empty"))
+            }
+            (Some((a, sa)), Some((b, sb))) => {
+                if a == b {
+                    return Err(format!("starters A and B are the same entity {a:?}"));
+                }
+                let want = sa.diff(sb);
+                if self.diff_ab != want {
+                    return Err(format!(
+                        "cached pair diff {} but DIFF(a, b) = {want}",
+                        self.diff_ab
+                    ));
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Replaces the cached synopsis of `id` (entity updated in place).
     pub fn refresh(&mut self, id: EntityId, synopsis: &Synopsis) {
         if let Some((a, s)) = &mut self.a {

@@ -33,10 +33,29 @@ impl SizeModel {
     }
 }
 
+impl std::str::FromStr for SizeModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cells" => Ok(Self::Cells),
+            "bytes" => Ok(Self::Bytes),
+            other => Err(format!("bad size model {other:?}; use cells|bytes")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{AttrId, EntityId, Value};
+
+    #[test]
+    fn size_model_parses() {
+        assert_eq!("cells".parse::<SizeModel>().unwrap(), SizeModel::Cells);
+        assert_eq!("bytes".parse::<SizeModel>().unwrap(), SizeModel::Bytes);
+        assert!("Cells".parse::<SizeModel>().is_err());
+    }
 
     #[test]
     fn cells_counts_attributes() {

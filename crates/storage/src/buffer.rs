@@ -182,6 +182,20 @@ impl BufferPool {
             .map(|s| s.lock().expect("shard poisoned").map.len())
             .sum()
     }
+
+    /// Cross-checks every shard's LRU structure — capacity bound, map/list
+    /// agreement, doubly-linked-list coherence, free-list integrity, and
+    /// slab accounting — returning a diagnostic per violation. Takes each
+    /// shard lock in turn (never two at once, per the module's lock
+    /// discipline), so it is safe to call on a live pool.
+    pub fn validate(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let g = shard.lock().expect("shard poisoned");
+            g.validate(si, &mut out);
+        }
+        out
+    }
 }
 
 impl Shard {
@@ -242,6 +256,94 @@ impl Shard {
         self.head = idx;
         if self.tail == NIL {
             self.tail = idx;
+        }
+    }
+
+    /// Appends a diagnostic for every violated shard invariant to `out`.
+    /// Written defensively: a corrupted shard (dangling index, cycle) must
+    /// produce a report, not a panic or an endless walk.
+    fn validate(&self, si: usize, out: &mut Vec<String>) {
+        let mut v = |detail: String| out.push(format!("[buffer-pool] shard {si}: {detail}"));
+        if self.map.len() > self.capacity {
+            v(format!(
+                "{} resident pages exceed capacity {}",
+                self.map.len(),
+                self.capacity
+            ));
+        }
+        if self.map.len() + self.free.len() != self.slab.len() {
+            v(format!(
+                "slab accounting: {} mapped + {} free != {} slab nodes",
+                self.map.len(),
+                self.free.len(),
+                self.slab.len()
+            ));
+        }
+        let mut on_free = vec![false; self.slab.len()];
+        for &idx in &self.free {
+            if idx >= self.slab.len() {
+                v(format!("free-list index {idx} out of range"));
+            } else if std::mem::replace(&mut on_free[idx], true) {
+                v(format!("slab index {idx} appears twice on the free list"));
+            }
+        }
+        for (&key, &idx) in &self.map {
+            if idx >= self.slab.len() {
+                v(format!("page {key:?} maps to out-of-range slab index {idx}"));
+                continue;
+            }
+            if on_free[idx] {
+                v(format!("page {key:?} maps to freed slab index {idx}"));
+            }
+            if self.slab[idx].key != key {
+                v(format!(
+                    "page {key:?} maps to slab index {idx} holding {:?}",
+                    self.slab[idx].key
+                ));
+            }
+        }
+        // Walk the LRU list from the head, bounding the walk by the slab
+        // size so a cycle terminates with a diagnostic.
+        if self.head != NIL && self.head < self.slab.len() && self.slab[self.head].prev != NIL
+        {
+            v(format!("head {} has a predecessor", self.head));
+        }
+        let mut idx = self.head;
+        let mut prev = NIL;
+        let mut walked = 0usize;
+        while idx != NIL {
+            if idx >= self.slab.len() {
+                v(format!("list reaches out-of-range index {idx}"));
+                return;
+            }
+            if walked > self.slab.len() {
+                v("LRU list contains a cycle".to_owned());
+                return;
+            }
+            if self.slab[idx].prev != prev {
+                v(format!(
+                    "index {idx}: prev pointer {} but reached from {prev}",
+                    self.slab[idx].prev
+                ));
+            }
+            if self.map.get(&self.slab[idx].key).is_none_or(|&m| m != idx) {
+                v(format!(
+                    "listed page {:?} at index {idx} not mapped there",
+                    self.slab[idx].key
+                ));
+            }
+            walked += 1;
+            prev = idx;
+            idx = self.slab[idx].next;
+        }
+        if walked != self.map.len() {
+            v(format!(
+                "LRU list holds {walked} nodes, map holds {}",
+                self.map.len()
+            ));
+        }
+        if self.tail != prev {
+            v(format!("tail is {} but the list ends at {prev}", self.tail));
         }
     }
 }
@@ -321,6 +423,124 @@ mod tests {
         assert!(pool.access(key(99)));
         assert!(pool.access(key(98)));
         assert!(pool.access(key(97)));
+    }
+
+    #[test]
+    fn validate_accepts_healthy_pool() {
+        // Exercise every structural transition: fill, hit, evict, write,
+        // invalidate — the free list, LRU chain, and map must stay coherent.
+        let pool = BufferPool::with_shards(8, 4);
+        for p in 0..32 {
+            pool.access(key(p));
+        }
+        for p in 0..8 {
+            pool.access(key(p));
+            pool.write(PageKey { segment: SegmentId(1), page: p });
+        }
+        pool.invalidate_segment(SegmentId(1));
+        assert!(pool.validate().is_empty(), "{:?}", pool.validate());
+        // Empty and zero-capacity pools are trivially consistent too.
+        assert!(BufferPool::new(4).validate().is_empty());
+        assert!(BufferPool::new(0).validate().is_empty());
+    }
+
+    /// Seeds one corruption per shard invariant directly into the private
+    /// LRU structures and asserts `validate` names each precisely — the
+    /// regression net that keeps the validator itself honest.
+    #[test]
+    fn validate_reports_each_seeded_shard_corruption() {
+        let corrupted = |sabotage: fn(&mut Shard), needle: &str| {
+            let pool = BufferPool::new(4);
+            for p in 0..3 {
+                pool.access(key(p));
+            }
+            sabotage(&mut pool.shards[0].lock().expect("shard poisoned"));
+            let report = pool.validate();
+            assert!(
+                report.iter().any(|d| d.contains(needle)),
+                "expected a diagnostic containing {needle:?}, got {report:?}"
+            );
+        };
+
+        // Map points at a slab index past the slab.
+        corrupted(
+            |s| {
+                s.map.insert(key(99), 42);
+            },
+            "maps to out-of-range slab index 42",
+        );
+        // Map points at a node holding a different key.
+        corrupted(
+            |s| {
+                let &idx = s.map.get(&key(1)).expect("resident");
+                s.map.insert(key(77), idx);
+            },
+            "maps to slab index",
+        );
+        // A live node is also on the free list.
+        corrupted(
+            |s| {
+                let &idx = s.map.get(&key(0)).expect("resident");
+                s.free.push(idx);
+            },
+            "maps to freed slab index",
+        );
+        // Duplicate free-list entry (and slab accounting drift).
+        corrupted(
+            |s| {
+                s.map.remove(&key(2));
+                let idx = s.slab.len() - 1;
+                s.free.push(idx);
+                s.free.push(idx);
+            },
+            "appears twice on the free list",
+        );
+        // Free-list entry past the slab.
+        corrupted(
+            |s| {
+                s.free.push(9);
+            },
+            "free-list index 9 out of range",
+        );
+        // LRU chain broken: head's prev set, making the list inconsistent.
+        corrupted(
+            |s| {
+                s.slab[s.head].prev = 1;
+            },
+            "has a predecessor",
+        );
+        // LRU chain cycle: most-recent node's next points back at the head.
+        corrupted(
+            |s| {
+                let head = s.head;
+                let mid = s.slab[head].next;
+                s.slab[mid].next = head;
+            },
+            "prev pointer",
+        );
+        // Tail does not terminate the chain.
+        corrupted(
+            |s| {
+                s.tail = s.head;
+            },
+            "but the list ends at",
+        );
+        // A mapped page never appears on the LRU walk.
+        corrupted(
+            |s| {
+                let head = s.head;
+                s.slab[head].next = NIL;
+                s.tail = head;
+            },
+            "LRU list holds 1 nodes, map holds 3",
+        );
+        // Capacity overrun.
+        corrupted(
+            |s| {
+                s.capacity = 2;
+            },
+            "3 resident pages exceed capacity 2",
+        );
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub enum StorageError {
     NoSuchEntity(EntityId),
     /// An entity with this id is already stored.
     DuplicateEntity(EntityId),
+    /// A write-ahead-log append failed. The failure is sticky: the mutation
+    /// that triggered it has already applied in memory, so the table keeps
+    /// reporting it on every subsequent logged mutation until the WAL is
+    /// re-attached — durability is lost from the failed entry onward and
+    /// the caller must take a fresh snapshot.
+    WalAppend(std::io::ErrorKind),
 }
 
 impl std::fmt::Display for StorageError {
@@ -37,6 +43,9 @@ impl std::fmt::Display for StorageError {
             StorageError::NoSuchRecord(s, r) => write!(f, "no record {r} in segment {s}"),
             StorageError::NoSuchEntity(e) => write!(f, "entity {e} not stored"),
             StorageError::DuplicateEntity(e) => write!(f, "entity {e} already stored"),
+            StorageError::WalAppend(kind) => {
+                write!(f, "WAL append failed ({kind}); durability lost, re-attach the log")
+            }
         }
     }
 }

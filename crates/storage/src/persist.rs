@@ -109,7 +109,7 @@ impl UniversalTable {
         let segments: Vec<SegmentId> = self.segment_ids().collect();
         varint::encode(segments.len() as u64, &mut buf);
         for seg in segments {
-            let segment = self.segment(seg).expect("live segment");
+            let segment = self.segment(seg)?;
             varint::encode(u64::from(seg.0), &mut buf);
             varint::encode(segment.record_count() as u64, &mut buf);
             for (_, rec) in segment.iter() {
@@ -135,7 +135,9 @@ impl UniversalTable {
             return Err(PersistError::Corrupt("truncated"));
         }
         let (body, tail) = buf.split_at(buf.len() - 8);
-        let expect = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        let tail =
+            <[u8; 8]>::try_from(tail).map_err(|_| PersistError::Corrupt("checksum width"))?;
+        let expect = u64::from_le_bytes(tail);
         if fnv1a(body) != expect {
             return Err(PersistError::Corrupt("checksum mismatch"));
         }

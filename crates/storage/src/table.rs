@@ -106,6 +106,18 @@ impl UniversalTable {
         self.pool.stats()
     }
 
+    /// Surfaces a sticky WAL append failure (see
+    /// [`StorageError::WalAppend`]) — checked by every fallible mutation
+    /// that logs, so a failure during an infallible one (e.g.
+    /// [`create_segment`](Self::create_segment)) is reported at the next
+    /// opportunity rather than swallowed.
+    fn wal_ok(&self) -> Result<(), StorageError> {
+        match self.wal.as_ref().and_then(|w| w.failure()) {
+            Some(kind) => Err(StorageError::WalAppend(kind)),
+            None => Ok(()),
+        }
+    }
+
     /// Allocates a fresh, empty segment.
     pub fn create_segment(&mut self) -> SegmentId {
         let id = SegmentId(self.next_segment);
@@ -130,7 +142,7 @@ impl UniversalTable {
         if let Some(wal) = &mut self.wal {
             wal.log_drop_segment(&self.catalog, id);
         }
-        Ok(())
+        self.wal_ok()
     }
 
     /// Ids of all live segments, ascending.
@@ -197,7 +209,7 @@ impl UniversalTable {
         self.next_segment += 1;
         seg.set_id(id);
         for (rid, rec) in seg.iter() {
-            let eid = crate::record::decode_entity_id(rec).expect("validated above");
+            let eid = crate::record::decode_entity_id(rec)?;
             self.locator.insert(eid, (id, rid));
         }
         self.segments.insert(id, seg);
@@ -261,7 +273,7 @@ impl UniversalTable {
         if let Some(wal) = &mut self.wal {
             wal.log_insert(&self.catalog, seg, &record);
         }
-        Ok(())
+        self.wal_ok()
     }
 
     /// A `Send + Sync` read handle over the table's immutable state: the
@@ -299,6 +311,7 @@ impl UniversalTable {
         if let Some(wal) = &mut self.wal {
             wal.log_delete(&self.catalog, entity);
         }
+        self.wal_ok()?;
         decode_entity(&bytes)
     }
 
@@ -416,7 +429,17 @@ impl ReadView<'_> {
         let segment = self.segment(seg)?;
         for page_idx in 0..segment.page_count() as u32 {
             self.pool.access(PageKey { segment: seg, page: page_idx });
-            let page = segment.page(page_idx).expect("page in range");
+            let Some(page) = segment.page(page_idx) else {
+                // page_count() bounds the loop; a miss means the segment
+                // mutated underneath us, which the scan treats as data loss.
+                return Err(StorageError::NoSuchRecord(
+                    seg,
+                    crate::segment::RecordId {
+                        page: page_idx,
+                        slot: crate::page::SlotId(0),
+                    },
+                ));
+            };
             for (_, bytes) in page.iter() {
                 f(&decode_entity(bytes)?);
             }

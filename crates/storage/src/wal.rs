@@ -49,38 +49,63 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The table-side WAL state: the sink plus how many attributes have been
-/// defined in the log so far (for lazy `DefineAttr` emission).
+/// The table-side WAL state: the sink, how many attributes have been
+/// defined in the log so far (for lazy `DefineAttr` emission), and the
+/// first append failure, if any.
+///
+/// A failed append cannot be returned from the mutation that triggered it —
+/// the in-memory change has already applied, and some logging entry points
+/// ([`UniversalTable::create_segment`](crate::UniversalTable::create_segment))
+/// are infallible. The failure is therefore *sticky*: recorded here and
+/// surfaced as [`StorageError::WalAppend`](crate::StorageError::WalAppend)
+/// from the next fallible logged mutation, and from every one after it,
+/// until a new sink is attached. Durability is lost from the failed entry
+/// onward either way; staying loud prevents a caller from mistaking a
+/// half-logged table for a recoverable one.
 pub(crate) struct WalSink {
     out: Box<dyn Write + Send>,
     attrs_logged: usize,
+    failed: Option<std::io::ErrorKind>,
 }
 
 impl WalSink {
     pub(crate) fn new(out: Box<dyn Write + Send>, attrs_already: usize) -> Self {
-        Self { out, attrs_logged: attrs_already }
+        Self { out, attrs_logged: attrs_already, failed: None }
+    }
+
+    /// The first append failure, if any (sticky until re-attach).
+    pub(crate) fn failure(&self) -> Option<std::io::ErrorKind> {
+        self.failed
     }
 
     fn append(&mut self, body: &[u8]) {
+        if self.failed.is_some() {
+            return; // The log is already broken; don't write a gap after it.
+        }
         let mut framed = Vec::with_capacity(body.len() + 12);
         varint::encode(body.len() as u64, &mut framed);
         framed.extend_from_slice(body);
         framed.extend_from_slice(&fnv1a(body).to_le_bytes());
-        // A WAL write failure is not recoverable at this layer; the table
-        // mutation has already happened. Surfacing a panic here (rather
-        // than silently dropping durability) matches what a database would
-        // do on log-device failure.
-        self.out.write_all(&framed).expect("WAL append failed");
+        if let Err(e) = self.out.write_all(&framed) {
+            self.failed = Some(e.kind());
+        }
     }
 
     /// Emits `DefineAttr` entries for catalog ids not yet in the log.
+    /// Catalog ids are dense, so iterating from the high-water mark covers
+    /// exactly the undefined ones.
     fn sync_attrs(&mut self, catalog: &cind_model::AttributeCatalog) {
-        while self.attrs_logged < catalog.len() {
-            let id = cind_model::AttrId(self.attrs_logged as u32);
-            let name = catalog.name(id).expect("dense ids");
-            let mut body = vec![OP_DEFINE_ATTR];
-            varint::encode(name.len() as u64, &mut body);
-            body.extend_from_slice(name.as_bytes());
+        let pending: Vec<Vec<u8>> = catalog
+            .iter()
+            .skip(self.attrs_logged)
+            .map(|(_, name)| {
+                let mut body = vec![OP_DEFINE_ATTR];
+                varint::encode(name.len() as u64, &mut body);
+                body.extend_from_slice(name.as_bytes());
+                body
+            })
+            .collect();
+        for body in pending {
             self.append(&body);
             self.attrs_logged += 1;
         }
@@ -186,7 +211,11 @@ pub fn replay(table: &mut UniversalTable, input: &mut impl Read) -> Result<Repla
             tail(&mut report);
             break;
         };
-        let expect = u64::from_le_bytes(sum.try_into().expect("8 bytes"));
+        let Ok(sum) = <[u8; 8]>::try_from(sum) else {
+            tail(&mut report);
+            break;
+        };
+        let expect = u64::from_le_bytes(sum);
         if fnv1a(body) != expect {
             // A checksum failure at the very end is a torn tail; earlier it
             // is corruption.
@@ -390,6 +419,44 @@ mod tests {
         assert_eq!(recovered.entity_count(), 1);
         assert_eq!(recovered.universe(), 3);
         assert_eq!(recovered.get(EntityId(1000)).unwrap(), e);
+    }
+
+    /// A sink that fails every write with the given kind.
+    struct FailingSink(std::io::ErrorKind);
+
+    impl Write for FailingSink {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::from(self.0))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn append_failure_is_sticky_and_surfaces_on_fallible_ops() {
+        use crate::StorageError;
+        let mut table = UniversalTable::new(16);
+        let a = table.catalog_mut().intern("a");
+        table.attach_wal(Box::new(FailingSink(std::io::ErrorKind::WriteZero)));
+        // create_segment is infallible; the failed DefineAttr/CreateSegment
+        // appends surface on the next fallible mutation.
+        let seg = table.create_segment();
+        let e = Entity::new(EntityId(1), [(a, Value::Int(1))]).unwrap();
+        let err = table.insert(seg, &e).unwrap_err();
+        assert_eq!(err, StorageError::WalAppend(std::io::ErrorKind::WriteZero));
+        // The in-memory mutation applied anyway (durability, not data, is
+        // what broke) …
+        assert_eq!(table.entity_count(), 1);
+        // … and the failure stays sticky.
+        let err = table.delete(EntityId(1)).unwrap_err();
+        assert_eq!(err, StorageError::WalAppend(std::io::ErrorKind::WriteZero));
+        // Re-attaching a healthy sink clears it.
+        let log = SharedBuf::default();
+        table.attach_wal(Box::new(log.clone()));
+        let e = Entity::new(EntityId(2), [(a, Value::Int(2))]).unwrap();
+        table.insert(seg, &e).unwrap();
+        assert!(!log.0.lock().unwrap().is_empty());
     }
 
     #[test]

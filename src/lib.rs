@@ -12,6 +12,8 @@
 //! * [`baselines`] — unpartitioned, hash, range, and offline comparators.
 //! * [`metrics`] — histograms, partition statistics, reporting.
 
+#![forbid(unsafe_code)]
+
 pub use cind_baselines as baselines;
 pub use cind_bitset as bitset;
 pub use cind_datagen as datagen;

@@ -11,6 +11,8 @@ use cinderella::model::Synopsis;
 use cinderella::query::{execute, plan, Query};
 use cinderella::storage::UniversalTable;
 
+mod common;
+
 const ENTITIES: usize = 4_000;
 
 fn policies() -> Vec<Box<dyn Partitioner>> {
@@ -73,6 +75,12 @@ fn all_policies_answer_queries_identically() {
             }
         }
     }
+
+    for (table, policy) in &loaded {
+        let report = policy.validate_structure(table);
+        assert!(report.is_empty(), "{}: {report:?}", policy.name());
+        common::assert_pool_valid(table);
+    }
 }
 
 #[test]
@@ -102,6 +110,8 @@ fn efficiency_ordering_matches_design() {
         let mut table = UniversalTable::new(64);
         let entities = gen.generate(table.catalog_mut());
         policy.load(&mut table, entities).expect("load");
+        let report = policy.validate_structure(&table);
+        assert!(report.is_empty(), "{}: {report:?}", policy.name());
         let parts: Vec<(Synopsis, u64)> = policy
             .pruning_view()
             .into_iter()

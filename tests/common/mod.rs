@@ -1,0 +1,30 @@
+//! Shared tier-1 epilogue: deep structural validation.
+//!
+//! Every integration test that builds a partitioning finishes by driving
+//! the full catalog/arena/index validator ([`Cinderella::validate`]) plus
+//! the buffer-pool LRU validator, so a latent inconsistency surfaces as a
+//! named invariant violation rather than as a wrong answer three suites
+//! later.
+
+// Each test binary compiles this module separately and most use only one
+// of the two helpers.
+#![allow(dead_code)]
+
+use cinderella::core::{validate, Cinderella};
+use cinderella::storage::UniversalTable;
+
+/// Panics with the rendered violation report if any structural invariant
+/// of the catalog/arena/index triad — or of the table's buffer pool — is
+/// broken.
+pub fn assert_fully_valid(cindy: &Cinderella, table: &UniversalTable) {
+    let violations = cindy.validate(table).expect("validation scan");
+    assert!(violations.is_empty(), "{}", validate::render(&violations));
+    assert_pool_valid(table);
+}
+
+/// Buffer-pool-only variant for suites that exercise storage without a
+/// partitioner on top.
+pub fn assert_pool_valid(table: &UniversalTable) {
+    let report = table.pool().validate();
+    assert!(report.is_empty(), "buffer pool invariants: {report:?}");
+}

@@ -8,6 +8,8 @@ use cinderella::model::Synopsis;
 use cinderella::query::{execute, plan, Query};
 use cinderella::storage::UniversalTable;
 
+mod common;
+
 const ENTITIES: usize = 8_000;
 
 fn dataset(table: &mut UniversalTable) -> Vec<cinderella::model::Entity> {
@@ -29,6 +31,7 @@ fn load_cinderella(b: u64, w: f64) -> (UniversalTable, Cinderella) {
     for e in entities {
         cindy.insert(&mut table, e).expect("insert");
     }
+    common::assert_fully_valid(&cindy, &table);
     (table, cindy)
 }
 

@@ -12,6 +12,8 @@ use cind_storage::UniversalTable;
 use cinderella_core::{Capacity, Cinderella, Config, IndexMode};
 use proptest::prelude::*;
 
+mod common;
+
 const UNIVERSE: usize = 16;
 
 fn partitioned(
@@ -38,6 +40,7 @@ fn partitioned(
         .expect("deduped attrs");
         cindy.insert(&mut table, e).expect("insert");
     }
+    common::assert_fully_valid(&cindy, &table);
     (table, cindy)
 }
 

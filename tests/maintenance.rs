@@ -6,6 +6,8 @@ use cinderella::datagen::{DbpediaConfig, DbpediaGenerator};
 use cinderella::model::{EntityId, Synopsis};
 use cinderella::storage::UniversalTable;
 
+mod common;
+
 const ENTITIES: usize = 6_000;
 
 fn dataset(table: &mut UniversalTable) -> Vec<cinderella::model::Entity> {
@@ -24,8 +26,10 @@ fn config(b: u64) -> Config {
     }
 }
 
-/// Checks the catalog invariants against the physical table.
+/// Checks the catalog invariants against the physical table, then runs
+/// the full structural validator on top.
 fn assert_consistent(table: &UniversalTable, cindy: &Cinderella) {
+    common::assert_fully_valid(cindy, table);
     let universe = table.universe();
     let total: u64 = cindy.catalog().iter().map(|m| m.entities).sum();
     assert_eq!(total as usize, table.entity_count());
@@ -95,6 +99,7 @@ fn merge_pass_is_idempotent() {
     let report = cindy.merge_pass(&mut table, 0.5).expect("second pass");
     assert_eq!(report.merges, 0, "second pass must find nothing (fixpoint)");
     assert_eq!(cindy.catalog().len(), after_first);
+    common::assert_fully_valid(&cindy, &table);
 }
 
 #[test]

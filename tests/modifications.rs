@@ -10,6 +10,8 @@ use cinderella::storage::UniversalTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+mod common;
+
 const UNIVERSE: u32 = 24;
 
 fn random_entity(id: u64, rng: &mut StdRng) -> Entity {
@@ -73,6 +75,7 @@ fn check_consistency(
         assert_eq!(meta.entities, count);
         assert!(count > 0, "empty partition {} must have been dropped", meta.segment);
     }
+    common::assert_fully_valid(cindy, table);
 }
 
 #[test]
@@ -161,6 +164,7 @@ fn delete_everything_leaves_nothing() {
     assert_eq!(table.entity_count(), 0);
     assert_eq!(cindy.catalog().len(), 0);
     assert_eq!(table.segment_count(), 0);
+    common::assert_fully_valid(&cindy, &table);
     assert_eq!(cindy.stats().partitions_dropped as usize, {
         // Every partition ever created must eventually have been dropped:
         // created = new-partition inserts + 2 per split; splits also remove

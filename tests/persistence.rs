@@ -7,6 +7,8 @@ use cinderella::model::{EntityId, Synopsis};
 use cinderella::query::{execute, plan, Query};
 use cinderella::storage::UniversalTable;
 
+mod common;
+
 const ENTITIES: usize = 5_000;
 
 fn config() -> Config {
@@ -53,6 +55,8 @@ fn snapshot_restore_rebuild_preserves_everything() {
     for e in &entities {
         assert_eq!(&restored.get(e.id()).expect("stored"), e);
     }
+    common::assert_fully_valid(&cindy, &table);
+    common::assert_fully_valid(&rebuilt, &restored);
 }
 
 #[test]
@@ -134,4 +138,5 @@ fn online_modifications_continue_after_rebuild() {
         assert_eq!(meta.attr_synopsis, syn);
         assert_eq!(meta.entities, count);
     }
+    common::assert_fully_valid(&rebuilt, &restored);
 }

@@ -8,6 +8,8 @@ use cinderella::model::{AttrId, Entity, EntityId, Synopsis, Value};
 use cinderella::storage::UniversalTable;
 use proptest::prelude::*;
 
+mod common;
+
 const UNIVERSE: u32 = 12;
 
 #[derive(Clone, Debug)]
@@ -79,6 +81,7 @@ fn check_invariants(
     for (id, e) in model {
         prop_assert_eq!(&table.get(*id).expect("stored"), e);
     }
+    common::assert_fully_valid(cindy, table);
     Ok(())
 }
 
@@ -141,6 +144,7 @@ proptest! {
         for meta in cindy.catalog().iter() {
             prop_assert_eq!(meta.sparseness(), 0.0);
         }
+        common::assert_fully_valid(&cindy, &table);
     }
 
     /// The efficiency metric stays in (0, 1] for any partitioning Cinderella
@@ -176,5 +180,6 @@ proptest! {
         for (i, shape) in shapes.iter().enumerate() {
             prop_assert_eq!(&table.get(EntityId(i as u64)).expect("stored"), &entity(i as u64, shape));
         }
+        common::assert_fully_valid(&cindy, &table);
     }
 }

@@ -5,6 +5,8 @@ use cinderella::model::{AttrId, Entity, EntityId, Value};
 use cinderella::storage::{decode_entity, encode_entity, UniversalTable};
 use proptest::prelude::*;
 
+mod common;
+
 fn value() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<bool>().prop_map(Value::Bool),
@@ -68,6 +70,7 @@ proptest! {
         let count_a = table.segment(a).expect("a").record_count();
         let count_b = table.segment(b).expect("b").record_count();
         prop_assert_eq!(count_a + count_b, entities.len());
+        common::assert_pool_valid(&table);
     }
 
     /// Interleaved inserts and deletes never corrupt neighbours.
@@ -104,5 +107,6 @@ proptest! {
         }
         let expected = keep.iter().filter(|k| **k).count();
         prop_assert_eq!(table.entity_count(), expected);
+        common::assert_pool_valid(&table);
     }
 }

@@ -7,6 +7,8 @@ use cinderella::model::Synopsis;
 use cinderella::query::{execute, plan, Query};
 use cinderella::storage::{SegmentId, UniversalTable};
 
+mod common;
+
 fn load(b: u64) -> (UniversalTable, Cinderella, TpchGenerator) {
     let gen = TpchGenerator::new(TpchConfig { scale: 0.002, seed: 3 });
     let mut table = UniversalTable::new(128);
@@ -19,6 +21,7 @@ fn load(b: u64) -> (UniversalTable, Cinderella, TpchGenerator) {
     for e in entities {
         cindy.insert(&mut table, e).expect("insert");
     }
+    common::assert_fully_valid(&cindy, &table);
     (table, cindy, gen)
 }
 

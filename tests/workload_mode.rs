@@ -7,6 +7,8 @@ use cinderella::model::{AttrId, Entity, EntityId, Synopsis, Value};
 use cinderella::query::{execute, plan, Query};
 use cinderella::storage::UniversalTable;
 
+mod common;
+
 const UNIVERSE: usize = 8;
 
 fn entity(id: u64, attrs: &[u32]) -> Entity {
@@ -63,6 +65,8 @@ fn groups_by_query_relevance_not_attribute_shape() {
     entity_based.insert(&mut t2, entity(0, &[0])).expect("insert");
     entity_based.insert(&mut t2, entity(1, &[1, 2])).expect("insert");
     assert_ne!(t2.location(EntityId(0)), t2.location(EntityId(1)));
+    common::assert_fully_valid(&cindy, &t);
+    common::assert_fully_valid(&entity_based, &t2);
 }
 
 #[test]
@@ -95,6 +99,7 @@ fn workload_mode_still_prunes_by_attributes() {
     let r = execute(&t, &q, &p).expect("run");
     assert_eq!(r.rows, 10);
     assert!(r.segments_pruned >= 1, "attribute pruning works in workload mode");
+    common::assert_fully_valid(&cindy, &t);
 }
 
 #[test]
@@ -115,4 +120,5 @@ fn workload_irrelevant_entities_pool_together() {
     cindy.insert(&mut t, entity(1, &[7])).expect("insert");
     cindy.insert(&mut t, entity(2, &[5, 6])).expect("insert");
     assert_eq!(cindy.catalog().len(), 1, "irrelevant entities pool together");
+    common::assert_fully_valid(&cindy, &t);
 }
