@@ -175,44 +175,54 @@ fn stats_write_findings(f: &SourceFile) -> Vec<Finding> {
     out
 }
 
-/// CIND-A004: every field of `cinderella_core::Config` is doc-commented
-/// and reachable from the CLI as `--kebab-case-name`.
+/// CIND-A004: every field of a user-facing config struct —
+/// `cinderella_core::Config` and the serving layer's `ServeConfig` — is
+/// doc-commented and reachable from the CLI as `--kebab-case-name`.
 ///
-/// The struct is parsed from `crates/core/src/config.rs` raw text (doc
-/// comments do not survive the code view); the flag search runs over the
-/// raw text of `crates/cli/src` so usage strings count as wiring evidence
-/// alongside `args.get("…")` parsing.
+/// The structs are parsed from their crate's raw text (doc comments do
+/// not survive the code view); the flag search runs over the raw text of
+/// `crates/cli/src` so usage strings count as wiring evidence alongside
+/// `args.get("…")` parsing.
 #[must_use]
 pub fn config_coverage(files: &[SourceFile]) -> Vec<Finding> {
-    let Some(config) = files.iter().find(|f| f.path.ends_with("core/src/config.rs")) else {
-        return Vec::new(); // synthetic trees without the crate: nothing to check
-    };
+    const CONFIGS: [(&str, &str); 2] = [
+        ("core/src/config.rs", "Config"),
+        ("server/src/config.rs", "ServeConfig"),
+    ];
     let cli_text: String = files
         .iter()
         .filter(|f| f.path.contains("cli/src/"))
         .map(|f| f.raw.as_str())
         .collect();
     let mut out = Vec::new();
-    for field in config_fields(&config.raw) {
-        if !field.documented {
-            out.push(Finding {
-                file: config.path.clone(),
-                line: field.line,
-                rule: "CIND-A004",
-                message: format!("Config field `{}` has no doc comment", field.name),
-            });
-        }
-        let flag = format!("--{}", field.name.replace('_', "-"));
-        if !cli_text.contains(&flag) {
-            out.push(Finding {
-                file: config.path.clone(),
-                line: field.line,
-                rule: "CIND-A004",
-                message: format!(
-                    "Config field `{}` is not wired to a `{flag}` CLI flag",
-                    field.name
-                ),
-            });
+    for (path_suffix, struct_name) in CONFIGS {
+        let Some(config) = files.iter().find(|f| f.path.ends_with(path_suffix)) else {
+            continue; // synthetic trees without the crate: nothing to check
+        };
+        for field in config_fields(&config.raw, struct_name) {
+            if !field.documented {
+                out.push(Finding {
+                    file: config.path.clone(),
+                    line: field.line,
+                    rule: "CIND-A004",
+                    message: format!(
+                        "{struct_name} field `{}` has no doc comment",
+                        field.name
+                    ),
+                });
+            }
+            let flag = format!("--{}", field.name.replace('_', "-"));
+            if !cli_text.contains(&flag) {
+                out.push(Finding {
+                    file: config.path.clone(),
+                    line: field.line,
+                    rule: "CIND-A004",
+                    message: format!(
+                        "{struct_name} field `{}` is not wired to a `{flag}` CLI flag",
+                        field.name
+                    ),
+                });
+            }
         }
     }
     out
@@ -224,13 +234,13 @@ struct ConfigField {
     documented: bool,
 }
 
-/// Extracts `pub <name>:` fields of `pub struct Config { … }` with their
-/// line numbers and whether a `///` line directly precedes them.
-fn config_fields(raw: &str) -> Vec<ConfigField> {
+/// Extracts `pub <name>:` fields of `pub struct <struct_name> { … }` with
+/// their line numbers and whether a `///` line directly precedes them.
+fn config_fields(raw: &str, struct_name: &str) -> Vec<ConfigField> {
     let mut out = Vec::new();
     let all: Vec<&str> = raw.lines().collect();
-    let Some(start) = all.iter().position(|l| l.trim_start().starts_with("pub struct Config {"))
-    else {
+    let header = format!("pub struct {struct_name} {{");
+    let Some(start) = all.iter().position(|l| l.trim_start().starts_with(&header)) else {
         return out;
     };
     let mut depth = 0usize;
@@ -462,6 +472,38 @@ mod tests {
             "const USAGE: &str = \"--weight W --max-size N\";\n",
         );
         assert!(config_coverage(&[config, cli]).is_empty());
+    }
+
+    #[test]
+    fn a004_covers_serve_config_too() {
+        let serve = file(
+            "crates/server/src/config.rs",
+            "pub struct ServeConfig {\n\
+             \x20   pub queue_depth: usize,\n\
+             }\n",
+        );
+        let cli = file("crates/cli/src/main.rs", "const USAGE: &str = \"\";\n");
+        let found = config_coverage(&[serve, cli]);
+        // `queue_depth`: undocumented AND not wired to --queue-depth.
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().all(|f| f.message.contains("ServeConfig")), "{found:?}");
+        assert!(found[1].message.contains("--queue-depth"), "{found:?}");
+    }
+
+    #[test]
+    fn a004_accepts_wired_serve_config() {
+        let serve = file(
+            "crates/server/src/config.rs",
+            "pub struct ServeConfig {\n\
+             \x20   /// Queue bound.\n\
+             \x20   pub queue_depth: usize,\n\
+             }\n",
+        );
+        let cli = file(
+            "crates/cli/src/main.rs",
+            "const USAGE: &str = \"--queue-depth K\";\n",
+        );
+        assert!(config_coverage(&[serve, cli]).is_empty());
     }
 
     // ---- CIND-A005 -----------------------------------------------------

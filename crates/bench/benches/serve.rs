@@ -1,0 +1,132 @@
+//! Serving-layer throughput/latency harness: an in-process `cind-server`
+//! on a loopback socket, driven by the closed-loop load generator, with
+//! the numbers recorded to `BENCH_PR4.json` at the workspace root.
+//!
+//! Run with `cargo bench -p cind-bench --bench serve`. Not a criterion
+//! bench: one load run *is* the measurement (throughput and latency
+//! percentiles over thousands of operations), so statistical resampling
+//! would only re-run minutes of socket traffic for no extra information.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cind_server::{
+    run_load, Client, Engine, EngineOptions, LoadConfig, LoadReport, ServeConfig, Server,
+};
+
+/// One scenario: a server shape plus a load shape.
+struct Scenario {
+    name: &'static str,
+    serve: ServeConfig,
+    load: LoadConfig,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "connections_1",
+            serve: ServeConfig { workers: 4, queue_depth: 64, ..ServeConfig::default() },
+            load: LoadConfig { connections: 1, entities: 4_000, ..LoadConfig::default() },
+        },
+        Scenario {
+            name: "connections_4",
+            serve: ServeConfig { workers: 4, queue_depth: 64, ..ServeConfig::default() },
+            load: LoadConfig { connections: 4, entities: 4_000, ..LoadConfig::default() },
+        },
+        Scenario {
+            name: "connections_8",
+            serve: ServeConfig { workers: 4, queue_depth: 64, ..ServeConfig::default() },
+            load: LoadConfig { connections: 8, entities: 4_000, ..LoadConfig::default() },
+        },
+        // Deliberate overload: one worker, depth-1 queue, eight pushers —
+        // measures that admission control sheds instead of stalling.
+        Scenario {
+            name: "overload_queue_1",
+            serve: ServeConfig { workers: 1, queue_depth: 1, ..ServeConfig::default() },
+            load: LoadConfig { connections: 8, entities: 2_000, ..LoadConfig::default() },
+        },
+    ]
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn run_scenario(sc: &Scenario) -> (LoadReport, u64) {
+    let engine = Arc::new(Engine::in_memory(EngineOptions {
+        pool_pages: 4096,
+        query_threads: sc.serve.query_threads,
+        ..EngineOptions::default()
+    }));
+    let handle = Server::start(Arc::clone(&engine), &sc.serve).expect("server start");
+    let addr = format!("127.0.0.1:{}", handle.port());
+    let report = run_load(&addr, &sc.load).expect("load run");
+    let mut client = Client::connect(&addr).expect("connect");
+    let partitions = client.stats().expect("stats").partitions;
+    client.shutdown().expect("shutdown");
+    let shutdown = handle.join().expect("graceful join");
+    assert!(
+        shutdown.violations.is_empty(),
+        "{}: post-drain validation failed: {:?}",
+        sc.name,
+        shutdown.violations
+    );
+    (report, partitions)
+}
+
+fn json_block(sc: &Scenario, report: &mut LoadReport, partitions: u64) -> String {
+    let mut out = String::new();
+    let p = |h: &mut cind_metrics::LatencyHistogram, q: f64| {
+        h.percentile(q).map_or(0.0, us)
+    };
+    let (ins_p50, ins_p99) =
+        (p(&mut report.insert_latency, 50.0), p(&mut report.insert_latency, 99.0));
+    let (q_p50, q_p99) =
+        (p(&mut report.query_latency, 50.0), p(&mut report.query_latency, 99.0));
+    let _ = write!(
+        out,
+        "    \"{}\": {{\n      \"connections\": {}, \"workers\": {}, \"queue_depth\": {},\n      \
+         \"inserts\": {}, \"queries\": {}, \"rows\": {}, \"busy_sheds\": {}, \"errors\": {},\n      \
+         \"partitions\": {partitions}, \"elapsed_s\": {:.3}, \"throughput_ops_s\": {:.0},\n      \
+         \"insert_p50_us\": {ins_p50:.1}, \"insert_p99_us\": {ins_p99:.1},\n      \
+         \"query_p50_us\": {q_p50:.1}, \"query_p99_us\": {q_p99:.1}\n    }}",
+        sc.name,
+        sc.load.connections,
+        sc.serve.effective_workers(),
+        sc.serve.effective_queue_depth(),
+        report.inserts,
+        report.queries,
+        report.rows,
+        report.busy_sheds,
+        report.errors,
+        report.elapsed.as_secs_f64(),
+        report.throughput(),
+    );
+    out
+}
+
+fn main() {
+    let mut blocks = Vec::new();
+    for sc in scenarios() {
+        eprintln!("serve bench: {}", sc.name);
+        let (mut report, partitions) = run_scenario(&sc);
+        eprintln!("{}", report.render());
+        blocks.push(json_block(&sc, &mut report, partitions));
+    }
+
+    let json = format!(
+        "{{\n  \"pr\": 4,\n  \"date\": \"2026-08-06\",\n  \"description\": \"cind-server \
+         serving layer: closed-loop load generator (DBpedia-like entities, mixed \
+         insert/query 10:1) against an in-process server on loopback. Scenarios sweep \
+         client connections at fixed workers=4/queue=64, plus a deliberate overload shape \
+         (workers=1, queue_depth=1, 8 connections) exercising admission control. From \
+         `cargo bench -p cind-bench --bench serve`.\",\n  \"machine_note\": \"Linux \
+         container, release profile, loopback TCP, single-writer engine lock\",\n  \
+         \"serve\": {{\n{}\n  }}\n}}\n",
+        blocks.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    std::fs::write(path, &json).expect("write BENCH_PR4.json");
+    eprintln!("wrote {path}");
+}

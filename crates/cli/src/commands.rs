@@ -5,6 +5,7 @@ use std::path::Path;
 use cind_model::{AttributeCatalog, SizeModel, Value};
 use cind_query::{execute_collect, plan_from_survivors, plan_with, Parallelism, Query};
 use cind_storage::{PersistError, StorageError, UniversalTable};
+use cind_server::{Engine, EngineOptions, ServeConfig, Server, ServerError};
 use cinderella_core::{
     bulk_load, Capacity, Cinderella, Config, CoreError, IndexMode, SynopsisMode,
 };
@@ -24,6 +25,8 @@ pub enum CliError {
     Core(CoreError),
     /// The storage engine failed.
     Storage(StorageError),
+    /// The serving layer failed (bind, protocol, or remote error).
+    Server(ServerError),
     /// Bad command-line usage; the payload is the message.
     Usage(String),
     /// Deep validation (`cind check`) found structural invariant
@@ -45,6 +48,7 @@ from_err!(Csv, CsvError);
 from_err!(Persist, PersistError);
 from_err!(Core, CoreError);
 from_err!(Storage, StorageError);
+from_err!(Server, ServerError);
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -54,6 +58,7 @@ impl std::fmt::Display for CliError {
             CliError::Persist(e) => write!(f, "snapshot: {e}"),
             CliError::Core(e) => write!(f, "partitioner: {e}"),
             CliError::Storage(e) => write!(f, "storage: {e}"),
+            CliError::Server(e) => write!(f, "server: {e}"),
             CliError::Usage(msg) => write!(f, "usage: {msg}"),
             CliError::Invariant(report) => {
                 write!(f, "invariant violations:\n{report}")
@@ -409,6 +414,86 @@ pub fn check(snapshot: &Path, pool_pages: usize) -> Result<String, CliError> {
     } else {
         Err(CliError::Invariant(cinderella_core::validate::render(&violations)))
     }
+}
+
+/// `cind serve`: open (or create) a store directory and serve it over the
+/// wire protocol until a client sends `Shutdown` (or the process is
+/// signalled). Prints the `listening on 127.0.0.1:PORT` line *before*
+/// blocking so harnesses can wait for readiness, then performs the
+/// graceful drain — WAL flush, checkpoint snapshot, full validation — and
+/// reports the outcome.
+///
+/// # Errors
+/// Bind/storage failures, and [`CliError::Invariant`] if the post-drain
+/// validation finds structural defects.
+pub fn serve(store: &Path, cfg: &ServeConfig) -> Result<String, CliError> {
+    use std::io::Write as _;
+    let engine = std::sync::Arc::new(Engine::open(store, EngineOptions::from_serve(cfg))?);
+    let handle = Server::start(engine, cfg)?;
+    println!("listening on 127.0.0.1:{}", handle.port());
+    std::io::stdout().flush()?;
+    let report = handle.join()?;
+    if report.violations.is_empty() {
+        Ok("shutdown clean: drained, WAL flushed, checkpoint written, \
+            all structural invariants hold"
+            .to_string())
+    } else {
+        Err(CliError::Invariant(report.violations.join("\n")))
+    }
+}
+
+/// Knobs for `cind workload` (the remote load generator).
+#[derive(Clone, Debug)]
+pub struct WorkloadOptions {
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Total entities to insert across the connections.
+    pub entities: usize,
+    /// Distinct attributes in the generated data.
+    pub attributes: usize,
+    /// Every k-th operation is a query (`0` = inserts only).
+    pub query_every: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Send a graceful `Shutdown` to the server after the run.
+    pub shutdown: bool,
+}
+
+impl Default for WorkloadOptions {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            entities: 2_000,
+            attributes: 60,
+            query_every: 10,
+            seed: 0xC1DE,
+            shutdown: false,
+        }
+    }
+}
+
+/// `cind workload --remote HOST:PORT`: drive the closed-loop load
+/// generator against a running `cind serve` and report throughput,
+/// admission-control sheds, and per-operation latency percentiles.
+///
+/// # Errors
+/// Connection failures; remote errors during the run are counted in the
+/// report, not raised.
+pub fn workload(remote: &str, opts: &WorkloadOptions) -> Result<String, CliError> {
+    let cfg = cind_server::LoadConfig {
+        connections: opts.connections,
+        entities: opts.entities,
+        attributes: opts.attributes,
+        query_every: opts.query_every,
+        seed: opts.seed,
+    };
+    let mut report = cind_server::run_load(remote, &cfg)?;
+    let mut out = report.render();
+    if opts.shutdown {
+        cind_server::Client::connect(remote)?.shutdown()?;
+        out.push_str("shutdown requested\n");
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

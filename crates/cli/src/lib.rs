@@ -25,5 +25,6 @@ pub mod commands;
 pub mod csv;
 
 pub use commands::{
-    check, load, merge, query, stats, CliError, LoadOptions, ModeSpec, QueryOptions,
+    check, load, merge, query, serve, stats, workload, CliError, LoadOptions, ModeSpec,
+    QueryOptions, WorkloadOptions,
 };

@@ -5,7 +5,10 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cind_cli::{check, load, merge, query, stats, CliError, LoadOptions, QueryOptions};
+use cind_cli::{
+    check, load, merge, query, serve, stats, workload, CliError, LoadOptions, QueryOptions,
+    WorkloadOptions,
+};
 
 const USAGE: &str = "\
 cind — universal-table manager with Cinderella online partitioning
@@ -20,6 +23,11 @@ USAGE:
   cind stats --snapshot TABLE.cind
   cind merge --snapshot TABLE.cind [--threshold T]
   cind check --snapshot TABLE.cind
+  cind serve --store DIR [--port P] [--workers N] [--queue-depth K]
+             [--pool-pages N] [--query-threads N]
+  cind workload --remote HOST:PORT [--connections N] [--entities N]
+             [--attributes N] [--query-every K] [--seed S]
+             [--shutdown true|false]
 
 --size-model picks the SIZE() function of Definition 1: instantiated
 cells (default) or serialized bytes.
@@ -32,6 +40,16 @@ and summarises the trace in the load report.
 attribute-presence bitmap index (auto = cost-gated, the default).
 check restores the snapshot, rebuilds the partitioning, and runs the full
 structural invariant validation (exit status 1 on violations).
+serve opens (or creates) a store directory — snapshot + write-ahead log —
+and serves it over a length-prefixed binary protocol on loopback until a
+client sends Shutdown: --port 0 picks a free port (printed on startup),
+--workers sizes the request worker pool, --queue-depth bounds the
+admission-control queue (a full queue answers Busy instead of stalling),
+--pool-pages sizes the buffer pool, and --query-threads fans each query's
+UNION ALL scan over that many threads.
+workload drives the closed-loop load generator against a running server:
+N connections inserting generated entities with a query every K ops,
+reporting throughput, Busy sheds, and latency percentiles.
 
 CSV format: header row names the attributes (optional leading `id`
 column); empty cells mean the attribute is absent.";
@@ -116,6 +134,32 @@ fn run() -> Result<String, CliError> {
             args.get("threshold", 0.5)?,
             args.get("pool", 1024)?,
         ),
+        "serve" => {
+            let cfg = cind_server::ServeConfig {
+                port: args.get("port", 0u16)?,
+                workers: args.get("workers", 4)?,
+                queue_depth: args.get("queue-depth", 64)?,
+                pool_pages: args.get("pool-pages", 1024)?,
+                query_threads: args.get("query-threads", 2)?,
+            };
+            serve(&args.path("store")?, &cfg)
+        }
+        "workload" => {
+            let remote = args
+                .flags
+                .get("remote")
+                .ok_or_else(|| CliError::Usage("--remote HOST:PORT is required".into()))?
+                .clone();
+            let opts = WorkloadOptions {
+                connections: args.get("connections", 4)?,
+                entities: args.get("entities", 2_000)?,
+                attributes: args.get("attributes", 60)?,
+                query_every: args.get("query-every", 10)?,
+                seed: args.get("seed", 0xC1DE)?,
+                shutdown: args.get("shutdown", false)?,
+            };
+            workload(&remote, &opts)
+        }
         "help" | "--help" | "-h" => Ok(USAGE.into()),
         other => Err(CliError::Usage(format!("unknown command {other}\n\n{USAGE}"))),
     }

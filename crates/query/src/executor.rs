@@ -32,7 +32,9 @@ pub struct QueryResult {
     pub segments_read: usize,
     /// Partitions pruned before touching data.
     pub segments_pruned: usize,
-    /// Buffer-pool counter delta for this execution.
+    /// The I/O this execution issued, attributed per access at the buffer
+    /// pool (not a delta of the pool's shared counters), so the numbers
+    /// are exact even while other sessions read and write concurrently.
     pub io: IoStats,
     /// Wall-clock execution time.
     pub duration: Duration,
@@ -61,20 +63,25 @@ pub fn execute_with(
     plan: &Plan,
     mut sink: impl FnMut(&Entity),
 ) -> Result<QueryResult, StorageError> {
-    let io_before = table.io_stats();
     let start = Instant::now();
+    let view = table.read_view();
+    let mut io = IoStats::default();
     let mut rows = 0u64;
     let mut cells = 0u64;
     let mut entities_scanned = 0u64;
     for &seg in &plan.segments {
-        table.scan(seg, |e| {
-            entities_scanned += 1;
-            if query.matches(e) {
-                rows += 1;
-                cells += u64::from(query.projected_cells(e));
-                sink(e);
-            }
-        })?;
+        view.scan_tracked(
+            seg,
+            |e| {
+                entities_scanned += 1;
+                if query.matches(e) {
+                    rows += 1;
+                    cells += u64::from(query.projected_cells(e));
+                    sink(e);
+                }
+            },
+            &mut io,
+        )?;
     }
     Ok(QueryResult {
         rows,
@@ -82,7 +89,7 @@ pub fn execute_with(
         entities_scanned,
         segments_read: plan.segments.len(),
         segments_pruned: plan.pruned,
-        io: table.io_stats().since(&io_before),
+        io,
         duration: start.elapsed(),
     })
 }
@@ -135,8 +142,9 @@ pub fn execute_collect(
 ///
 /// Aggregates (`rows`, `cells`, `entities_scanned`, pruning counts) are
 /// merged in plan order and equal the sequential result exactly; the I/O
-/// delta covers all workers (the pool's counters are process-global
-/// atomics). `threads` is clamped to `[1, branches]`.
+/// counters are accumulated per worker from per-access attribution and
+/// folded together, so they cover exactly this execution's accesses even
+/// under concurrent sessions. `threads` is clamped to `[1, branches]`.
 ///
 /// # Errors
 /// A storage error from one of the workers, if any branch fails.
@@ -159,6 +167,7 @@ struct SegPartial {
     rows: u64,
     cells: u64,
     entities_scanned: u64,
+    io: IoStats,
     out: Vec<Row>,
 }
 
@@ -174,7 +183,6 @@ fn scan_parallel(
 ) -> Result<(QueryResult, Vec<SegPartial>), StorageError> {
     let branches = plan.segments.len();
     let workers = threads.clamp(1, branches.max(1));
-    let io_before = table.io_stats();
     let start = Instant::now();
 
     let view = table.read_view();
@@ -192,22 +200,28 @@ fn scan_parallel(
                                 return Ok(done);
                             }
                             let mut p = SegPartial::default();
-                            view.scan(plan.segments[i], |e| {
-                                p.entities_scanned += 1;
-                                if query.matches(e) {
-                                    p.rows += 1;
-                                    p.cells += u64::from(query.projected_cells(e));
-                                    if collect {
-                                        p.out.push(
-                                            query
-                                                .project(e)
-                                                .into_iter()
-                                                .map(|v| v.cloned())
-                                                .collect(),
-                                        );
+                            let mut io = IoStats::default();
+                            view.scan_tracked(
+                                plan.segments[i],
+                                |e| {
+                                    p.entities_scanned += 1;
+                                    if query.matches(e) {
+                                        p.rows += 1;
+                                        p.cells += u64::from(query.projected_cells(e));
+                                        if collect {
+                                            p.out.push(
+                                                query
+                                                    .project(e)
+                                                    .into_iter()
+                                                    .map(|v| v.cloned())
+                                                    .collect(),
+                                            );
+                                        }
                                     }
-                                }
-                            })?;
+                                },
+                                &mut io,
+                            )?;
+                            p.io = io;
                             done.push((i, p));
                         }
                     })
@@ -241,6 +255,7 @@ fn scan_parallel(
     let mut rows = 0u64;
     let mut cells = 0u64;
     let mut entities_scanned = 0u64;
+    let mut io = IoStats::default();
     let partials: Vec<SegPartial> = slots
         .into_iter()
         .map(|s| s.expect("every branch either completed or errored"))
@@ -248,6 +263,7 @@ fn scan_parallel(
             rows += p.rows;
             cells += p.cells;
             entities_scanned += p.entities_scanned;
+            io += p.io;
         })
         .collect();
     Ok((
@@ -257,7 +273,7 @@ fn scan_parallel(
             entities_scanned,
             segments_read: branches,
             segments_pruned: plan.pruned,
-            io: table.io_stats().since(&io_before),
+            io,
             duration: start.elapsed(),
         },
         partials,

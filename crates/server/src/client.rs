@@ -1,0 +1,204 @@
+//! A blocking request/reply client for the wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues strictly one request
+//! at a time (no pipelining), so responses can never interleave. Typed
+//! server failures come back as [`ServerError::Remote`]; an admission-
+//! control shed comes back as [`ServerError::Busy`] so callers can back
+//! off and retry.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    decode_response, encode_request, frame, read_frame, EngineStats, QueryStats, Request,
+    Response, WireEntity,
+};
+use crate::ServerError;
+
+/// One connection to a `cind serve` instance.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// A materialised result row (query attribute order, `None` for NULL).
+pub type Row = Vec<Option<cind_model::Value>>;
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7070"`).
+    ///
+    /// # Errors
+    /// Socket failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServerError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Sets (or clears) the read timeout for responses.
+    ///
+    /// # Errors
+    /// Socket failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServerError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads one response frame.
+    ///
+    /// # Errors
+    /// Socket and protocol failures; never returns [`ServerError::Remote`]
+    /// or [`ServerError::Busy`] itself — those are decoded `Response`
+    /// values the typed wrappers below translate.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ServerError> {
+        let body = encode_request(req);
+        let mut wire = Vec::with_capacity(body.len() + 4);
+        frame(&body, &mut wire);
+        self.stream.write_all(&wire)?;
+        self.stream.flush()?;
+        let resp = read_frame(&mut self.stream)?;
+        Ok(decode_response(&resp)?)
+    }
+
+    fn expect<T>(
+        resp: Response,
+        ok: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, ServerError> {
+        match resp {
+            Response::Busy => Err(ServerError::Busy),
+            Response::Error { code, message } => Err(ServerError::Remote { code, message }),
+            other => ok(other).ok_or(ServerError::UnexpectedResponse),
+        }
+    }
+
+    /// Inserts an entity; returns `(segment, split?)`.
+    ///
+    /// # Errors
+    /// [`ServerError::Busy`] when shed, [`ServerError::Remote`] on engine
+    /// rejection, transport failures.
+    pub fn insert(&mut self, entity: WireEntity) -> Result<(u32, bool), ServerError> {
+        let resp = self.roundtrip(&Request::Insert(entity))?;
+        Self::expect(resp, |r| match r {
+            Response::Written { segment, split } => Some((segment, split)),
+            _ => None,
+        })
+    }
+
+    /// Replaces a stored entity; returns `(segment, split?)`.
+    ///
+    /// # Errors
+    /// As [`Client::insert`].
+    pub fn update(&mut self, entity: WireEntity) -> Result<(u32, bool), ServerError> {
+        let resp = self.roundtrip(&Request::Update(entity))?;
+        Self::expect(resp, |r| match r {
+            Response::Written { segment, split } => Some((segment, split)),
+            _ => None,
+        })
+    }
+
+    /// Deletes an entity by id.
+    ///
+    /// # Errors
+    /// As [`Client::insert`].
+    pub fn delete(&mut self, id: u64) -> Result<(), ServerError> {
+        let resp = self.roundtrip(&Request::Delete(id))?;
+        Self::expect(resp, |r| matches!(r, Response::Deleted).then_some(()))
+    }
+
+    /// Runs a query by attribute names; returns the rows plus execution
+    /// measurements.
+    ///
+    /// # Errors
+    /// As [`Client::insert`]; unknown attributes arrive as
+    /// [`ServerError::Remote`] with [`crate::ErrorCode::UnknownAttribute`].
+    pub fn query(
+        &mut self,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<(Vec<Row>, QueryStats), ServerError> {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        let resp = self.roundtrip(&Request::Query(attrs))?;
+        Self::expect(resp, |r| match r {
+            Response::Rows { rows, stats } => Some((rows, stats)),
+            _ => None,
+        })
+    }
+
+    /// Fetches engine-wide counters.
+    ///
+    /// # Errors
+    /// As [`Client::insert`].
+    pub fn stats(&mut self) -> Result<EngineStats, ServerError> {
+        let resp = self.roundtrip(&Request::Stats)?;
+        Self::expect(resp, |r| match r {
+            Response::Stats(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Runs the server-side structural validation; returns the rendered
+    /// violation lines (empty = clean).
+    ///
+    /// # Errors
+    /// As [`Client::insert`].
+    pub fn validate(&mut self) -> Result<Vec<String>, ServerError> {
+        let resp = self.roundtrip(&Request::Validate)?;
+        Self::expect(resp, |r| match r {
+            Response::Validated(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Health check; the server worker sleeps `delay_ms` before
+    /// answering. Subject to admission control like any other request.
+    ///
+    /// # Errors
+    /// [`ServerError::Busy`] when shed; transport failures.
+    pub fn ping(&mut self, delay_ms: u64) -> Result<(), ServerError> {
+        let resp = self.roundtrip(&Request::Ping(delay_ms))?;
+        Self::expect(resp, |r| matches!(r, Response::Pong).then_some(()))
+    }
+
+    /// Requests graceful shutdown (acknowledged before the drain starts).
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> Result<(), ServerError> {
+        let resp = self.roundtrip(&Request::Shutdown)?;
+        Self::expect(resp, |r| matches!(r, Response::ShutdownAck).then_some(()))
+    }
+
+    /// Sends raw bytes as one frame body — protocol-robustness tests use
+    /// this to deliver deliberately malformed requests.
+    ///
+    /// # Errors
+    /// Transport and response-decode failures.
+    pub fn send_raw(&mut self, body: &[u8]) -> Result<Response, ServerError> {
+        let mut wire = Vec::with_capacity(body.len() + 4);
+        frame(body, &mut wire);
+        self.stream.write_all(&wire)?;
+        self.stream.flush()?;
+        let resp = read_frame(&mut self.stream)?;
+        Ok(decode_response(&resp)?)
+    }
+
+    /// Writes arbitrary bytes *without* framing them — for tests that
+    /// need to damage the framing layer itself (oversize lengths,
+    /// truncated frames).
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), ServerError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads one response frame without sending anything first.
+    ///
+    /// # Errors
+    /// Transport and decode failures.
+    pub fn read_response(&mut self) -> Result<Response, ServerError> {
+        let resp = read_frame(&mut self.stream)?;
+        Ok(decode_response(&resp)?)
+    }
+}

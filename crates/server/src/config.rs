@@ -1,0 +1,74 @@
+//! Serving-layer configuration.
+
+/// Tunables for one [`crate::Server`] instance.
+///
+/// Every field is surfaced as a `cind serve` command-line flag (the
+/// workspace audit's CIND-A004 rule checks the parity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// TCP port to listen on (loopback only); `0` asks the OS for a free
+    /// port — read it back from [`crate::ServerHandle::port`].
+    pub port: u16,
+    /// Worker threads draining the request queue. Writes serialise through
+    /// the engine's single writer lock regardless, so extra workers buy
+    /// concurrency only for reads; clamped to at least 1.
+    pub workers: usize,
+    /// Bound on the shared request queue — the admission-control knob. A
+    /// request arriving while `queue_depth` others wait is answered
+    /// [`crate::Response::Busy`] immediately instead of queueing (load
+    /// shedding keeps latency bounded under overload). Clamped to at
+    /// least 1.
+    pub queue_depth: usize,
+    /// Buffer-pool capacity, in pages, for stores the server opens itself
+    /// (ignored for pre-built engines handed to [`crate::Server::start`]).
+    pub pool_pages: usize,
+    /// Scan threads *per query* for the `UNION ALL` fan-out; `1` keeps
+    /// query execution sequential.
+    pub query_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            workers: 4,
+            queue_depth: 64,
+            pool_pages: 1024,
+            query_threads: 2,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// `workers`, clamped to the documented minimum.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    /// `queue_depth`, clamped to the documented minimum.
+    #[must_use]
+    pub fn effective_queue_depth(&self) -> usize {
+        self.queue_depth.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert_eq!(c.port, 0);
+        assert!(c.effective_workers() >= 1);
+        assert!(c.effective_queue_depth() >= 1);
+    }
+
+    #[test]
+    fn zero_knobs_are_clamped() {
+        let c = ServeConfig { workers: 0, queue_depth: 0, ..ServeConfig::default() };
+        assert_eq!(c.effective_workers(), 1);
+        assert_eq!(c.effective_queue_depth(), 1);
+    }
+}

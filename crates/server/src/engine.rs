@@ -1,0 +1,461 @@
+//! The [`Engine`] service object: one store behind single-writer /
+//! many-reader discipline.
+//!
+//! The engine owns the universal table and the Cinderella partitioner
+//! inside one `RwLock`. Writes (insert / update / delete) take the write
+//! lock — Algorithm 1 mutates the catalog and the table together, so
+//! writes are inherently serial, exactly the paper's online setting.
+//! Queries take the read lock and then run on [`cind_storage::ReadView`]s,
+//! which are `Send + Sync`; many queries execute concurrently, each one
+//! optionally fanning its `UNION ALL` branches over scan threads.
+//!
+//! Durability: when opened on a store directory the engine replays
+//! `wal.log` over the `store.cind` snapshot (tolerating a torn tail),
+//! rebuilds the partitioner from storage, then *checkpoints* — writes a
+//! fresh snapshot and truncates the log — so the WAL only ever holds the
+//! suffix since the last clean open or graceful shutdown. The attached WAL
+//! sink is an unbuffered [`std::fs::File`] (every entry reaches the OS
+//! before the mutating call returns), which is what makes the
+//! kill-mid-load crash test recoverable.
+
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::PoisonError;
+use std::sync::RwLock;
+
+use cind_model::{Entity, EntityId};
+use cind_query::planner::{plan_from_survivors, plan_with, Parallelism, Plan};
+use cind_query::{execute_collect, Query};
+use cind_storage::{wal, UniversalTable};
+use cinderella_core::{validate::render, Cinderella, Config, CoreError};
+
+use crate::protocol::{EngineStats, ErrorCode, QueryStats, Request, Response, WireEntity};
+use crate::{ServeConfig, ServerError};
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "store.cind";
+/// Write-ahead log file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// How to build an [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Partitioner configuration (weight, capacity, mode, …).
+    pub config: Config,
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+    /// Scan threads per query (`1` = sequential execution).
+    pub query_threads: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self { config: Config::default(), pool_pages: 1024, query_threads: 2 }
+    }
+}
+
+impl EngineOptions {
+    /// Options matching a [`ServeConfig`]'s storage/query knobs.
+    #[must_use]
+    pub fn from_serve(cfg: &ServeConfig) -> Self {
+        Self {
+            config: Config::default(),
+            pool_pages: cfg.pool_pages.max(8),
+            query_threads: cfg.query_threads.max(1),
+        }
+    }
+}
+
+struct EngineState {
+    table: UniversalTable,
+    cindy: Cinderella,
+}
+
+/// One store (table + partitioner) behind the serving layer's locking
+/// discipline. `Engine` is `Send + Sync`; wrap it in an `Arc` and share it
+/// with [`crate::Server::start`].
+pub struct Engine {
+    state: RwLock<EngineState>,
+    store: Option<PathBuf>,
+    query_threads: usize,
+}
+
+impl Engine {
+    /// A fresh in-memory engine (no durability). Useful for tests and the
+    /// in-process benchmark harness.
+    #[must_use]
+    pub fn in_memory(opts: EngineOptions) -> Self {
+        Self {
+            state: RwLock::new(EngineState {
+                table: UniversalTable::new(opts.pool_pages),
+                cindy: Cinderella::new(opts.config),
+            }),
+            store: None,
+            query_threads: opts.query_threads.max(1),
+        }
+    }
+
+    /// Opens (or creates) a durable store directory: restores the
+    /// snapshot, replays the WAL suffix (discarding a torn tail), rebuilds
+    /// the partitioner, checkpoints, and attaches a fresh unbuffered WAL
+    /// sink.
+    ///
+    /// # Errors
+    /// I/O and persistence failures; [`ServerError::Core`] if the rebuilt
+    /// store fails the partitioner's structural rebuild.
+    pub fn open(dir: &Path, opts: EngineOptions) -> Result<Self, ServerError> {
+        std::fs::create_dir_all(dir)?;
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let wal_path = dir.join(WAL_FILE);
+
+        let mut table = if snapshot_path.exists() {
+            let mut f = File::open(&snapshot_path)?;
+            UniversalTable::restore(&mut f, opts.pool_pages)?
+        } else {
+            UniversalTable::new(opts.pool_pages)
+        };
+        if wal_path.exists() {
+            let mut f = File::open(&wal_path)?;
+            wal::replay(&mut table, &mut f)?;
+        }
+        let cindy = Cinderella::rebuild(&table, opts.config)?;
+
+        // Checkpoint: fold the replayed suffix into the snapshot and reset
+        // the log, so recovery cost stays proportional to one session.
+        write_snapshot(&table, &snapshot_path)?;
+        let wal_file: File = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&wal_path)?;
+        table.attach_wal(Box::new(wal_file));
+
+        Ok(Self {
+            state: RwLock::new(EngineState { table, cindy }),
+            store: Some(dir.to_path_buf()),
+            query_threads: opts.query_threads.max(1),
+        })
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, EngineState> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, EngineState> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn build_entity(
+        state: &mut EngineState,
+        wire: &WireEntity,
+    ) -> Result<Entity, ServerError> {
+        let attrs: Vec<_> = wire
+            .attrs
+            .iter()
+            .map(|(name, value)| (state.table.catalog_mut().intern(name), value.clone()))
+            .collect();
+        Entity::new(EntityId(wire.id), attrs)
+            .map_err(|e| ServerError::Core(CoreError::Model(e)))
+    }
+
+    /// Inserts an entity; returns `(segment, split?)`.
+    ///
+    /// # Errors
+    /// Duplicate ids, storage failures, attribute-less entities.
+    pub fn insert(&self, wire: &WireEntity) -> Result<(u32, bool), ServerError> {
+        let mut state = self.write();
+        let entity = Self::build_entity(&mut state, wire)?;
+        let state = &mut *state;
+        let outcome = state.cindy.insert(&mut state.table, entity)?;
+        let seg = state.table.location(EntityId(wire.id)).map_or(0, |s| s.0);
+        Ok((seg, outcome.is_split()))
+    }
+
+    /// Replaces a stored entity; returns `(segment, split?)`.
+    ///
+    /// # Errors
+    /// Unknown ids, storage failures.
+    pub fn update(&self, wire: &WireEntity) -> Result<(u32, bool), ServerError> {
+        let mut state = self.write();
+        let entity = Self::build_entity(&mut state, wire)?;
+        let state = &mut *state;
+        let outcome = state.cindy.update(&mut state.table, entity)?;
+        let seg = state.table.location(EntityId(wire.id)).map_or(0, |s| s.0);
+        Ok((seg, outcome.is_split()))
+    }
+
+    /// Deletes an entity by id.
+    ///
+    /// # Errors
+    /// Unknown ids, storage failures.
+    pub fn delete(&self, id: u64) -> Result<(), ServerError> {
+        let mut state = self.write();
+        let state = &mut *state;
+        state.cindy.delete(&mut state.table, EntityId(id))?;
+        Ok(())
+    }
+
+    /// Runs a `SELECT attrs` query, returning the materialised rows plus
+    /// execution measurements.
+    ///
+    /// # Errors
+    /// [`ServerError::UnknownAttribute`] when an attribute name is not in
+    /// the catalog; storage failures from the scan.
+    pub fn query(
+        &self,
+        attrs: &[String],
+    ) -> Result<(Vec<crate::client::Row>, QueryStats), ServerError> {
+        let state = self.read();
+        let Some(query) = Query::from_names(
+            state.table.catalog(),
+            attrs.iter().map(String::as_str),
+        ) else {
+            let missing = attrs
+                .iter()
+                .find(|a| state.table.catalog().lookup(a).is_none())
+                .cloned()
+                .unwrap_or_else(|| "<empty attribute list>".to_string());
+            return Err(ServerError::UnknownAttribute(missing));
+        };
+        let plan = self.plan(&state.cindy, &query);
+        let (result, rows) = execute_collect(&state.table, &query, &plan)?;
+        let stats = QueryStats {
+            entities_scanned: result.entities_scanned,
+            segments_read: result.segments_read as u64,
+            segments_pruned: result.segments_pruned as u64,
+            logical_reads: result.io.logical_reads,
+            physical_reads: result.io.physical_reads,
+        };
+        Ok((rows, stats))
+    }
+
+    fn plan(&self, cindy: &Cinderella, query: &Query) -> Plan {
+        let parallelism = if self.query_threads > 1 {
+            Parallelism::Threads(self.query_threads)
+        } else {
+            Parallelism::Sequential
+        };
+        match cindy.catalog().plan_survivors(query.synopsis()) {
+            Some((segments, pruned)) => {
+                let mut plan = plan_from_survivors(segments, pruned);
+                plan.parallelism = parallelism;
+                plan
+            }
+            None => plan_with(
+                query,
+                cindy.catalog().pruning_view().map(|(seg, syn, _)| (seg, syn)),
+                parallelism,
+            ),
+        }
+    }
+
+    /// Runs `f` with shared read access to the table and partitioner —
+    /// the in-process escape hatch for measurements that have no wire
+    /// representation (e.g. Definition-1 efficiency in the differential
+    /// test, workload replay in the benchmark harness).
+    pub fn with_parts<T>(&self, f: impl FnOnce(&UniversalTable, &Cinderella) -> T) -> T {
+        let state = self.read();
+        f(&state.table, &state.cindy)
+    }
+
+    /// Engine-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let state = self.read();
+        let io = state.table.io_stats();
+        EngineStats {
+            entities: state.table.entity_count() as u64,
+            partitions: state.cindy.catalog().len() as u64,
+            attributes: state.table.catalog().len() as u64,
+            logical_reads: io.logical_reads,
+            physical_reads: io.physical_reads,
+            page_writes: io.page_writes,
+            evictions: io.evictions,
+        }
+    }
+
+    /// Runs the full structural validation; one rendered line per
+    /// violation (empty = all invariants hold).
+    ///
+    /// # Errors
+    /// Storage failures from the validation scans.
+    pub fn validate(&self) -> Result<Vec<String>, ServerError> {
+        let state = self.read();
+        let violations = state.cindy.validate(&state.table)?;
+        if violations.is_empty() {
+            Ok(Vec::new())
+        } else {
+            Ok(render(&violations).lines().map(str::to_string).collect())
+        }
+    }
+
+    /// Flushes the attached WAL sink (no-op for in-memory engines).
+    ///
+    /// # Errors
+    /// The sink's sticky I/O failure, if appends have been failing.
+    pub fn flush(&self) -> Result<(), ServerError> {
+        self.write().table.flush_wal()?;
+        Ok(())
+    }
+
+    /// Writes a fresh snapshot and truncates the WAL (durable stores
+    /// only). Called by graceful shutdown after the drain.
+    ///
+    /// # Errors
+    /// I/O and persistence failures.
+    pub fn checkpoint(&self) -> Result<(), ServerError> {
+        let Some(dir) = &self.store else { return Ok(()) };
+        let mut state = self.write();
+        state.table.flush_wal()?;
+        write_snapshot(&state.table, &dir.join(SNAPSHOT_FILE))?;
+        let wal_file: File = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(dir.join(WAL_FILE))?;
+        state.table.attach_wal(Box::new(wal_file));
+        Ok(())
+    }
+
+    /// Dispatches one request to the matching method and folds any error
+    /// into a typed [`Response`]. Never panics — every failure becomes an
+    /// error frame the client can decode.
+    #[must_use]
+    pub fn handle(&self, req: &Request) -> Response {
+        let result = match req {
+            Request::Insert(e) => self
+                .insert(e)
+                .map(|(segment, split)| Response::Written { segment, split }),
+            Request::Update(e) => self
+                .update(e)
+                .map(|(segment, split)| Response::Written { segment, split }),
+            Request::Delete(id) => self.delete(*id).map(|()| Response::Deleted),
+            Request::Query(attrs) => self
+                .query(attrs)
+                .map(|(rows, stats)| Response::Rows { rows, stats }),
+            Request::Stats => Ok(Response::Stats(self.stats())),
+            Request::Validate => self.validate().map(Response::Validated),
+            Request::Ping(delay_ms) => {
+                if *delay_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(*delay_ms));
+                }
+                Ok(Response::Pong)
+            }
+            // The server intercepts Shutdown before dispatch; answering it
+            // here (direct in-process use) is still well-formed.
+            Request::Shutdown => Ok(Response::ShutdownAck),
+        };
+        result.unwrap_or_else(|e| Response::Error {
+            code: error_code(&e),
+            message: e.to_string(),
+        })
+    }
+}
+
+fn error_code(e: &ServerError) -> ErrorCode {
+    match e {
+        ServerError::UnknownAttribute(_) => ErrorCode::UnknownAttribute,
+        ServerError::Storage(_) | ServerError::Core(_) => ErrorCode::Engine,
+        ServerError::Protocol(_) => ErrorCode::Malformed,
+        ServerError::ShuttingDown => ErrorCode::ShuttingDown,
+        _ => ErrorCode::Internal,
+    }
+}
+
+fn write_snapshot(table: &UniversalTable, path: &Path) -> Result<(), ServerError> {
+    // Write-then-rename so a crash mid-snapshot never clobbers the last
+    // good one.
+    let tmp = path.with_extension("cind.tmp");
+    let mut out = File::create(&tmp)?;
+    table.snapshot(&mut out)?;
+    out.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cind_model::Value;
+
+    fn wire(id: u64, attrs: &[(&str, i64)]) -> WireEntity {
+        WireEntity {
+            id,
+            attrs: attrs
+                .iter()
+                .map(|(n, v)| ((*n).to_string(), Value::Int(*v)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn insert_query_delete_roundtrip_in_memory() {
+        let eng = Engine::in_memory(EngineOptions::default());
+        eng.insert(&wire(1, &[("rpm", 7200)])).unwrap();
+        eng.insert(&wire(2, &[("mp", 12)])).unwrap();
+        let (rows, stats) = eng.query(&["rpm".to_string()]).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Some(Value::Int(7200)));
+        assert_eq!(stats.segments_pruned + stats.segments_read, 2);
+        eng.delete(1).unwrap();
+        let s = eng.stats();
+        assert_eq!(s.entities, 1);
+        assert!(eng.validate().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_attribute_is_typed() {
+        let eng = Engine::in_memory(EngineOptions::default());
+        eng.insert(&wire(1, &[("rpm", 7200)])).unwrap();
+        match eng.query(&["nope".to_string()]) {
+            Err(ServerError::UnknownAttribute(a)) => assert_eq!(a, "nope"),
+            other => panic!("expected UnknownAttribute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handle_folds_errors_into_frames() {
+        let eng = Engine::in_memory(EngineOptions::default());
+        let resp = eng.handle(&Request::Delete(99));
+        assert!(matches!(resp, Response::Error { code: ErrorCode::Engine, .. }));
+        let resp = eng.handle(&Request::Query(vec!["ghost".into()]));
+        assert!(
+            matches!(resp, Response::Error { code: ErrorCode::UnknownAttribute, .. })
+        );
+    }
+
+    #[test]
+    fn open_checkpoint_reopen_preserves_data() {
+        let dir = std::env::temp_dir().join("cind_server_engine_reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let eng = Engine::open(&dir, EngineOptions::default()).unwrap();
+            eng.insert(&wire(1, &[("rpm", 7200)])).unwrap();
+            eng.insert(&wire(2, &[("mp", 12)])).unwrap();
+            eng.checkpoint().unwrap();
+        }
+        {
+            let eng = Engine::open(&dir, EngineOptions::default()).unwrap();
+            assert_eq!(eng.stats().entities, 2);
+            assert!(eng.validate().unwrap().is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_only_suffix_survives_reopen() {
+        let dir = std::env::temp_dir().join("cind_server_engine_walonly");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            // No checkpoint: drop with entities only in the WAL.
+            let eng = Engine::open(&dir, EngineOptions::default()).unwrap();
+            eng.insert(&wire(7, &[("rpm", 7200)])).unwrap();
+        }
+        {
+            let eng = Engine::open(&dir, EngineOptions::default()).unwrap();
+            assert_eq!(eng.stats().entities, 1);
+            assert!(eng.validate().unwrap().is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,314 @@
+//! A closed-loop load generator: N connections × mixed insert/query
+//! workload, per-operation latency histograms.
+//!
+//! Each connection is one thread with one [`Client`], issuing requests
+//! back-to-back (closed loop: the next request starts when the previous
+//! response arrives). The entity stream comes from the DBpedia-like
+//! generator, split across the connections; every `query_every`-th
+//! operation is a `SELECT` over a small attribute set instead of an
+//! insert. [`Response::Busy`](crate::Response::Busy) sheds are counted and
+//! retried after a short backoff — under admission control a closed-loop
+//! client *backs off*, it does not hammer.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cind_datagen::{DbpediaConfig, DbpediaGenerator};
+use cind_metrics::LatencyHistogram;
+use cind_model::AttributeCatalog;
+
+use crate::client::Client;
+use crate::protocol::WireEntity;
+use crate::ServerError;
+
+/// Load-generator knobs.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent connections (threads).
+    pub connections: usize,
+    /// Total entities to insert, split across the connections.
+    pub entities: usize,
+    /// Distinct attributes in the generated data.
+    pub attributes: usize,
+    /// Every `query_every`-th operation is a query instead of an insert
+    /// (`0` = inserts only).
+    pub query_every: usize,
+    /// RNG seed (generation and query choice are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            entities: 2_000,
+            attributes: 60,
+            query_every: 10,
+            seed: 0xC1DE,
+        }
+    }
+}
+
+/// What one load run did and how fast the server answered.
+pub struct LoadReport {
+    /// Inserts acknowledged.
+    pub inserts: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Rows returned across all queries.
+    pub rows: u64,
+    /// `Busy` sheds observed (each was retried until accepted).
+    pub busy_sheds: u64,
+    /// Queries that raced ahead of the inserts interning their attribute
+    /// (typed `UnknownAttribute` — benign under a mixed workload).
+    pub unknown_attr: u64,
+    /// Other typed remote errors — should be zero on a healthy run.
+    pub errors: u64,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+    /// Per-insert round-trip latencies.
+    pub insert_latency: LatencyHistogram,
+    /// Per-query round-trip latencies.
+    pub query_latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Acknowledged operations per second over the whole run.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let ops = (self.inserts + self.queries) as f64;
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            ops / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// A fixed-width text summary for the CLI.
+    #[must_use]
+    pub fn render(&mut self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "ops: {} inserts, {} queries ({} rows) in {:.2?}  →  {:.0} ops/s\n",
+            self.inserts,
+            self.queries,
+            self.rows,
+            self.elapsed,
+            self.throughput(),
+        ));
+        out.push_str(&format!(
+            "admission control: {} Busy sheds, {} unseen-attribute queries, {} errors\n",
+            self.busy_sheds, self.unknown_attr, self.errors
+        ));
+        for (name, hist) in [
+            ("insert", &mut self.insert_latency),
+            ("query", &mut self.query_latency),
+        ] {
+            if hist.is_empty() {
+                continue;
+            }
+            let p50 = hist.percentile(50.0).unwrap_or_default();
+            let p99 = hist.percentile(99.0).unwrap_or_default();
+            out.push_str(&format!(
+                "{name:>7} latency: p50 {p50:.2?}  p99 {p99:.2?}  mean {:.2?}\n",
+                hist.mean().unwrap_or_default()
+            ));
+        }
+        out
+    }
+}
+
+struct ConnOutcome {
+    inserts: u64,
+    queries: u64,
+    rows: u64,
+    busy_sheds: u64,
+    unknown_attr: u64,
+    errors: u64,
+    insert_lat: Vec<Duration>,
+    query_lat: Vec<Duration>,
+}
+
+/// Generates the wire-ready entity stream and the query attribute pool for
+/// a load config. Exposed so tests and the benchmark harness can reuse the
+/// exact workload the generator drives.
+#[must_use]
+pub fn workload(cfg: &LoadConfig) -> (Vec<WireEntity>, Vec<String>) {
+    let mut catalog = AttributeCatalog::new();
+    let entities = DbpediaGenerator::new(DbpediaConfig {
+        entities: cfg.entities,
+        attributes: cfg.attributes.max(4),
+        seed: cfg.seed,
+        ..DbpediaConfig::default()
+    })
+    .generate(&mut catalog);
+    let wire: Vec<WireEntity> = entities
+        .iter()
+        .map(|e| WireEntity {
+            id: e.id().0,
+            attrs: e
+                .attrs()
+                .iter()
+                .map(|(a, v)| {
+                    (
+                        catalog.name(*a).unwrap_or_default().to_string(),
+                        v.clone(),
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    let names: Vec<String> = catalog.iter().map(|(_, n)| n.to_string()).collect();
+    (wire, names)
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the closed-loop load against `addr` and aggregates per-connection
+/// measurements into one report (no double counting: every operation is
+/// timed exactly once, on the connection that issued it).
+///
+/// # Errors
+/// Connection failures; in-band remote errors are *counted*, not raised.
+pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, ServerError> {
+    let (entities, names) = workload(cfg);
+    let names = Arc::new(names);
+    let connections = cfg.connections.max(1);
+    let mut chunks: Vec<Vec<WireEntity>> = (0..connections).map(|_| Vec::new()).collect();
+    for (i, e) in entities.into_iter().enumerate() {
+        chunks[i % connections].push(e);
+    }
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(connections);
+    for (conn_id, chunk) in chunks.into_iter().enumerate() {
+        let addr = addr.to_string();
+        let names = Arc::clone(&names);
+        let query_every = cfg.query_every;
+        let seed = cfg.seed ^ (conn_id as u64).wrapping_mul(0xA5A5_A5A5);
+        handles.push(std::thread::spawn(move || {
+            run_connection(&addr, chunk, &names, query_every, seed)
+        }));
+    }
+
+    let mut report = LoadReport {
+        inserts: 0,
+        queries: 0,
+        rows: 0,
+        busy_sheds: 0,
+        unknown_attr: 0,
+        errors: 0,
+        elapsed: Duration::ZERO,
+        insert_latency: LatencyHistogram::new(),
+        query_latency: LatencyHistogram::new(),
+    };
+    let mut first_err: Option<ServerError> = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(out)) => {
+                report.inserts += out.inserts;
+                report.queries += out.queries;
+                report.rows += out.rows;
+                report.busy_sheds += out.busy_sheds;
+                report.unknown_attr += out.unknown_attr;
+                report.errors += out.errors;
+                for d in out.insert_lat {
+                    report.insert_latency.record(d);
+                }
+                for d in out.query_lat {
+                    report.query_latency.record(d);
+                }
+            }
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err =
+                    first_err.or(Some(ServerError::Io(std::io::Error::other(
+                        "load connection thread panicked",
+                    ))));
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    report.elapsed = started.elapsed();
+    Ok(report)
+}
+
+fn run_connection(
+    addr: &str,
+    chunk: Vec<WireEntity>,
+    names: &[String],
+    query_every: usize,
+    seed: u64,
+) -> Result<ConnOutcome, ServerError> {
+    let mut client = Client::connect(addr)?;
+    client.set_timeout(Some(Duration::from_secs(30)))?;
+    let mut rng = seed;
+    let mut out = ConnOutcome {
+        inserts: 0,
+        queries: 0,
+        rows: 0,
+        busy_sheds: 0,
+        unknown_attr: 0,
+        errors: 0,
+        insert_lat: Vec::with_capacity(chunk.len()),
+        query_lat: Vec::new(),
+    };
+    for (i, entity) in chunk.into_iter().enumerate() {
+        if query_every > 0 && i > 0 && i % query_every == 0 && !names.is_empty() {
+            let a = &names[(splitmix(&mut rng) as usize) % names.len()];
+            let b = &names[(splitmix(&mut rng) as usize) % names.len()];
+            let t0 = Instant::now();
+            match retry_busy(&mut out.busy_sheds, || {
+                client.query([a.as_str(), b.as_str()])
+            }) {
+                Ok((rows, _)) => {
+                    out.query_lat.push(t0.elapsed());
+                    out.queries += 1;
+                    out.rows += rows.len() as u64;
+                }
+                Err(ServerError::Remote { code: crate::ErrorCode::UnknownAttribute, .. }) => {
+                    out.unknown_attr += 1;
+                }
+                Err(ServerError::Remote { .. }) => out.errors += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        let t0 = Instant::now();
+        match retry_busy(&mut out.busy_sheds, || client.insert(entity.clone())) {
+            Ok(_) => {
+                out.insert_lat.push(t0.elapsed());
+                out.inserts += 1;
+            }
+            Err(ServerError::Remote { .. }) => out.errors += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Retries `op` while the server sheds it, counting the sheds. The backoff
+/// is short and fixed: the point of admission control is that the *server*
+/// stays responsive; the client's job is merely not to spin.
+fn retry_busy<T>(
+    sheds: &mut u64,
+    mut op: impl FnMut() -> Result<T, ServerError>,
+) -> Result<T, ServerError> {
+    loop {
+        match op() {
+            Err(ServerError::Busy) => {
+                *sheds += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            other => return other,
+        }
+    }
+}

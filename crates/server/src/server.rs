@@ -1,0 +1,358 @@
+//! The TCP serving loop: accept thread, per-connection readers, a fixed
+//! worker pool behind a *bounded* queue, and the shutdown machinery.
+//!
+//! # Threading model
+//!
+//! ```text
+//! accept thread ──spawns──▶ reader thread (one per connection)
+//!                               │ decode frame → try_send(job)
+//!                               │        │ full → answer Busy (shed)
+//!                               ▼        ▼
+//!                        bounded sync_channel(queue_depth)
+//!                               │
+//!                   worker pool (cfg.workers threads)
+//!                               │ engine.handle(req)
+//!                               ▼
+//!                    response frame → connection (shared Mutex)
+//! ```
+//!
+//! Readers never touch the engine — they only decode, enqueue, and answer
+//! admission-control / protocol errors, so a slow or hostile client cannot
+//! occupy a worker. Workers never read sockets — they drain the queue and
+//! write responses through the connection's write mutex. The queue bound
+//! is the *admission control* knob: when `queue_depth` requests are
+//! already waiting, the next one is answered [`Response::Busy`]
+//! immediately instead of queueing behind them, keeping worst-case latency
+//! proportional to `queue_depth / workers` rather than unbounded.
+//!
+//! # Shutdown
+//!
+//! *Graceful* ([`ServerHandle::shutdown`] or a wire [`Request::Shutdown`]):
+//! stop accepting, refuse new requests (typed `ShuttingDown` error), let
+//! the workers drain everything already queued, then flush the WAL, write
+//! a checkpoint snapshot, and run the full structural validation — the
+//! report is returned from [`ServerHandle::join`].
+//!
+//! *Hard kill* ([`ServerHandle::hard_kill`]): stop everything as fast as
+//! possible and skip the flush/checkpoint/validate entirely. This is the
+//! crash lever for recovery tests — whatever reached the WAL survives,
+//! everything else is lost, exactly like `SIGKILL`.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::Engine;
+use crate::protocol::{
+    decode_request, encode_response, frame, read_frame, ErrorCode, ProtoError, Request,
+    Response,
+};
+use crate::{ServeConfig, ServerError};
+
+/// How often idle workers re-check the drain/kill flags.
+const WORKER_POLL: Duration = Duration::from_millis(25);
+
+/// What graceful shutdown found after the drain.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Rendered invariant violations from the post-drain validation
+    /// (empty = the store shut down structurally clean).
+    pub violations: Vec<String>,
+}
+
+struct Job {
+    req: Request,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+/// Flags shared by every thread of one server instance.
+struct Shared {
+    /// Set first on any shutdown path: the accept loop exits and readers
+    /// refuse new requests.
+    closing: AtomicBool,
+    /// Set only on [`ServerHandle::hard_kill`]: workers abandon queued
+    /// jobs instead of draining them.
+    killed: AtomicBool,
+    /// Signalled when shutdown is requested (by the handle or by a wire
+    /// `Shutdown` request); [`ServerHandle::join`] waits on it.
+    requested: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Shared {
+    fn closing(&self) -> bool {
+        self.closing.load(Ordering::SeqCst)
+    }
+
+    fn request_shutdown(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        let mut g = self.requested.lock().unwrap_or_else(PoisonError::into_inner);
+        *g = true;
+        self.cond.notify_all();
+    }
+
+    fn wait_requested(&self) {
+        let mut g = self.requested.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*g {
+            g = self
+                .cond
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Binds `127.0.0.1:{cfg.port}` (port `0` = OS-assigned) and starts
+    /// the accept loop and worker pool over `engine`.
+    ///
+    /// # Errors
+    /// Socket bind/inspect failures.
+    pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> Result<ServerHandle, ServerError> {
+        let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+        let port = listener.local_addr()?.port();
+        let shared = Arc::new(Shared {
+            closing: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+            requested: Mutex::new(false),
+            cond: Condvar::new(),
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(cfg.effective_queue_depth());
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(cfg.effective_workers());
+        for i in 0..cfg.effective_workers() {
+            let engine = Arc::clone(&engine);
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("cind-worker-{i}"))
+                    .spawn(move || worker_loop(&engine, &rx, &shared))?,
+            );
+        }
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cind-accept".to_string())
+                .spawn(move || accept_loop(&listener, &tx, &shared))?
+        };
+
+        Ok(ServerHandle {
+            engine,
+            port,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::join`] or [`ServerHandle::hard_kill`] leaves the
+/// threads running detached.
+pub struct ServerHandle {
+    engine: Arc<Engine>,
+    port: u16,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound TCP port (useful with `port: 0`).
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The engine this server fronts.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Requests graceful shutdown (idempotent); [`ServerHandle::join`]
+    /// performs the drain and returns the report.
+    pub fn shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Waits until shutdown is requested (via [`ServerHandle::shutdown`]
+    /// or a wire [`Request::Shutdown`]), then tears down gracefully:
+    /// stops accepting, drains the queued requests, joins the workers,
+    /// flushes the WAL, checkpoints, and validates.
+    ///
+    /// # Errors
+    /// WAL-flush / snapshot failures during the final checkpoint.
+    pub fn join(mut self) -> Result<ShutdownReport, ServerError> {
+        self.shared.wait_requested();
+        self.stop_threads();
+        self.engine.flush()?;
+        self.engine.checkpoint()?;
+        let violations = self.engine.validate()?;
+        Ok(ShutdownReport { violations })
+    }
+
+    /// Crash-stops the server: abandon queued requests, skip the WAL
+    /// flush, checkpoint, and validation. Only what already reached the
+    /// WAL survives — the lever for recovery tests.
+    pub fn hard_kill(mut self) {
+        self.shared.killed.store(true, Ordering::SeqCst);
+        self.shared.request_shutdown();
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.closing.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so the accept thread observes the
+        // flag even if no client ever connects again.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<Job>, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.closing() {
+                    return; // the poke connection, or a late client
+                }
+                let tx = tx.clone();
+                let shared = Arc::clone(shared);
+                // Readers are detached: they exit when their connection
+                // closes, and never outlive usefulness because they only
+                // touch the channel and their own socket.
+                let spawned = std::thread::Builder::new()
+                    .name("cind-reader".to_string())
+                    .spawn(move || reader_loop(stream, &tx, &shared));
+                if spawned.is_err() {
+                    return; // thread exhaustion: stop accepting
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>) {
+    let Ok(writer) = stream.try_clone() else { return };
+    let out = Arc::new(Mutex::new(writer));
+    let mut input = stream;
+    loop {
+        match read_frame(&mut input) {
+            Ok(body) => match decode_request(&body) {
+                Ok(Request::Shutdown) => {
+                    send(&out, &Response::ShutdownAck);
+                    shared.request_shutdown();
+                    return;
+                }
+                Ok(req) => {
+                    if shared.closing() {
+                        send(
+                            &out,
+                            &Response::Error {
+                                code: ErrorCode::ShuttingDown,
+                                message: "server is shutting down".to_string(),
+                            },
+                        );
+                        continue;
+                    }
+                    match tx.try_send(Job { req, out: Arc::clone(&out) }) {
+                        Ok(()) => {}
+                        // Admission control: the bounded queue is full, so
+                        // shed the request instead of stalling the reader.
+                        Err(TrySendError::Full(_)) => send(&out, &Response::Busy),
+                        Err(TrySendError::Disconnected(_)) => {
+                            send(
+                                &out,
+                                &Response::Error {
+                                    code: ErrorCode::ShuttingDown,
+                                    message: "server is shutting down".to_string(),
+                                },
+                            );
+                            return;
+                        }
+                    }
+                }
+                // The frame arrived intact but its body is garbage: answer
+                // a typed error and keep the connection usable.
+                Err(e) => send(
+                    &out,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                ),
+            },
+            Err(ProtoError::Closed) => return,
+            // Framing-level damage (oversize length, short read): the
+            // stream position is unrecoverable, so answer and close.
+            Err(e) => {
+                send(
+                    &out,
+                    &Response::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn worker_loop(engine: &Engine, rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
+    loop {
+        if shared.killed.load(Ordering::SeqCst) {
+            return;
+        }
+        let job = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv_timeout(WORKER_POLL)
+        };
+        match job {
+            Ok(job) => {
+                if shared.killed.load(Ordering::SeqCst) {
+                    return; // crash-stop: abandon the job un-answered
+                }
+                let resp = engine.handle(&job.req);
+                send(&job.out, &resp);
+            }
+            // Queue empty: during graceful shutdown that means the drain
+            // is complete.
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.closing() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Best-effort framed response write; a vanished client is not an error.
+fn send(out: &Mutex<TcpStream>, resp: &Response) {
+    let body = encode_response(resp);
+    let mut wire = Vec::with_capacity(body.len() + 4);
+    frame(&body, &mut wire);
+    let mut guard = out.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = guard.write_all(&wire);
+    let _ = guard.flush();
+}

@@ -1,0 +1,177 @@
+//! Differential test: the server path must be semantically identical to
+//! in-process engine calls — same entities, same queries, compared on
+//! partition count, Definition-1 efficiency, and query result rows — even
+//! when the entities arrive over ≥4 concurrent connections in
+//! nondeterministic interleavings.
+//!
+//! TPC-H data makes the comparison order-independent: relations have
+//! pairwise disjoint attribute sets, so with a generous capacity Algorithm
+//! 1 converges to exactly one partition per relation no matter how the
+//! inserts interleave (a disjoint entity always rates `r < 0` against
+//! foreign partitions and `r > 0` against its own).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cind_datagen::{tpch_query_columns, TpchConfig, TpchGenerator};
+use cind_model::{AttributeCatalog, Synopsis, Value};
+use cind_query::{execute_collect, plan_with, Parallelism, Query};
+use cind_server::{Client, Engine, EngineOptions, ServeConfig, Server, ServerError, WireEntity};
+use cind_storage::UniversalTable;
+use cinderella_core::{efficiency, Capacity, Cinderella, Config};
+
+const CONNECTIONS: usize = 4;
+
+fn partitioner_config() -> Config {
+    Config {
+        weight: 0.5,
+        capacity: Capacity::MaxEntities(10_000),
+        ..Config::default()
+    }
+}
+
+fn tpch_wire_entities() -> Vec<WireEntity> {
+    let mut catalog = AttributeCatalog::new();
+    let (entities, _) =
+        TpchGenerator::new(TpchConfig { scale: 0.002, seed: 3 }).generate(&mut catalog);
+    entities
+        .iter()
+        .map(|e| WireEntity {
+            id: e.id().0,
+            attrs: e
+                .attrs()
+                .iter()
+                .map(|(a, v)| (catalog.name(*a).expect("interned").to_string(), v.clone()))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Rows as an order-independent multiset: rendered and sorted.
+fn canonical(rows: &[Vec<Option<Value>>]) -> Vec<String> {
+    let mut out: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn server_path_matches_in_process_under_concurrency() {
+    // --- in-process reference -----------------------------------------
+    let mut table = UniversalTable::new(256);
+    let (entities, _) =
+        TpchGenerator::new(TpchConfig { scale: 0.002, seed: 3 }).generate(table.catalog_mut());
+    let mut cindy = Cinderella::new(partitioner_config());
+    for e in entities {
+        cindy.insert(&mut table, e).expect("reference insert");
+    }
+
+    // --- server path: same entities over 4 concurrent connections ------
+    let engine = Arc::new(Engine::in_memory(EngineOptions {
+        config: partitioner_config(),
+        pool_pages: 256,
+        query_threads: 2,
+    }));
+    let handle = Server::start(
+        Arc::clone(&engine),
+        &ServeConfig { workers: 4, queue_depth: 32, ..ServeConfig::default() },
+    )
+    .expect("server start");
+    let addr = format!("127.0.0.1:{}", handle.port());
+
+    let wire = tpch_wire_entities();
+    let mut chunks: Vec<Vec<WireEntity>> = (0..CONNECTIONS).map(|_| Vec::new()).collect();
+    for (i, e) in wire.into_iter().enumerate() {
+        chunks[i % CONNECTIONS].push(e);
+    }
+    let threads: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.set_timeout(Some(Duration::from_secs(30))).expect("timeout");
+                for e in chunk {
+                    loop {
+                        match client.insert(e.clone()) {
+                            Ok(_) => break,
+                            Err(ServerError::Busy) => {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(e) => panic!("insert failed: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("insert connection");
+    }
+
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // --- partition count and entity count -------------------------------
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.entities as usize, table.entity_count());
+    assert_eq!(stats.partitions as usize, cindy.catalog().len());
+
+    // --- query rows over the socket vs. direct execution ----------------
+    let queries: Vec<Synopsis> = {
+        let state_catalog = table.catalog();
+        tpch_query_columns()
+            .iter()
+            .map(|(_, cols)| {
+                Query::from_names(state_catalog, cols.iter().copied())
+                    .expect("tpch columns known")
+                    .synopsis()
+                    .clone()
+            })
+            .collect()
+    };
+    for (name, cols) in tpch_query_columns() {
+        let q = Query::from_names(table.catalog(), cols.iter().copied()).expect("known");
+        let p = plan_with(
+            &q,
+            cindy.catalog().pruning_view().map(|(s, syn, _)| (s, syn)),
+            Parallelism::Sequential,
+        );
+        let (_, local_rows) = execute_collect(&table, &q, &p).expect("local execute");
+        let (remote_rows, rstats) = client.query(cols.iter().copied()).expect("remote query");
+        assert_eq!(
+            canonical(&remote_rows),
+            canonical(&local_rows),
+            "{name}: server rows diverge from in-process rows"
+        );
+        assert_eq!(
+            (rstats.segments_read + rstats.segments_pruned) as usize,
+            cindy.catalog().len(),
+            "{name}: plan covers a different partition universe"
+        );
+    }
+
+    // --- Definition-1 efficiency ----------------------------------------
+    let local_eff = efficiency(&table, &cindy, &queries);
+    let remote_eff = {
+        let state = handle.engine();
+        // The server engine exposes validation and stats over the wire;
+        // efficiency needs the catalog, so compute it in-process on the
+        // shared engine — same code path as the reference.
+        state.with_parts(|t, c| efficiency(t, c, &queries))
+    };
+    assert!(
+        (local_eff - remote_eff).abs() < 1e-12,
+        "efficiency diverges: local {local_eff} vs server {remote_eff}"
+    );
+
+    // --- structural validation over the wire -----------------------------
+    assert!(client.validate().expect("validate").is_empty());
+
+    // --- graceful shutdown drains and validates --------------------------
+    client.shutdown().expect("shutdown ack");
+    let report = handle.join().expect("graceful join");
+    assert!(
+        report.violations.is_empty(),
+        "post-drain validation found defects: {:?}",
+        report.violations
+    );
+}

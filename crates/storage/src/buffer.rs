@@ -108,6 +108,16 @@ impl BufferPool {
 
     /// Records a read access to `key`. Returns `true` on a hit.
     pub fn access(&self, key: PageKey) -> bool {
+        self.access_tracked(key).0
+    }
+
+    /// Records a read access to `key`, returning `(hit, evictions)` so the
+    /// caller can keep a *local* [`IoStats`] delta for this scan. The
+    /// pool's global counters are updated either way; the return value lets
+    /// concurrent sessions attribute each access to exactly the query that
+    /// issued it instead of diffing the shared counters (which would
+    /// double-count every other session's traffic in the window).
+    pub fn access_tracked(&self, key: PageKey) -> (bool, u64) {
         let (hit, evicted) = {
             let mut g = self.shard(key).lock().expect("shard poisoned");
             if g.capacity == 0 {
@@ -122,7 +132,7 @@ impl BufferPool {
             }
         };
         self.stats.record_access(hit, evicted);
-        hit
+        (hit, evicted)
     }
 
     /// Records a write to `key` (also makes the page resident).

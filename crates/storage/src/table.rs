@@ -66,7 +66,7 @@ impl UniversalTable {
     /// one checksummed entry (see [`crate::wal`]). Replaces any previous
     /// sink. Typical recovery: restore the last snapshot, then
     /// [`crate::wal::replay`] the log written since.
-    pub fn attach_wal(&mut self, out: Box<dyn std::io::Write + Send>) {
+    pub fn attach_wal(&mut self, out: Box<dyn std::io::Write + Send + Sync>) {
         self.wal = Some(crate::wal::WalSink::new(out, 0));
     }
 
@@ -424,11 +424,31 @@ impl ReadView<'_> {
     pub fn scan(
         &self,
         seg: SegmentId,
+        f: impl FnMut(&Entity),
+    ) -> Result<(), StorageError> {
+        let mut io = IoStats::default();
+        self.scan_tracked(seg, f, &mut io)
+    }
+
+    /// Like [`ReadView::scan`], but additionally accumulates *this scan's*
+    /// page accesses into `io` — `logical_reads` per page touched,
+    /// `physical_reads` per buffer-pool miss, `evictions` per page the
+    /// admissions displaced. The pool's global counters are updated too;
+    /// the local delta is what lets concurrent sessions report per-query
+    /// I/O without double-counting each other's traffic.
+    pub fn scan_tracked(
+        &self,
+        seg: SegmentId,
         mut f: impl FnMut(&Entity),
+        io: &mut IoStats,
     ) -> Result<(), StorageError> {
         let segment = self.segment(seg)?;
         for page_idx in 0..segment.page_count() as u32 {
-            self.pool.access(PageKey { segment: seg, page: page_idx });
+            let (hit, evicted) =
+                self.pool.access_tracked(PageKey { segment: seg, page: page_idx });
+            io.logical_reads += 1;
+            io.physical_reads += u64::from(!hit);
+            io.evictions += evicted;
             let Some(page) = segment.page(page_idx) else {
                 // page_count() bounds the loop; a miss means the segment
                 // mutated underneath us, which the scan treats as data loss.

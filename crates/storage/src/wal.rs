@@ -63,13 +63,13 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// onward either way; staying loud prevents a caller from mistaking a
 /// half-logged table for a recoverable one.
 pub(crate) struct WalSink {
-    out: Box<dyn Write + Send>,
+    out: Box<dyn Write + Send + Sync>,
     attrs_logged: usize,
     failed: Option<std::io::ErrorKind>,
 }
 
 impl WalSink {
-    pub(crate) fn new(out: Box<dyn Write + Send>, attrs_already: usize) -> Self {
+    pub(crate) fn new(out: Box<dyn Write + Send + Sync>, attrs_already: usize) -> Self {
         Self { out, attrs_logged: attrs_already, failed: None }
     }
 

@@ -11,6 +11,7 @@
 //! * [`datagen`] — DBpedia-like / TPC-H-like / product-catalog generators.
 //! * [`baselines`] — unpartitioned, hash, range, and offline comparators.
 //! * [`metrics`] — histograms, partition statistics, reporting.
+//! * [`server`] — the concurrent wire-protocol serving layer.
 
 #![forbid(unsafe_code)]
 
@@ -20,5 +21,6 @@ pub use cind_datagen as datagen;
 pub use cind_metrics as metrics;
 pub use cind_model as model;
 pub use cind_query as query;
+pub use cind_server as server;
 pub use cind_storage as storage;
 pub use cinderella_core as core;

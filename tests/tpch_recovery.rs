@@ -119,3 +119,122 @@ fn pruning_hits_only_referenced_relations() {
         assert_eq!(meta.attr_synopsis, lineitem, "{seg} is not a lineitem partition");
     }
 }
+
+/// Kill-mid-load crash recovery: a server is crash-stopped (the
+/// SIGKILL-equivalent `hard_kill`, which skips the drain, the WAL flush,
+/// and the final checkpoint) in the middle of a concurrent mixed
+/// workload. Reopening the store must replay the WAL suffix over the last
+/// snapshot, every *acknowledged* write must be present, the rebuilt
+/// partitioner must pass the full structural validation, and a fresh
+/// snapshot of the recovered store must satisfy `cind check`.
+#[test]
+fn kill_mid_load_recovers_from_wal() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use cinderella::model::AttributeCatalog;
+    use cinderella::server::{
+        Client, Engine, EngineOptions, ServeConfig, Server, ServerError, WireEntity,
+    };
+
+    let dir = std::env::temp_dir().join("cind_kill_mid_load");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Wire-ready TPC-H entities (names, not ids — the server interns).
+    let mut catalog = AttributeCatalog::new();
+    let (entities, _) =
+        TpchGenerator::new(TpchConfig { scale: 0.002, seed: 11 }).generate(&mut catalog);
+    let wire: Vec<WireEntity> = entities
+        .iter()
+        .map(|e| WireEntity {
+            id: e.id().0,
+            attrs: e
+                .attrs()
+                .iter()
+                .map(|(a, v)| (catalog.name(*a).expect("interned").to_string(), v.clone()))
+                .collect(),
+        })
+        .collect();
+
+    let engine =
+        Arc::new(Engine::open(&dir, EngineOptions::default()).expect("open store"));
+    let handle = Server::start(
+        Arc::clone(&engine),
+        &ServeConfig { workers: 3, queue_depth: 16, ..ServeConfig::default() },
+    )
+    .expect("server start");
+    let addr = format!("127.0.0.1:{}", handle.port());
+
+    let acked = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    const CONNS: usize = 4;
+    let mut chunks: Vec<Vec<WireEntity>> = (0..CONNS).map(|_| Vec::new()).collect();
+    for (i, e) in wire.into_iter().enumerate() {
+        chunks[i % CONNS].push(e);
+    }
+    let threads: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let addr = addr.clone();
+            let acked = Arc::clone(&acked);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else { return };
+                let _ = client.set_timeout(Some(Duration::from_secs(5)));
+                for (i, e) in chunk.into_iter().enumerate() {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match client.insert(e) {
+                        Ok(_) => {
+                            acked.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(ServerError::Busy) => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        // Crash mid-load: the connection dies under us.
+                        Err(_) => return,
+                    }
+                    // A query every 8 ops keeps readers in the mix.
+                    if i % 8 == 7 && client.query(["l_shipdate"]).is_err() {
+                        return;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let the mixed workload run, then pull the plug mid-flight.
+    while acked.load(Ordering::SeqCst) < 200 {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.hard_kill();
+    stop.store(true, Ordering::SeqCst);
+    for t in threads {
+        let _ = t.join();
+    }
+    let acked = acked.load(Ordering::SeqCst);
+    drop(engine); // release the WAL file handle before reopening
+
+    // Recovery: snapshot + WAL-suffix replay + partitioner rebuild.
+    let reopened = Engine::open(&dir, EngineOptions::default()).expect("recover store");
+    let stats = reopened.stats();
+    assert!(
+        stats.entities >= acked,
+        "lost acknowledged writes: {} recovered < {acked} acked",
+        stats.entities
+    );
+    assert!(
+        reopened.validate().expect("validate").is_empty(),
+        "recovered store fails structural validation"
+    );
+
+    // `Engine::open` checkpointed on recovery; the snapshot it wrote must
+    // pass the CLI's offline integrity check too.
+    drop(reopened);
+    let report = cind_cli::check(&dir.join("store.cind"), 1024).expect("cind check");
+    assert!(report.starts_with("ok:"), "unexpected check report: {report}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
