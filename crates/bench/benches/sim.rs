@@ -1,0 +1,107 @@
+//! Simulation-harness throughput: how many fully-oracle-checked schedule
+//! steps per second the deterministic simulator sustains, with and
+//! without fault injection, plus the crash-point sweep's recoveries per
+//! second. The numbers bound how much schedule space a CI minute buys —
+//! the knob behind the `sim` job's 32×2000 matrix — and are recorded to
+//! `BENCH_PR5.json` at the workspace root.
+//!
+//! Run with `cargo bench -p cind-bench --bench sim`. Not a criterion
+//! bench: each run is thousands of internally-checked steps, so one
+//! wall-clock measurement per scenario is the signal.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cind_sim::{crash_sweep, generate, run_ops, FaultPlan};
+
+struct Scenario {
+    name: &'static str,
+    seed: u64,
+    ops: usize,
+    faults: bool,
+    /// Full oracle check every N steps (1 = every step, as CI runs it).
+    check_every: usize,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario { name: "clean_2000", seed: 0, ops: 2000, faults: false, check_every: 1 },
+        Scenario { name: "faults_2000", seed: 0, ops: 2000, faults: true, check_every: 1 },
+        Scenario {
+            name: "faults_2000_check_16",
+            seed: 0,
+            ops: 2000,
+            faults: true,
+            check_every: 16,
+        },
+    ]
+}
+
+fn main() {
+    let mut blocks = Vec::new();
+    for sc in scenarios() {
+        eprintln!("sim bench: {}", sc.name);
+        let plan = if sc.faults { FaultPlan::all() } else { FaultPlan::none() };
+        let ops = generate(sc.seed, sc.ops, sc.faults);
+        let start = Instant::now();
+        let report = run_ops(sc.seed, sc.faults, plan, &ops, sc.check_every, None)
+            .expect("committed seeds pass");
+        let elapsed = start.elapsed().as_secs_f64();
+        let steps_per_s = sc.ops as f64 / elapsed;
+        eprintln!(
+            "  {} steps in {elapsed:.2}s = {steps_per_s:.0} steps/s, {} restarts, \
+             {} entities, hash {:016x}",
+            sc.ops,
+            report.restarts,
+            report.final_entities,
+            report.trace.hash()
+        );
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "    \"{}\": {{\n      \"ops\": {}, \"faults\": {}, \"check_every\": {},\n      \
+             \"elapsed_s\": {elapsed:.3}, \"steps_per_s\": {steps_per_s:.0},\n      \
+             \"restarts\": {}, \"final_entities\": {}, \"vfs_mutations\": {}\n    }}",
+            sc.name,
+            sc.ops,
+            sc.faults,
+            sc.check_every,
+            report.restarts,
+            report.final_entities,
+            report.vfs_mutations,
+        );
+        blocks.push(out);
+    }
+
+    // The sweep: one full run per mutating VFS operation in the schedule.
+    eprintln!("sim bench: sweep_40");
+    let start = Instant::now();
+    let points = crash_sweep(3, 40).expect("sweep passes");
+    let elapsed = start.elapsed().as_secs_f64();
+    eprintln!(
+        "  {points} crash-points in {elapsed:.2}s = {:.0} recoveries/s",
+        points as f64 / elapsed
+    );
+    let mut sweep = String::new();
+    let _ = write!(
+        sweep,
+        "    \"sweep_40\": {{\n      \"ops\": 40, \"crash_points\": {points},\n      \
+         \"elapsed_s\": {elapsed:.3}, \"recoveries_per_s\": {:.0}\n    }}",
+        points as f64 / elapsed
+    );
+    blocks.push(sweep);
+
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"date\": \"2026-08-06\",\n  \"description\": \"cind-sim \
+         deterministic simulation harness: fully-oracle-checked schedule steps per second \
+         (model-table diff + structural validation + independent EFFICIENCY(P) recompute \
+         each step) with faults off/on, the check_every=16 batched variant, and the \
+         kill-at-every-crash-point sweep. From `cargo bench -p cind-bench --bench sim`.\",\n  \
+         \"machine_note\": \"Linux container, release profile, in-memory SimVfs, virtual \
+         clock\",\n  \"sim\": {{\n{}\n  }}\n}}\n",
+        blocks.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR5.json");
+    std::fs::write(path, &json).expect("write BENCH_PR5.json");
+    eprintln!("wrote {path}");
+}

@@ -28,6 +28,9 @@ USAGE:
   cind workload --remote HOST:PORT [--connections N] [--entities N]
              [--attributes N] [--query-every K] [--seed S]
              [--shutdown true|false]
+  cind sim   [--seeds N | --seed N] [--ops N] [--faults all|none]
+             [--check-every N] [--replay FILE] [--save-trace FILE]
+             [--selftest N] [--sweep]
 
 --size-model picks the SIZE() function of Definition 1: instantiated
 cells (default) or serialized bytes.
@@ -50,6 +53,9 @@ UNION ALL scan over that many threads.
 workload drives the closed-loop load generator against a running server:
 N connections inserting generated entities with a query every K ops,
 reporting throughput, Busy sheds, and latency percentiles.
+sim runs the deterministic fault-injection simulator (seeded schedules
+against an in-memory store with torn writes, crashes, and a model-based
+oracle); see `cind sim --help` for the full flag set.
 
 CSV format: header row names the attributes (optional leading `id`
 column); empty cells mean the attribute is absent.";
@@ -96,6 +102,10 @@ fn run() -> Result<String, CliError> {
     let Some(command) = argv.first() else {
         return Err(CliError::Usage(USAGE.into()));
     };
+    if command == "sim" {
+        // The simulator owns its flag grammar and exit codes.
+        std::process::exit(cind_sim::cli::run_from_cind(&argv[1..]));
+    }
     let args = Args::parse(&argv[1..])?;
     match command.as_str() {
         "load" => {

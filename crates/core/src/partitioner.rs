@@ -208,12 +208,40 @@ impl Cinderella {
         (rating_syn, attr_syn, size)
     }
 
+    /// Closes the WAL transaction group opened around a partitioner
+    /// operation. A commit failure outranks a clean result (the in-memory
+    /// op applied but never reached the log); an op that already failed
+    /// keeps its own error — the group it opened is dropped with it.
+    fn finish_txn<T>(
+        table: &mut UniversalTable,
+        result: Result<T, CoreError>,
+    ) -> Result<T, CoreError> {
+        match table.wal_txn_commit() {
+            Ok(()) => result,
+            Err(e) => result.and(Err(e.into())),
+        }
+    }
+
     /// Algorithm 1: inserts `entity`, adjusting the partitioning.
+    ///
+    /// The whole operation — including any split it triggers — is logged
+    /// as one WAL transaction group, so recovery sees it entirely or not
+    /// at all.
     ///
     /// # Errors
     /// [`StorageError::DuplicateEntity`] if the id is already stored; other
     /// storage errors from the layers below.
     pub fn insert(
+        &mut self,
+        table: &mut UniversalTable,
+        entity: Entity,
+    ) -> Result<InsertOutcome, CoreError> {
+        table.wal_txn_begin();
+        let result = self.insert_impl(table, entity);
+        Self::finish_txn(table, result)
+    }
+
+    fn insert_impl(
         &mut self,
         table: &mut UniversalTable,
         entity: Entity,
@@ -382,6 +410,18 @@ impl Cinderella {
         into: SegmentId,
         members: Vec<Entity>,
     ) -> Result<(), CoreError> {
+        table.wal_txn_begin();
+        let result = self.absorb_impl(table, from, into, members);
+        Self::finish_txn(table, result)
+    }
+
+    fn absorb_impl(
+        &mut self,
+        table: &mut UniversalTable,
+        from: SegmentId,
+        into: SegmentId,
+        members: Vec<Entity>,
+    ) -> Result<(), CoreError> {
         self.catalog.remove_partition(from);
         for e in members {
             let (rating_syn, attr_syn, size) = self.synopses(table, &e);
@@ -397,8 +437,19 @@ impl Cinderella {
     }
 
     /// Deletes an entity. The partitioning stays as is; a partition that
-    /// becomes empty is dropped (§III).
+    /// becomes empty is dropped (§III). Logged as one WAL transaction
+    /// group.
     pub fn delete(
+        &mut self,
+        table: &mut UniversalTable,
+        id: EntityId,
+    ) -> Result<Entity, CoreError> {
+        table.wal_txn_begin();
+        let result = self.delete_impl(table, id);
+        Self::finish_txn(table, result)
+    }
+
+    fn delete_impl(
         &mut self,
         table: &mut UniversalTable,
         id: EntityId,
@@ -424,8 +475,19 @@ impl Cinderella {
     /// id). Runs the insert rating "without actually inserting": if the
     /// entity's current partition still wins, the record is replaced in
     /// place; otherwise the entity is moved through the full insert routine
-    /// (which may create a partition or split one).
+    /// (which may create a partition or split one). Logged as one WAL
+    /// transaction group (the inner delete + insert groups nest into it).
     pub fn update(
+        &mut self,
+        table: &mut UniversalTable,
+        entity: Entity,
+    ) -> Result<InsertOutcome, CoreError> {
+        table.wal_txn_begin();
+        let result = self.update_impl(table, entity);
+        Self::finish_txn(table, result)
+    }
+
+    fn update_impl(
         &mut self,
         table: &mut UniversalTable,
         entity: Entity,

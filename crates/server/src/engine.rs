@@ -18,16 +18,15 @@
 //! before the mutating call returns), which is what makes the
 //! kill-mid-load crash test recoverable.
 
-use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 use std::sync::PoisonError;
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 use cind_model::{Entity, EntityId};
 use cind_query::planner::{plan_from_survivors, plan_with, Parallelism, Plan};
 use cind_query::{execute_collect, Query};
-use cind_storage::{wal, UniversalTable};
-use cinderella_core::{validate::render, Cinderella, Config, CoreError};
+use cind_storage::{wal, FileSink, RealVfs, UniversalTable, Vfs};
+use cinderella_core::{validate::render, Cinderella, Config, CoreError, MergeReport};
 
 use crate::protocol::{EngineStats, ErrorCode, QueryStats, Request, Response, WireEntity};
 use crate::{ServeConfig, ServerError};
@@ -38,7 +37,7 @@ pub const SNAPSHOT_FILE: &str = "store.cind";
 pub const WAL_FILE: &str = "wal.log";
 
 /// How to build an [`Engine`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct EngineOptions {
     /// Partitioner configuration (weight, capacity, mode, …).
     pub config: Config,
@@ -46,11 +45,31 @@ pub struct EngineOptions {
     pub pool_pages: usize,
     /// Scan threads per query (`1` = sequential execution).
     pub query_threads: usize,
+    /// Filesystem backend for snapshot and WAL I/O. Defaults to the real
+    /// filesystem; the simulation harness injects a deterministic
+    /// fault-injecting backend here.
+    pub vfs: Arc<dyn Vfs>,
+}
+
+impl std::fmt::Debug for EngineOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineOptions")
+            .field("config", &self.config)
+            .field("pool_pages", &self.pool_pages)
+            .field("query_threads", &self.query_threads)
+            .field("vfs", &"<dyn Vfs>")
+            .finish()
+    }
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        Self { config: Config::default(), pool_pages: 1024, query_threads: 2 }
+        Self {
+            config: Config::default(),
+            pool_pages: 1024,
+            query_threads: 2,
+            vfs: Arc::new(RealVfs),
+        }
     }
 }
 
@@ -59,9 +78,9 @@ impl EngineOptions {
     #[must_use]
     pub fn from_serve(cfg: &ServeConfig) -> Self {
         Self {
-            config: Config::default(),
             pool_pages: cfg.pool_pages.max(8),
             query_threads: cfg.query_threads.max(1),
+            ..Self::default()
         }
     }
 }
@@ -78,6 +97,7 @@ pub struct Engine {
     state: RwLock<EngineState>,
     store: Option<PathBuf>,
     query_threads: usize,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl Engine {
@@ -92,48 +112,62 @@ impl Engine {
             }),
             store: None,
             query_threads: opts.query_threads.max(1),
+            vfs: opts.vfs,
         }
     }
 
     /// Opens (or creates) a durable store directory: restores the
     /// snapshot, replays the WAL suffix (discarding a torn tail), rebuilds
-    /// the partitioner, checkpoints, and attaches a fresh unbuffered WAL
-    /// sink.
+    /// the partitioner, checkpoints, and attaches a fresh WAL sink whose
+    /// head records the new snapshot's epoch.
+    ///
+    /// The epoch gate: a log that names a snapshot generation other than
+    /// the one on disk is *stale* — it was superseded by a later
+    /// checkpoint whose own log replaced it — and is skipped rather than
+    /// replayed into the wrong base. Epoch-less logs (pre-epoch format)
+    /// are always replayed.
     ///
     /// # Errors
     /// I/O and persistence failures; [`ServerError::Core`] if the rebuilt
     /// store fails the partitioner's structural rebuild.
     pub fn open(dir: &Path, opts: EngineOptions) -> Result<Self, ServerError> {
-        std::fs::create_dir_all(dir)?;
+        let vfs = opts.vfs.clone();
+        vfs.create_dir_all(dir)?;
         let snapshot_path = dir.join(SNAPSHOT_FILE);
         let wal_path = dir.join(WAL_FILE);
 
-        let mut table = if snapshot_path.exists() {
-            let mut f = File::open(&snapshot_path)?;
-            UniversalTable::restore(&mut f, opts.pool_pages)?
+        let (mut table, snap_epoch) = if vfs.exists(&snapshot_path) {
+            let (t, e) = UniversalTable::restore_from(&*vfs, &snapshot_path, opts.pool_pages)?;
+            (t, Some(e))
         } else {
-            UniversalTable::new(opts.pool_pages)
+            (UniversalTable::new(opts.pool_pages), None)
         };
-        if wal_path.exists() {
-            let mut f = File::open(&wal_path)?;
-            wal::replay(&mut table, &mut f)?;
+        if vfs.exists(&wal_path) {
+            let bytes = vfs.read(&wal_path)?;
+            let replayable = match wal::read_epoch(&bytes) {
+                // Epoch-less legacy log: always belongs to this store.
+                None => true,
+                // Stamped log: only replay over the snapshot it extends.
+                Some(epoch) => snap_epoch == Some(epoch),
+            };
+            if replayable {
+                wal::replay(&mut table, &mut &bytes[..])?;
+            }
         }
         let cindy = Cinderella::rebuild(&table, opts.config)?;
 
         // Checkpoint: fold the replayed suffix into the snapshot and reset
         // the log, so recovery cost stays proportional to one session.
-        write_snapshot(&table, &snapshot_path)?;
-        let wal_file: File = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&wal_path)?;
-        table.attach_wal(Box::new(wal_file));
+        let epoch = table.snapshot_to(&*vfs, &snapshot_path)?;
+        let wal_file = vfs.create(&wal_path)?;
+        table.attach_wal(Box::new(FileSink(wal_file)));
+        table.wal_mark_epoch(epoch);
 
         Ok(Self {
             state: RwLock::new(EngineState { table, cindy }),
             store: Some(dir.to_path_buf()),
             query_threads: opts.query_threads.max(1),
+            vfs,
         })
     }
 
@@ -301,20 +335,50 @@ impl Engine {
     /// Writes a fresh snapshot and truncates the WAL (durable stores
     /// only). Called by graceful shutdown after the drain.
     ///
+    /// If any step past the flush fails, the *current* sink is poisoned
+    /// ([`UniversalTable::fail_wal`]): the snapshot/log pairing is now
+    /// unknown, and entries silently appended to the old-generation log
+    /// would be skipped by recovery as stale. Poisoning makes the next
+    /// mutation fail loudly instead, forcing the caller to reopen.
+    ///
     /// # Errors
     /// I/O and persistence failures.
     pub fn checkpoint(&self) -> Result<(), ServerError> {
         let Some(dir) = &self.store else { return Ok(()) };
         let mut state = self.write();
         state.table.flush_wal()?;
-        write_snapshot(&state.table, &dir.join(SNAPSHOT_FILE))?;
-        let wal_file: File = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(dir.join(WAL_FILE))?;
-        state.table.attach_wal(Box::new(wal_file));
+        let epoch = match state.table.snapshot_to(&*self.vfs, &dir.join(SNAPSHOT_FILE)) {
+            Ok(epoch) => epoch,
+            Err(e) => {
+                state.table.fail_wal(persist_error_kind(&e));
+                return Err(e.into());
+            }
+        };
+        let wal_file = match self.vfs.create(&dir.join(WAL_FILE)) {
+            Ok(f) => f,
+            Err(e) => {
+                state.table.fail_wal(e.kind());
+                return Err(e.into());
+            }
+        };
+        state.table.attach_wal(Box::new(FileSink(wal_file)));
+        state.table.wal_mark_epoch(epoch);
         Ok(())
+    }
+
+    /// Runs one partition merge pass (threshold in `(0, 1]`; out-of-range
+    /// values are clamped). Takes the write lock — merges move entities
+    /// and drop segments, the same churn class as splits.
+    ///
+    /// # Errors
+    /// Storage failures from the moves; WAL failures from the logged
+    /// mutations.
+    pub fn merge_pass(&self, threshold: f64) -> Result<MergeReport, ServerError> {
+        let threshold = if threshold > 0.0 { threshold.min(1.0) } else { f64::MIN_POSITIVE };
+        let mut state = self.write();
+        let state = &mut *state;
+        let report = state.cindy.merge_pass(&mut state.table, threshold)?;
+        Ok(report)
     }
 
     /// Dispatches one request to the matching method and folds any error
@@ -362,15 +426,13 @@ fn error_code(e: &ServerError) -> ErrorCode {
     }
 }
 
-fn write_snapshot(table: &UniversalTable, path: &Path) -> Result<(), ServerError> {
-    // Write-then-rename so a crash mid-snapshot never clobbers the last
-    // good one.
-    let tmp = path.with_extension("cind.tmp");
-    let mut out = File::create(&tmp)?;
-    table.snapshot(&mut out)?;
-    out.sync_all()?;
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+/// The I/O error kind to poison the WAL sink with when a persistence step
+/// fails (non-I/O persistence failures map to `Other`).
+fn persist_error_kind(e: &cind_storage::PersistError) -> std::io::ErrorKind {
+    match e {
+        cind_storage::PersistError::Io(io) => io.kind(),
+        _ => std::io::ErrorKind::Other,
+    }
 }
 
 #[cfg(test)]

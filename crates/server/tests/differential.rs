@@ -70,6 +70,7 @@ fn server_path_matches_in_process_under_concurrency() {
         config: partitioner_config(),
         pool_pages: 256,
         query_threads: 2,
+        ..EngineOptions::default()
     }));
     let handle = Server::start(
         Arc::clone(&engine),

@@ -1,0 +1,393 @@
+//! Protocol fuzz/property suite.
+//!
+//! Three layers of assurance over `cind_server::protocol`:
+//!
+//! 1. **Round-trip properties**: for every request and response variant,
+//!    `decode ∘ encode = id` under generated payloads (ids, attribute
+//!    names, all four `Value` kinds, row matrices, stats counters).
+//! 2. **Totality under mutation**: seeded random byte strings and
+//!    single-byte mutations of valid encodings must *decode or error* —
+//!    never panic, never hang, never allocate unboundedly. The decoders
+//!    return `Result`, so totality here means these tests complete.
+//! 3. **Committed corpus**: the byte files under `tests/corpus/` pin
+//!    known-interesting inputs (one valid encoding per variant family
+//!    plus malformed shapes). Every file is fed to both decoders raw and
+//!    through the framing layer. Files named `valid_req_*` / `valid_resp_*`
+//!    must additionally decode `Ok` — a codec change that breaks reading
+//!    old bytes fails here first. Regenerate with
+//!    `cargo test -p cind-server --test proto_fuzz regen_corpus -- --ignored`.
+
+use std::path::PathBuf;
+
+use cind_model::Value;
+use cind_server::protocol::{
+    decode_request, decode_response, encode_request, encode_response, frame, read_frame,
+    EngineStats, ErrorCode, ProtoError, QueryStats, Request, Response, WireEntity,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---- generators -------------------------------------------------------
+
+fn value_from(kind: u32, i: i64, f: f64, s: &str) -> Value {
+    match kind % 4 {
+        0 => Value::Bool(i & 1 == 1),
+        1 => Value::Int(i),
+        2 => Value::Float(f),
+        _ => Value::Text(s.to_owned()),
+    }
+}
+
+fn entity_from(id: u64, raw: &[(u32, i64, f64, String)]) -> WireEntity {
+    let attrs = raw
+        .iter()
+        .enumerate()
+        .map(|(i, (kind, int, float, text))| {
+            (format!("a{i}_{text}"), value_from(*kind, *int, *float, text))
+        })
+        .collect();
+    WireEntity { id, attrs }
+}
+
+fn attr_raw() -> impl Strategy<Value = Vec<(u32, i64, f64, String)>> {
+    prop::collection::vec(
+        (0u32..4, -1_000_000i64..1_000_000, -1e9f64..1e9, "[a-z]{0,6}"),
+        0..10,
+    )
+}
+
+// ---- round-trip properties -------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn insert_and_update_roundtrip(
+        id in 0u64..u64::MAX,
+        raw in attr_raw(),
+        update in any::<bool>(),
+    ) {
+        let e = entity_from(id, &raw);
+        let req = if update { Request::Update(e) } else { Request::Insert(e) };
+        let body = encode_request(&req);
+        prop_assert_eq!(decode_request(&body).expect("valid encoding"), req);
+    }
+
+    #[test]
+    fn delete_query_stats_validate_shutdown_ping_roundtrip(
+        id in 0u64..u64::MAX,
+        attrs in prop::collection::vec("[a-z_]{0,12}", 0..8),
+        delay in 0u64..100_000,
+        pick in 0u32..6,
+    ) {
+        let req = match pick {
+            0 => Request::Delete(id),
+            1 => Request::Query(attrs),
+            2 => Request::Stats,
+            3 => Request::Validate,
+            4 => Request::Shutdown,
+            _ => Request::Ping(delay),
+        };
+        let body = encode_request(&req);
+        prop_assert_eq!(decode_request(&body).expect("valid encoding"), req);
+    }
+
+    #[test]
+    fn written_deleted_acks_roundtrip(
+        segment in 0u32..u32::MAX,
+        split in any::<bool>(),
+        pick in 0u32..5,
+    ) {
+        let resp = match pick {
+            0 => Response::Written { segment, split },
+            1 => Response::Deleted,
+            2 => Response::ShutdownAck,
+            3 => Response::Pong,
+            _ => Response::Busy,
+        };
+        let body = encode_response(&resp);
+        prop_assert_eq!(decode_response(&body).expect("valid encoding"), resp);
+    }
+
+    #[test]
+    fn rows_roundtrip(
+        width in 0usize..6,
+        cells in prop::collection::vec(
+            prop::option::of((0u32..4, -5_000i64..5_000, -1e6f64..1e6, "[a-z]{0,4}")),
+            0..48,
+        ),
+        counters in prop::collection::vec(0u64..1_000_000, 5..6),
+    ) {
+        // Reshape the flat cell stream into rows of a constant width: the
+        // codec stores one width for the whole matrix.
+        let rows: Vec<Vec<Option<Value>>> = if width == 0 {
+            Vec::new()
+        } else {
+            cells
+                .chunks_exact(width)
+                .map(|row| {
+                    row.iter()
+                        .map(|c| c.as_ref().map(|(k, i, f, s)| value_from(*k, *i, *f, s)))
+                        .collect()
+                })
+                .collect()
+        };
+        let resp = Response::Rows {
+            rows,
+            stats: QueryStats {
+                entities_scanned: counters[0],
+                segments_read: counters[1],
+                segments_pruned: counters[2],
+                logical_reads: counters[3],
+                physical_reads: counters[4],
+            },
+        };
+        let body = encode_response(&resp);
+        prop_assert_eq!(decode_response(&body).expect("valid encoding"), resp);
+    }
+
+    #[test]
+    fn stats_validated_error_roundtrip(
+        counters in prop::collection::vec(0u64..u64::MAX, 7..8),
+        violations in prop::collection::vec("[a-z :]{0,20}", 0..6),
+        code in 1u32..6,
+        message in "[a-z ]{0,30}",
+        pick in 0u32..3,
+    ) {
+        let resp = match pick {
+            0 => Response::Stats(EngineStats {
+                entities: counters[0],
+                partitions: counters[1],
+                attributes: counters[2],
+                logical_reads: counters[3],
+                physical_reads: counters[4],
+                page_writes: counters[5],
+                evictions: counters[6],
+            }),
+            1 => Response::Validated(violations),
+            _ => Response::Error {
+                code: match code {
+                    1 => ErrorCode::Malformed,
+                    2 => ErrorCode::UnknownAttribute,
+                    3 => ErrorCode::Engine,
+                    4 => ErrorCode::ShuttingDown,
+                    _ => ErrorCode::Internal,
+                },
+                message,
+            },
+        };
+        let body = encode_response(&resp);
+        prop_assert_eq!(decode_response(&body).expect("valid encoding"), resp);
+    }
+
+    #[test]
+    fn framing_roundtrips_any_body(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+        let mut wire = Vec::new();
+        frame(&bytes, &mut wire);
+        let mut r = &wire[..];
+        prop_assert_eq!(read_frame(&mut r).expect("framed body"), bytes);
+        prop_assert!(matches!(read_frame(&mut r), Err(ProtoError::Closed)));
+    }
+}
+
+// ---- seeded fuzz corpora ---------------------------------------------
+
+/// A spread of valid bodies covering every variant family — the mutation
+/// substrate and (framed) the corpus seed material.
+fn valid_bodies() -> Vec<(&'static str, Vec<u8>)> {
+    let entity = WireEntity {
+        id: 42,
+        attrs: vec![
+            ("name".into(), Value::Text("WD4000".into())),
+            ("rpm".into(), Value::Int(-7200)),
+            ("price".into(), Value::Float(129.5)),
+            ("ssd".into(), Value::Bool(false)),
+        ],
+    };
+    vec![
+        ("valid_req_insert", encode_request(&Request::Insert(entity.clone()))),
+        ("valid_req_update", encode_request(&Request::Update(entity))),
+        ("valid_req_delete", encode_request(&Request::Delete(7))),
+        (
+            "valid_req_query",
+            encode_request(&Request::Query(vec!["rpm".into(), "price".into()])),
+        ),
+        ("valid_req_stats", encode_request(&Request::Stats)),
+        ("valid_req_validate", encode_request(&Request::Validate)),
+        ("valid_req_shutdown", encode_request(&Request::Shutdown)),
+        ("valid_req_ping", encode_request(&Request::Ping(250))),
+        (
+            "valid_resp_written",
+            encode_response(&Response::Written { segment: 9, split: true }),
+        ),
+        (
+            "valid_resp_rows",
+            encode_response(&Response::Rows {
+                rows: vec![
+                    vec![Some(Value::Int(1)), None],
+                    vec![None, Some(Value::Text("x".into()))],
+                ],
+                stats: QueryStats {
+                    entities_scanned: 10,
+                    segments_read: 2,
+                    segments_pruned: 3,
+                    logical_reads: 5,
+                    physical_reads: 4,
+                },
+            }),
+        ),
+        (
+            "valid_resp_stats",
+            encode_response(&Response::Stats(EngineStats {
+                entities: 1,
+                partitions: 2,
+                attributes: 3,
+                logical_reads: 4,
+                physical_reads: 5,
+                page_writes: 6,
+                evictions: 7,
+            })),
+        ),
+        (
+            "valid_resp_validated",
+            encode_response(&Response::Validated(vec!["arena: bad slot".into()])),
+        ),
+        (
+            "valid_resp_error",
+            encode_response(&Response::Error {
+                code: ErrorCode::UnknownAttribute,
+                message: "no such attribute".into(),
+            }),
+        ),
+    ]
+}
+
+/// Hand-built malformed shapes worth pinning: each must decode to `Err`.
+fn malformed_bodies() -> Vec<(&'static str, Vec<u8>)> {
+    let mut truncated = encode_request(&Request::Query(vec!["abc".into()]));
+    truncated.truncate(truncated.len() - 2);
+    // Only claimed malformed as a *request*: the same bytes happen to spell
+    // a valid empty Validated response (tag overlap is fine; the two codecs
+    // never share a stream direction).
+    let mut trailing = encode_request(&Request::Stats);
+    trailing.push(0);
+    // Tag says Query, count says 2^40 attributes: must reject, not allocate.
+    let mut huge_count = vec![4u8];
+    cind_storage::varint::encode(1 << 40, &mut huge_count);
+    vec![
+        ("bad_req_tag", vec![99u8]),
+        ("bad_resp_tag", vec![0xA0u8, 1, 2, 3]),
+        ("bad_empty", Vec::new()),
+        ("bad_truncated_query", truncated),
+        ("bad_req_trailing_byte", trailing),
+        ("bad_huge_count", huge_count),
+        ("bad_unterminated_varint", vec![0x80u8; 12]),
+    ]
+}
+
+/// Feed a body to everything that consumes untrusted bytes. Totality =
+/// this returns (no panic); callers add per-case expectations on top.
+fn exercise(body: &[u8]) -> (bool, bool) {
+    let req_ok = decode_request(body).is_ok();
+    let resp_ok = decode_response(body).is_ok();
+    let mut wire = Vec::new();
+    frame(body, &mut wire);
+    let mut r = &wire[..];
+    assert_eq!(read_frame(&mut r).expect("framed body"), body);
+    // Truncated at every prefix the framing layer must error, not panic.
+    let mut cut = &wire[..wire.len() - 1];
+    assert!(read_frame(&mut cut).is_err());
+    (req_ok, resp_ok)
+}
+
+#[test]
+fn random_bytes_never_panic_the_decoders() {
+    let mut rng = StdRng::seed_from_u64(0xF022_5EED_D00D);
+    for _ in 0..4_000 {
+        let len = rng.gen_range(0..96usize);
+        let body: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+        exercise(&body);
+    }
+}
+
+#[test]
+fn single_byte_mutations_never_panic_the_decoders() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_AB1E);
+    for (_, body) in valid_bodies() {
+        for pos in 0..body.len() {
+            // All 8 single-bit flips plus a few random byte swaps per
+            // position: cheap, deterministic, covers tag/length/payload
+            // corruption at every offset.
+            for bit in 0..8 {
+                let mut m = body.clone();
+                m[pos] ^= 1 << bit;
+                exercise(&m);
+            }
+            for _ in 0..2 {
+                let mut m = body.clone();
+                m[pos] = rng.gen_range(0..=255u32) as u8;
+                exercise(&m);
+            }
+        }
+    }
+}
+
+// ---- committed corpus -------------------------------------------------
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn committed_corpus_decodes_as_labelled() {
+    let dir = corpus_dir();
+    let entries = std::fs::read_dir(&dir).expect("tests/corpus/ must be committed");
+    let mut seen = 0usize;
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("bin") {
+            continue;
+        }
+        seen += 1;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        let body = std::fs::read(&path).expect("corpus file readable");
+        let (req_ok, resp_ok) = exercise(&body);
+        if name.starts_with("valid_req_") {
+            assert!(req_ok, "{name}: a committed valid request stopped decoding");
+        } else if name.starts_with("valid_resp_") {
+            assert!(resp_ok, "{name}: a committed valid response stopped decoding");
+        } else if name.starts_with("bad_req_") {
+            assert!(!req_ok, "{name}: a committed malformed request started decoding");
+        } else if name.starts_with("bad_resp_") {
+            assert!(!resp_ok, "{name}: a committed malformed response started decoding");
+        } else if name.starts_with("bad_") {
+            assert!(
+                !req_ok && !resp_ok,
+                "{name}: a committed malformed input started decoding"
+            );
+        }
+    }
+    let expected = valid_bodies().len() + malformed_bodies().len();
+    assert!(
+        seen >= expected,
+        "corpus has {seen} files, expected at least {expected} — regenerate with \
+         `cargo test -p cind-server --test proto_fuzz regen_corpus -- --ignored`"
+    );
+}
+
+/// Rewrites `tests/corpus/` from the current codec. Run manually after a
+/// deliberate (compatible) protocol change; commit the result.
+#[test]
+#[ignore]
+fn regen_corpus() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for (name, body) in valid_bodies().into_iter().chain(malformed_bodies()) {
+        std::fs::write(dir.join(format!("{name}.bin")), body).expect("write corpus file");
+    }
+}

@@ -1,0 +1,376 @@
+//! Flag parsing and run orchestration for `cind-sim` / `cind sim`.
+
+use crate::harness::{crash_sweep, run_ops, SimConfig, SimFailure};
+use crate::schedule::{generate, Op};
+use crate::trace::{shrink_ops, Trace};
+use crate::vfs::FaultPlan;
+
+/// Usage text shown for `--help` or flag errors.
+pub const USAGE: &str = "\
+cind-sim — deterministic simulation of the Cinderella store/server stack
+
+USAGE:
+    cind-sim [FLAGS]
+
+FLAGS:
+    --seeds N          run seeds 0..N (default 8)
+    --seed N           run exactly seed N
+    --ops N            schedule length per seed (default 2000)
+    --faults MODE      all | none (default all)
+    --check-every N    full oracle check every N steps (default 1)
+    --replay FILE      replay a trace file instead of generating
+    --save-trace FILE  where to write the failing trace (default
+                       sim-failure-seed-N.json)
+    --selftest N       run the bit-rot self-test over N seeds
+    --sweep            kill-at-every-crash-point sweep (uses --seed, --ops)
+    --help             this text
+
+Exit code 0 = every run passed; 1 = a divergence (trace saved); 2 = bad
+usage.";
+
+struct Args {
+    seeds: Vec<u64>,
+    ops: usize,
+    faults: bool,
+    check_every: usize,
+    replay: Option<String>,
+    save_trace: Option<String>,
+    selftest: Option<u64>,
+    sweep: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        seeds: Vec::new(),
+        ops: 2000,
+        faults: true,
+        check_every: 1,
+        replay: None,
+        save_trace: None,
+        selftest: None,
+        sweep: false,
+    };
+    let mut seed_count: Option<u64> = None;
+    let mut single_seed: Option<u64> = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => {
+                seed_count = Some(
+                    value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
+                );
+            }
+            "--seed" => {
+                single_seed =
+                    Some(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?);
+            }
+            "--ops" => {
+                args.ops = value("--ops")?.parse().map_err(|e| format!("--ops: {e}"))?;
+            }
+            "--faults" => {
+                args.faults = match value("--faults")?.as_str() {
+                    "all" => true,
+                    "none" => false,
+                    other => return Err(format!("--faults: {other:?} (use all|none)")),
+                };
+            }
+            "--check-every" => {
+                args.check_every = value("--check-every")?
+                    .parse()
+                    .map_err(|e| format!("--check-every: {e}"))?;
+            }
+            "--replay" => args.replay = Some(value("--replay")?.clone()),
+            "--save-trace" => args.save_trace = Some(value("--save-trace")?.clone()),
+            "--selftest" => {
+                args.selftest = Some(
+                    value("--selftest")?.parse().map_err(|e| format!("--selftest: {e}"))?,
+                );
+            }
+            "--sweep" => args.sweep = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    args.seeds = match (single_seed, seed_count) {
+        (Some(s), _) => vec![s],
+        (None, Some(n)) => (0..n).collect(),
+        (None, None) => (0..8).collect(),
+    };
+    Ok(args)
+}
+
+/// Runs the CLI; returns the process exit code.
+#[must_use]
+pub fn main_with_args(argv: &[String]) -> i32 {
+    let args = match parse_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return 0;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return 2;
+        }
+    };
+
+    if let Some(seeds) = args.selftest {
+        return run_selftest(seeds);
+    }
+    if let Some(path) = &args.replay {
+        return run_replay(path, args.check_every);
+    }
+    if args.sweep {
+        let seed = args.seeds.first().copied().unwrap_or(0);
+        return run_sweep(seed, args.ops);
+    }
+    run_seed_matrix(&args)
+}
+
+fn run_selftest(seeds: u64) -> i32 {
+    match crate::selftest::self_test(seeds) {
+        Ok(report) => {
+            println!(
+                "selftest: {seeds} seeds — loud {}, clean {}, silent {}{}",
+                report.loud,
+                report.clean,
+                report.silent,
+                report
+                    .first_silent
+                    .map(|s| format!(" (first silent seed {s})"))
+                    .unwrap_or_default()
+            );
+            let defect = cfg!(feature = "sim-defect");
+            let pass = if defect { report.silent >= 1 } else { report.silent == 0 };
+            if pass {
+                println!(
+                    "selftest PASS ({} build)",
+                    if defect { "sim-defect" } else { "correct" }
+                );
+                0
+            } else if defect {
+                eprintln!(
+                    "selftest FAIL: the deliberate checksum defect went undetected \
+                     in {seeds} seeds"
+                );
+                1
+            } else {
+                eprintln!("selftest FAIL: corruption slipped through on a correct build");
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("selftest setup failed: {e}");
+            1
+        }
+    }
+}
+
+fn run_replay(path: &str, check_every: usize) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("replay: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let trace = match Trace::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("replay: cannot parse {path}: {e}");
+            return 2;
+        }
+    };
+    let recorded = Trace::parse_recorded_hash(&text).ok().flatten();
+    let plan = if trace.faults { FaultPlan::all() } else { FaultPlan::none() };
+    match run_ops(trace.seed, trace.faults, plan, &trace.ops, check_every, None) {
+        Ok(report) => {
+            let hash = report.trace.hash();
+            println!(
+                "replay {path}: seed {} ops {} — PASS (hash {hash:016x})",
+                trace.seed,
+                trace.ops.len()
+            );
+            if report.trace.steps.len() == trace.ops.len() {
+                if let Some(expect) = recorded {
+                    if expect != hash {
+                        eprintln!(
+                            "replay {path}: hash mismatch — recorded {expect:016x}, \
+                             got {hash:016x} (non-deterministic replay)"
+                        );
+                        return 1;
+                    }
+                }
+            }
+            0
+        }
+        Err(f) => {
+            eprintln!("replay {path}: FAIL at {f}");
+            1
+        }
+    }
+}
+
+fn run_sweep(seed: u64, ops: usize) -> i32 {
+    match crash_sweep(seed, ops) {
+        Ok(points) => {
+            println!(
+                "sweep: seed {seed}, {ops} ops — {points} crash-points, \
+                 every recovery oracle-equivalent"
+            );
+            0
+        }
+        Err(f) => {
+            eprintln!("sweep: seed {seed} FAIL — {f}");
+            1
+        }
+    }
+}
+
+fn run_seed_matrix(args: &Args) -> i32 {
+    let plan = if args.faults { FaultPlan::all() } else { FaultPlan::none() };
+    for &seed in &args.seeds {
+        let cfg = SimConfig {
+            seed,
+            ops: args.ops,
+            faults: args.faults,
+            check_every: args.check_every,
+        };
+        let ops = generate(cfg.seed, cfg.ops, cfg.faults);
+        let first = run_ops(seed, args.faults, plan, &ops, args.check_every, None);
+        match first {
+            Ok(report) => {
+                let hash = report.trace.hash();
+                // Determinism witness: the same seed must reproduce the
+                // exact same trace, byte for byte.
+                match run_ops(seed, args.faults, plan, &ops, args.check_every, None) {
+                    Ok(second) if second.trace.hash() == hash => {
+                        println!(
+                            "seed {seed}: PASS — {} ops, {} restarts, {} entities, \
+                             hash {hash:016x}",
+                            cfg.ops, report.restarts, report.final_entities
+                        );
+                        // A requested trace of a passing single-seed run:
+                        // how regression traces get minted.
+                        if let (Some(path), true) =
+                            (&args.save_trace, args.seeds.len() == 1)
+                        {
+                            match std::fs::write(path, report.trace.to_json_string()) {
+                                Ok(()) => println!("seed {seed}: trace saved to {path}"),
+                                Err(e) => {
+                                    eprintln!("seed {seed}: cannot save trace: {e}");
+                                    return 1;
+                                }
+                            }
+                        }
+                    }
+                    Ok(second) => {
+                        eprintln!(
+                            "seed {seed}: NON-DETERMINISTIC — hashes {hash:016x} vs \
+                             {:016x}",
+                            second.trace.hash()
+                        );
+                        return 1;
+                    }
+                    Err(f) => {
+                        eprintln!("seed {seed}: NON-DETERMINISTIC — rerun failed: {f}");
+                        return 1;
+                    }
+                }
+            }
+            Err(failure) => {
+                return report_failure(args, seed, plan, &ops, &failure);
+            }
+        }
+    }
+    0
+}
+
+/// A failing seed: shrink the schedule while it keeps failing the same
+/// way, save the minimal trace as a regression file, and report.
+fn report_failure(
+    args: &Args,
+    seed: u64,
+    plan: FaultPlan,
+    ops: &[Op],
+    failure: &SimFailure,
+) -> i32 {
+    eprintln!("seed {seed}: FAIL — {failure}");
+    let kind = failure_kind(&failure.reason);
+    let shrunk = shrink_ops(ops, 200, |candidate| {
+        matches!(
+            run_ops(seed, args.faults, plan, candidate, args.check_every, None),
+            Err(f) if failure_kind(&f.reason) == kind
+        )
+    });
+    let final_failure = run_ops(seed, args.faults, plan, &shrunk, args.check_every, None)
+        .err()
+        .map_or_else(|| failure.to_string(), |f| f.to_string());
+    let trace = Trace::new(seed, args.faults, shrunk.to_vec());
+    let path = args
+        .save_trace
+        .clone()
+        .unwrap_or_else(|| format!("sim-failure-seed-{seed}.json"));
+    match std::fs::write(&path, trace.to_json_string()) {
+        Ok(()) => eprintln!(
+            "seed {seed}: shrunk {} → {} ops ({final_failure}); trace saved to {path} \
+             — replay with `cind-sim --replay {path}`",
+            ops.len(),
+            shrunk.len()
+        ),
+        Err(e) => eprintln!("seed {seed}: could not save trace to {path}: {e}"),
+    }
+    1
+}
+
+/// Failure class for shrink preservation: the reason up to the first ':'
+/// (e.g. "content divergence", "query [...]"), so shrinking cannot swap
+/// one bug for a different one.
+fn failure_kind(reason: &str) -> String {
+    let head = reason.split(':').next().unwrap_or(reason);
+    // Strip volatile details (ids, indices) by keeping the first two words.
+    head.split_whitespace().take(2).collect::<Vec<_>>().join(" ")
+}
+
+/// Wrapper used by the `cind` CLI's `sim` subcommand.
+#[must_use]
+pub fn run_from_cind(argv: &[String]) -> i32 {
+    main_with_args(argv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_flag_set() {
+        let argv: Vec<String> = [
+            "--seed", "5", "--ops", "100", "--faults", "none", "--check-every", "4",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let args = parse_args(&argv).expect("parse");
+        assert_eq!(args.seeds, vec![5]);
+        assert_eq!(args.ops, 100);
+        assert!(!args.faults);
+        assert_eq!(args.check_every, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let argv = vec!["--frobnicate".to_string()];
+        assert!(parse_args(&argv).is_err());
+    }
+
+    #[test]
+    fn failure_kind_is_stable_across_details() {
+        assert_eq!(
+            failure_kind("content divergence: entity 7 diverges"),
+            failure_kind("content divergence: entity 913 diverges")
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! `cind-sim` — deterministic simulation of the Cinderella store/server
+//! stack. See `cind-sim --help`.
+
+#![forbid(unsafe_code)]
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(cind_sim::cli::main_with_args(&argv));
+}

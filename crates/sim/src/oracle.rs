@@ -1,0 +1,153 @@
+//! The model-based oracle: a naive in-memory reference table.
+//!
+//! The oracle stores every live entity as a plain `BTreeMap` and answers
+//! every operation partition-free — no synopses, no pruning, no WAL, no
+//! buffer pool. Anything the real stack gets wrong (a partition synopsis
+//! that prunes a matching segment, a lost WAL entry, a replayed duplicate)
+//! shows up as a divergence between the two answers.
+
+use std::collections::BTreeMap;
+
+use cind_model::Value;
+
+/// Why a reference operation was rejected — mirrors the logical (non-I/O)
+/// failures the engine can report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OracleErr {
+    /// Insert of an id that is already live.
+    Duplicate,
+    /// Update/delete of an id that is not live.
+    Unknown,
+}
+
+/// The reference table: id → (attribute name → value).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Oracle {
+    rows: BTreeMap<u64, BTreeMap<String, Value>>,
+}
+
+impl Oracle {
+    /// An empty reference table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Whether `id` is live.
+    #[must_use]
+    pub fn contains(&self, id: u64) -> bool {
+        self.rows.contains_key(&id)
+    }
+
+    /// Iterates live entities in id order.
+    pub fn entities(&self) -> impl Iterator<Item = (u64, &BTreeMap<String, Value>)> {
+        self.rows.iter().map(|(id, attrs)| (*id, attrs))
+    }
+
+    /// Reference insert.
+    ///
+    /// # Errors
+    /// [`OracleErr::Duplicate`] when `id` is already live.
+    pub fn insert(&mut self, id: u64, attrs: &[(String, Value)]) -> Result<(), OracleErr> {
+        if self.rows.contains_key(&id) {
+            return Err(OracleErr::Duplicate);
+        }
+        self.rows.insert(id, attrs.iter().cloned().collect());
+        Ok(())
+    }
+
+    /// Reference update (full replacement, like the engine's).
+    ///
+    /// # Errors
+    /// [`OracleErr::Unknown`] when `id` is not live.
+    pub fn update(&mut self, id: u64, attrs: &[(String, Value)]) -> Result<(), OracleErr> {
+        if !self.rows.contains_key(&id) {
+            return Err(OracleErr::Unknown);
+        }
+        self.rows.insert(id, attrs.iter().cloned().collect());
+        Ok(())
+    }
+
+    /// Reference delete.
+    ///
+    /// # Errors
+    /// [`OracleErr::Unknown`] when `id` is not live.
+    pub fn delete(&mut self, id: u64) -> Result<(), OracleErr> {
+        match self.rows.remove(&id) {
+            Some(_) => Ok(()),
+            None => Err(OracleErr::Unknown),
+        }
+    }
+
+    /// Reference `SELECT attrs`: one row per live entity instantiating at
+    /// least one requested attribute, projected in request order (absent
+    /// attributes are `None`) — the same row shape the engine returns.
+    #[must_use]
+    pub fn query(&self, attrs: &[String]) -> Vec<Vec<Option<Value>>> {
+        self.rows
+            .values()
+            .filter(|row| attrs.iter().any(|a| row.contains_key(a)))
+            .map(|row| attrs.iter().map(|a| row.get(a).cloned()).collect())
+            .collect()
+    }
+}
+
+/// Order-independent canonical form for a set of rows: rendered and
+/// sorted, so engine and oracle answers compare regardless of partition
+/// enumeration order.
+#[must_use]
+pub fn canonical_rows(rows: &[Vec<Option<Value>>]) -> Vec<String> {
+    let mut out: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(pairs: &[(&str, i64)]) -> Vec<(String, Value)> {
+        pairs.iter().map(|(n, v)| ((*n).to_string(), Value::Int(*v))).collect()
+    }
+
+    #[test]
+    fn crud_and_logical_errors() {
+        let mut o = Oracle::new();
+        o.insert(1, &attrs(&[("a", 1), ("b", 2)])).expect("insert");
+        assert_eq!(o.insert(1, &attrs(&[("a", 9)])), Err(OracleErr::Duplicate));
+        assert_eq!(o.update(2, &attrs(&[("a", 9)])), Err(OracleErr::Unknown));
+        o.update(1, &attrs(&[("c", 3)])).expect("update replaces");
+        assert_eq!(o.delete(9), Err(OracleErr::Unknown));
+        o.delete(1).expect("delete");
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn query_projects_in_request_order_with_holes() {
+        let mut o = Oracle::new();
+        o.insert(1, &attrs(&[("a", 1)])).expect("insert");
+        o.insert(2, &attrs(&[("a", 2), ("b", 20)])).expect("insert");
+        o.insert(3, &attrs(&[("c", 30)])).expect("insert");
+        let rows = o.query(&["b".to_string(), "a".to_string()]);
+        assert_eq!(
+            canonical_rows(&rows),
+            canonical_rows(&[
+                vec![None, Some(Value::Int(1))],
+                vec![Some(Value::Int(20)), Some(Value::Int(2))],
+            ])
+        );
+        assert!(o.query(&["zzz".to_string()]).is_empty());
+    }
+}

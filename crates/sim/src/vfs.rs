@@ -1,0 +1,515 @@
+//! The deterministic fault-injecting filesystem backend.
+//!
+//! [`SimVfs`] implements [`cind_storage::Vfs`] over an in-memory file map,
+//! driven by a seeded PRNG. It injects the fault classes a real disk can
+//! produce — torn writes (a crash truncates the write at any byte, with
+//! optional garbage after the cut), short reads, out-of-space failures,
+//! failed fsyncs — plus virtual per-op latency, and supports *crash-points*:
+//! arm a countdown and the k-th subsequent mutating operation (write,
+//! create, rename, sync) dies mid-effect, after which every operation
+//! fails until the harness "reboots" by clearing the crash and reopening
+//! the engine. All randomness flows from one seed, so a failing schedule
+//! replays byte-for-byte.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{Error, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use cind_storage::vfs::{Vfs, VfsFile};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::clock::VirtualClock;
+
+/// Which faults fire, and how often. Probabilities are per-mille per
+/// opportunity (a write, a read-open, a sync).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Crashed writes may leave garbage bytes after the cut point
+    /// (a "dirty" tear), not just a clean prefix.
+    pub torn_write: bool,
+    /// Per-mille chance a read delivers a prefix then fails (transient —
+    /// the retry draws fresh randomness).
+    pub short_read_permille: u32,
+    /// Per-mille chance a write fails with `StorageFull`, writing nothing.
+    pub enospc_permille: u32,
+    /// Per-mille chance a sync fails (data already written is kept).
+    pub fsync_fail_permille: u32,
+    /// Charge random virtual nanoseconds per operation.
+    pub latency: bool,
+}
+
+impl FaultPlan {
+    /// No faults: the VFS behaves like a perfect disk (crash-points still
+    /// work — they are armed explicitly, not drawn).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            torn_write: false,
+            short_read_permille: 0,
+            enospc_permille: 0,
+            fsync_fail_permille: 0,
+            latency: false,
+        }
+    }
+
+    /// No random faults, but crashed writes tear dirty (prefix + garbage)
+    /// — the crash-sweep's plan, where the armed crash is the experiment.
+    #[must_use]
+    pub fn crash_only() -> Self {
+        Self { torn_write: true, ..Self::none() }
+    }
+
+    /// Every fault class enabled at its default rate.
+    #[must_use]
+    pub fn all() -> Self {
+        Self {
+            torn_write: true,
+            short_read_permille: 15,
+            enospc_permille: 5,
+            fsync_fail_permille: 5,
+            latency: true,
+        }
+    }
+}
+
+struct VfsState {
+    files: BTreeMap<PathBuf, Vec<u8>>,
+    dirs: BTreeSet<PathBuf>,
+    rng: StdRng,
+    plan: FaultPlan,
+    /// While set, no random faults fire (crash recovery escape hatch —
+    /// armed crash-points are unaffected).
+    suppress: bool,
+    /// Mutations remaining until the armed crash fires (`Some(0)` = the
+    /// next mutation crashes).
+    crash_in: Option<u64>,
+    crashed: bool,
+    mutations: u64,
+}
+
+fn crash_err() -> Error {
+    Error::other("simulated crash")
+}
+
+impl VfsState {
+    /// Gate every mutating operation: fail if already crashed, count the
+    /// mutation, and report whether the armed crash fires *on this op*.
+    fn begin_mutation(&mut self) -> std::io::Result<bool> {
+        if self.crashed {
+            return Err(crash_err());
+        }
+        self.mutations += 1;
+        if let Some(k) = self.crash_in {
+            if k == 0 {
+                self.crash_in = None;
+                self.crashed = true;
+                return Ok(true);
+            }
+            self.crash_in = Some(k - 1);
+        }
+        Ok(false)
+    }
+
+    fn roll(&mut self, permille: u32) -> bool {
+        !self.suppress && permille > 0 && self.rng.gen_range(0u32..1000) < permille
+    }
+}
+
+/// The fault backend. The engine holds it as its `Arc<dyn Vfs>` while the
+/// harness keeps a concrete handle for the control surface (`arm_crash`,
+/// `crashed`, `corrupt_byte`, …); write handles share the same state.
+pub struct SimVfs {
+    state: Arc<Mutex<VfsState>>,
+    clock: Arc<VirtualClock>,
+}
+
+impl SimVfs {
+    /// A fresh empty filesystem with its own PRNG stream.
+    #[must_use]
+    pub fn new(seed: u64, plan: FaultPlan, clock: Arc<VirtualClock>) -> Self {
+        Self {
+            state: Arc::new(Mutex::new(VfsState {
+                files: BTreeMap::new(),
+                dirs: BTreeSet::new(),
+                rng: StdRng::seed_from_u64(seed),
+                plan,
+                suppress: false,
+                crash_in: None,
+                crashed: false,
+                mutations: 0,
+            })),
+            clock,
+        }
+    }
+
+    fn st(&self) -> MutexGuard<'_, VfsState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn tick(&self, g: &mut VfsState) {
+        if g.plan.latency && !g.suppress {
+            let ns = g.rng.gen_range(500u64..20_000);
+            self.clock.advance(ns);
+        }
+    }
+
+    /// Replaces the fault plan.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        self.st().plan = plan;
+    }
+
+    /// While `true`, random faults are suppressed (recovery escape hatch).
+    pub fn set_suppress(&self, on: bool) {
+        self.st().suppress = on;
+    }
+
+    /// Arms a crash-point: the `k`-th mutating operation from now
+    /// (0 = the very next one) dies mid-effect.
+    pub fn arm_crash(&self, k: u64) {
+        self.st().crash_in = Some(k);
+    }
+
+    /// Whether the armed crash has fired (every operation now fails).
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.st().crashed
+    }
+
+    /// Whether a crash-point is armed but has not fired yet.
+    #[must_use]
+    pub fn crash_armed(&self) -> bool {
+        self.st().crash_in.is_some()
+    }
+
+    /// "Reboots" the filesystem: clears the crashed flag and any armed
+    /// countdown. File contents (including torn tails) are kept — that is
+    /// the disk the restarted engine recovers from.
+    pub fn clear_crash(&self) {
+        let mut g = self.st();
+        g.crashed = false;
+        g.crash_in = None;
+    }
+
+    /// Total mutating operations performed so far (the crash-sweep uses
+    /// this to enumerate every crash-point of a schedule).
+    #[must_use]
+    pub fn mutation_count(&self) -> u64 {
+        self.st().mutations
+    }
+
+    /// Current size of `path`, if it exists.
+    #[must_use]
+    pub fn file_len(&self, path: &Path) -> Option<usize> {
+        self.st().files.get(path).map(Vec::len)
+    }
+
+    /// A copy of `path`'s bytes, if it exists.
+    #[must_use]
+    pub fn file_bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        self.st().files.get(path).cloned()
+    }
+
+    /// XORs `mask` into the byte at `offset` (the self-test's bit-rot
+    /// injector). Returns `false` if the file or offset does not exist.
+    pub fn corrupt_byte(&self, path: &Path, offset: usize, mask: u8) -> bool {
+        let mut g = self.st();
+        match g.files.get_mut(path).and_then(|f| f.get_mut(offset)) {
+            Some(b) => {
+                *b ^= mask;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Vfs for SimVfs {
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>> {
+        let mut g = self.st();
+        self.tick(&mut g);
+        if g.begin_mutation()? {
+            // Crash at the create boundary: the file may or may not have
+            // come into (empty) existence.
+            if g.rng.gen_bool(0.5) {
+                g.files.insert(path.to_path_buf(), Vec::new());
+            }
+            return Err(crash_err());
+        }
+        g.files.insert(path.to_path_buf(), Vec::new());
+        drop(g);
+        Ok(Box::new(SimWriteFile {
+            state: Arc::clone(&self.state),
+            clock: Arc::clone(&self.clock),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn open_read(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>> {
+        let mut g = self.st();
+        self.tick(&mut g);
+        if g.crashed {
+            return Err(crash_err());
+        }
+        let Some(data) = g.files.get(path).cloned() else {
+            return Err(Error::new(ErrorKind::NotFound, "no such file"));
+        };
+        let permille = g.plan.short_read_permille;
+        let fail_at = if g.roll(permille) && !data.is_empty() {
+            Some(g.rng.gen_range(0..data.len()))
+        } else {
+            None
+        };
+        drop(g);
+        Ok(Box::new(SimReadFile { data, pos: 0, fail_at }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.st().files.contains_key(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        let mut g = self.st();
+        self.tick(&mut g);
+        if g.begin_mutation()? {
+            // Crash at the rename boundary: it either happened or it
+            // didn't — never a half state (rename is atomic).
+            if g.rng.gen_bool(0.5) {
+                if let Some(data) = g.files.remove(from) {
+                    g.files.insert(to.to_path_buf(), data);
+                }
+            }
+            return Err(crash_err());
+        }
+        match g.files.remove(from) {
+            Some(data) => {
+                g.files.insert(to.to_path_buf(), data);
+                Ok(())
+            }
+            None => Err(Error::new(ErrorKind::NotFound, "rename source missing")),
+        }
+    }
+
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        let mut g = self.st();
+        if g.crashed {
+            return Err(crash_err());
+        }
+        g.dirs.insert(path.to_path_buf());
+        Ok(())
+    }
+}
+
+/// Read handle: a snapshot of the file at open time, optionally failing
+/// after delivering a prefix (the short-read fault).
+struct SimReadFile {
+    data: Vec<u8>,
+    pos: usize,
+    fail_at: Option<usize>,
+}
+
+impl Read for SimReadFile {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let end = self.fail_at.unwrap_or(self.data.len());
+        if self.pos >= end {
+            if self.fail_at.is_some() {
+                return Err(Error::other("simulated short read"));
+            }
+            return Ok(0);
+        }
+        let n = buf.len().min(end - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for SimReadFile {
+    fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+        Err(Error::other("read-only handle"))
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl VfsFile for SimReadFile {
+    fn sync(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Append-only write handle sharing the filesystem state. Every `write`
+/// is one mutation for crash-countdown purposes; a crash mid-write tears
+/// the buffer at a random byte (optionally followed by garbage), ENOSPC
+/// writes nothing at all, and a failed sync keeps the data (our model
+/// treats written bytes as durable — fsync only reports).
+struct SimWriteFile {
+    state: Arc<Mutex<VfsState>>,
+    clock: Arc<VirtualClock>,
+    path: PathBuf,
+}
+
+impl SimWriteFile {
+    fn st(&self) -> MutexGuard<'_, VfsState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Read for SimWriteFile {
+    fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+        Err(Error::other("write-only handle"))
+    }
+}
+
+impl Write for SimWriteFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut g = self.st();
+        if g.plan.latency && !g.suppress {
+            let ns = g.rng.gen_range(500u64..20_000);
+            self.clock.advance(ns);
+        }
+        if g.begin_mutation()? {
+            // Torn write: a random prefix of the buffer lands, optionally
+            // followed by garbage bytes that never belonged to any entry.
+            let cut = g.rng.gen_range(0..=buf.len());
+            let garbage: Vec<u8> = if g.plan.torn_write && g.rng.gen_bool(0.5) {
+                let n = g.rng.gen_range(1usize..=8);
+                (0..n).map(|_| g.rng.gen::<u8>()).collect()
+            } else {
+                Vec::new()
+            };
+            if let Some(f) = g.files.get_mut(&self.path) {
+                f.extend_from_slice(&buf[..cut]);
+                f.extend_from_slice(&garbage);
+            }
+            return Err(crash_err());
+        }
+        let enospc = g.plan.enospc_permille;
+        if g.roll(enospc) {
+            return Err(Error::new(ErrorKind::StorageFull, "simulated ENOSPC"));
+        }
+        match g.files.get_mut(&self.path) {
+            Some(f) => {
+                f.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            None => Err(Error::new(ErrorKind::NotFound, "file vanished")),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.st().crashed {
+            return Err(crash_err());
+        }
+        Ok(())
+    }
+}
+
+impl VfsFile for SimWriteFile {
+    fn sync(&mut self) -> std::io::Result<()> {
+        let mut g = self.st();
+        if g.begin_mutation()? {
+            // Crash at the fsync boundary: written bytes stay (already
+            // applied to the in-memory image), the caller sees the crash.
+            return Err(crash_err());
+        }
+        let fsync_fail = g.plan.fsync_fail_permille;
+        if g.roll(fsync_fail) {
+            return Err(Error::other("simulated fsync failure"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vfs(seed: u64, plan: FaultPlan) -> SimVfs {
+        SimVfs::new(seed, plan, Arc::new(VirtualClock::new()))
+    }
+
+    #[test]
+    fn write_read_rename_roundtrip() {
+        let v = vfs(1, FaultPlan::none());
+        let p = Path::new("/d/a");
+        let q = Path::new("/d/b");
+        let mut f = v.create(p).expect("create");
+        f.write_all(b"hello").expect("write");
+        f.sync().expect("sync");
+        drop(f);
+        v.rename(p, q).expect("rename");
+        assert!(!v.exists(p));
+        let mut r = v.open_read(q).expect("open");
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).expect("read");
+        assert_eq!(buf, b"hello");
+    }
+
+    #[test]
+    fn armed_crash_tears_a_write_then_fails_everything() {
+        let v = vfs(7, FaultPlan::all());
+        let p = Path::new("/d/wal");
+        let mut f = v.create(p).expect("create"); // mutation 0
+        v.arm_crash(0); // next mutation (the write) crashes
+        let err = f.write_all(&[0xAB; 64]).expect_err("must crash");
+        assert_eq!(err.to_string(), "simulated crash");
+        assert!(v.crashed());
+        // The torn image is a strict prefix of the buffer (possibly with
+        // garbage), never the full durable write plus success.
+        assert!(v.open_read(p).is_err(), "post-crash ops fail");
+        v.clear_crash();
+        let len = v.file_len(p).expect("file exists");
+        assert!(len <= 64 + 8, "prefix + bounded garbage, got {len}");
+        assert!(v.open_read(p).is_ok(), "reboot restores service");
+    }
+
+    #[test]
+    fn enospc_write_leaves_no_partial_bytes() {
+        let plan = FaultPlan { enospc_permille: 1000, ..FaultPlan::none() };
+        let v = vfs(3, plan);
+        let p = Path::new("/d/x");
+        let mut f = v.create(p).expect("create");
+        let err = f.write_all(b"doomed").expect_err("always ENOSPC");
+        assert_eq!(err.kind(), ErrorKind::StorageFull);
+        assert_eq!(v.file_len(p), Some(0));
+    }
+
+    #[test]
+    fn short_read_fails_after_a_prefix_and_suppress_disables_it() {
+        let plan = FaultPlan { short_read_permille: 1000, ..FaultPlan::none() };
+        let v = vfs(11, plan);
+        let p = Path::new("/d/y");
+        let mut f = v.create(p).expect("create");
+        f.write_all(&[9u8; 100]).expect("write");
+        drop(f);
+        let mut r = v.open_read(p).expect("open");
+        let mut buf = Vec::new();
+        assert!(r.read_to_end(&mut buf).is_err(), "short read must error");
+        assert!(buf.len() < 100, "must deliver a strict prefix");
+        v.set_suppress(true);
+        let mut r = v.open_read(p).expect("open");
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).expect("suppressed read succeeds");
+        assert_eq!(buf.len(), 100);
+    }
+
+    #[test]
+    fn same_seed_same_fault_stream() {
+        for seed in [0u64, 5, 99] {
+            let run = |_: ()| {
+                let v = vfs(seed, FaultPlan::all());
+                let p = Path::new("/d/z");
+                let mut log = Vec::new();
+                let mut f = v.create(p).expect("create");
+                for i in 0..200u32 {
+                    log.push(f.write_all(&i.to_le_bytes()).is_ok());
+                    log.push(f.sync().is_ok());
+                }
+                (log, v.file_bytes(p))
+            };
+            assert_eq!(run(()), run(()), "seed {seed} diverged");
+        }
+    }
+}

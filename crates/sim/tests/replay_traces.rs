@@ -1,0 +1,56 @@
+//! Committed-trace replay: every JSON file under `traces/` re-runs
+//! byte-for-byte. Each file pins three things at once:
+//!
+//! * the schedule still *passes* (recovery + oracle equivalence),
+//! * the run is still *deterministic* (the recomputed trace hash equals
+//!   the hash recorded when the file was minted), and
+//! * the trace format still *parses* (a codec change that orphans old
+//!   traces fails here, not in an incident).
+//!
+//! Mint new traces with
+//! `cargo run -p cind-sim -- --seed N --ops K --save-trace traces/<name>.json`
+//! (a failing run saves its shrunk schedule automatically).
+
+use std::path::PathBuf;
+
+use cind_sim::{run_ops, FaultPlan, Trace};
+
+fn traces_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("traces")
+}
+
+#[test]
+fn every_committed_trace_replays_to_its_recorded_hash() {
+    let dir = traces_dir();
+    let entries = std::fs::read_dir(&dir).expect("traces/ must be committed");
+    let mut seen = 0usize;
+    for entry in entries {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        seen += 1;
+        let name = path.display();
+        let text = std::fs::read_to_string(&path).expect("trace readable");
+        let trace = Trace::parse(&text).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+        let recorded = Trace::parse_recorded_hash(&text)
+            .unwrap_or_else(|e| panic!("{name}: hash field: {e}"))
+            .unwrap_or_else(|| panic!("{name}: no recorded hash"));
+
+        let plan = if trace.faults { FaultPlan::all() } else { FaultPlan::none() };
+        let report = run_ops(trace.seed, trace.faults, plan, &trace.ops, 1, None)
+            .unwrap_or_else(|f| panic!("{name}: replay failed: {f}"));
+        assert_eq!(
+            report.trace.steps.len(),
+            trace.ops.len(),
+            "{name}: replay ended early"
+        );
+        assert_eq!(
+            report.trace.hash(),
+            recorded,
+            "{name}: trace hash drifted — the simulation is no longer \
+             deterministic for this schedule"
+        );
+    }
+    assert!(seen >= 3, "expected at least 3 committed traces, found {seen}");
+}

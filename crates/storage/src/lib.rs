@@ -40,12 +40,13 @@ pub mod record;
 pub mod segment;
 pub mod table;
 pub mod varint;
+pub mod vfs;
 pub mod wal;
 
 mod error;
 mod iostats;
 
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, IoModel};
 pub use error::StorageError;
 pub use iostats::{AtomicIoStats, IoStats};
 pub use page::{Page, SlotId, PAGE_SIZE};
@@ -53,4 +54,5 @@ pub use persist::PersistError;
 pub use record::{decode_entity, encode_entity};
 pub use segment::{RecordId, Segment, SegmentId};
 pub use table::{ReadView, UniversalTable};
-pub use wal::{replay, ReplayReport};
+pub use vfs::{FileSink, RealVfs, Vfs, VfsFile};
+pub use wal::{read_epoch, replay, ReplayReport};

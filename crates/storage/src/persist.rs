@@ -97,6 +97,16 @@ impl UniversalTable {
     /// # Errors
     /// I/O errors from the writer.
     pub fn snapshot(&self, out: &mut impl Write) -> Result<(), PersistError> {
+        out.write_all(&self.snapshot_bytes()?)?;
+        Ok(())
+    }
+
+    /// Serialises the table into the complete snapshot byte stream
+    /// (body + trailing checksum).
+    ///
+    /// # Errors
+    /// [`PersistError::Storage`] if a segment cannot be read.
+    fn snapshot_bytes(&self) -> Result<Vec<u8>, PersistError> {
         // Build in memory first: the checksum covers the whole body, and
         // snapshots of this engine's scale (≤ a few hundred MB) fit.
         let mut buf = Vec::new();
@@ -119,8 +129,52 @@ impl UniversalTable {
         }
         let checksum = fnv1a(&buf);
         buf.extend_from_slice(&checksum.to_le_bytes());
-        out.write_all(&buf)?;
-        Ok(())
+        Ok(buf)
+    }
+
+    /// Writes a snapshot to `path` through `vfs` with the standard
+    /// crash-safe recipe — write to `<path>.tmp`, sync, rename into place —
+    /// and returns the snapshot's *epoch*: the FNV-1a of the entire file,
+    /// which the engine stamps into the head of the log written after it
+    /// (see [`crate::wal::read_epoch`]) so recovery can tell whether a log
+    /// belongs to this snapshot generation.
+    ///
+    /// # Errors
+    /// I/O errors from the backend (real or injected).
+    pub fn snapshot_to(
+        &self,
+        vfs: &dyn crate::vfs::Vfs,
+        path: &std::path::Path,
+    ) -> Result<u64, PersistError> {
+        let bytes = self.snapshot_bytes()?;
+        let epoch = fnv1a(&bytes);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let mut f = vfs.create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync()?;
+        drop(f);
+        vfs.rename(&tmp, path)?;
+        Ok(epoch)
+    }
+
+    /// Restores a table from a snapshot file read through `vfs`, returning
+    /// the table and the snapshot's epoch (FNV-1a of the file bytes — the
+    /// same value [`Self::snapshot_to`] returned when it was written).
+    ///
+    /// # Errors
+    /// I/O errors from the backend; [`PersistError::Corrupt`] on a
+    /// malformed or checksum-failing stream.
+    pub fn restore_from(
+        vfs: &dyn crate::vfs::Vfs,
+        path: &std::path::Path,
+        pool_pages: usize,
+    ) -> Result<(Self, u64), PersistError> {
+        let bytes = vfs.read(path)?;
+        let epoch = fnv1a(&bytes);
+        let table = Self::restore(&mut &bytes[..], pool_pages)?;
+        Ok((table, epoch))
     }
 
     /// Restores a table from a snapshot stream. The buffer pool is fresh
@@ -294,6 +348,26 @@ mod tests {
             UniversalTable::restore(&mut &bad[..], 8),
             Err(PersistError::Corrupt("bad magic"))
         ));
+    }
+
+    #[test]
+    fn snapshot_to_restore_from_agree_on_epoch() {
+        use crate::vfs::{RealVfs, Vfs};
+        let t = sample_table();
+        let dir = std::env::temp_dir().join("cind_persist_vfs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.cind");
+        let vfs = RealVfs;
+        let wrote = t.snapshot_to(&vfs, &path).unwrap();
+        // The tmp file was renamed away.
+        assert!(!vfs.exists(&dir.join("store.cind.tmp")));
+        let (r, read) = UniversalTable::restore_from(&vfs, &path, 32).unwrap();
+        assert_eq!(wrote, read);
+        assert_eq!(r.entity_count(), t.entity_count());
+        // Same content ⇒ same epoch; different content ⇒ different epoch.
+        let e2 = t.snapshot_to(&vfs, &path).unwrap();
+        assert_eq!(e2, wrote);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

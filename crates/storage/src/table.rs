@@ -81,6 +81,58 @@ impl UniversalTable {
         }
     }
 
+    /// Opens a WAL transaction group: every logged mutation until the
+    /// matching [`Self::wal_txn_commit`] is buffered and written as one
+    /// atomic batch. Nests (inner begin/commit pairs are absorbed into the
+    /// outermost group); a no-op without an attached sink.
+    pub fn wal_txn_begin(&mut self) {
+        if let Some(wal) = &mut self.wal {
+            wal.txn_begin();
+        }
+    }
+
+    /// Closes a WAL transaction group (see [`Self::wal_txn_begin`]). The
+    /// outermost commit performs the batch write; a failure there (or any
+    /// earlier sticky failure) is surfaced so the caller knows the group
+    /// did not reach the log.
+    ///
+    /// # Errors
+    /// [`StorageError::WalAppend`] if the batch write failed or the sink
+    /// was already broken.
+    pub fn wal_txn_commit(&mut self) -> Result<(), StorageError> {
+        if let Some(wal) = &mut self.wal {
+            wal.txn_commit();
+        }
+        self.wal_ok()
+    }
+
+    /// Writes the epoch entry binding the attached log to a snapshot
+    /// generation (see [`crate::wal::read_epoch`]). Call once, immediately
+    /// after [`Self::attach_wal`].
+    pub fn wal_mark_epoch(&mut self, epoch: u64) {
+        if let Some(wal) = &mut self.wal {
+            wal.log_epoch(epoch);
+        }
+    }
+
+    /// Poisons the attached WAL sink as if an append had failed with
+    /// `kind`. For callers whose own durability step broke (e.g. a
+    /// checkpoint that renamed a new snapshot into place but failed to
+    /// open its fresh log): entries appended to the *old* log would be
+    /// skipped by recovery as stale, so the sink must go loud instead of
+    /// silently accepting them.
+    pub fn fail_wal(&mut self, kind: std::io::ErrorKind) {
+        if let Some(wal) = &mut self.wal {
+            wal.fail(kind);
+        }
+    }
+
+    /// Installs (or clears) a simulated I/O cost model on the buffer pool
+    /// (see [`crate::buffer::IoModel`]).
+    pub fn set_io_model(&mut self, model: Option<std::sync::Arc<dyn crate::buffer::IoModel>>) {
+        self.pool.set_io_model(model);
+    }
+
     /// The attribute catalog.
     pub fn catalog(&self) -> &AttributeCatalog {
         &self.catalog

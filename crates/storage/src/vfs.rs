@@ -1,0 +1,162 @@
+//! Virtual filesystem seam for snapshot and WAL I/O.
+//!
+//! Every durable byte the engine writes — snapshots, the write-ahead log,
+//! store directories — flows through a [`Vfs`] implementation. Production
+//! code uses [`RealVfs`] (thin `std::fs` passthrough); the deterministic
+//! simulation harness (`cind-sim`) substitutes an in-memory backend that
+//! injects torn writes, short reads, `ENOSPC`, failed fsyncs, and
+//! crash-points at any mutation, all driven by a seeded PRNG. The seam is
+//! deliberately narrow — create/open/read/rename plus per-file
+//! read/write/sync — because that is the complete set of filesystem
+//! operations the store performs; keeping it minimal keeps the fault model
+//! exhaustive.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// One open file behind a [`Vfs`]: byte-stream reads and writes plus an
+/// explicit durability barrier. `sync` is separate from `flush` because the
+/// snapshot path relies on write → sync → rename ordering, and a simulated
+/// fsync failure must be distinguishable from a failed write.
+pub trait VfsFile: Read + Write + Send + Sync {
+    /// Forces written data down to durable storage (`File::sync_all` for
+    /// the real backend).
+    ///
+    /// # Errors
+    /// I/O failure of the underlying sync (injected, for fault backends).
+    fn sync(&mut self) -> std::io::Result<()>;
+}
+
+/// A filesystem backend. Implementations must be safe to share across
+/// threads (the engine holds one behind an `Arc`).
+pub trait Vfs: Send + Sync {
+    /// Creates (or truncates) a file for writing.
+    ///
+    /// # Errors
+    /// I/O failure (real or injected).
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>>;
+
+    /// Opens an existing file for reading.
+    ///
+    /// # Errors
+    /// I/O failure (real or injected), including not-found.
+    fn open_read(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>>;
+
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Atomically renames `from` to `to` (the snapshot commit point).
+    ///
+    /// # Errors
+    /// I/O failure (real or injected).
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+
+    /// Creates a directory and all its parents.
+    ///
+    /// # Errors
+    /// I/O failure (real or injected).
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()>;
+
+    /// Reads a whole file into memory.
+    ///
+    /// # Errors
+    /// I/O failure (real or injected), including short reads.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        let mut f = self.open_read(path)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// The production backend: a thin passthrough to `std::fs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+struct RealFile(std::fs::File);
+
+impl Read for RealFile {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+impl Write for RealFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl VfsFile for RealFile {
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(std::fs::File::create(path)?)))
+    }
+
+    fn open_read(&self, path: &Path) -> std::io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(std::fs::File::open(path)?)))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+/// Adapts a [`VfsFile`] to the plain `Write + Send + Sync` sink that
+/// [`crate::UniversalTable::attach_wal`] takes (trait objects don't upcast
+/// across the extra bounds).
+pub struct FileSink(pub Box<dyn VfsFile>);
+
+impl Write for FileSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_vfs_roundtrips_a_file() {
+        let dir = std::env::temp_dir().join("cind_vfs_test");
+        let vfs = RealVfs;
+        vfs.create_dir_all(&dir).unwrap();
+        let tmp = dir.join("x.tmp");
+        let dst = dir.join("x");
+        let mut f = vfs.create(&tmp).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        vfs.rename(&tmp, &dst).unwrap();
+        assert!(vfs.exists(&dst));
+        assert!(!vfs.exists(&tmp));
+        assert_eq!(vfs.read(&dst).unwrap(), b"hello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_read_missing_file_errors() {
+        let vfs = RealVfs;
+        assert!(vfs.open_read(Path::new("/nonexistent/cind")).is_err());
+    }
+}

@@ -23,6 +23,17 @@
 //! Framing per entry: `len: varint`, `body: len bytes`, `fnv1a64(body):
 //! 8 bytes LE`. A torn final entry (crash mid-write) is detected and
 //! reported with how many entries applied cleanly before it.
+//!
+//! Three structural entry kinds carry no table mutation:
+//!
+//! * `Epoch` — written once, first, binding the log to the snapshot it
+//!   extends (the FNV-1a of the snapshot bytes). Recovery uses it to detect
+//!   a log left behind by an older snapshot generation ([`read_epoch`]).
+//! * `Begin`/`Commit` — bracket the entries of one logical operation
+//!   (one partitioner insert/update/delete/merge). The sink buffers a
+//!   transaction and emits it as a single `write_all`, so a crash tears at
+//!   most one write surface; [`replay`] applies only complete groups and
+//!   discards an unterminated trailing group as a torn tail.
 
 use std::io::{Read, Write};
 
@@ -38,6 +49,9 @@ const OP_CREATE_SEGMENT: u8 = 2;
 const OP_DROP_SEGMENT: u8 = 3;
 const OP_INSERT: u8 = 4;
 const OP_DELETE: u8 = 5;
+const OP_EPOCH: u8 = 6;
+const OP_BEGIN: u8 = 7;
+const OP_COMMIT: u8 = 8;
 
 /// FNV-1a 64 (same as the snapshot checksum).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -66,11 +80,26 @@ pub(crate) struct WalSink {
     out: Box<dyn Write + Send + Sync>,
     attrs_logged: usize,
     failed: Option<std::io::ErrorKind>,
+    txn_depth: u32,
+    txn_buf: Vec<u8>,
+}
+
+/// Frames one entry (`len`, `body`, `fnv1a64(body)`) into `dst`.
+fn frame_into(body: &[u8], dst: &mut Vec<u8>) {
+    varint::encode(body.len() as u64, dst);
+    dst.extend_from_slice(body);
+    dst.extend_from_slice(&fnv1a(body).to_le_bytes());
 }
 
 impl WalSink {
     pub(crate) fn new(out: Box<dyn Write + Send + Sync>, attrs_already: usize) -> Self {
-        Self { out, attrs_logged: attrs_already, failed: None }
+        Self {
+            out,
+            attrs_logged: attrs_already,
+            failed: None,
+            txn_depth: 0,
+            txn_buf: Vec::new(),
+        }
     }
 
     /// The first append failure, if any (sticky until re-attach).
@@ -78,17 +107,70 @@ impl WalSink {
         self.failed
     }
 
+    /// Marks the sink failed, as if an append had errored with `kind`.
+    /// Used by callers whose *own* durability step failed (e.g. a
+    /// checkpoint that wrote a new snapshot but could not open a new log):
+    /// the sink must not keep accepting entries a future recovery would
+    /// skip as stale.
+    pub(crate) fn fail(&mut self, kind: std::io::ErrorKind) {
+        self.failed = Some(kind);
+    }
+
     fn append(&mut self, body: &[u8]) {
         if self.failed.is_some() {
             return; // The log is already broken; don't write a gap after it.
         }
+        if self.txn_depth > 0 {
+            frame_into(body, &mut self.txn_buf);
+            return;
+        }
         let mut framed = Vec::with_capacity(body.len() + 12);
-        varint::encode(body.len() as u64, &mut framed);
-        framed.extend_from_slice(body);
-        framed.extend_from_slice(&fnv1a(body).to_le_bytes());
+        frame_into(body, &mut framed);
         if let Err(e) = self.out.write_all(&framed) {
             self.failed = Some(e.kind());
         }
+    }
+
+    /// Opens (or nests into) a transaction group. While a group is open,
+    /// entries accumulate in memory; nothing reaches the sink until the
+    /// outermost [`Self::txn_commit`].
+    pub(crate) fn txn_begin(&mut self) {
+        self.txn_depth += 1;
+        if self.txn_depth == 1 {
+            self.txn_buf.clear();
+            frame_into(&[OP_BEGIN], &mut self.txn_buf);
+        }
+    }
+
+    /// Closes one nesting level; the outermost close appends the `Commit`
+    /// marker and flushes the whole group as a single write, so a crash or
+    /// an out-of-space failure loses the group atomically rather than
+    /// leaving a prefix of it behind.
+    pub(crate) fn txn_commit(&mut self) {
+        if self.txn_depth == 0 {
+            return; // unbalanced commit: ignore rather than underflow
+        }
+        self.txn_depth -= 1;
+        if self.txn_depth > 0 {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.txn_buf);
+        if self.failed.is_some() {
+            return;
+        }
+        frame_into(&[OP_COMMIT], &mut batch);
+        if let Err(e) = self.out.write_all(&batch) {
+            self.failed = Some(e.kind());
+        }
+    }
+
+    /// Writes the epoch entry binding this log to a snapshot generation.
+    /// Must be the first entry (the engine calls it immediately after
+    /// attaching a fresh sink).
+    pub(crate) fn log_epoch(&mut self, epoch: u64) {
+        let mut body = vec![OP_EPOCH];
+        varint::encode(epoch, &mut body);
+        self.append(&body);
     }
 
     /// Emits `DefineAttr` entries for catalog ids not yet in the log.
@@ -166,70 +248,145 @@ impl WalSink {
 /// Outcome of a [`replay`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ReplayReport {
-    /// Entries applied.
+    /// Entries applied (mutation entries only — `Epoch`/`Begin`/`Commit`
+    /// markers are structural and not counted).
     pub applied: usize,
     /// Whether the log ended with a torn (incomplete or corrupt) final
-    /// entry, which was discarded — the expected shape after a crash
-    /// mid-append.
+    /// entry or an unterminated transaction group, which was discarded —
+    /// the expected shape after a crash mid-append.
     pub torn_tail: bool,
+}
+
+/// Whether a frame body matches its recorded checksum.
+///
+/// The `sim-defect` feature deliberately disables this check so the
+/// simulation harness can prove its oracle notices the resulting silent
+/// corruption; it must never be enabled in a real build.
+fn checksum_matches(body: &[u8], expect: u64) -> bool {
+    if cfg!(feature = "sim-defect") {
+        return true;
+    }
+    fnv1a(body) == expect
+}
+
+/// Parses one checksummed frame at `pos`. Returns the body range and the
+/// offset just past the frame, or `None` if the bytes there do not form a
+/// complete, checksum-valid frame.
+fn parse_frame(buf: &[u8], pos: usize, verify: bool) -> Option<(std::ops::Range<usize>, usize)> {
+    let (len, n) = varint::decode(buf.get(pos..)?)?;
+    let len = usize::try_from(len).ok()?;
+    let body_start = pos.checked_add(n)?;
+    let sum_start = body_start.checked_add(len)?;
+    let body = buf.get(body_start..sum_start)?;
+    let sum = buf.get(sum_start..sum_start.checked_add(8)?)?;
+    let expect = u64::from_le_bytes(<[u8; 8]>::try_from(sum).ok()?);
+    if verify {
+        if !checksum_matches(body, expect) {
+            return None;
+        }
+    } else if fnv1a(body) != expect {
+        return None;
+    }
+    if body.is_empty() {
+        return None; // zero-length bodies are never written
+    }
+    Some((body_start..sum_start, sum_start + 8))
+}
+
+/// Reads the epoch header from the start of a WAL byte stream, if present.
+///
+/// Always verifies the real checksum (even under `sim-defect`): the epoch
+/// decides whether the whole log is replayed at all, so it must not be
+/// weakened by the deliberate-defect flag. Returns `None` for an empty
+/// log, a torn first entry, or a log that starts with any other entry kind
+/// (a pre-epoch legacy log — callers replay those unconditionally).
+pub fn read_epoch(buf: &[u8]) -> Option<u64> {
+    let (range, _) = parse_frame(buf, 0, false)?;
+    let body = &buf[range];
+    let (&tag, rest) = body.split_first()?;
+    if tag != OP_EPOCH {
+        return None;
+    }
+    let (epoch, n) = varint::decode(rest)?;
+    if n != rest.len() {
+        return None;
+    }
+    Some(epoch)
 }
 
 /// Replays a WAL stream onto `table` (typically a freshly restored
 /// snapshot, or an empty table for a log-only recovery).
 ///
-/// A torn *final* entry is tolerated and reported; corruption anywhere
-/// else is an error (the log is broken, not merely cut short).
+/// The log is scanned structurally first: frames are grouped into units —
+/// standalone entries, and `Begin`..`Commit` transaction groups — and only
+/// complete units are applied. The first invalid frame ends the scan and
+/// is classified by *byte resync*: if any later offset parses as a valid
+/// checksummed frame the damage is in the middle of the log
+/// ([`PersistError::Corrupt`] — the log is broken, not merely cut short);
+/// if nothing after it parses, it is the torn tail of a crashed final
+/// write and is discarded (along with an unterminated trailing group).
 ///
 /// # Errors
-/// [`PersistError::Corrupt`] for mid-log corruption,
-/// [`PersistError::Storage`] if an entry does not apply (log/table
-/// mismatch).
+/// [`PersistError::Corrupt`] for mid-log corruption or transaction-framing
+/// violations, [`PersistError::Storage`] if an entry does not apply
+/// (log/table mismatch).
 pub fn replay(table: &mut UniversalTable, input: &mut impl Read) -> Result<ReplayReport, PersistError> {
     let mut buf = Vec::new();
     input.read_to_end(&mut buf)?;
     let mut pos = 0usize;
     let mut report = ReplayReport { applied: 0, torn_tail: false };
 
-    while pos < buf.len() {
-        // Decode one frame; any failure in the *last* frame is a torn tail.
-        let frame_start = pos;
-        let tail = |report: &mut ReplayReport| {
-            report.torn_tail = true;
-        };
-        let Some((len, n)) = varint::decode(&buf[pos..]) else {
-            tail(&mut report);
-            break;
-        };
-        let len = len as usize;
-        let body_start = pos + n;
-        let Some(body) = buf.get(body_start..body_start + len) else {
-            tail(&mut report);
-            break;
-        };
-        let sum_start = body_start + len;
-        let Some(sum) = buf.get(sum_start..sum_start + 8) else {
-            tail(&mut report);
-            break;
-        };
-        let Ok(sum) = <[u8; 8]>::try_from(sum) else {
-            tail(&mut report);
-            break;
-        };
-        let expect = u64::from_le_bytes(sum);
-        if fnv1a(body) != expect {
-            // A checksum failure at the very end is a torn tail; earlier it
-            // is corruption.
-            if sum_start + 8 >= buf.len() {
-                tail(&mut report);
-                break;
-            }
-            return Err(PersistError::Corrupt("wal entry checksum"));
-        }
-        pos = sum_start + 8;
-        let _ = frame_start;
+    // Bodies of the currently open (not yet committed) transaction group.
+    let mut group: Option<Vec<std::ops::Range<usize>>> = None;
+    let mut invalid_at: Option<usize> = None;
 
-        apply_entry(table, body)?;
-        report.applied += 1;
+    while pos < buf.len() {
+        let Some((body_range, next)) = parse_frame(&buf, pos, true) else {
+            invalid_at = Some(pos);
+            break;
+        };
+        pos = next;
+        let tag = buf[body_range.start];
+        match tag {
+            OP_BEGIN if group.is_none() => group = Some(Vec::new()),
+            OP_COMMIT if group.is_some() => {
+                for range in group.take().into_iter().flatten() {
+                    apply_entry(table, &buf[range])?;
+                    report.applied += 1;
+                }
+            }
+            OP_BEGIN | OP_COMMIT => {
+                return Err(PersistError::Corrupt("wal txn framing"));
+            }
+            OP_EPOCH => {
+                // Structural marker: consumed by `read_epoch`, no mutation.
+            }
+            _ => match group.as_mut() {
+                Some(g) => g.push(body_range),
+                None => {
+                    apply_entry(table, &buf[body_range])?;
+                    report.applied += 1;
+                }
+            },
+        }
+    }
+
+    if let Some(bad) = invalid_at {
+        // Resync scan: a valid frame anywhere after the damage means the
+        // log continues past it — mid-log corruption, not a torn tail.
+        // (A garbage tail cannot alias a valid frame: the checksum would
+        // have to collide.)
+        for o in bad + 1..buf.len() {
+            if parse_frame(&buf, o, false).is_some() {
+                return Err(PersistError::Corrupt("wal entry checksum"));
+            }
+        }
+        report.torn_tail = true;
+    }
+    if group.is_some() {
+        // The final group never committed: the crash landed inside its
+        // batch write. Discard it wholesale.
+        report.torn_tail = true;
     }
     Ok(report)
 }
@@ -479,5 +636,127 @@ mod tests {
         replay(&mut recovered, &mut &bytes[..]).unwrap();
         assert_eq!(recovered.catalog().lookup("x"), Some(AttrId(0)));
         assert_eq!(recovered.catalog().lookup("y"), Some(AttrId(1)));
+    }
+
+    fn one_insert_txn(table: &mut UniversalTable, seg: SegmentId, id: u64) {
+        let a = table.catalog_mut().intern("a");
+        table.wal_txn_begin();
+        let e = Entity::new(EntityId(id), [(a, Value::Int(id as i64))]).unwrap();
+        table.insert(seg, &e).unwrap();
+        table.wal_txn_commit().unwrap();
+    }
+
+    #[test]
+    fn txn_groups_replay_and_buffer_until_commit() {
+        let log = SharedBuf::default();
+        let mut table = UniversalTable::new(16);
+        table.attach_wal(Box::new(log.clone()));
+        let seg = table.create_segment();
+        let before_txn = log.0.lock().unwrap().len();
+
+        // Nested begin/commit: nothing reaches the sink until the
+        // outermost commit.
+        table.wal_txn_begin();
+        table.wal_txn_begin();
+        let a = table.catalog_mut().intern("a");
+        let e = Entity::new(EntityId(1), [(a, Value::Int(1))]).unwrap();
+        table.insert(seg, &e).unwrap();
+        table.wal_txn_commit().unwrap();
+        assert_eq!(log.0.lock().unwrap().len(), before_txn);
+        table.wal_txn_commit().unwrap();
+        assert!(log.0.lock().unwrap().len() > before_txn);
+
+        one_insert_txn(&mut table, seg, 2);
+        let bytes = log.0.lock().unwrap().clone();
+        let mut recovered = UniversalTable::new(16);
+        let report = replay(&mut recovered, &mut &bytes[..]).unwrap();
+        assert!(!report.torn_tail);
+        // attr define + create segment + 2 inserts; Begin/Commit markers
+        // are not counted.
+        assert_eq!(report.applied, 4);
+        assert_eq!(recovered.entity_count(), 2);
+    }
+
+    #[test]
+    fn torn_txn_group_is_discarded_wholesale() {
+        let log = SharedBuf::default();
+        let mut table = UniversalTable::new(16);
+        table.attach_wal(Box::new(log.clone()));
+        let seg = table.create_segment();
+        one_insert_txn(&mut table, seg, 1);
+        let full = log.0.lock().unwrap().len();
+        one_insert_txn(&mut table, seg, 2);
+        let bytes = log.0.lock().unwrap().clone();
+
+        // Cut at every byte inside the second group: entity 2 must never
+        // surface (its group never committed), entity 1 always must.
+        // (Cutting exactly at `full` would be a clean post-group-1 log.)
+        for cut in full + 1..bytes.len() {
+            let mut recovered = UniversalTable::new(16);
+            let report = replay(&mut recovered, &mut &bytes[..cut]).unwrap();
+            assert!(report.torn_tail, "cut={cut}");
+            assert_eq!(recovered.entity_count(), 1, "cut={cut}");
+            assert!(recovered.get(EntityId(1)).is_ok(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn epoch_header_roundtrips_and_gates_on_real_checksum() {
+        let log = SharedBuf::default();
+        let mut table = UniversalTable::new(16);
+        table.attach_wal(Box::new(log.clone()));
+        table.wal_mark_epoch(0xdead_beef_1234);
+        let seg = table.create_segment();
+        one_insert_txn(&mut table, seg, 7);
+
+        let bytes = log.0.lock().unwrap().clone();
+        assert_eq!(read_epoch(&bytes), Some(0xdead_beef_1234));
+
+        // Replay skips the epoch marker but applies everything else.
+        let mut recovered = UniversalTable::new(16);
+        let report = replay(&mut recovered, &mut &bytes[..]).unwrap();
+        assert_eq!(recovered.entity_count(), 1);
+        assert!(!report.torn_tail);
+
+        // A corrupted epoch frame reads as "no epoch" even if the defect
+        // flag would otherwise skip checksums.
+        let mut bad = bytes.clone();
+        bad[2] ^= 0x55;
+        assert_eq!(read_epoch(&bad), None);
+        // Legacy log (no epoch entry first): also None.
+        let legacy = SharedBuf::default();
+        let mut t2 = UniversalTable::new(16);
+        t2.attach_wal(Box::new(legacy.clone()));
+        t2.create_segment();
+        assert_eq!(read_epoch(&legacy.0.lock().unwrap().clone()), None);
+        assert_eq!(read_epoch(&[]), None);
+    }
+
+    #[test]
+    fn enospc_commit_drops_the_whole_group() {
+        use crate::StorageError;
+        let mut table = UniversalTable::new(16);
+        let a = table.catalog_mut().intern("a");
+        let seg_log = SharedBuf::default();
+        table.attach_wal(Box::new(seg_log.clone()));
+        let seg = table.create_segment();
+        let logged = seg_log.0.lock().unwrap().clone();
+
+        // Re-attach a failing sink: the buffered group vanishes at commit
+        // and the failure is sticky.
+        table.attach_wal(Box::new(FailingSink(std::io::ErrorKind::StorageFull)));
+        table.wal_txn_begin();
+        let e = Entity::new(EntityId(1), [(a, Value::Int(1))]).unwrap();
+        table.insert(seg, &e).unwrap();
+        let err = table.wal_txn_commit().unwrap_err();
+        assert_eq!(err, StorageError::WalAppend(std::io::ErrorKind::StorageFull));
+
+        // The healthy log recorded nothing for the failed group, and a
+        // replay of it sees only the pre-failure prefix.
+        let mut recovered = UniversalTable::new(16);
+        let report = replay(&mut recovered, &mut &logged[..]).unwrap();
+        assert_eq!(recovered.entity_count(), 0);
+        assert!(!report.torn_tail);
+        assert_eq!(report.applied, 2); // define-attr + create-segment
     }
 }
