@@ -1,4 +1,4 @@
-//! The five audit rules. Each takes the loaded workspace and returns
+//! The six audit rules. Each takes the loaded workspace and returns
 //! machine-readable [`Finding`]s; each has a self-test seeding the
 //! violation it exists to catch.
 
@@ -308,6 +308,81 @@ pub fn no_wall_clock(files: &[SourceFile]) -> Vec<Finding> {
     out
 }
 
+/// CIND-A006: no lock guard held across shard fan-out.
+///
+/// `ShardedEngine`'s slot locks exist only to swap an `Arc<Engine>` during
+/// `reopen_shard`; every fan-out path (query fan-out, stats, validate,
+/// flush/checkpoint/merge) must clone the engine handles first
+/// (`engines()`) and run lock-free. A `let`-bound guard from
+/// `.read()`/`.write()`/`.lock(` still live at a call that fans over every
+/// shard (`.engines()`, `thread::scope`) would serialise the whole store
+/// behind one shard — the exact global-writer-lock regression sharding
+/// removed. Temporary guards in expression position drop within their own
+/// statement and are fine.
+#[must_use]
+pub fn shard_fanout_lock_freedom(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !f.path.ends_with("server/src/sharded.rs") {
+            continue;
+        }
+        out.extend(fanout_findings(f));
+    }
+    out
+}
+
+fn fanout_findings(f: &SourceFile) -> Vec<Finding> {
+    const GUARDS: [&str; 3] = [".read()", ".write()", ".lock("];
+    const FANOUT: [&str; 2] = [".engines()", "thread::scope"];
+    let mut out = Vec::new();
+    let code = f.code.as_bytes();
+    let mut depth: usize = 0;
+    // Brace depths at which a let-bound guard is currently held.
+    let mut held: Vec<usize> = Vec::new();
+    // Whether the current statement began with `let` (guard will be bound).
+    let mut stmt_is_let = false;
+    let mut i = 0;
+    while i < code.len() {
+        match code[i] {
+            b'{' => {
+                depth += 1;
+                stmt_is_let = false;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                held.retain(|&d| d <= depth);
+                stmt_is_let = false;
+            }
+            b';' => stmt_is_let = false,
+            b'l' if f.code[i..].starts_with("let")
+                && !prev_is_ident(code, i)
+                && code.get(i + 3).is_some_and(|c| c.is_ascii_whitespace()) =>
+            {
+                stmt_is_let = true;
+            }
+            b'.' if stmt_is_let && GUARDS.iter().any(|g| f.code[i..].starts_with(g)) => {
+                held.push(depth);
+            }
+            _ => {}
+        }
+        if (code[i] == b'.' || !prev_is_ident(code, i))
+            && FANOUT.iter().any(|t| f.code[i..].starts_with(t))
+            && !held.is_empty()
+        {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: line_of(&f.code, i),
+                rule: "CIND-A006",
+                message: "lock guard held across a shard fan-out call \
+                          (clone the engine handles first, then drop the guard)"
+                    .into(),
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,5 +606,60 @@ mod tests {
             "fn stamp() { let _ = std::time::SystemTime::now(); }\n",
         );
         assert_eq!(no_wall_clock(&[wal]).len(), 1);
+    }
+
+    // ---- CIND-A006 -----------------------------------------------------
+
+    #[test]
+    fn a006_catches_guard_held_across_engines_fanout() {
+        let bad = file(
+            "crates/server/src/sharded.rs",
+            "fn stats(&self) {\n    let guard = self.slots[0].read();\n    \
+             for e in self.engines() { e.stats(); }\n    drop(guard);\n}\n",
+        );
+        let found = shard_fanout_lock_freedom(&[bad]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "CIND-A006");
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn a006_catches_guard_held_across_thread_scope() {
+        let bad = file(
+            "crates/server/src/sharded.rs",
+            "fn query(&self) {\n    let g = self.slots[1].write();\n    \
+             std::thread::scope(|s| { let _ = s; });\n}\n",
+        );
+        assert_eq!(shard_fanout_lock_freedom(&[bad]).len(), 1);
+    }
+
+    #[test]
+    fn a006_accepts_clone_first_then_lock_free_fanout() {
+        let good = file(
+            "crates/server/src/sharded.rs",
+            "fn ok(&self) {\n    let engines = self.engines();\n    \
+             for e in engines { e.flush(); }\n    \
+             let mut guard = self.slots[0].write();\n    *guard = new_engine();\n}\n",
+        );
+        assert!(shard_fanout_lock_freedom(&[good]).is_empty());
+    }
+
+    #[test]
+    fn a006_releases_guards_when_their_block_closes() {
+        let good = file(
+            "crates/server/src/sharded.rs",
+            "fn ok(&self) {\n    {\n        let g = self.slots[0].read();\n        \
+             drop(g);\n    }\n    for e in self.engines() { e.flush(); }\n}\n",
+        );
+        assert!(shard_fanout_lock_freedom(&[good]).is_empty());
+    }
+
+    #[test]
+    fn a006_ignores_other_files() {
+        let elsewhere = file(
+            "crates/server/src/server.rs",
+            "fn f(&self) { let g = self.lock.read(); self.engines(); drop(g); }\n",
+        );
+        assert!(shard_fanout_lock_freedom(&[elsewhere]).is_empty());
     }
 }

@@ -1,6 +1,18 @@
-//! Serving-layer throughput/latency harness: an in-process `cind-server`
-//! on a loopback socket, driven by the closed-loop load generator, with
-//! the numbers recorded to `BENCH_PR4.json` at the workspace root.
+//! Serving-layer shard sweep: an in-process `cind-server` on a loopback
+//! socket, driven by the closed-loop load generator, measured across
+//! shard counts 1/2/4/8 × client connections 1/4/8, with the numbers
+//! recorded to `BENCH_PR6.json` at the workspace root.
+//!
+//! The sweep is the measurement behind the sharding tentpole: per-shard
+//! writer locks mean concurrent inserts only contend when they hash to
+//! the same shard, and epoch snapshot reads keep queries off the writer
+//! path entirely. On a multi-core host that shows up as insert tail
+//! latency falling and throughput scaling as shards grow; on a
+//! single-hardware-thread host (this container) fan-out legs run inline,
+//! so the sweep instead bounds the *sharding tax* — shards > 1 must stay
+//! within noise of shards = 1.
+//! An overload shape (1 worker, depth-1 queue, 8 pushers, 4 shards) rides
+//! along to keep admission control measured under the sharded engine.
 //!
 //! Run with `cargo bench -p cind-bench --bench serve`. Not a criterion
 //! bench: one load run *is* the measurement (throughput and latency
@@ -12,41 +24,45 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cind_server::{
-    run_load, Client, Engine, EngineOptions, LoadConfig, LoadReport, ServeConfig, Server,
+    run_load, Client, EngineOptions, LoadConfig, LoadReport, ServeConfig, Server, ShardedEngine,
+    ShardedOptions,
 };
 
 /// One scenario: a server shape plus a load shape.
 struct Scenario {
-    name: &'static str,
+    name: String,
     serve: ServeConfig,
     load: LoadConfig,
 }
 
 fn scenarios() -> Vec<Scenario> {
-    vec![
-        Scenario {
-            name: "connections_1",
-            serve: ServeConfig { workers: 4, queue_depth: 64, ..ServeConfig::default() },
-            load: LoadConfig { connections: 1, entities: 4_000, ..LoadConfig::default() },
-        },
-        Scenario {
-            name: "connections_4",
-            serve: ServeConfig { workers: 4, queue_depth: 64, ..ServeConfig::default() },
-            load: LoadConfig { connections: 4, entities: 4_000, ..LoadConfig::default() },
-        },
-        Scenario {
-            name: "connections_8",
-            serve: ServeConfig { workers: 4, queue_depth: 64, ..ServeConfig::default() },
-            load: LoadConfig { connections: 8, entities: 4_000, ..LoadConfig::default() },
-        },
-        // Deliberate overload: one worker, depth-1 queue, eight pushers —
-        // measures that admission control sheds instead of stalling.
-        Scenario {
-            name: "overload_queue_1",
-            serve: ServeConfig { workers: 1, queue_depth: 1, ..ServeConfig::default() },
-            load: LoadConfig { connections: 8, entities: 2_000, ..LoadConfig::default() },
-        },
-    ]
+    let mut out = Vec::new();
+    // Workers fixed at 4 — the shape BENCH_PR4.json measured — so the
+    // sweep isolates the effect of the shard count alone and the PR4
+    // numbers stay directly comparable.
+    for &shards in &[1usize, 2, 4, 8] {
+        for &connections in &[1usize, 4, 8] {
+            out.push(Scenario {
+                name: format!("shards_{shards}_connections_{connections}"),
+                serve: ServeConfig {
+                    workers: 4,
+                    queue_depth: 64,
+                    shards,
+                    ..ServeConfig::default()
+                },
+                load: LoadConfig { connections, entities: 4_000, ..LoadConfig::default() },
+            });
+        }
+    }
+    // Deliberate overload: one worker, depth-1 queue, eight pushers —
+    // measures that admission control still sheds instead of stalling
+    // when the engine underneath is sharded.
+    out.push(Scenario {
+        name: "overload_queue_1".to_string(),
+        serve: ServeConfig { workers: 1, queue_depth: 1, shards: 4, ..ServeConfig::default() },
+        load: LoadConfig { connections: 8, entities: 2_000, ..LoadConfig::default() },
+    });
+    out
 }
 
 fn us(d: Duration) -> f64 {
@@ -54,11 +70,14 @@ fn us(d: Duration) -> f64 {
 }
 
 fn run_scenario(sc: &Scenario) -> (LoadReport, u64) {
-    let engine = Arc::new(Engine::in_memory(EngineOptions {
-        pool_pages: 4096,
-        query_threads: sc.serve.query_threads,
-        ..EngineOptions::default()
-    }));
+    let engine = Arc::new(ShardedEngine::in_memory(ShardedOptions::new(
+        EngineOptions {
+            pool_pages: 4096,
+            query_threads: sc.serve.query_threads,
+            ..EngineOptions::default()
+        },
+        sc.serve.effective_shards(),
+    )));
     let handle = Server::start(Arc::clone(&engine), &sc.serve).expect("server start");
     let addr = format!("127.0.0.1:{}", handle.port());
     let report = run_load(&addr, &sc.load).expect("load run");
@@ -86,12 +105,14 @@ fn json_block(sc: &Scenario, report: &mut LoadReport, partitions: u64) -> String
         (p(&mut report.query_latency, 50.0), p(&mut report.query_latency, 99.0));
     let _ = write!(
         out,
-        "    \"{}\": {{\n      \"connections\": {}, \"workers\": {}, \"queue_depth\": {},\n      \
+        "    \"{}\": {{\n      \"shards\": {}, \"connections\": {}, \"workers\": {}, \
+         \"queue_depth\": {},\n      \
          \"inserts\": {}, \"queries\": {}, \"rows\": {}, \"busy_sheds\": {}, \"errors\": {},\n      \
          \"partitions\": {partitions}, \"elapsed_s\": {:.3}, \"throughput_ops_s\": {:.0},\n      \
          \"insert_p50_us\": {ins_p50:.1}, \"insert_p99_us\": {ins_p99:.1},\n      \
          \"query_p50_us\": {q_p50:.1}, \"query_p99_us\": {q_p99:.1}\n    }}",
         sc.name,
+        sc.serve.effective_shards(),
         sc.load.connections,
         sc.serve.effective_workers(),
         sc.serve.effective_queue_depth(),
@@ -116,17 +137,21 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"pr\": 4,\n  \"date\": \"2026-08-06\",\n  \"description\": \"cind-server \
-         serving layer: closed-loop load generator (DBpedia-like entities, mixed \
+        "{{\n  \"pr\": 6,\n  \"date\": \"2026-08-08\",\n  \"description\": \"cind-server \
+         sharded serving layer: closed-loop load generator (DBpedia-like entities, mixed \
          insert/query 10:1) against an in-process server on loopback. Scenarios sweep \
-         client connections at fixed workers=4/queue=64, plus a deliberate overload shape \
-         (workers=1, queue_depth=1, 8 connections) exercising admission control. From \
-         `cargo bench -p cind-bench --bench serve`.\",\n  \"machine_note\": \"Linux \
-         container, release profile, loopback TCP, single-writer engine lock\",\n  \
+         engine shards (1/2/4/8) x client connections (1/4/8) at fixed workers=4/queue=64 \
+         — per-shard writer locks keep inserts off each other, epoch snapshots keep \
+         queries off the writer path, and on a 1-hardware-thread host fan-out legs run \
+         inline so shards > 1 measures the sharding tax, not parallel speedup — plus a \
+         deliberate overload shape (workers=1, queue_depth=1, 8 connections, 4 shards) \
+         exercising admission control. From `cargo bench -p cind-bench --bench serve`.\",\n  \
+         \"machine_note\": \"Linux container, 1 hardware thread, release profile, loopback \
+         TCP, per-shard writer locks + epoch snapshot reads, inline query fan-out\",\n  \
          \"serve\": {{\n{}\n  }}\n}}\n",
         blocks.join(",\n")
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
-    std::fs::write(path, &json).expect("write BENCH_PR4.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    std::fs::write(path, &json).expect("write BENCH_PR6.json");
     eprintln!("wrote {path}");
 }

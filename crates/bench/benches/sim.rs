@@ -12,27 +12,39 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cind_sim::{crash_sweep, generate, run_ops, FaultPlan};
+use cind_sim::{crash_sweep, generate, run_ops, FaultPlan, RunSpec};
 
 struct Scenario {
     name: &'static str,
     seed: u64,
     ops: usize,
     faults: bool,
+    shards: usize,
     /// Full oracle check every N steps (1 = every step, as CI runs it).
     check_every: usize,
 }
 
 fn scenarios() -> Vec<Scenario> {
     vec![
-        Scenario { name: "clean_2000", seed: 0, ops: 2000, faults: false, check_every: 1 },
-        Scenario { name: "faults_2000", seed: 0, ops: 2000, faults: true, check_every: 1 },
+        Scenario { name: "clean_2000", seed: 0, ops: 2000, faults: false, shards: 1, check_every: 1 },
+        Scenario { name: "faults_2000", seed: 0, ops: 2000, faults: true, shards: 1, check_every: 1 },
         Scenario {
             name: "faults_2000_check_16",
             seed: 0,
             ops: 2000,
             faults: true,
+            shards: 1,
             check_every: 16,
+        },
+        // Sharded world: 4 independent crash domains, every per-shard
+        // oracle diff run each step.
+        Scenario {
+            name: "faults_2000_shards_4",
+            seed: 0,
+            ops: 2000,
+            faults: true,
+            shards: 4,
+            check_every: 1,
         },
     ]
 }
@@ -42,10 +54,18 @@ fn main() {
     for sc in scenarios() {
         eprintln!("sim bench: {}", sc.name);
         let plan = if sc.faults { FaultPlan::all() } else { FaultPlan::none() };
-        let ops = generate(sc.seed, sc.ops, sc.faults);
+        let ops = generate(sc.seed, sc.ops, sc.faults, sc.shards);
         let start = Instant::now();
-        let report = run_ops(sc.seed, sc.faults, plan, &ops, sc.check_every, None)
-            .expect("committed seeds pass");
+        let report = run_ops(&RunSpec {
+            seed: sc.seed,
+            faults: sc.faults,
+            shards: sc.shards,
+            plan,
+            ops: &ops,
+            check_every: sc.check_every,
+            arm_crash: None,
+        })
+        .expect("committed seeds pass");
         let elapsed = start.elapsed().as_secs_f64();
         let steps_per_s = sc.ops as f64 / elapsed;
         eprintln!(
@@ -59,12 +79,14 @@ fn main() {
         let mut out = String::new();
         let _ = write!(
             out,
-            "    \"{}\": {{\n      \"ops\": {}, \"faults\": {}, \"check_every\": {},\n      \
+            "    \"{}\": {{\n      \"ops\": {}, \"faults\": {}, \"shards\": {}, \
+             \"check_every\": {},\n      \
              \"elapsed_s\": {elapsed:.3}, \"steps_per_s\": {steps_per_s:.0},\n      \
              \"restarts\": {}, \"final_entities\": {}, \"vfs_mutations\": {}\n    }}",
             sc.name,
             sc.ops,
             sc.faults,
+            sc.shards,
             sc.check_every,
             report.restarts,
             report.final_entities,
@@ -73,10 +95,10 @@ fn main() {
         blocks.push(out);
     }
 
-    // The sweep: one full run per mutating VFS operation in the schedule.
+    // The sweep: one full run per (shard, mutating VFS operation) pair.
     eprintln!("sim bench: sweep_40");
     let start = Instant::now();
-    let points = crash_sweep(3, 40).expect("sweep passes");
+    let points = crash_sweep(3, 40, 2).expect("sweep passes");
     let elapsed = start.elapsed().as_secs_f64();
     eprintln!(
         "  {points} crash-points in {elapsed:.2}s = {:.0} recoveries/s",
@@ -85,7 +107,7 @@ fn main() {
     let mut sweep = String::new();
     let _ = write!(
         sweep,
-        "    \"sweep_40\": {{\n      \"ops\": 40, \"crash_points\": {points},\n      \
+        "    \"sweep_40\": {{\n      \"ops\": 40, \"shards\": 2, \"crash_points\": {points},\n      \
          \"elapsed_s\": {elapsed:.3}, \"recoveries_per_s\": {:.0}\n    }}",
         points as f64 / elapsed
     );
@@ -95,8 +117,9 @@ fn main() {
         "{{\n  \"pr\": 5,\n  \"date\": \"2026-08-06\",\n  \"description\": \"cind-sim \
          deterministic simulation harness: fully-oracle-checked schedule steps per second \
          (model-table diff + structural validation + independent EFFICIENCY(P) recompute \
-         each step) with faults off/on, the check_every=16 batched variant, and the \
-         kill-at-every-crash-point sweep. From `cargo bench -p cind-bench --bench sim`.\",\n  \
+         each step) with faults off/on, the check_every=16 batched variant, a 4-shard \
+         world (per-shard crash domains + per-shard oracle diffs), and the \
+         kill-at-every-(shard, crash-point) sweep. From `cargo bench -p cind-bench --bench sim`.\",\n  \
          \"machine_note\": \"Linux container, release profile, in-memory SimVfs, virtual \
          clock\",\n  \"sim\": {{\n{}\n  }}\n}}\n",
         blocks.join(",\n")

@@ -5,7 +5,7 @@ use std::path::Path;
 use cind_model::{AttributeCatalog, SizeModel, Value};
 use cind_query::{execute_collect, plan_from_survivors, plan_with, Parallelism, Query};
 use cind_storage::{PersistError, StorageError, UniversalTable};
-use cind_server::{Engine, EngineOptions, ServeConfig, Server, ServerError};
+use cind_server::{EngineOptions, ServeConfig, Server, ServerError};
 use cinderella_core::{
     bulk_load, Capacity, Cinderella, Config, CoreError, IndexMode, SynopsisMode,
 };
@@ -428,7 +428,11 @@ pub fn check(snapshot: &Path, pool_pages: usize) -> Result<String, CliError> {
 /// validation finds structural defects.
 pub fn serve(store: &Path, cfg: &ServeConfig) -> Result<String, CliError> {
     use std::io::Write as _;
-    let engine = std::sync::Arc::new(Engine::open(store, EngineOptions::from_serve(cfg))?);
+    let opts = cind_server::ShardedOptions::new(
+        EngineOptions::from_serve(cfg),
+        cfg.effective_shards(),
+    );
+    let engine = std::sync::Arc::new(cind_server::ShardedEngine::open(store, opts)?);
     let handle = Server::start(engine, cfg)?;
     println!("listening on 127.0.0.1:{}", handle.port());
     std::io::stdout().flush()?;

@@ -24,7 +24,7 @@ USAGE:
   cind merge --snapshot TABLE.cind [--threshold T]
   cind check --snapshot TABLE.cind
   cind serve --store DIR [--port P] [--workers N] [--queue-depth K]
-             [--pool-pages N] [--query-threads N]
+             [--pool-pages N] [--query-threads N] [--shards N]
   cind workload --remote HOST:PORT [--connections N] [--entities N]
              [--attributes N] [--query-every K] [--seed S]
              [--shutdown true|false]
@@ -49,7 +49,12 @@ client sends Shutdown: --port 0 picks a free port (printed on startup),
 --workers sizes the request worker pool, --queue-depth bounds the
 admission-control queue (a full queue answers Busy instead of stalling),
 --pool-pages sizes the buffer pool, and --query-threads fans each query's
-UNION ALL scan over that many threads.
+UNION ALL scan over that many threads. --shards splits the store into N
+independent shards (own writer lock, WAL, and snapshot under
+shard-NNNN/); writes hash-route to one shard, queries fan out over all,
+and the on-disk MANIFEST pins the count for the store's lifetime.
+Sharded stores keep their snapshots at DIR/shard-NNNN/store.cind — point
+check/stats/query at those files individually.
 workload drives the closed-loop load generator against a running server:
 N connections inserting generated entities with a query every K ops,
 reporting throughput, Busy sheds, and latency percentiles.
@@ -151,6 +156,7 @@ fn run() -> Result<String, CliError> {
                 queue_depth: args.get("queue-depth", 64)?,
                 pool_pages: args.get("pool-pages", 1024)?,
                 query_threads: args.get("query-threads", 2)?,
+                shards: args.get("shards", 1)?,
             };
             serve(&args.path("store")?, &cfg)
         }

@@ -22,6 +22,27 @@ pub fn efficiency_of(
     partitions: &[(Synopsis, u64)],
     queries: &[Synopsis],
 ) -> f64 {
+    let (relevant, read) = efficiency_counters(entities, partitions, queries);
+    if read == 0 {
+        1.0
+    } else {
+        relevant as f64 / read as f64
+    }
+}
+
+/// The raw `(relevant, read)` sums behind [`efficiency_of`] — Definition
+/// 1's numerator and denominator before the division.
+///
+/// Exposed so a *sharded* engine can compute its global efficiency
+/// correctly: summing each shard's counter pair and dividing once is the
+/// workload-weighted combination Definition 1 demands, whereas averaging
+/// per-shard efficiencies would weight an idle shard the same as a busy
+/// one.
+pub fn efficiency_counters(
+    entities: impl IntoIterator<Item = (Synopsis, u64)>,
+    partitions: &[(Synopsis, u64)],
+    queries: &[Synopsis],
+) -> (u64, u64) {
     let mut relevant: u64 = 0;
     for (syn, size) in entities {
         let hits = queries.iter().filter(|q| !q.is_disjoint(&syn)).count() as u64;
@@ -32,6 +53,14 @@ pub fn efficiency_of(
         let hits = queries.iter().filter(|q| !q.is_disjoint(syn)).count() as u64;
         read += hits * size;
     }
+    (relevant, read)
+}
+
+/// `EFFICIENCY(P)` of a Cinderella-partitioned table for a workload of
+/// query synopses. Scans the table once to size the entities (the scan
+/// shows up in the I/O counters like any other).
+pub fn efficiency(table: &UniversalTable, cindy: &Cinderella, queries: &[Synopsis]) -> f64 {
+    let (relevant, read) = efficiency_counters_for(table, cindy, queries);
     if read == 0 {
         1.0
     } else {
@@ -39,10 +68,14 @@ pub fn efficiency_of(
     }
 }
 
-/// `EFFICIENCY(P)` of a Cinderella-partitioned table for a workload of
-/// query synopses. Scans the table once to size the entities (the scan
-/// shows up in the I/O counters like any other).
-pub fn efficiency(table: &UniversalTable, cindy: &Cinderella, queries: &[Synopsis]) -> f64 {
+/// The raw `(relevant, read)` counters behind [`efficiency`] for one
+/// table/policy pair — what one shard contributes to a sharded engine's
+/// global `EFFICIENCY(P)` (sum the pairs across shards, then divide once).
+pub fn efficiency_counters_for(
+    table: &UniversalTable,
+    cindy: &Cinderella,
+    queries: &[Synopsis],
+) -> (u64, u64) {
     let universe = table.universe();
     let size_model = cindy.config().size_model;
     let mut entities = Vec::with_capacity(table.entity_count());
@@ -58,7 +91,7 @@ pub fn efficiency(table: &UniversalTable, cindy: &Cinderella, queries: &[Synopsi
         .pruning_view()
         .map(|(_, syn, size)| (syn.clone(), size))
         .collect();
-    efficiency_of(entities, &partitions, queries)
+    efficiency_counters(entities, &partitions, queries)
 }
 
 #[cfg(test)]

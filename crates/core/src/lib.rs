@@ -76,7 +76,7 @@ pub use arena::{PresenceIndex, SynopsisArena};
 pub use bulk::{bulk_load, BulkLoadReport};
 pub use catalog::{PartitionCatalog, PartitionMeta};
 pub use config::{Capacity, Config, IndexMode};
-pub use efficiency::{efficiency, efficiency_of};
+pub use efficiency::{efficiency, efficiency_counters, efficiency_counters_for, efficiency_of};
 pub use error::CoreError;
 pub use events::{InsertEvent, InsertOutcome, Stats};
 pub use merge::MergeReport;

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use cind_model::{Entity, Value};
-use cind_storage::{IoStats, StorageError, UniversalTable};
+use cind_storage::{IoStats, ReadView, StorageError, UniversalTable};
 
 use crate::{Parallelism, Plan, Query};
 
@@ -61,10 +61,21 @@ pub fn execute_with(
     table: &UniversalTable,
     query: &Query,
     plan: &Plan,
+    sink: impl FnMut(&Entity),
+) -> Result<QueryResult, StorageError> {
+    execute_with_view(table.read_view(), query, plan, sink)
+}
+
+/// [`execute_with`] over an explicit [`ReadView`] — the entry point for
+/// callers scanning an owned [`cind_storage::TableSnapshot`] instead of a
+/// live table (epoch snapshot reads).
+pub fn execute_with_view(
+    view: ReadView<'_>,
+    query: &Query,
+    plan: &Plan,
     mut sink: impl FnMut(&Entity),
 ) -> Result<QueryResult, StorageError> {
     let start = Instant::now();
-    let view = table.read_view();
     let mut io = IoStats::default();
     let mut rows = 0u64;
     let mut cells = 0u64;
@@ -102,9 +113,18 @@ pub fn execute(
     query: &Query,
     plan: &Plan,
 ) -> Result<QueryResult, StorageError> {
+    execute_view(table.read_view(), query, plan)
+}
+
+/// [`execute`] over an explicit [`ReadView`].
+pub fn execute_view(
+    view: ReadView<'_>,
+    query: &Query,
+    plan: &Plan,
+) -> Result<QueryResult, StorageError> {
     match plan.parallelism {
-        Parallelism::Sequential => execute_with(table, query, plan, |_| {}),
-        p => execute_parallel(table, query, plan, p.workers(plan.segments.len())),
+        Parallelism::Sequential => execute_with_view(view, query, plan, |_| {}),
+        p => execute_parallel_view(view, query, plan, p.workers(plan.segments.len())),
     }
 }
 
@@ -120,17 +140,26 @@ pub fn execute_collect(
     query: &Query,
     plan: &Plan,
 ) -> Result<(QueryResult, Vec<Row>), StorageError> {
+    execute_collect_view(table.read_view(), query, plan)
+}
+
+/// [`execute_collect`] over an explicit [`ReadView`].
+pub fn execute_collect_view(
+    view: ReadView<'_>,
+    query: &Query,
+    plan: &Plan,
+) -> Result<(QueryResult, Vec<Row>), StorageError> {
     match plan.parallelism {
         Parallelism::Sequential => {
             let mut rows = Vec::new();
-            let result = execute_with(table, query, plan, |e| {
+            let result = execute_with_view(view, query, plan, |e| {
                 rows.push(query.project(e).into_iter().map(|v| v.cloned()).collect());
             })?;
             Ok((result, rows))
         }
         p => {
             let workers = p.workers(plan.segments.len());
-            let (result, partials) = scan_parallel(table, query, plan, workers, true)?;
+            let (result, partials) = scan_parallel(view, query, plan, workers, true)?;
             let rows = partials.into_iter().flat_map(|p| p.out).collect();
             Ok((result, rows))
         }
@@ -157,7 +186,23 @@ pub fn execute_parallel(
     plan: &Plan,
     threads: usize,
 ) -> Result<QueryResult, StorageError> {
-    let (result, _) = scan_parallel(table, query, plan, threads, false)?;
+    execute_parallel_view(table.read_view(), query, plan, threads)
+}
+
+/// [`execute_parallel`] over an explicit [`ReadView`].
+///
+/// # Errors
+/// A storage error from one of the workers, if any branch fails.
+///
+/// # Panics
+/// Panics if a worker thread panics.
+pub fn execute_parallel_view(
+    view: ReadView<'_>,
+    query: &Query,
+    plan: &Plan,
+    threads: usize,
+) -> Result<QueryResult, StorageError> {
+    let (result, _) = scan_parallel(view, query, plan, threads, false)?;
     Ok(result)
 }
 
@@ -175,7 +220,7 @@ struct SegPartial {
 /// cursor, each branch's partial lands in its plan-order slot, and the
 /// merge walks the slots in order.
 fn scan_parallel(
-    table: &UniversalTable,
+    view: ReadView<'_>,
     query: &Query,
     plan: &Plan,
     threads: usize,
@@ -185,7 +230,6 @@ fn scan_parallel(
     let workers = threads.clamp(1, branches.max(1));
     let start = Instant::now();
 
-    let view = table.read_view();
     let cursor = AtomicUsize::new(0);
     let worker_results: Vec<Result<Vec<(usize, SegPartial)>, StorageError>> =
         std::thread::scope(|scope| {
@@ -426,6 +470,22 @@ mod tests {
         assert_eq!(r.rows, 0);
         assert_eq!(r.segments_read, 0);
         assert_eq!(r.segments_pruned, 2);
+    }
+
+    #[test]
+    fn snapshot_view_matches_live_table() {
+        let (t, view) = setup();
+        let q = Query::from_attrs(4, [AttrId(0), AttrId(2)]);
+        let plan = planner::plan(&q, view.iter().map(|(s, p)| (*s, p)));
+        let (live, live_rows) = execute_collect(&t, &q, &plan).unwrap();
+        let snap = t.freeze();
+        for parallelism in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let plan = plan.clone().with_parallelism(parallelism);
+            let (r, rows) = execute_collect_view(snap.view(), &q, &plan).unwrap();
+            assert_eq!(r.rows, live.rows);
+            assert_eq!(r.entities_scanned, live.entities_scanned);
+            assert_eq!(rows, live_rows, "snapshot rows must match, in order");
+        }
     }
 
     #[test]

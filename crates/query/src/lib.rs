@@ -62,7 +62,10 @@ mod query;
 pub mod selectivity;
 
 pub use cost::{estimate, CostEstimate};
-pub use executor::{execute, execute_collect, execute_parallel, QueryResult};
+pub use executor::{
+    execute, execute_collect, execute_collect_view, execute_parallel, execute_parallel_view,
+    execute_view, QueryResult,
+};
 pub use planner::{plan, plan_from_survivors, plan_with, Parallelism, Plan};
 pub use query::Query;
 pub use selectivity::{selectivity, selectivity_of};

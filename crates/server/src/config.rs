@@ -9,9 +9,10 @@ pub struct ServeConfig {
     /// TCP port to listen on (loopback only); `0` asks the OS for a free
     /// port — read it back from [`crate::ServerHandle::port`].
     pub port: u16,
-    /// Worker threads draining the request queue. Writes serialise through
-    /// the engine's single writer lock regardless, so extra workers buy
-    /// concurrency only for reads; clamped to at least 1.
+    /// Worker threads draining the request queue. Writes serialise per
+    /// *shard* (each shard has its own writer lock), so with `shards > 1`
+    /// extra workers buy genuine write concurrency, not just read
+    /// concurrency; clamped to at least 1.
     pub workers: usize,
     /// Bound on the shared request queue — the admission-control knob. A
     /// request arriving while `queue_depth` others wait is answered
@@ -25,6 +26,11 @@ pub struct ServeConfig {
     /// Scan threads *per query* for the `UNION ALL` fan-out; `1` keeps
     /// query execution sequential.
     pub query_threads: usize,
+    /// Engine shards: independent writer locks, WALs, and snapshot files.
+    /// Writes hash-route to one shard; queries fan out across all of them.
+    /// On an existing store the on-disk manifest wins. Clamped to at
+    /// least 1.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -35,6 +41,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             pool_pages: 1024,
             query_threads: 2,
+            shards: 1,
         }
     }
 }
@@ -50,6 +57,12 @@ impl ServeConfig {
     #[must_use]
     pub fn effective_queue_depth(&self) -> usize {
         self.queue_depth.max(1)
+    }
+
+    /// `shards`, clamped to the documented minimum.
+    #[must_use]
+    pub fn effective_shards(&self) -> usize {
+        self.shards.max(1)
     }
 }
 
@@ -67,8 +80,14 @@ mod tests {
 
     #[test]
     fn zero_knobs_are_clamped() {
-        let c = ServeConfig { workers: 0, queue_depth: 0, ..ServeConfig::default() };
+        let c = ServeConfig {
+            workers: 0,
+            queue_depth: 0,
+            shards: 0,
+            ..ServeConfig::default()
+        };
         assert_eq!(c.effective_workers(), 1);
         assert_eq!(c.effective_queue_depth(), 1);
+        assert_eq!(c.effective_shards(), 1);
     }
 }

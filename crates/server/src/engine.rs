@@ -1,13 +1,18 @@
 //! The [`Engine`] service object: one store behind single-writer /
-//! many-reader discipline.
+//! epoch-snapshot-reader discipline.
 //!
 //! The engine owns the universal table and the Cinderella partitioner
 //! inside one `RwLock`. Writes (insert / update / delete) take the write
 //! lock — Algorithm 1 mutates the catalog and the table together, so
 //! writes are inherently serial, exactly the paper's online setting.
-//! Queries take the read lock and then run on [`cind_storage::ReadView`]s,
-//! which are `Send + Sync`; many queries execute concurrently, each one
-//! optionally fanning its `UNION ALL` branches over scan threads.
+//! Queries do **not** take that lock for the scan: every write bumps an
+//! epoch counter, and a query grabs (or lazily rebuilds) the cached
+//! [`EngineSnapshot`] for the current epoch — an owned copy-on-write
+//! [`cind_storage::TableSnapshot`] plus the partition pruning pairs — and
+//! scans it entirely outside the engine lock. Rebuilding a snapshot takes
+//! the read lock only for the O(segments + locator) clone, so a query
+//! never blocks writers for the duration of its scan, and a writer never
+//! blocks queries at all once their snapshot is in hand.
 //!
 //! Durability: when opened on a store directory the engine replays
 //! `wal.log` over the `store.cind` snapshot (tolerating a torn tail),
@@ -19,13 +24,14 @@
 //! kill-mid-load crash test recoverable.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::PoisonError;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
-use cind_model::{Entity, EntityId};
-use cind_query::planner::{plan_from_survivors, plan_with, Parallelism, Plan};
-use cind_query::{execute_collect, Query};
-use cind_storage::{wal, FileSink, RealVfs, UniversalTable, Vfs};
+use cind_model::{Entity, EntityId, Synopsis};
+use cind_query::planner::{plan_with, Parallelism, Plan};
+use cind_query::{execute_collect_view, Query};
+use cind_storage::{wal, FileSink, RealVfs, SegmentId, TableSnapshot, UniversalTable, Vfs};
 use cinderella_core::{validate::render, Cinderella, Config, CoreError, MergeReport};
 
 use crate::protocol::{EngineStats, ErrorCode, QueryStats, Request, Response, WireEntity};
@@ -90,11 +96,29 @@ struct EngineState {
     cindy: Cinderella,
 }
 
+/// An owned, immutable view of the engine at one write epoch: the table
+/// snapshot plus the partition pruning pairs captured from the
+/// partitioner's catalog at the same instant. Queries plan and scan
+/// against this object with no engine lock held.
+pub struct EngineSnapshot {
+    table: TableSnapshot,
+    pruning: Vec<(SegmentId, Synopsis)>,
+}
+
 /// One store (table + partitioner) behind the serving layer's locking
 /// discipline. `Engine` is `Send + Sync`; wrap it in an `Arc` and share it
-/// with [`crate::Server::start`].
+/// with [`crate::ShardedEngine`], which routes writes and fans out queries
+/// across a set of engines.
 pub struct Engine {
     state: RwLock<EngineState>,
+    /// Bumped (under the write lock) by every write-path entry, including
+    /// failed ones — a failed insert may still have interned attribute
+    /// names, which a cached snapshot must not miss.
+    epoch: AtomicU64,
+    /// The newest snapshot built so far, keyed by the epoch it captured.
+    /// Readers at the same epoch share one snapshot; the first reader
+    /// after a write rebuilds it.
+    snap_cache: Mutex<Option<(u64, Arc<EngineSnapshot>)>>,
     store: Option<PathBuf>,
     query_threads: usize,
     vfs: Arc<dyn Vfs>,
@@ -110,6 +134,8 @@ impl Engine {
                 table: UniversalTable::new(opts.pool_pages),
                 cindy: Cinderella::new(opts.config),
             }),
+            epoch: AtomicU64::new(0),
+            snap_cache: Mutex::new(None),
             store: None,
             query_threads: opts.query_threads.max(1),
             vfs: opts.vfs,
@@ -165,6 +191,8 @@ impl Engine {
 
         Ok(Self {
             state: RwLock::new(EngineState { table, cindy }),
+            epoch: AtomicU64::new(0),
+            snap_cache: Mutex::new(None),
             store: Some(dir.to_path_buf()),
             query_threads: opts.query_threads.max(1),
             vfs,
@@ -177,6 +205,56 @@ impl Engine {
 
     fn write(&self) -> std::sync::RwLockWriteGuard<'_, EngineState> {
         self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs a mutation under the write lock and bumps the epoch before the
+    /// lock is released — success or failure, since even a failed write
+    /// may have interned attribute names into the catalog.
+    fn write_op<T>(
+        &self,
+        f: impl FnOnce(&mut EngineState) -> Result<T, ServerError>,
+    ) -> Result<T, ServerError> {
+        let mut state = self.write();
+        let result = f(&mut state);
+        self.epoch.fetch_add(1, Ordering::Release);
+        drop(state);
+        result
+    }
+
+    /// The snapshot for the current write epoch, shared with every other
+    /// reader at the same epoch. Rebuilding after a write holds the read
+    /// lock only for the clone, never for a scan.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        {
+            let cache = self.snap_cache.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some((cached_epoch, snap)) = &*cache {
+                if *cached_epoch == epoch {
+                    return Arc::clone(snap);
+                }
+            }
+        }
+        let state = self.read();
+        // Re-read under the read lock: no writer is active now, so the
+        // clone below observes everything up to this epoch.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let snap = Arc::new(EngineSnapshot {
+            table: state.table.freeze(),
+            pruning: state
+                .cindy
+                .catalog()
+                .pruning_view()
+                .map(|(seg, syn, _)| (seg, syn.clone()))
+                .collect(),
+        });
+        drop(state);
+        let mut cache = self.snap_cache.lock().unwrap_or_else(PoisonError::into_inner);
+        match &*cache {
+            // A concurrent reader may have cached an even fresher epoch.
+            Some((cached_epoch, _)) if *cached_epoch >= epoch => {}
+            _ => *cache = Some((epoch, Arc::clone(&snap))),
+        }
+        snap
     }
 
     fn build_entity(
@@ -197,12 +275,12 @@ impl Engine {
     /// # Errors
     /// Duplicate ids, storage failures, attribute-less entities.
     pub fn insert(&self, wire: &WireEntity) -> Result<(u32, bool), ServerError> {
-        let mut state = self.write();
-        let entity = Self::build_entity(&mut state, wire)?;
-        let state = &mut *state;
-        let outcome = state.cindy.insert(&mut state.table, entity)?;
-        let seg = state.table.location(EntityId(wire.id)).map_or(0, |s| s.0);
-        Ok((seg, outcome.is_split()))
+        self.write_op(|state| {
+            let entity = Self::build_entity(state, wire)?;
+            let outcome = state.cindy.insert(&mut state.table, entity)?;
+            let seg = state.table.location(EntityId(wire.id)).map_or(0, |s| s.0);
+            Ok((seg, outcome.is_split()))
+        })
     }
 
     /// Replaces a stored entity; returns `(segment, split?)`.
@@ -210,12 +288,12 @@ impl Engine {
     /// # Errors
     /// Unknown ids, storage failures.
     pub fn update(&self, wire: &WireEntity) -> Result<(u32, bool), ServerError> {
-        let mut state = self.write();
-        let entity = Self::build_entity(&mut state, wire)?;
-        let state = &mut *state;
-        let outcome = state.cindy.update(&mut state.table, entity)?;
-        let seg = state.table.location(EntityId(wire.id)).map_or(0, |s| s.0);
-        Ok((seg, outcome.is_split()))
+        self.write_op(|state| {
+            let entity = Self::build_entity(state, wire)?;
+            let outcome = state.cindy.update(&mut state.table, entity)?;
+            let seg = state.table.location(EntityId(wire.id)).map_or(0, |s| s.0);
+            Ok((seg, outcome.is_split()))
+        })
     }
 
     /// Deletes an entity by id.
@@ -223,10 +301,10 @@ impl Engine {
     /// # Errors
     /// Unknown ids, storage failures.
     pub fn delete(&self, id: u64) -> Result<(), ServerError> {
-        let mut state = self.write();
-        let state = &mut *state;
-        state.cindy.delete(&mut state.table, EntityId(id))?;
-        Ok(())
+        self.write_op(|state| {
+            state.cindy.delete(&mut state.table, EntityId(id))?;
+            Ok(())
+        })
     }
 
     /// Runs a `SELECT attrs` query, returning the materialised rows plus
@@ -239,20 +317,74 @@ impl Engine {
         &self,
         attrs: &[String],
     ) -> Result<(Vec<crate::client::Row>, QueryStats), ServerError> {
-        let state = self.read();
-        let Some(query) = Query::from_names(
-            state.table.catalog(),
-            attrs.iter().map(String::as_str),
-        ) else {
+        let snap = self.snapshot();
+        let catalog = snap.table.catalog();
+        let Some(query) = Query::from_names(catalog, attrs.iter().map(String::as_str))
+        else {
             let missing = attrs
                 .iter()
-                .find(|a| state.table.catalog().lookup(a).is_none())
+                .find(|a| catalog.lookup(a).is_none())
                 .cloned()
                 .unwrap_or_else(|| "<empty attribute list>".to_string());
             return Err(ServerError::UnknownAttribute(missing));
         };
-        let plan = self.plan(&state.cindy, &query);
-        let (result, rows) = execute_collect(&state.table, &query, &plan)?;
+        let (result, rows) = self.run_on_snapshot(&snap, &query)?;
+        Ok((rows, result))
+    }
+
+    /// One leg of a sharded fan-out query: requested attributes this
+    /// shard's catalog does not know project as NULL columns instead of
+    /// erroring, and the returned rows are re-expanded to the *full*
+    /// requested width in request order. `known[i]` reports whether this
+    /// shard recognises `attrs[i]` — the sharded engine errors only when
+    /// an attribute is unknown to every shard.
+    ///
+    /// # Errors
+    /// Storage failures from the scan.
+    pub fn query_subset(
+        &self,
+        attrs: &[String],
+    ) -> Result<(Vec<crate::client::Row>, QueryStats, Vec<bool>), ServerError> {
+        let snap = self.snapshot();
+        let catalog = snap.table.catalog();
+        let ids: Vec<Option<cind_model::AttrId>> =
+            attrs.iter().map(|a| catalog.lookup(a)).collect();
+        let known: Vec<bool> = ids.iter().map(Option::is_some).collect();
+        let present: Vec<(usize, cind_model::AttrId)> = ids
+            .iter()
+            .enumerate()
+            .filter_map(|(i, id)| id.map(|id| (i, id)))
+            .collect();
+        if present.is_empty() {
+            // No requested attribute exists here: no entity of this shard
+            // can match (matching needs at least one requested attribute).
+            return Ok((Vec::new(), QueryStats::default(), known));
+        }
+        let query =
+            Query::from_attrs(catalog.len(), present.iter().map(|&(_, id)| id));
+        let (result, narrow) = self.run_on_snapshot(&snap, &query)?;
+        let rows = narrow
+            .into_iter()
+            .map(|row| {
+                let mut wide: crate::client::Row = vec![None; attrs.len()];
+                for (cell, &(i, _)) in row.into_iter().zip(present.iter()) {
+                    wide[i] = cell;
+                }
+                wide
+            })
+            .collect();
+        Ok((rows, result, known))
+    }
+
+    /// Plans and executes `query` against `snap` — entirely outside the
+    /// engine lock.
+    fn run_on_snapshot(
+        &self,
+        snap: &EngineSnapshot,
+        query: &Query,
+    ) -> Result<(QueryStats, Vec<crate::client::Row>), ServerError> {
+        let plan = self.plan_snapshot(snap, query);
+        let (result, rows) = execute_collect_view(snap.table.view(), query, &plan)?;
         let stats = QueryStats {
             entities_scanned: result.entities_scanned,
             segments_read: result.segments_read as u64,
@@ -260,27 +392,20 @@ impl Engine {
             logical_reads: result.io.logical_reads,
             physical_reads: result.io.physical_reads,
         };
-        Ok((rows, stats))
+        Ok((stats, rows))
     }
 
-    fn plan(&self, cindy: &Cinderella, query: &Query) -> Plan {
+    fn plan_snapshot(&self, snap: &EngineSnapshot, query: &Query) -> Plan {
         let parallelism = if self.query_threads > 1 {
             Parallelism::Threads(self.query_threads)
         } else {
             Parallelism::Sequential
         };
-        match cindy.catalog().plan_survivors(query.synopsis()) {
-            Some((segments, pruned)) => {
-                let mut plan = plan_from_survivors(segments, pruned);
-                plan.parallelism = parallelism;
-                plan
-            }
-            None => plan_with(
-                query,
-                cindy.catalog().pruning_view().map(|(seg, syn, _)| (seg, syn)),
-                parallelism,
-            ),
-        }
+        plan_with(
+            query,
+            snap.pruning.iter().map(|(seg, syn)| (*seg, syn)),
+            parallelism,
+        )
     }
 
     /// Runs `f` with shared read access to the table and partitioner —
@@ -375,10 +500,10 @@ impl Engine {
     /// mutations.
     pub fn merge_pass(&self, threshold: f64) -> Result<MergeReport, ServerError> {
         let threshold = if threshold > 0.0 { threshold.min(1.0) } else { f64::MIN_POSITIVE };
-        let mut state = self.write();
-        let state = &mut *state;
-        let report = state.cindy.merge_pass(&mut state.table, threshold)?;
-        Ok(report)
+        self.write_op(|state| {
+            let report = state.cindy.merge_pass(&mut state.table, threshold)?;
+            Ok(report)
+        })
     }
 
     /// Dispatches one request to the matching method and folds any error
@@ -416,7 +541,7 @@ impl Engine {
     }
 }
 
-fn error_code(e: &ServerError) -> ErrorCode {
+pub(crate) fn error_code(e: &ServerError) -> ErrorCode {
     match e {
         ServerError::UnknownAttribute(_) => ErrorCode::UnknownAttribute,
         ServerError::Storage(_) | ServerError::Core(_) => ErrorCode::Engine,

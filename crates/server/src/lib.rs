@@ -29,13 +29,17 @@ pub mod engine;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
+pub mod shard;
+pub mod sharded;
 
 pub use client::Client;
 pub use config::ServeConfig;
-pub use engine::{Engine, EngineOptions};
+pub use engine::{Engine, EngineOptions, EngineSnapshot};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use protocol::{EngineStats, ErrorCode, ProtoError, QueryStats, Request, Response, WireEntity};
 pub use server::{Server, ServerHandle, ShutdownReport};
+pub use shard::ShardRouter;
+pub use sharded::{shard_dir_name, ShardedEngine, ShardedOptions, MANIFEST_FILE};
 
 use cind_storage::{PersistError, StorageError};
 use cinderella_core::CoreError;
@@ -71,6 +75,9 @@ pub enum ServerError {
     /// The server answered a frame that does not fit the request (protocol
     /// desync — close the connection).
     UnexpectedResponse,
+    /// An internal serving-layer invariant failed (shard layout mismatch,
+    /// panicked fan-out worker). Not attributable to the request.
+    Internal(String),
 }
 
 impl std::fmt::Display for ServerError {
@@ -88,6 +95,7 @@ impl std::fmt::Display for ServerError {
                 write!(f, "remote error ({code:?}): {message}")
             }
             ServerError::UnexpectedResponse => write!(f, "unexpected response frame"),
+            ServerError::Internal(msg) => write!(f, "internal: {msg}"),
         }
     }
 }

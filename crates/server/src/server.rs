@@ -46,11 +46,11 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::engine::Engine;
 use crate::protocol::{
     decode_request, encode_response, frame, read_frame, ErrorCode, ProtoError, Request,
     Response,
 };
+use crate::sharded::ShardedEngine;
 use crate::{ServeConfig, ServerError};
 
 /// How often idle workers re-check the drain/kill flags.
@@ -115,7 +115,10 @@ impl Server {
     ///
     /// # Errors
     /// Socket bind/inspect failures.
-    pub fn start(engine: Arc<Engine>, cfg: &ServeConfig) -> Result<ServerHandle, ServerError> {
+    pub fn start(
+        engine: Arc<ShardedEngine>,
+        cfg: &ServeConfig,
+    ) -> Result<ServerHandle, ServerError> {
         let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
         let port = listener.local_addr()?.port();
         let shared = Arc::new(Shared {
@@ -161,7 +164,7 @@ impl Server {
 /// [`ServerHandle::join`] or [`ServerHandle::hard_kill`] leaves the
 /// threads running detached.
 pub struct ServerHandle {
-    engine: Arc<Engine>,
+    engine: Arc<ShardedEngine>,
     port: u16,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
@@ -175,9 +178,9 @@ impl ServerHandle {
         self.port
     }
 
-    /// The engine this server fronts.
+    /// The (sharded) engine this server fronts.
     #[must_use]
-    pub fn engine(&self) -> &Arc<Engine> {
+    pub fn engine(&self) -> &Arc<ShardedEngine> {
         &self.engine
     }
 
@@ -190,7 +193,7 @@ impl ServerHandle {
     /// Waits until shutdown is requested (via [`ServerHandle::shutdown`]
     /// or a wire [`Request::Shutdown`]), then tears down gracefully:
     /// stops accepting, drains the queued requests, joins the workers,
-    /// flushes the WAL, checkpoints, and validates.
+    /// then flushes, checkpoints, and validates every shard.
     ///
     /// # Errors
     /// WAL-flush / snapshot failures during the final checkpoint.
@@ -318,7 +321,11 @@ fn reader_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>) {
     }
 }
 
-fn worker_loop(engine: &Engine, rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
+fn worker_loop(
+    engine: &ShardedEngine,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    shared: &Arc<Shared>,
+) {
     loop {
         if shared.killed.load(Ordering::SeqCst) {
             return;

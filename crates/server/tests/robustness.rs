@@ -8,13 +8,16 @@ use std::time::{Duration, Instant};
 use cind_model::Value;
 use cind_server::protocol::MAX_FRAME;
 use cind_server::{
-    Client, Engine, EngineOptions, ErrorCode, Response, ServeConfig, Server, ServerError,
-    WireEntity,
+    Client, EngineOptions, ErrorCode, Response, ServeConfig, Server, ServerError,
+    ShardedEngine, ShardedOptions, WireEntity,
 };
 use cind_storage::varint;
 
 fn start_server(cfg: &ServeConfig) -> (cind_server::ServerHandle, String) {
-    let engine = Arc::new(Engine::in_memory(EngineOptions::default()));
+    let engine = Arc::new(ShardedEngine::in_memory(ShardedOptions::new(
+        EngineOptions::default(),
+        cfg.effective_shards(),
+    )));
     let handle = Server::start(engine, cfg).expect("server start");
     let addr = format!("127.0.0.1:{}", handle.port());
     (handle, addr)

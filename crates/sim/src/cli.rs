@@ -1,6 +1,6 @@
 //! Flag parsing and run orchestration for `cind-sim` / `cind sim`.
 
-use crate::harness::{crash_sweep, run_ops, SimConfig, SimFailure};
+use crate::harness::{crash_sweep, run_ops, RunSpec, SimConfig, SimFailure};
 use crate::schedule::{generate, Op};
 use crate::trace::{shrink_ops, Trace};
 use crate::vfs::FaultPlan;
@@ -17,12 +17,16 @@ FLAGS:
     --seed N           run exactly seed N
     --ops N            schedule length per seed (default 2000)
     --faults MODE      all | none (default all)
+    --shards N         independent crash domains: each shard gets its own
+                       fault-injecting disk (default 1)
     --check-every N    full oracle check every N steps (default 1)
-    --replay FILE      replay a trace file instead of generating
+    --replay FILE      replay a trace file instead of generating (the
+                       trace's recorded shard count wins)
     --save-trace FILE  where to write the failing trace (default
                        sim-failure-seed-N.json)
     --selftest N       run the bit-rot self-test over N seeds
-    --sweep            kill-at-every-crash-point sweep (uses --seed, --ops)
+    --sweep            kill-at-every-crash-point sweep, per shard
+                       (uses --seed, --ops, --shards)
     --help             this text
 
 Exit code 0 = every run passed; 1 = a divergence (trace saved); 2 = bad
@@ -32,6 +36,7 @@ struct Args {
     seeds: Vec<u64>,
     ops: usize,
     faults: bool,
+    shards: usize,
     check_every: usize,
     replay: Option<String>,
     save_trace: Option<String>,
@@ -44,6 +49,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seeds: Vec::new(),
         ops: 2000,
         faults: true,
+        shards: 1,
         check_every: 1,
         replay: None,
         save_trace: None,
@@ -76,6 +82,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "none" => false,
                     other => return Err(format!("--faults: {other:?} (use all|none)")),
                 };
+            }
+            "--shards" => {
+                args.shards =
+                    value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if args.shards == 0 {
+                    return Err("--shards: must be at least 1".to_string());
+                }
             }
             "--check-every" => {
                 args.check_every = value("--check-every")?
@@ -125,7 +138,7 @@ pub fn main_with_args(argv: &[String]) -> i32 {
     }
     if args.sweep {
         let seed = args.seeds.first().copied().unwrap_or(0);
-        return run_sweep(seed, args.ops);
+        return run_sweep(seed, args.ops, args.shards);
     }
     run_seed_matrix(&args)
 }
@@ -186,12 +199,22 @@ fn run_replay(path: &str, check_every: usize) -> i32 {
     };
     let recorded = Trace::parse_recorded_hash(&text).ok().flatten();
     let plan = if trace.faults { FaultPlan::all() } else { FaultPlan::none() };
-    match run_ops(trace.seed, trace.faults, plan, &trace.ops, check_every, None) {
+    let spec = RunSpec {
+        seed: trace.seed,
+        faults: trace.faults,
+        shards: trace.shards,
+        plan,
+        ops: &trace.ops,
+        check_every,
+        arm_crash: None,
+    };
+    match run_ops(&spec) {
         Ok(report) => {
             let hash = report.trace.hash();
             println!(
-                "replay {path}: seed {} ops {} — PASS (hash {hash:016x})",
+                "replay {path}: seed {} shards {} ops {} — PASS (hash {hash:016x})",
                 trace.seed,
+                trace.shards,
                 trace.ops.len()
             );
             if report.trace.steps.len() == trace.ops.len() {
@@ -214,12 +237,12 @@ fn run_replay(path: &str, check_every: usize) -> i32 {
     }
 }
 
-fn run_sweep(seed: u64, ops: usize) -> i32 {
-    match crash_sweep(seed, ops) {
+fn run_sweep(seed: u64, ops: usize, shards: usize) -> i32 {
+    match crash_sweep(seed, ops, shards) {
         Ok(points) => {
             println!(
-                "sweep: seed {seed}, {ops} ops — {points} crash-points, \
-                 every recovery oracle-equivalent"
+                "sweep: seed {seed}, {ops} ops, {shards} shard(s) — {points} \
+                 crash-points, every recovery oracle-equivalent"
             );
             0
         }
@@ -237,21 +260,31 @@ fn run_seed_matrix(args: &Args) -> i32 {
             seed,
             ops: args.ops,
             faults: args.faults,
+            shards: args.shards,
             check_every: args.check_every,
         };
-        let ops = generate(cfg.seed, cfg.ops, cfg.faults);
-        let first = run_ops(seed, args.faults, plan, &ops, args.check_every, None);
+        let ops = generate(cfg.seed, cfg.ops, cfg.faults, cfg.shards);
+        let spec = RunSpec {
+            seed,
+            faults: args.faults,
+            shards: args.shards,
+            plan,
+            ops: &ops,
+            check_every: args.check_every,
+            arm_crash: None,
+        };
+        let first = run_ops(&spec);
         match first {
             Ok(report) => {
                 let hash = report.trace.hash();
                 // Determinism witness: the same seed must reproduce the
                 // exact same trace, byte for byte.
-                match run_ops(seed, args.faults, plan, &ops, args.check_every, None) {
+                match run_ops(&spec) {
                     Ok(second) if second.trace.hash() == hash => {
                         println!(
-                            "seed {seed}: PASS — {} ops, {} restarts, {} entities, \
-                             hash {hash:016x}",
-                            cfg.ops, report.restarts, report.final_entities
+                            "seed {seed}: PASS — {} ops, {} shard(s), {} restarts, \
+                             {} entities, hash {hash:016x}",
+                            cfg.ops, cfg.shards, report.restarts, report.final_entities
                         );
                         // A requested trace of a passing single-seed run:
                         // how regression traces get minted.
@@ -289,6 +322,18 @@ fn run_seed_matrix(args: &Args) -> i32 {
     0
 }
 
+fn spec_for<'a>(args: &Args, seed: u64, plan: FaultPlan, ops: &'a [Op]) -> RunSpec<'a> {
+    RunSpec {
+        seed,
+        faults: args.faults,
+        shards: args.shards,
+        plan,
+        ops,
+        check_every: args.check_every,
+        arm_crash: None,
+    }
+}
+
 /// A failing seed: shrink the schedule while it keeps failing the same
 /// way, save the minimal trace as a regression file, and report.
 fn report_failure(
@@ -302,14 +347,14 @@ fn report_failure(
     let kind = failure_kind(&failure.reason);
     let shrunk = shrink_ops(ops, 200, |candidate| {
         matches!(
-            run_ops(seed, args.faults, plan, candidate, args.check_every, None),
+            run_ops(&spec_for(args, seed, plan, candidate)),
             Err(f) if failure_kind(&f.reason) == kind
         )
     });
-    let final_failure = run_ops(seed, args.faults, plan, &shrunk, args.check_every, None)
+    let final_failure = run_ops(&spec_for(args, seed, plan, &shrunk))
         .err()
         .map_or_else(|| failure.to_string(), |f| f.to_string());
-    let trace = Trace::new(seed, args.faults, shrunk.to_vec());
+    let trace = Trace::new(seed, args.faults, args.shards, shrunk.to_vec());
     let path = args
         .save_trace
         .clone()
@@ -348,7 +393,8 @@ mod tests {
     #[test]
     fn parses_a_full_flag_set() {
         let argv: Vec<String> = [
-            "--seed", "5", "--ops", "100", "--faults", "none", "--check-every", "4",
+            "--seed", "5", "--ops", "100", "--faults", "none", "--shards", "4",
+            "--check-every", "4",
         ]
         .iter()
         .map(ToString::to_string)
@@ -357,7 +403,15 @@ mod tests {
         assert_eq!(args.seeds, vec![5]);
         assert_eq!(args.ops, 100);
         assert!(!args.faults);
+        assert_eq!(args.shards, 4);
         assert_eq!(args.check_every, 4);
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        let argv: Vec<String> =
+            ["--shards", "0"].iter().map(ToString::to_string).collect();
+        assert!(parse_args(&argv).is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The simulation harness: drives a seeded schedule against a real
-//! [`cind_server::Engine`] running on the fault-injecting VFS, checks every
-//! answer against the model-based [`Oracle`], and turns crashes into
-//! recovery exercises.
+//! [`cind_server::ShardedEngine`] — N independent engine shards, each on
+//! its *own* fault-injecting VFS — checks every answer against the
+//! model-based [`Oracle`], and turns crashes into recovery exercises.
 //!
 //! ## The step protocol
 //!
@@ -12,27 +12,38 @@
 //!   attribute) — the oracle must reject it for the same reason.
 //! * **Engine fault error** (WAL append failure, persistence failure, a
 //!   fired crash-point) — durability is now ambiguous: the mutation may or
-//!   may not have reached disk before the fault. The harness restarts the
-//!   engine (recovering from the surviving bytes) and accepts the outcome
+//!   may not have reached disk before the fault. A routed write faults on
+//!   exactly one shard, so the harness first proves every *surviving*
+//!   shard is still byte-exact against the oracle restricted to its ids
+//!   (the crash-domain claim: one domain down, the others unharmed), then
+//!   recovers the victim shard alone via
+//!   [`cind_server::ShardedEngine::reopen_shard`] and accepts the outcome
 //!   iff the recovered store equals *either* the pre-op or the post-op
 //!   oracle — anything else (a half-applied group, a resurrected delete, a
-//!   lost earlier commit) fails the run.
+//!   lost earlier commit) fails the run. Maintenance ops (merge,
+//!   checkpoint) touch every shard, so a fault there reboots the whole
+//!   engine instead.
 //!
 //! After every step (configurable) and after every recovery the harness
-//! runs the full check: structural validation, byte-level content
-//! equivalence against the oracle, and a Definition-1 EFFICIENCY(P)
-//! recomputation from raw segment scans compared against the core
-//! implementation.
+//! runs the full check: structural validation on every shard, per-shard
+//! byte-level content equivalence against the routed slice of the oracle
+//! (which doubles as a no-cross-shard-leakage check), and a Definition-1
+//! EFFICIENCY(P) recomputation from raw segment scans compared against the
+//! core implementation — per shard on exact counters, and globally as
+//! Σrelevant / Σread over the summed counters (never an average of
+//! per-shard ratios).
 
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Arc;
 
 use cind_model::{EntityId, Synopsis, Value};
-use cind_server::{Engine, EngineOptions, ServerError, WireEntity};
+use cind_server::{
+    Engine, EngineOptions, ServerError, ShardedEngine, ShardedOptions, WireEntity,
+};
 use cind_storage::{StorageError, Vfs};
 use cind_storage::UniversalTable;
-use cinderella_core::{efficiency, Capacity, Config, CoreError};
+use cinderella_core::{efficiency_counters_for, Capacity, Config, CoreError};
 
 use crate::clock::VirtualClock;
 use crate::oracle::{canonical_rows, Oracle, OracleErr};
@@ -55,13 +66,15 @@ const WORKLOAD_CAP: usize = 16;
 /// One simulation run's knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
-    /// Master seed: schedule and fault stream both derive from it.
+    /// Master seed: schedule and every shard's fault stream derive from it.
     pub seed: u64,
     /// Schedule length.
     pub ops: usize,
     /// Random faults (torn writes, ENOSPC, short reads, failed fsyncs,
     /// latency) plus scheduled crash ops.
     pub faults: bool,
+    /// Independent crash domains: each shard runs on its own seeded VFS.
+    pub shards: usize,
     /// Run the full oracle/validation/efficiency check every N steps
     /// (1 = every step; recovery always checks regardless).
     pub check_every: usize,
@@ -69,8 +82,29 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { seed: 0, ops: 2000, faults: true, check_every: 1 }
+        Self { seed: 0, ops: 2000, faults: true, shards: 1, check_every: 1 }
     }
+}
+
+/// An explicit schedule to run — the argument of [`run_ops`], used by
+/// replay (`ops` from a trace file) and the crash sweep (`arm_crash`
+/// kills one shard's k-th VFS mutation).
+#[derive(Clone, Copy, Debug)]
+pub struct RunSpec<'a> {
+    /// Seed for every per-shard VFS fault stream.
+    pub seed: u64,
+    /// Recorded in the trace (the schedule itself already reflects it).
+    pub faults: bool,
+    /// Shard count: the world routes exactly like a real sharded store.
+    pub shards: usize,
+    /// Random-fault plan installed on every shard's VFS.
+    pub plan: FaultPlan,
+    /// The schedule to execute.
+    pub ops: &'a [Op],
+    /// Full check every N steps (0 = only the final check).
+    pub check_every: usize,
+    /// Arm shard `.0`'s VFS to crash on its `.1`-th mutating operation.
+    pub arm_crash: Option<(usize, u64)>,
 }
 
 /// Why a run failed: the step index (if the failure is attributable to
@@ -97,18 +131,26 @@ impl std::fmt::Display for SimFailure {
 pub struct RunReport {
     /// The captured trace (hash it for the determinism witness).
     pub trace: Trace,
-    /// Fault-induced engine restarts that recovered successfully.
+    /// Fault-induced recoveries (single-shard reopens and full reboots).
     pub restarts: u64,
     /// Live entities at the end of the run.
     pub final_entities: u64,
-    /// Total mutating VFS operations (the crash-sweep's point space).
+    /// Total mutating VFS operations across every shard.
     pub vfs_mutations: u64,
+    /// Mutating VFS operations per shard (the crash-sweep's point space:
+    /// each shard's disk is an independently killable crash domain).
+    pub vfs_mutations_per_shard: Vec<u64>,
 }
 
 struct World {
-    vfs: Arc<SimVfs>,
+    /// One fault-injecting backend per shard — independent crash domains.
+    vfss: Vec<Arc<SimVfs>>,
+    /// Fault-free backend for the shard manifest: the manifest is written
+    /// once at store creation and belongs to no crash domain; injecting
+    /// faults there would test [`cind_storage::Manifest`], not recovery.
+    meta_vfs: Arc<SimVfs>,
     clock: Arc<VirtualClock>,
-    engine: Engine,
+    engine: ShardedEngine,
     oracle: Oracle,
     workload: Vec<Vec<String>>,
     restarts: u64,
@@ -128,37 +170,66 @@ pub(crate) fn sim_engine_options(vfs: Arc<SimVfs>) -> EngineOptions {
     }
 }
 
-/// Opens (or recovers) the engine, retrying through injected faults. The
-/// first [`SUPPRESS_AFTER`] attempts keep random faults live — recovery
-/// itself must survive short reads — later attempts suppress them so a
-/// hostile fault plan cannot wedge the run. An armed-but-unfired
+/// Seed for shard `i`'s VFS fault stream (shard 0 keeps the historical
+/// derivation so single-shard runs stay comparable across versions).
+pub fn shard_vfs_seed(seed: u64, i: usize) -> u64 {
+    (seed ^ 0xD6E8_FEB8_6659_FD93) ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The sharded options a simulation world opens the store with: the
+/// fault-free meta VFS as the default (manifest I/O) and one fault
+/// backend per shard.
+pub fn sim_sharded_options(
+    meta_vfs: &Arc<SimVfs>,
+    vfss: &[Arc<SimVfs>],
+) -> ShardedOptions {
+    let mut opts = ShardedOptions::new(sim_engine_options(Arc::clone(meta_vfs)), vfss.len());
+    opts.shard_vfs = vfss.iter().map(|v| Arc::clone(v) as Arc<dyn Vfs>).collect();
+    opts
+}
+
+/// Opens (or recovers) the whole sharded engine, retrying through injected
+/// faults. The first [`SUPPRESS_AFTER`] attempts keep random faults live —
+/// recovery itself must survive short reads — later attempts suppress them
+/// so a hostile fault plan cannot wedge the run. An armed-but-unfired
 /// crash-point may fire *during* recovery; it is treated like any other
 /// crash: cleared, then recovery is retried against the surviving bytes.
-fn open_engine(vfs: &Arc<SimVfs>) -> Result<Engine, String> {
+fn open_sharded(
+    meta_vfs: &Arc<SimVfs>,
+    vfss: &[Arc<SimVfs>],
+) -> Result<ShardedEngine, String> {
     let mut last = String::new();
     for attempt in 0..OPEN_RETRIES {
         if attempt >= SUPPRESS_AFTER {
-            vfs.set_suppress(true);
+            for vfs in vfss {
+                vfs.set_suppress(true);
+            }
         }
-        match Engine::open(Path::new(STORE_DIR), sim_engine_options(Arc::clone(vfs))) {
+        match ShardedEngine::open(Path::new(STORE_DIR), sim_sharded_options(meta_vfs, vfss)) {
             Ok(engine) => {
-                vfs.set_suppress(false);
+                for vfs in vfss {
+                    vfs.set_suppress(false);
+                }
                 return Ok(engine);
             }
             Err(e) => {
                 last = e.to_string();
-                if vfs.crashed() {
-                    vfs.clear_crash();
+                for vfs in vfss {
+                    if vfs.crashed() {
+                        vfs.clear_crash();
+                    }
                 }
             }
         }
     }
-    vfs.set_suppress(false);
+    for vfs in vfss {
+        vfs.set_suppress(false);
+    }
     Err(format!("recovery failed after {OPEN_RETRIES} attempts: {last}"))
 }
 
 /// Fault vs. logical classification of an engine error. Fault errors mean
-/// durability is in doubt and force a restart; logical errors must match
+/// durability is in doubt and force a recovery; logical errors must match
 /// the oracle's own rejection.
 fn is_fault(e: &ServerError) -> bool {
     fn storage_fault(s: &StorageError) -> bool {
@@ -188,46 +259,64 @@ fn oracle_attrs(attrs: &[(String, i64)]) -> Vec<(String, Value)> {
 /// # Errors
 /// The first divergence, recovery failure or invariant violation.
 pub fn run(cfg: &SimConfig) -> Result<RunReport, SimFailure> {
-    let ops = generate(cfg.seed, cfg.ops, cfg.faults);
+    let shards = cfg.shards.max(1);
+    let ops = generate(cfg.seed, cfg.ops, cfg.faults, shards);
     let plan = if cfg.faults { FaultPlan::all() } else { FaultPlan::none() };
-    run_ops(cfg.seed, cfg.faults, plan, &ops, cfg.check_every, None)
+    run_ops(&RunSpec {
+        seed: cfg.seed,
+        faults: cfg.faults,
+        shards,
+        plan,
+        ops: &ops,
+        check_every: cfg.check_every,
+        arm_crash: None,
+    })
 }
 
-/// Runs an explicit schedule against a fresh world — the entry point for
-/// replay (`ops` from a trace file) and the crash sweep (`arm_crash`
-/// kills the k-th VFS mutation).
+/// Runs an explicit schedule against a fresh world.
 ///
 /// # Errors
 /// The first divergence, recovery failure or invariant violation.
-pub fn run_ops(
-    seed: u64,
-    faults: bool,
-    plan: FaultPlan,
-    ops: &[Op],
-    check_every: usize,
-    arm_crash: Option<u64>,
-) -> Result<RunReport, SimFailure> {
+pub fn run_ops(spec: &RunSpec<'_>) -> Result<RunReport, SimFailure> {
+    let shards = spec.shards.max(1);
     let clock = Arc::new(VirtualClock::new());
-    let vfs = Arc::new(SimVfs::new(
-        seed ^ 0xD6E8_FEB8_6659_FD93,
-        plan,
+    let vfss: Vec<Arc<SimVfs>> = (0..shards)
+        .map(|i| {
+            Arc::new(SimVfs::new(
+                shard_vfs_seed(spec.seed, i),
+                spec.plan,
+                Arc::clone(&clock),
+            ))
+        })
+        .collect();
+    let meta_vfs = Arc::new(SimVfs::new(
+        spec.seed ^ 0x4D45_5441_4D45_5441,
+        FaultPlan::none(),
         Arc::clone(&clock),
     ));
-    if let Some(k) = arm_crash {
+    if let Some((shard, k)) = spec.arm_crash {
+        let Some(vfs) = vfss.get(shard) else {
+            return Err(SimFailure {
+                step: None,
+                reason: format!("arm_crash targets shard {shard} of a {shards}-shard run"),
+            });
+        };
         vfs.arm_crash(k);
     }
-    let engine = open_engine(&vfs).map_err(|reason| SimFailure { step: None, reason })?;
+    let engine = open_sharded(&meta_vfs, &vfss)
+        .map_err(|reason| SimFailure { step: None, reason })?;
     let mut world = World {
-        vfs,
+        vfss,
+        meta_vfs,
         clock,
         engine,
         oracle: Oracle::new(),
         workload: Vec::new(),
         restarts: 0,
     };
-    let mut trace = Trace::new(seed, faults, ops.to_vec());
+    let mut trace = Trace::new(spec.seed, spec.faults, shards, spec.ops.to_vec());
 
-    for (index, op) in ops.iter().enumerate() {
+    for (index, op) in spec.ops.iter().enumerate() {
         let outcome =
             step(&mut world, op).map_err(|reason| SimFailure { step: Some(index), reason })?;
         let stats = world.engine.stats();
@@ -239,7 +328,7 @@ pub fn run_ops(
             partitions: stats.partitions,
             clock_ns: world.clock.now_ns(),
         });
-        if check_every > 0 && (index + 1) % check_every == 0 {
+        if spec.check_every > 0 && (index + 1) % spec.check_every == 0 {
             full_check(&world.engine, &world.oracle, &world.workload)
                 .map_err(|reason| SimFailure { step: Some(index), reason })?;
         }
@@ -247,10 +336,12 @@ pub fn run_ops(
     full_check(&world.engine, &world.oracle, &world.workload)
         .map_err(|reason| SimFailure { step: None, reason: format!("final check: {reason}") })?;
 
+    let per_shard: Vec<u64> = world.vfss.iter().map(|v| v.mutation_count()).collect();
     Ok(RunReport {
         restarts: world.restarts,
         final_entities: world.oracle.len() as u64,
-        vfs_mutations: world.vfs.mutation_count(),
+        vfs_mutations: per_shard.iter().sum(),
+        vfs_mutations_per_shard: per_shard,
         trace,
     })
 }
@@ -263,19 +354,19 @@ fn step(world: &mut World, op: &Op) -> Result<String, String> {
             let engine_result = world.engine.insert(&wire(*id, attrs)).map(|_| ());
             let mut after = world.oracle.clone();
             let oracle_result = after.insert(*id, &oracle_attrs(attrs));
-            resolve_write(world, op, engine_result, oracle_result, after)
+            resolve_write(world, op, *id, engine_result, oracle_result, after)
         }
         Op::Update { id, attrs } => {
             let engine_result = world.engine.update(&wire(*id, attrs)).map(|_| ());
             let mut after = world.oracle.clone();
             let oracle_result = after.update(*id, &oracle_attrs(attrs));
-            resolve_write(world, op, engine_result, oracle_result, after)
+            resolve_write(world, op, *id, engine_result, oracle_result, after)
         }
         Op::Delete { id } => {
             let engine_result = world.engine.delete(*id);
             let mut after = world.oracle.clone();
             let oracle_result = after.delete(*id);
-            resolve_write(world, op, engine_result, oracle_result, after)
+            resolve_write(world, op, *id, engine_result, oracle_result, after)
         }
         Op::Query { attrs } => step_query(world, attrs),
         Op::Merge => {
@@ -287,27 +378,41 @@ fn step(world: &mut World, op: &Op) -> Result<String, String> {
             resolve_maintenance(world, op, result)
         }
         Op::CrashRestart => {
-            // Kill without warning: drop the engine mid-flight (no
+            // Kill without warning: drop the whole engine mid-flight (no
             // checkpoint, no flush beyond what each op already forced) and
-            // recover from whatever the virtual disk holds.
-            restart(world)?;
-            let diff = content_diff(&world.engine, &world.oracle);
-            match diff {
+            // recover every shard from whatever its virtual disk holds.
+            restart_all(world)?;
+            match content_diff(&world.engine, &world.oracle) {
                 None => Ok("restart".to_string()),
                 Some(d) => Err(format!("state lost across clean kill: {d}")),
             }
         }
         Op::CrashDuringNext { countdown } => {
-            world.vfs.arm_crash(*countdown);
+            // Single-shard form (legacy traces): the crash lands on shard 0.
+            world.vfss[0].arm_crash(*countdown);
             Ok("armed".to_string())
         }
+        Op::CrashShardDuringNext { shard, countdown } => match world.vfss.get(*shard) {
+            Some(vfs) => {
+                vfs.arm_crash(*countdown);
+                Ok(format!("armed shard {shard}"))
+            }
+            None => Err(format!(
+                "schedule targets shard {shard} but the run has {} shards",
+                world.vfss.len()
+            )),
+        },
     }
 }
 
-/// Write-op resolution per the three-way protocol in the module docs.
+/// Write-op resolution per the three-way protocol in the module docs. A
+/// routed write touches exactly one shard — `world.engine.shard_of(id)` —
+/// so a fault there is a *single-domain* failure: the survivors must stay
+/// exact while the victim recovers in place.
 fn resolve_write(
     world: &mut World,
     op: &Op,
+    id: u64,
     engine_result: Result<(), ServerError>,
     oracle_result: Result<(), OracleErr>,
     after: Oracle,
@@ -331,18 +436,25 @@ fn resolve_write(
             )),
         },
         Err(e) => {
-            // Fault: durability ambiguous. Restart and accept whichever
-            // oracle state (pre- or post-op) the disk actually holds; for
+            let victim = world.engine.shard_of(id);
+            // The crash-domain claim, machine-checked: with the victim
+            // down (not yet recovered), every surviving shard still equals
+            // the oracle restricted to the ids it owns. The faulted op's
+            // id routes to the victim, so pre- and post-op oracles agree
+            // on every survivor.
+            surviving_shards_check(world, victim, &world.oracle)?;
+            reopen_victim(world, victim)?;
+            // Durability on the victim is ambiguous: accept whichever
+            // oracle state (pre- or post-op) its disk actually held; for
             // an op the oracle itself rejects, only the pre-state is legal.
-            restart(world)?;
-            let candidates: Vec<(&Oracle, &str)> = if oracle_result.is_ok() {
-                vec![(&world.oracle, "pre-op"), (&after, "post-op")]
+            let candidates: Vec<&Oracle> = if oracle_result.is_ok() {
+                vec![&world.oracle, &after]
             } else {
-                vec![(&world.oracle, "pre-op")]
+                vec![&world.oracle]
             };
             let mut diffs = Vec::new();
             let mut matched: Option<usize> = None;
-            for (i, (cand, _)) in candidates.iter().enumerate() {
+            for (i, cand) in candidates.iter().enumerate() {
                 match content_diff(&world.engine, cand) {
                     None => {
                         matched = Some(i);
@@ -358,8 +470,8 @@ fn resolve_write(
                 }
                 Some(_) => Ok(format!("fault-restart-dropped ({e})")),
                 None => Err(format!(
-                    "after fault `{e}` on `{}`, recovered store matches neither \
-                     pre- nor post-op oracle: {}",
+                    "after fault `{e}` on `{}` (shard {victim}), recovered store \
+                     matches neither pre- nor post-op oracle: {}",
                     op.describe(),
                     diffs.join("; ")
                 )),
@@ -368,8 +480,10 @@ fn resolve_write(
     }
 }
 
-/// Maintenance ops (merge, checkpoint) never change logical content: on a
-/// fault the recovered store must equal the unchanged oracle.
+/// Maintenance ops (merge, checkpoint) never change logical content, but
+/// they fan out over *every* shard, so a fault mid-pass is not a
+/// single-domain failure: reboot the whole engine, after which the store
+/// must equal the unchanged oracle.
 fn resolve_maintenance(
     world: &mut World,
     op: &Op,
@@ -381,7 +495,7 @@ fn resolve_maintenance(
             Err(format!("`{}` failed non-fault: {e}", op.describe()))
         }
         Err(e) => {
-            restart(world)?;
+            restart_all(world)?;
             match content_diff(&world.engine, &world.oracle) {
                 None => Ok(format!("fault-restart ({e})")),
                 Some(d) => Err(format!(
@@ -394,9 +508,17 @@ fn resolve_maintenance(
 }
 
 fn step_query(world: &mut World, attrs: &[String]) -> Result<String, String> {
-    let known = world
-        .engine
-        .with_parts(|table, _| attrs.iter().all(|a| table.catalog().lookup(a).is_some()));
+    // Known = interned on at least one shard (the sharded engine projects
+    // NULL on shards that have never seen the name; only a name unknown
+    // *everywhere* is a typed error, matching the unsharded catalog).
+    let known = attrs.iter().all(|a| {
+        (0..world.engine.shard_count()).any(|s| {
+            world
+                .engine
+                .shard_engine(s)
+                .with_parts(|table, _| table.catalog().lookup(a).is_some())
+        })
+    });
     let result = world.engine.query(attrs);
     if !known {
         return match result {
@@ -433,11 +555,62 @@ fn step_query(world: &mut World, attrs: &[String]) -> Result<String, String> {
     }
 }
 
-/// Reboot: clear the crash flag and recover from the surviving bytes.
-fn restart(world: &mut World) -> Result<(), String> {
-    world.vfs.clear_crash();
-    let engine = open_engine(&world.vfs)?;
-    world.engine = engine;
+/// While the victim shard is down, every other shard must hold *exactly*
+/// the oracle entities that route to it — byte-identical attributes, no
+/// losses, no strays. This runs before the victim is touched, so it is the
+/// literal "surviving shards keep serving, unharmed" property.
+fn surviving_shards_check(
+    world: &World,
+    victim: usize,
+    oracle: &Oracle,
+) -> Result<(), String> {
+    for s in 0..world.engine.shard_count() {
+        if s == victim {
+            continue;
+        }
+        let engine = world.engine.shard_engine(s);
+        if let Some(d) = shard_content_diff(&engine, oracle, |id| world.engine.shard_of(id) == s)
+        {
+            return Err(format!(
+                "surviving shard {s} diverged while shard {victim} was down: {d}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Recovers one crashed shard in place ([`ShardedEngine::reopen_shard`]):
+/// clear its crash flag and retry through injected faults, suppressing
+/// them after [`SUPPRESS_AFTER`] attempts, exactly like a full open. The
+/// other shards are never touched.
+fn reopen_victim(world: &mut World, victim: usize) -> Result<(), String> {
+    let vfs = Arc::clone(&world.vfss[victim]);
+    vfs.clear_crash();
+    let mut last = String::new();
+    let mut recovered = false;
+    for attempt in 0..OPEN_RETRIES {
+        if attempt >= SUPPRESS_AFTER {
+            vfs.set_suppress(true);
+        }
+        match world.engine.reopen_shard(victim) {
+            Ok(()) => {
+                recovered = true;
+                break;
+            }
+            Err(e) => {
+                last = e.to_string();
+                if vfs.crashed() {
+                    vfs.clear_crash();
+                }
+            }
+        }
+    }
+    vfs.set_suppress(false);
+    if !recovered {
+        return Err(format!(
+            "shard {victim} recovery failed after {OPEN_RETRIES} attempts: {last}"
+        ));
+    }
     world.restarts += 1;
     // Recovery must restore a structurally valid store; the content
     // comparison is the caller's job (candidates differ per op class).
@@ -445,9 +618,26 @@ fn restart(world: &mut World) -> Result<(), String> {
     efficiency_check(&world.engine, &world.workload)
 }
 
+/// Full reboot: clear every shard's crash flag and recover the whole
+/// engine from the surviving bytes.
+fn restart_all(world: &mut World) -> Result<(), String> {
+    for vfs in &world.vfss {
+        vfs.clear_crash();
+    }
+    let engine = open_sharded(&world.meta_vfs, &world.vfss)?;
+    world.engine = engine;
+    world.restarts += 1;
+    structural_check(&world.engine)?;
+    efficiency_check(&world.engine, &world.workload)
+}
+
 /// Structural validation + full content equivalence + efficiency
 /// cross-check.
-fn full_check(engine: &Engine, oracle: &Oracle, workload: &[Vec<String>]) -> Result<(), String> {
+fn full_check(
+    engine: &ShardedEngine,
+    oracle: &Oracle,
+    workload: &[Vec<String>],
+) -> Result<(), String> {
     structural_check(engine)?;
     if let Some(d) = content_diff(engine, oracle) {
         return Err(format!("content divergence: {d}"));
@@ -455,7 +645,7 @@ fn full_check(engine: &Engine, oracle: &Oracle, workload: &[Vec<String>]) -> Res
     efficiency_check(engine, workload)
 }
 
-fn structural_check(engine: &Engine) -> Result<(), String> {
+fn structural_check(engine: &ShardedEngine) -> Result<(), String> {
     match engine.validate() {
         Ok(v) if v.is_empty() => Ok(()),
         Ok(v) => Err(format!("structural validation failed: {}", v.join("; "))),
@@ -463,20 +653,43 @@ fn structural_check(engine: &Engine) -> Result<(), String> {
     }
 }
 
-/// Byte-level content comparison: every oracle entity must exist in the
-/// store with exactly the same attribute/value map, and counts must match
-/// (so the store holds nothing extra). Returns the first difference.
-pub(crate) fn content_diff(engine: &Engine, oracle: &Oracle) -> Option<String> {
+/// Byte-level content comparison across every shard: each shard must hold
+/// exactly the oracle entities that hash-route to it, with identical
+/// attribute/value maps. Because the per-shard comparison also matches
+/// counts, an entity that leaked onto the wrong shard shows up twice: as a
+/// stray on the wrong shard and as missing from the right one. Returns the
+/// first difference.
+pub fn content_diff(engine: &ShardedEngine, oracle: &Oracle) -> Option<String> {
+    for s in 0..engine.shard_count() {
+        let shard = engine.shard_engine(s);
+        if let Some(d) = shard_content_diff(&shard, oracle, |id| engine.shard_of(id) == s) {
+            return Some(format!("[shard {s}] {d}"));
+        }
+    }
+    None
+}
+
+/// One shard against the slice of the oracle it owns (`owns` is the
+/// routing predicate): every owned oracle entity must exist with exactly
+/// the same attribute/value map, and counts must match (so the shard holds
+/// nothing extra — in particular nothing routed elsewhere).
+fn shard_content_diff(
+    engine: &Engine,
+    oracle: &Oracle,
+    owns: impl Fn(u64) -> bool,
+) -> Option<String> {
+    let owned: Vec<(u64, &BTreeMap<String, Value>)> =
+        oracle.entities().filter(|(id, _)| owns(*id)).collect();
     engine.with_parts(|table, _| {
-        if table.entity_count() != oracle.len() {
+        if table.entity_count() != owned.len() {
             return Some(format!(
-                "store holds {} entities, oracle {}",
+                "shard holds {} entities, oracle routes it {}",
                 table.entity_count(),
-                oracle.len()
+                owned.len()
             ));
         }
-        for (id, attrs) in oracle.entities() {
-            let entity = match table.get(EntityId(id)) {
+        for (id, attrs) in &owned {
+            let entity = match table.get(EntityId(*id)) {
                 Ok(e) => e,
                 Err(e) => return Some(format!("oracle entity {id} unreadable: {e}")),
             };
@@ -493,7 +706,7 @@ pub(crate) fn content_diff(engine: &Engine, oracle: &Oracle) -> Option<String> {
                     }
                 }
             }
-            if &got != attrs {
+            if &got != *attrs {
                 return Some(format!(
                     "entity {id} diverges: store {got:?}, oracle {attrs:?}"
                 ));
@@ -508,21 +721,45 @@ pub(crate) fn content_diff(engine: &Engine, oracle: &Oracle) -> Option<String> {
 /// partition size = sum of members) and compares it against the core
 /// implementation, which uses the partitioner's *maintained* synopses —
 /// so a drifted synopsis or size counter shows up here even when pruning
-/// happens to stay correct.
-fn efficiency_check(engine: &Engine, workload: &[Vec<String>]) -> Result<(), String> {
-    engine.with_parts(|table, cindy| {
-        let queries = workload_synopses(table, workload);
-        let core_eff = efficiency(table, cindy, &queries);
-        let independent = independent_efficiency(table, &queries)?;
-        if (core_eff - independent).abs() > 1e-9 {
+/// happens to stay correct. Per shard the comparison is on exact integer
+/// counters; globally the check asserts the aggregation contract —
+/// EFFICIENCY over the whole store is Σrelevant / Σread of the raw summed
+/// counters, never an average of per-shard ratios.
+fn efficiency_check(engine: &ShardedEngine, workload: &[Vec<String>]) -> Result<(), String> {
+    let mut core_total = (0u64, 0u64);
+    let mut independent_total = (0u64, 0u64);
+    for s in 0..engine.shard_count() {
+        let shard = engine.shard_engine(s);
+        let (core, independent) = shard.with_parts(|table, cindy| {
+            // Each shard interns names independently: rebuild the query
+            // synopses against this shard's own catalog.
+            let queries = workload_synopses(table, workload);
+            let core = efficiency_counters_for(table, cindy, &queries);
+            independent_counters(table, &queries).map(|ind| (core, ind))
+        })?;
+        if core != independent {
             return Err(format!(
-                "EFFICIENCY(P) mismatch: core {core_eff} vs independent recompute \
-                 {independent} over {} queries",
-                queries.len()
+                "shard {s} EFFICIENCY(P) counters mismatch: core {core:?} vs \
+                 independent recompute {independent:?} over {} query shapes",
+                workload.len()
             ));
         }
-        Ok(())
-    })
+        core_total = (core_total.0 + core.0, core_total.1 + core.1);
+        independent_total =
+            (independent_total.0 + independent.0, independent_total.1 + independent.1);
+    }
+    let ratio = |(rel, read): (u64, u64)| {
+        if read == 0 { 1.0 } else { rel as f64 / read as f64 }
+    };
+    let global_core = ratio(core_total);
+    let global_independent = ratio(independent_total);
+    if (global_core - global_independent).abs() > 1e-12 {
+        return Err(format!(
+            "global EFFICIENCY(P) mismatch: {global_core} from core counters vs \
+             {global_independent} from raw recompute"
+        ));
+    }
+    Ok(())
 }
 
 fn workload_synopses(table: &UniversalTable, workload: &[Vec<String>]) -> Vec<Synopsis> {
@@ -539,10 +776,10 @@ fn workload_synopses(table: &UniversalTable, workload: &[Vec<String>]) -> Vec<Sy
         .collect()
 }
 
-fn independent_efficiency(
+fn independent_counters(
     table: &UniversalTable,
     queries: &[Synopsis],
-) -> Result<f64, String> {
+) -> Result<(u64, u64), String> {
     let universe = table.universe();
     let mut relevant: u64 = 0;
     let mut read: u64 = 0;
@@ -571,30 +808,52 @@ fn independent_efficiency(
             queries.iter().filter(|q| !q.is_disjoint(&partition_synopsis)).count() as u64;
         read += hits * partition_size;
     }
-    // Definition 1's denominator-zero case: a workload that reads nothing
-    // is vacuously efficient (see DESIGN.md).
-    Ok(if read == 0 { 1.0 } else { relevant as f64 / read as f64 })
+    Ok((relevant, read))
 }
 
-/// Crash-schedule exploration: runs the schedule once fault-free to count
-/// the VFS mutation space, then re-runs it once per mutation index with a
-/// crash armed exactly there, requiring full recovery and oracle
-/// equivalence every time. Returns the number of crash-points exercised.
+/// Crash-schedule exploration, per crash domain: runs the schedule once
+/// fault-free to count each shard's VFS mutation space, then re-runs it
+/// once per (shard, mutation-index) pair with a crash armed exactly there,
+/// requiring full recovery and oracle equivalence every time — the
+/// machine-checked form of "N independent crash domains". Returns the
+/// number of crash-points exercised across all shards.
 ///
 /// # Errors
 /// The first crash-point whose recovery diverges.
-pub fn crash_sweep(seed: u64, ops_count: usize) -> Result<u64, SimFailure> {
-    let ops = generate(seed, ops_count, false);
-    let base = run_ops(seed, false, FaultPlan::none(), &ops, 0, None)?;
-    let points = base.vfs_mutations;
-    for k in 0..points {
-        // Dirty tears on, random faults off: the crash is the experiment.
-        run_ops(seed, false, FaultPlan::crash_only(), &ops, 0, Some(k)).map_err(|f| {
-            SimFailure {
+pub fn crash_sweep(seed: u64, ops_count: usize, shards: usize) -> Result<u64, SimFailure> {
+    let shards = shards.max(1);
+    let ops = generate(seed, ops_count, false, shards);
+    let base = run_ops(&RunSpec {
+        seed,
+        faults: false,
+        shards,
+        plan: FaultPlan::none(),
+        ops: &ops,
+        check_every: 0,
+        arm_crash: None,
+    })?;
+    let mut points = 0u64;
+    for (shard, &count) in base.vfs_mutations_per_shard.iter().enumerate() {
+        for k in 0..count {
+            // Dirty tears on, random faults off: the crash is the experiment.
+            run_ops(&RunSpec {
+                seed,
+                faults: false,
+                shards,
+                plan: FaultPlan::crash_only(),
+                ops: &ops,
+                check_every: 0,
+                arm_crash: Some((shard, k)),
+            })
+            .map_err(|f| SimFailure {
                 step: f.step,
-                reason: format!("crash-point {k}/{points}: {}", f.reason),
-            }
-        })?;
+                reason: format!(
+                    "crash-point {k}/{count} on shard {shard}: {}",
+                    f.reason
+                ),
+            })?;
+            points += 1;
+        }
     }
     Ok(points)
 }
@@ -605,27 +864,45 @@ mod tests {
 
     #[test]
     fn faultless_run_passes_every_check() {
-        let report = run(&SimConfig { seed: 1, ops: 300, faults: false, check_every: 1 })
-            .expect("faultless run");
+        let cfg = SimConfig { seed: 1, ops: 300, faults: false, shards: 1, check_every: 1 };
+        let report = run(&cfg).expect("faultless run");
         assert_eq!(report.restarts, 0);
         assert!(report.final_entities > 0);
         // Determinism: same seed, same trace hash.
-        let again = run(&SimConfig { seed: 1, ops: 300, faults: false, check_every: 1 })
-            .expect("rerun");
+        let again = run(&cfg).expect("rerun");
         assert_eq!(report.trace.hash(), again.trace.hash());
     }
 
     #[test]
     fn faulty_run_recovers_and_stays_deterministic() {
-        let cfg = SimConfig { seed: 7, ops: 400, faults: true, check_every: 4 };
+        let cfg = SimConfig { seed: 7, ops: 400, faults: true, shards: 1, check_every: 4 };
         let a = run(&cfg).expect("faulty run");
         let b = run(&cfg).expect("faulty rerun");
         assert_eq!(a.trace.hash(), b.trace.hash(), "fault stream must be deterministic");
     }
 
     #[test]
+    fn sharded_faulty_run_recovers_and_stays_deterministic() {
+        let cfg = SimConfig { seed: 13, ops: 400, faults: true, shards: 3, check_every: 4 };
+        let a = run(&cfg).expect("sharded faulty run");
+        let b = run(&cfg).expect("sharded faulty rerun");
+        assert_eq!(a.trace.hash(), b.trace.hash(), "sharded runs must be deterministic");
+        assert_eq!(a.vfs_mutations_per_shard.len(), 3);
+        // Routing spreads the workload: every crash domain saw real I/O.
+        for (s, &m) in a.vfs_mutations_per_shard.iter().enumerate() {
+            assert!(m > 0, "shard {s} performed no VFS mutations");
+        }
+    }
+
+    #[test]
     fn small_crash_sweep_recovers_everywhere() {
-        let points = crash_sweep(3, 25).expect("sweep");
+        let points = crash_sweep(3, 25, 1).expect("sweep");
         assert!(points > 0, "schedule produced no crash-points");
+    }
+
+    #[test]
+    fn sharded_crash_sweep_kills_each_domain_separately() {
+        let points = crash_sweep(5, 20, 2).expect("sharded sweep");
+        assert!(points > 0, "sharded schedule produced no crash-points");
     }
 }

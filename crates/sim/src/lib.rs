@@ -11,7 +11,10 @@
 //!   crate's [`cind_storage::Vfs`] seam, injecting seeded faults: torn
 //!   writes (truncate mid-buffer, optionally followed by garbage), short
 //!   reads, `ENOSPC`, failed fsyncs, virtual latency, and armed
-//!   crash-points that kill the k-th mutating operation.
+//!   crash-points that kill the k-th mutating operation. A sharded run
+//!   gives every shard its *own* `SimVfs` — N independent crash domains —
+//!   so an armed crash kills exactly one shard while the harness proves
+//!   the survivors stay byte-exact and the victim recovers in place.
 //! * [`schedule`] — a seeded generator of insert/update/delete/query/
 //!   merge/checkpoint/crash operation streams, mostly valid with a
 //!   deliberate minority of invalid ops.
@@ -42,7 +45,10 @@ pub mod selftest;
 pub mod trace;
 pub mod vfs;
 
-pub use harness::{crash_sweep, run, run_ops, RunReport, SimConfig, SimFailure};
+pub use harness::{
+    content_diff, crash_sweep, run, run_ops, shard_vfs_seed, sim_sharded_options, RunReport,
+    RunSpec, SimConfig, SimFailure,
+};
 pub use schedule::{generate, Op};
 pub use selftest::{self_test, SelfTestReport};
 pub use trace::{shrink_ops, Trace};

@@ -51,11 +51,21 @@ pub enum Op {
     Merge,
     /// Checkpoint: fold the WAL into a fresh snapshot.
     Checkpoint,
-    /// Kill the engine without warning and recover from disk.
+    /// Kill the whole engine without warning and recover from disk.
     CrashRestart,
-    /// Arm the VFS to crash mid-I/O `countdown` mutations from now.
+    /// Arm the VFS to crash mid-I/O `countdown` mutations from now
+    /// (single-shard form: the crash lands on shard 0's backend).
     CrashDuringNext {
         /// Mutating VFS operations until the crash fires.
+        countdown: u64,
+    },
+    /// Arm *one shard's* VFS to crash mid-I/O `countdown` of that shard's
+    /// mutations from now. The other shards keep serving: the harness must
+    /// prove they stay byte-exact while the victim recovers alone.
+    CrashShardDuringNext {
+        /// The victim crash domain.
+        shard: usize,
+        /// Mutating VFS operations on that shard until the crash fires.
         countdown: u64,
     },
 }
@@ -74,6 +84,9 @@ impl Op {
             Op::CrashRestart => "crash-restart".to_string(),
             Op::CrashDuringNext { countdown } => {
                 format!("crash-during-next (countdown {countdown})")
+            }
+            Op::CrashShardDuringNext { shard, countdown } => {
+                format!("crash-shard-during-next (shard {shard}, countdown {countdown})")
             }
         }
     }
@@ -122,6 +135,11 @@ impl Op {
             }
             Op::CrashDuringNext { countdown } => Json::Obj(vec![
                 ("op".into(), Json::Str("crash-during-next".into())),
+                ("countdown".into(), Json::Num(*countdown as i64)),
+            ]),
+            Op::CrashShardDuringNext { shard, countdown } => Json::Obj(vec![
+                ("op".into(), Json::Str("crash-shard-during-next".into())),
+                ("shard".into(), Json::Num(*shard as i64)),
                 ("countdown".into(), Json::Num(*countdown as i64)),
             ]),
         }
@@ -173,6 +191,17 @@ impl Op {
                     .and_then(Json::as_u64)
                     .ok_or("crash-during-next missing 'countdown'")?,
             }),
+            "crash-shard-during-next" => Ok(Op::CrashShardDuringNext {
+                shard: json
+                    .get("shard")
+                    .and_then(Json::as_u64)
+                    .ok_or("crash-shard-during-next missing 'shard'")?
+                    as usize,
+                countdown: json
+                    .get("countdown")
+                    .and_then(Json::as_u64)
+                    .ok_or("crash-shard-during-next missing 'countdown'")?,
+            }),
             _ => Err("unknown op tag"),
         }
     }
@@ -185,9 +214,11 @@ fn group_attr(group: usize, idx: usize) -> String {
 /// Generates a seeded schedule of `n` operations. With `faults` off, no
 /// crash operations are emitted (the random-fault knobs live in the VFS
 /// plan, not here — this flag only gates the *scheduled* crash ops so a
-/// fault-free run is a pure functional test).
+/// fault-free run is a pure functional test). With `shards > 1` the
+/// mid-I/O crash ops pick a victim shard, so a schedule exercises
+/// single-domain failures while the other domains keep serving.
 #[must_use]
-pub fn generate(seed: u64, n: usize, faults: bool) -> Vec<Op> {
+pub fn generate(seed: u64, n: usize, faults: bool, shards: usize) -> Vec<Op> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC14D_E13A_5C4E_D41E);
     let mut ops = Vec::with_capacity(n);
     let mut next_id: u64 = 1;
@@ -234,10 +265,18 @@ pub fn generate(seed: u64, n: usize, faults: bool) -> Vec<Op> {
             84..=86 => Op::Merge,
             // 4%: checkpoint
             87..=90 => Op::Checkpoint,
-            // 3%: clean-kill restart
+            // 3%: clean-kill restart (the whole engine, every shard)
             91..=93 => Op::CrashRestart,
-            // 6%: crash mid-I/O a few mutations from now
-            _ => Op::CrashDuringNext { countdown: rng.gen_range(1u64..=8) },
+            // 6%: crash mid-I/O a few mutations from now — on one shard's
+            // backend when sharded, so the blast radius is one crash domain
+            _ => {
+                let countdown = rng.gen_range(1u64..=8);
+                if shards > 1 {
+                    Op::CrashShardDuringNext { shard: rng.gen_range(0..shards), countdown }
+                } else {
+                    Op::CrashDuringNext { countdown }
+                }
+            }
         };
         ops.push(op);
     }
@@ -290,26 +329,52 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(generate(9, 500, true), generate(9, 500, true));
-        assert_ne!(generate(9, 500, true), generate(10, 500, true));
+        assert_eq!(generate(9, 500, true, 1), generate(9, 500, true, 1));
+        assert_ne!(generate(9, 500, true, 1), generate(10, 500, true, 1));
+        assert_eq!(generate(9, 500, true, 4), generate(9, 500, true, 4));
     }
 
     #[test]
     fn faultless_schedules_have_no_crash_ops() {
-        for op in generate(3, 2000, false) {
+        for op in generate(3, 2000, false, 3) {
             assert!(
-                !matches!(op, Op::CrashRestart | Op::CrashDuringNext { .. }),
+                !matches!(
+                    op,
+                    Op::CrashRestart
+                        | Op::CrashDuringNext { .. }
+                        | Op::CrashShardDuringNext { .. }
+                ),
                 "faults-off schedule contains {op:?}"
             );
         }
     }
 
     #[test]
+    fn sharded_schedules_target_in_range_victims() {
+        let shards = 4;
+        let mut targeted = 0usize;
+        for op in generate(21, 2000, true, shards) {
+            assert!(
+                !matches!(op, Op::CrashDuringNext { .. }),
+                "sharded schedule emitted the single-shard crash form"
+            );
+            if let Op::CrashShardDuringNext { shard, countdown } = op {
+                assert!(shard < shards, "victim {shard} out of range");
+                assert!((1..=8).contains(&countdown));
+                targeted += 1;
+            }
+        }
+        assert!(targeted > 0, "no shard-targeted crashes in 2000 ops");
+    }
+
+    #[test]
     fn ops_roundtrip_through_json() {
-        for op in generate(17, 300, true) {
-            let json = op.to_json();
-            let back = Op::from_json(&json).expect("roundtrip");
-            assert_eq!(back, op, "json {json}");
+        for shards in [1usize, 3] {
+            for op in generate(17, 300, true, shards) {
+                let json = op.to_json();
+                let back = Op::from_json(&json).expect("roundtrip");
+                assert_eq!(back, op, "json {json}");
+            }
         }
     }
 }

@@ -1,8 +1,9 @@
 //! Harness self-test: prove the simulator can actually catch a defect.
 //!
 //! A checker that never fires is indistinguishable from a checker that
-//! works. This module injects single-byte bit-rot into a WAL holding
-//! committed entries and classifies what recovery does with it:
+//! works. This module injects single-byte bit-rot into one shard's WAL of
+//! a *sharded* store holding committed entries and classifies what
+//! recovery does with it:
 //!
 //! * **loud** — recovery refuses the log (checksum or decode failure);
 //! * **clean** — recovery succeeds and the store still equals the oracle
@@ -18,22 +19,28 @@
 //! disables WAL body checksum verification in `cind-storage`; under that
 //! build this same sweep must find at least one silent corruption within a
 //! bounded seed budget — demonstrating the oracle end of the harness does
-//! the catching, not just the checksums.
+//! the catching, not just the checksums. Running it against the sharded
+//! layout also pins the layout itself: the corrupted WAL lives at
+//! `shard-NNNN/wal.log`, and only that crash domain's entries are at risk.
 
 use std::path::Path;
 use std::sync::Arc;
 
 use cind_model::Value;
-use cind_server::Engine;
+use cind_server::{shard_dir_name, ShardRouter, ShardedEngine};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::clock::VirtualClock;
-use crate::harness::{content_diff, STORE_DIR};
+use crate::harness::{content_diff, shard_vfs_seed, sim_sharded_options, STORE_DIR};
 use crate::oracle::Oracle;
 use crate::vfs::{FaultPlan, SimVfs};
 
 /// Entities loaded before corrupting the log.
 const LOAD: u64 = 40;
+
+/// Crash domains in the self-test store: enough to prove the sharded
+/// layout while keeping each WAL well-populated.
+const SHARDS: usize = 2;
 
 /// Classification counts over a seed sweep.
 #[derive(Clone, Copy, Debug, Default)]
@@ -101,15 +108,37 @@ enum Outcome {
 
 fn one_seed(seed: u64) -> Result<Outcome, String> {
     let clock = Arc::new(VirtualClock::new());
-    let vfs = Arc::new(SimVfs::new(seed, FaultPlan::none(), clock));
-    let opts = || crate::harness::sim_engine_options(Arc::clone(&vfs));
-    let engine = Engine::open(Path::new(STORE_DIR), opts())
+    let vfss: Vec<Arc<SimVfs>> = (0..SHARDS)
+        .map(|i| {
+            Arc::new(SimVfs::new(shard_vfs_seed(seed, i), FaultPlan::none(), Arc::clone(&clock)))
+        })
+        .collect();
+    let meta_vfs =
+        Arc::new(SimVfs::new(seed ^ 0x4D45_5441_4D45_5441, FaultPlan::none(), Arc::clone(&clock)));
+    let opts = || sim_sharded_options(&meta_vfs, &vfss);
+    let engine = ShardedEngine::open(Path::new(STORE_DIR), opts())
         .map_err(|e| format!("seed {seed}: initial open failed: {e}"))?;
+
+    // Corrupt the busier shard's WAL so there are always committed entries
+    // past the epoch header. Routing depends only on the (fixed) id range,
+    // so the victim is the same for every seed.
+    let router = ShardRouter::new(SHARDS);
+    let mut per_shard = [0u64; SHARDS];
+    for id in 1..=LOAD {
+        per_shard[router.route(id)] += 1;
+    }
+    let victim = per_shard
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &n)| n)
+        .map_or(0, |(s, _)| s);
+    let victim_total = per_shard[victim];
+    let wal_path = Path::new(STORE_DIR).join(shard_dir_name(victim)).join("wal.log");
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5E1F_7E57_5E1F_7E57);
     let mut oracle = Oracle::new();
-    let wal_path = Path::new(STORE_DIR).join("wal.log");
     let mut mid_len = 0usize;
+    let mut victim_seen = 0u64;
     for id in 1..=LOAD {
         let arity = rng.gen_range(1usize..=5);
         let group = rng.gen_range(0u32..4);
@@ -124,16 +153,19 @@ fn one_seed(seed: u64) -> Result<Outcome, String> {
         oracle
             .insert(id, &attrs)
             .map_err(|e| format!("seed {seed}: oracle insert {id} failed: {e:?}"))?;
-        if id == LOAD / 2 {
-            mid_len = vfs.file_len(&wal_path).unwrap_or(0);
+        if router.route(id) == victim {
+            victim_seen += 1;
+            if victim_seen == victim_total / 2 {
+                mid_len = vfss[victim].file_len(&wal_path).unwrap_or(0);
+            }
         }
     }
-    // Kill without checkpoint: the entries live only in the WAL.
+    // Kill without checkpoint: the entries live only in the per-shard WALs.
     drop(engine);
 
-    let bytes = vfs
+    let bytes = vfss[victim]
         .file_bytes(&wal_path)
-        .ok_or_else(|| format!("seed {seed}: no WAL file"))?;
+        .ok_or_else(|| format!("seed {seed}: no WAL file for shard {victim}"))?;
     let lo = first_frame_end(&bytes)
         .ok_or_else(|| format!("seed {seed}: cannot frame the WAL head"))?;
     if mid_len <= lo {
@@ -143,11 +175,11 @@ fn one_seed(seed: u64) -> Result<Outcome, String> {
     // it, so this is never a torn tail.
     let offset = rng.gen_range(lo..mid_len);
     let mask = rng.gen_range(1u32..=255) as u8;
-    if !vfs.corrupt_byte(&wal_path, offset, mask) {
+    if !vfss[victim].corrupt_byte(&wal_path, offset, mask) {
         return Err(format!("seed {seed}: corrupt_byte({offset}) out of range"));
     }
 
-    match Engine::open(Path::new(STORE_DIR), opts()) {
+    match ShardedEngine::open(Path::new(STORE_DIR), opts()) {
         Err(_) => Ok(Outcome::Loud),
         Ok(engine) => match content_diff(&engine, &oracle) {
             Some(_) => Ok(Outcome::Silent),
@@ -164,7 +196,7 @@ mod tests {
     /// corruption through silently; the `sim-defect` build (checksum
     /// verification off) must produce at least one silent corruption the
     /// oracle catches — proving the harness detects what the checksums
-    /// normally hide.
+    /// normally hide, even under the sharded on-disk layout.
     #[test]
     fn bit_rot_is_never_silent_unless_the_defect_is_compiled_in() {
         let budget = if cfg!(feature = "sim-defect") { 24 } else { 12 };

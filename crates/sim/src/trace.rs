@@ -50,10 +50,14 @@ impl StepRecord {
 /// A complete run record.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Trace {
-    /// The seed the run (and its VFS fault stream) derives from.
+    /// The seed the run (and its VFS fault streams) derives from.
     pub seed: u64,
     /// Whether random faults were enabled.
     pub faults: bool,
+    /// Shard count the run was driven against (each shard gets its own
+    /// fault-injecting VFS; routing depends on this, so a replay must use
+    /// the recorded value).
+    pub shards: usize,
     /// The executed schedule.
     pub ops: Vec<Op>,
     /// One record per executed step.
@@ -76,8 +80,8 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 impl Trace {
     /// A trace with a schedule but no executed steps yet.
     #[must_use]
-    pub fn new(seed: u64, faults: bool, ops: Vec<Op>) -> Self {
-        Self { seed, faults, ops, steps: Vec::new() }
+    pub fn new(seed: u64, faults: bool, shards: usize, ops: Vec<Op>) -> Self {
+        Self { seed, faults, shards: shards.max(1), ops, steps: Vec::new() }
     }
 
     /// The determinism witness: FNV-1a over every step's canonical
@@ -98,6 +102,7 @@ impl Trace {
         Json::Obj(vec![
             ("seed".into(), Json::Num(self.seed as i64)),
             ("faults".into(), Json::Bool(self.faults)),
+            ("shards".into(), Json::Num(self.shards as i64)),
             ("hash".into(), Json::Str(format!("{:016x}", self.hash()))),
             ("ops".into(), Json::Arr(self.ops.iter().map(Op::to_json).collect())),
             (
@@ -121,6 +126,9 @@ impl Trace {
             Some(Json::Bool(b)) => *b,
             _ => return Err("trace missing 'faults'"),
         };
+        // Pre-sharding trace files carry no 'shards' field: they ran
+        // against a single-shard world.
+        let shards = doc.get("shards").and_then(Json::as_u64).unwrap_or(1) as usize;
         let ops = doc
             .get("ops")
             .and_then(Json::as_arr)
@@ -128,7 +136,7 @@ impl Trace {
             .iter()
             .map(Op::from_json)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self::new(seed, faults, ops))
+        Ok(Self::new(seed, faults, shards, ops))
     }
 
     /// The recorded hash field of a trace file, if present (used by replay
@@ -194,7 +202,7 @@ mod tests {
 
     #[test]
     fn trace_roundtrips_and_hash_is_stable() {
-        let mut t = Trace::new(5, true, generate(5, 40, true));
+        let mut t = Trace::new(5, true, 3, generate(5, 40, true, 3));
         t.steps.push(StepRecord {
             index: 0,
             op: "insert 1 (2 attrs)".into(),
@@ -209,6 +217,7 @@ mod tests {
         let back = Trace::parse(&text).expect("parse");
         assert_eq!(back.seed, 5);
         assert!(back.faults);
+        assert_eq!(back.shards, 3);
         assert_eq!(back.ops, t.ops);
         assert_eq!(
             Trace::parse_recorded_hash(&text).expect("hash field"),
@@ -217,9 +226,19 @@ mod tests {
     }
 
     #[test]
+    fn traces_without_a_shards_field_default_to_one() {
+        let t = Trace::new(2, false, 1, generate(2, 10, false, 1));
+        // Strip the shards field the way a pre-sharding file would lack it.
+        let text = t.to_json_string().replace("\"shards\":1,", "");
+        assert!(!text.contains("shards"), "field not stripped: {text}");
+        let back = Trace::parse(&text).expect("legacy trace parses");
+        assert_eq!(back.shards, 1);
+    }
+
+    #[test]
     fn shrink_finds_a_single_guilty_op() {
         // Failure iff the schedule contains the merge op.
-        let ops = generate(11, 60, false);
+        let ops = generate(11, 60, false, 1);
         let guilty = ops.iter().position(|o| matches!(o, Op::Merge));
         let Some(_) = guilty else {
             // Seed chosen to contain a merge; if not, the test is vacuous.

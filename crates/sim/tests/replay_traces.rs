@@ -8,12 +8,14 @@
 //!   traces fails here, not in an incident).
 //!
 //! Mint new traces with
-//! `cargo run -p cind-sim -- --seed N --ops K --save-trace traces/<name>.json`
-//! (a failing run saves its shrunk schedule automatically).
+//! `cargo run -p cind-sim -- --seed N --ops K [--shards S] --save-trace
+//! traces/<name>.json` (a failing run saves its shrunk schedule
+//! automatically; the shard count is recorded in the file and wins on
+//! replay).
 
 use std::path::PathBuf;
 
-use cind_sim::{run_ops, FaultPlan, Trace};
+use cind_sim::{run_ops, FaultPlan, RunSpec, Trace};
 
 fn traces_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("traces")
@@ -38,8 +40,16 @@ fn every_committed_trace_replays_to_its_recorded_hash() {
             .unwrap_or_else(|| panic!("{name}: no recorded hash"));
 
         let plan = if trace.faults { FaultPlan::all() } else { FaultPlan::none() };
-        let report = run_ops(trace.seed, trace.faults, plan, &trace.ops, 1, None)
-            .unwrap_or_else(|f| panic!("{name}: replay failed: {f}"));
+        let report = run_ops(&RunSpec {
+            seed: trace.seed,
+            faults: trace.faults,
+            shards: trace.shards,
+            plan,
+            ops: &trace.ops,
+            check_every: 1,
+            arm_crash: None,
+        })
+        .unwrap_or_else(|f| panic!("{name}: replay failed: {f}"));
         assert_eq!(
             report.trace.steps.len(),
             trace.ops.len(),

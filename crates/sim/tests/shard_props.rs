@@ -1,0 +1,214 @@
+//! Property test (ISSUE 6, satellite 3): a crash injected between any two
+//! *per-shard* checkpoints recovers to the oracle.
+//!
+//! The generator picks a victim shard and an arbitrary crash point
+//! (counted in that shard's own mutating VFS operations), drives a
+//! workload that checkpoints shards one at a time round-robin — so the
+//! crash lands between two shard checkpoints, never at a tidy global
+//! barrier — and then proves three things:
+//!
+//! 1. only the victim's crash domain fails (writes routed elsewhere keep
+//!    succeeding, and the fault always surfaces on an operation that
+//!    touched the victim);
+//! 2. `reopen_shard` recovers the victim in place, with the one in-flight
+//!    operation resolving to either fully-applied or fully-absent;
+//! 3. after the run — and again after a full close/reopen of the whole
+//!    store — every shard equals the oracle slice routed to it.
+//!
+//! Cases where the countdown outlives the workload (the crash never
+//! fires) are kept: they pin the fault-free path under the same schedule.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use cind_model::{EntityId, Value};
+use cind_server::{ShardedEngine, WireEntity};
+use cind_sim::clock::VirtualClock;
+use cind_sim::harness::STORE_DIR;
+use cind_sim::oracle::Oracle;
+use cind_sim::{content_diff, shard_vfs_seed, sim_sharded_options, FaultPlan, SimVfs};
+use proptest::prelude::*;
+
+/// Entities inserted before the first round of shard checkpoints.
+const WARMUP: u64 = 24;
+/// Entities inserted while the crash is armed.
+const LIVE: u64 = 36;
+/// A shard checkpoint is taken every this-many live inserts.
+const CHECKPOINT_EVERY: u64 = 7;
+
+struct SimWorld {
+    vfss: Vec<Arc<SimVfs>>,
+    meta_vfs: Arc<SimVfs>,
+}
+
+impl SimWorld {
+    fn new(seed: u64, shards: usize) -> Self {
+        let clock = Arc::new(VirtualClock::new());
+        let vfss = (0..shards)
+            .map(|i| {
+                Arc::new(SimVfs::new(
+                    shard_vfs_seed(seed, i),
+                    FaultPlan::crash_only(),
+                    Arc::clone(&clock),
+                ))
+            })
+            .collect();
+        let meta_vfs = Arc::new(SimVfs::new(
+            seed ^ 0x4D45_5441_4D45_5441,
+            FaultPlan::none(),
+            Arc::clone(&clock),
+        ));
+        Self { vfss, meta_vfs }
+    }
+
+    fn open(&self) -> Result<ShardedEngine, TestCaseError> {
+        ShardedEngine::open(
+            Path::new(STORE_DIR),
+            sim_sharded_options(&self.meta_vfs, &self.vfss),
+        )
+        .map_err(|e| TestCaseError::fail(format!("open failed: {e}")))
+    }
+}
+
+fn wire(id: u64) -> WireEntity {
+    WireEntity {
+        id,
+        attrs: vec![
+            (format!("g{}_x", id % 4), Value::Int(id as i64)),
+            (format!("g{}_y", id % 4), Value::Text(format!("p{id}"))),
+        ],
+    }
+}
+
+fn record(oracle: &mut Oracle, e: &WireEntity) -> Result<(), TestCaseError> {
+    oracle
+        .insert(e.id, &e.attrs)
+        .map_err(|err| TestCaseError::fail(format!("oracle insert {}: {err:?}", e.id)))
+}
+
+/// Clears the victim's crash flag and recovers it in place. With a
+/// crash-only fault plan there is no random-fault noise, so a single
+/// `reopen_shard` must succeed.
+fn recover_victim(
+    world: &SimWorld,
+    engine: &ShardedEngine,
+    victim: usize,
+) -> Result<(), TestCaseError> {
+    world.vfss[victim].clear_crash();
+    engine
+        .reopen_shard(victim)
+        .map_err(|e| TestCaseError::fail(format!("reopen_shard({victim}) failed: {e}")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn a_crash_between_any_two_shard_checkpoints_recovers_to_the_oracle(
+        seed in 0u64..10_000,
+        shards in 2usize..=4,
+        victim_pick in 0usize..64,
+        countdown in 1u64..120,
+    ) {
+        let victim = victim_pick % shards;
+        let world = SimWorld::new(seed, shards);
+        let engine = world.open()?;
+        let mut oracle = Oracle::new();
+
+        // Warm-up: committed baseline, then one checkpoint per shard so
+        // every crash domain owns durable state before the fault is armed.
+        for id in 1..=WARMUP {
+            let e = wire(id);
+            engine.insert(&e).map_err(|err| {
+                TestCaseError::fail(format!("warm-up insert {id} failed: {err}"))
+            })?;
+            record(&mut oracle, &e)?;
+        }
+        for s in 0..shards {
+            engine
+                .checkpoint_shard(s)
+                .map_err(|e| TestCaseError::fail(format!("warm-up checkpoint {s}: {e}")))?;
+        }
+
+        // Arm the crash on the victim's own VFS: it fires on that shard's
+        // `countdown`-th mutating operation from here, wherever that falls
+        // in the interleaved insert/checkpoint stream.
+        world.vfss[victim].arm_crash(countdown);
+
+        let mut fired = false;
+        let mut next_checkpoint = 0usize;
+        for id in (WARMUP + 1)..=(WARMUP + LIVE) {
+            let e = wire(id);
+            let home = engine.shard_of(id);
+            match engine.insert(&e) {
+                Ok(_) => record(&mut oracle, &e)?,
+                Err(_) => {
+                    // Only the victim's domain can fail, and only once.
+                    prop_assert!(!fired, "second fault after recovery");
+                    prop_assert_eq!(home, victim, "fault surfaced off the victim shard");
+                    prop_assert!(world.vfss[victim].crashed(), "insert failed without a crash");
+                    fired = true;
+                    recover_victim(&world, &engine, victim)?;
+                    // The in-flight insert is pre-or-post: keep the oracle
+                    // on whichever state the recovered shard exposes.
+                    let present = engine
+                        .shard_engine(victim)
+                        .with_parts(|table, _| table.get(EntityId(id)).is_ok());
+                    if present {
+                        record(&mut oracle, &e)?;
+                    }
+                }
+            }
+            if (id - WARMUP).is_multiple_of(CHECKPOINT_EVERY) {
+                let s = next_checkpoint % shards;
+                next_checkpoint += 1;
+                match engine.checkpoint_shard(s) {
+                    Ok(()) => {}
+                    Err(_) => {
+                        prop_assert!(!fired, "second fault after recovery");
+                        prop_assert_eq!(s, victim, "checkpoint fault off the victim shard");
+                        prop_assert!(world.vfss[victim].crashed());
+                        fired = true;
+                        // A checkpoint never changes logical content: no
+                        // oracle ambiguity to resolve.
+                        recover_victim(&world, &engine, victim)?;
+                    }
+                }
+            }
+        }
+
+        // Live-engine equivalence: every shard equals its oracle slice.
+        if let Some(diff) = content_diff(&engine, &oracle) {
+            return Err(TestCaseError::fail(format!(
+                "post-recovery divergence (fired={fired}): {diff}"
+            )));
+        }
+        let issues = engine
+            .validate()
+            .map_err(|e| TestCaseError::fail(format!("validate errored: {e}")))?;
+        prop_assert!(issues.is_empty(), "structural issues: {}", issues.join("; "));
+
+        // Cold-restart equivalence: close everything and reopen from the
+        // surviving bytes alone. A countdown that outlived the live phase
+        // is still armed here and may fire during shutdown flush or
+        // recovery itself — that is one more legitimate crash point:
+        // reboot the victim's filesystem and recover again.
+        drop(engine);
+        let reopened = match world.open() {
+            Ok(e) => e,
+            Err(_) => {
+                prop_assert!(
+                    world.vfss[victim].crashed(),
+                    "cold reopen failed without the victim having crashed"
+                );
+                world.vfss[victim].clear_crash();
+                world.open()?
+            }
+        };
+        if let Some(diff) = content_diff(&reopened, &oracle) {
+            return Err(TestCaseError::fail(format!(
+                "post-restart divergence (fired={fired}): {diff}"
+            )));
+        }
+    }
+}

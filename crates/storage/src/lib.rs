@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod manifest;
 pub mod page;
 pub mod persist;
 pub mod record;
@@ -53,6 +54,7 @@ pub use page::{Page, SlotId, PAGE_SIZE};
 pub use persist::PersistError;
 pub use record::{decode_entity, encode_entity};
 pub use segment::{RecordId, Segment, SegmentId};
-pub use table::{ReadView, UniversalTable};
+pub use manifest::Manifest;
+pub use table::{ReadView, TableSnapshot, UniversalTable};
 pub use vfs::{FileSink, RealVfs, Vfs, VfsFile};
 pub use wal::{read_epoch, replay, ReplayReport};

@@ -1,5 +1,7 @@
 //! Segments: the physical storage of one partition.
 
+use std::sync::Arc;
+
 use crate::page::{Page, SlotId, MAX_RECORD};
 use crate::StorageError;
 
@@ -35,10 +37,16 @@ impl std::fmt::Display for RecordId {
 /// append-mostly policy that matches Cinderella's workload, where partitions
 /// grow by insertion and shrink only by whole-partition splits or sporadic
 /// deletes.
-#[derive(Debug)]
+///
+/// Pages are held behind [`Arc`] so a `clone()` of the segment is O(pages)
+/// pointer copies, not O(bytes): snapshot readers (see
+/// `UniversalTable::snapshot`) share page contents with the live segment,
+/// and the first mutation of a shared page copies just that 8 KiB page
+/// (`Arc::make_mut`) — copy-on-write at page granularity.
+#[derive(Clone, Debug)]
 pub struct Segment {
     id: SegmentId,
-    pages: Vec<Page>,
+    pages: Vec<Arc<Page>>,
     active: usize,
     records: usize,
 }
@@ -76,7 +84,7 @@ impl Segment {
 
     /// Borrow page `i`, if allocated.
     pub fn page(&self, i: u32) -> Option<&Page> {
-        self.pages.get(i as usize)
+        self.pages.get(i as usize).map(Arc::as_ref)
     }
 
     /// Inserts a serialized record, returning its address.
@@ -88,19 +96,23 @@ impl Segment {
         if rec.len() > MAX_RECORD {
             return Err(StorageError::RecordTooLarge { len: rec.len(), max: MAX_RECORD });
         }
-        // Fast path: the active page.
+        // Fast path: the active page. `fits` is checked on the shared page
+        // before `Arc::make_mut` so a full page is never copied just to
+        // discover there is no room.
         if let Some(page) = self.pages.get_mut(self.active) {
-            if let Some(slot) = page.insert(rec) {
-                self.records += 1;
-                return Ok(RecordId { page: self.active as u32, slot });
+            if page.fits(rec.len()) {
+                if let Some(slot) = Arc::make_mut(page).insert(rec) {
+                    self.records += 1;
+                    return Ok(RecordId { page: self.active as u32, slot });
+                }
             }
         }
         // Slow path: first page with room (reclaims holes left by deletes).
         for (i, page) in self.pages.iter_mut().enumerate() {
-            if i == self.active {
+            if i == self.active || !page.fits(rec.len()) {
                 continue;
             }
-            if let Some(slot) = page.insert(rec) {
+            if let Some(slot) = Arc::make_mut(page).insert(rec) {
                 self.active = i;
                 self.records += 1;
                 return Ok(RecordId { page: i as u32, slot });
@@ -109,7 +121,7 @@ impl Segment {
         // Allocate.
         let mut page = Page::new();
         let slot = page.insert(rec).expect("record fits an empty page");
-        self.pages.push(page);
+        self.pages.push(Arc::new(page));
         self.active = self.pages.len() - 1;
         self.records += 1;
         Ok(RecordId { page: self.active as u32, slot })
@@ -139,7 +151,7 @@ impl Segment {
             .get(rid.slot)
             .ok_or(StorageError::NoSuchRecord(self.id, rid))?
             .to_vec();
-        page.delete(rid.slot);
+        Arc::make_mut(page).delete(rid.slot);
         self.records -= 1;
         Ok(bytes)
     }
@@ -208,6 +220,19 @@ mod tests {
         let rid = s.insert(&rec).unwrap();
         assert_eq!(rid.page, 0);
         assert_eq!(s.page_count(), 2);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut s = Segment::new(SegmentId(1));
+        let a = s.insert(b"original").unwrap();
+        let snap = s.clone();
+        s.delete(a).unwrap();
+        let b = s.insert(b"replacement").unwrap();
+        // The clone still sees the pre-mutation page; the live segment moved on.
+        assert_eq!(snap.get(a).unwrap(), b"original");
+        assert_eq!(snap.record_count(), 1);
+        assert_eq!(s.get(b).unwrap(), b"replacement");
     }
 
     #[test]

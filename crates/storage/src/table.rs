@@ -38,7 +38,9 @@ pub struct UniversalTable {
     catalog: AttributeCatalog,
     segments: BTreeMap<SegmentId, Segment>,
     locator: std::collections::HashMap<EntityId, (SegmentId, RecordId)>,
-    pool: BufferPool,
+    /// Shared with any outstanding [`TableSnapshot`] so snapshot scans keep
+    /// feeding the same I/O counters as live scans.
+    pool: std::sync::Arc<BufferPool>,
     next_segment: u32,
     wal: Option<crate::wal::WalSink>,
 }
@@ -56,7 +58,7 @@ impl UniversalTable {
             catalog: AttributeCatalog::new(),
             segments: BTreeMap::new(),
             locator: std::collections::HashMap::new(),
-            pool,
+            pool: std::sync::Arc::new(pool),
             next_segment: 0,
             wal: None,
         }
@@ -128,9 +130,14 @@ impl UniversalTable {
     }
 
     /// Installs (or clears) a simulated I/O cost model on the buffer pool
-    /// (see [`crate::buffer::IoModel`]).
+    /// (see [`crate::buffer::IoModel`]). Only possible while no
+    /// [`TableSnapshot`] shares the pool (i.e. at setup time, before any
+    /// reader exists); with snapshots outstanding the call is a no-op, so
+    /// readers never race a model swap.
     pub fn set_io_model(&mut self, model: Option<std::sync::Arc<dyn crate::buffer::IoModel>>) {
-        self.pool.set_io_model(model);
+        if let Some(pool) = std::sync::Arc::get_mut(&mut self.pool) {
+            pool.set_io_model(model);
+        }
     }
 
     /// The attribute catalog.
@@ -342,6 +349,26 @@ impl UniversalTable {
         }
     }
 
+    /// Captures an *owned*, immutable snapshot of the table's current
+    /// state. (Named `freeze` to stay clear of the persistence-layer
+    /// [`snapshot`](Self::snapshot), which serialises to a byte stream.)
+    ///
+    /// Cheap by construction: segments clone as O(pages) `Arc` bumps (pages
+    /// are copy-on-write, see [`Segment`]), the catalog and locator clone
+    /// eagerly, and the buffer pool is shared so snapshot scans account I/O
+    /// in the same counters as live scans. The snapshot is `Send + Sync`
+    /// and observes none of the table's subsequent mutations — the
+    /// foundation for epoch-based snapshot reads that never block behind a
+    /// writer.
+    pub fn freeze(&self) -> TableSnapshot {
+        TableSnapshot {
+            catalog: self.catalog.clone(),
+            segments: self.segments.clone(),
+            locator: self.locator.clone(),
+            pool: std::sync::Arc::clone(&self.pool),
+        }
+    }
+
     /// Reads one entity by id (a point lookup through the locator; touches
     /// one page).
     pub fn get(&self, entity: EntityId) -> Result<Entity, StorageError> {
@@ -399,6 +426,45 @@ impl UniversalTable {
     /// Collects all entities of `seg` into a vector (testing convenience).
     pub fn scan_collect(&self, seg: SegmentId) -> Result<Vec<Entity>, StorageError> {
         self.read_view().scan_collect(seg)
+    }
+}
+
+/// An owned, immutable snapshot of a [`UniversalTable`]'s state at one
+/// instant (see [`UniversalTable::freeze`]).
+///
+/// Holds its own copy of the catalog, segment map (pages shared
+/// copy-on-write with the live table), and locator, plus a shared handle to
+/// the accounting buffer pool. [`TableSnapshot::view`] yields the same
+/// [`ReadView`] the live table produces, so every read path — point
+/// lookups, tracked scans, parallel query execution — runs unchanged
+/// against a snapshot.
+pub struct TableSnapshot {
+    catalog: AttributeCatalog,
+    segments: BTreeMap<SegmentId, Segment>,
+    locator: std::collections::HashMap<EntityId, (SegmentId, RecordId)>,
+    pool: std::sync::Arc<BufferPool>,
+}
+
+impl TableSnapshot {
+    /// A [`ReadView`] over the snapshot, interchangeable with
+    /// [`UniversalTable::read_view`].
+    pub fn view(&self) -> ReadView<'_> {
+        ReadView {
+            catalog: &self.catalog,
+            segments: &self.segments,
+            locator: &self.locator,
+            pool: &self.pool,
+        }
+    }
+
+    /// The attribute catalog as of the snapshot instant.
+    pub fn catalog(&self) -> &AttributeCatalog {
+        &self.catalog
+    }
+
+    /// Total number of entities as of the snapshot instant.
+    pub fn entity_count(&self) -> usize {
+        self.locator.len()
     }
 }
 
@@ -722,6 +788,32 @@ mod tests {
                 .collect()
         });
         assert_eq!(counts.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        fn assert_send_sync<T: Send + Sync>(_: &T) {}
+        let mut t = UniversalTable::new(64);
+        let seg = t.create_segment();
+        let e1 = entity(&mut t, 1, &[("a", 1)]);
+        t.insert(seg, &e1).unwrap();
+        let snap = t.freeze();
+        assert_send_sync(&snap);
+        // Mutate the live table every way a writer can.
+        let e2 = entity(&mut t, 2, &[("a", 2), ("b", 3)]);
+        t.insert(seg, &e2).unwrap();
+        t.delete(EntityId(1)).unwrap();
+        let extra = t.create_segment();
+        // The snapshot still sees exactly the pre-mutation state.
+        let view = snap.view();
+        assert_eq!(view.entity_count(), 1);
+        assert_eq!(view.get(EntityId(1)).unwrap(), e1);
+        assert!(matches!(view.get(EntityId(2)), Err(StorageError::NoSuchEntity(_))));
+        assert!(view.segment(extra).is_err());
+        assert_eq!(view.scan_collect(seg).unwrap(), vec![e1]);
+        // The live table sees the post-mutation state.
+        assert_eq!(t.entity_count(), 1);
+        assert_eq!(t.get(EntityId(2)).unwrap(), e2);
     }
 
     #[test]

@@ -135,7 +135,8 @@ fn kill_mid_load_recovers_from_wal() {
 
     use cinderella::model::AttributeCatalog;
     use cinderella::server::{
-        Client, Engine, EngineOptions, ServeConfig, Server, ServerError, WireEntity,
+        shard_dir_name, Client, EngineOptions, ServeConfig, Server, ServerError,
+        ShardedEngine, ShardedOptions, WireEntity,
     };
 
     let dir = std::env::temp_dir().join("cind_kill_mid_load");
@@ -157,11 +158,12 @@ fn kill_mid_load_recovers_from_wal() {
         })
         .collect();
 
-    let engine =
-        Arc::new(Engine::open(&dir, EngineOptions::default()).expect("open store"));
+    // Two shards: the crash must be recoverable per crash domain.
+    let opts = ShardedOptions::new(EngineOptions::default(), 2);
+    let engine = Arc::new(ShardedEngine::open(&dir, opts.clone()).expect("open store"));
     let handle = Server::start(
         Arc::clone(&engine),
-        &ServeConfig { workers: 3, queue_depth: 16, ..ServeConfig::default() },
+        &ServeConfig { workers: 3, queue_depth: 16, shards: 2, ..ServeConfig::default() },
     )
     .expect("server start");
     let addr = format!("127.0.0.1:{}", handle.port());
@@ -217,8 +219,8 @@ fn kill_mid_load_recovers_from_wal() {
     let acked = acked.load(Ordering::SeqCst);
     drop(engine); // release the WAL file handle before reopening
 
-    // Recovery: snapshot + WAL-suffix replay + partitioner rebuild.
-    let reopened = Engine::open(&dir, EngineOptions::default()).expect("recover store");
+    // Recovery: per-shard snapshot + WAL-suffix replay + rebuild.
+    let reopened = ShardedEngine::open(&dir, opts).expect("recover store");
     let stats = reopened.stats();
     assert!(
         stats.entities >= acked,
@@ -230,11 +232,15 @@ fn kill_mid_load_recovers_from_wal() {
         "recovered store fails structural validation"
     );
 
-    // `Engine::open` checkpointed on recovery; the snapshot it wrote must
-    // pass the CLI's offline integrity check too.
+    // Recovery checkpointed each shard; every shard's snapshot must pass
+    // the CLI's offline integrity check too.
+    let shards = reopened.shard_count();
     drop(reopened);
-    let report = cind_cli::check(&dir.join("store.cind"), 1024).expect("cind check");
-    assert!(report.starts_with("ok:"), "unexpected check report: {report}");
+    for i in 0..shards {
+        let snap = dir.join(shard_dir_name(i)).join("store.cind");
+        let report = cind_cli::check(&snap, 1024).expect("cind check");
+        assert!(report.starts_with("ok:"), "shard {i}: unexpected check report: {report}");
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }
