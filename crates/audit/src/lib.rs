@@ -6,8 +6,10 @@
 //! code stays panic-free outside a shrinking baseline, that the buffer
 //! pool's shard latches are never held across another acquisition, that
 //! every [`Config`] knob reaches the CLI, that deterministic
-//! replay/plan paths never read the wall clock, and that no lock guard is
-//! held across the sharded engine's fan-out calls.
+//! replay/plan paths never read the wall clock, that no lock guard is
+//! held across the sharded engine's fan-out calls, and that every
+//! sync/flush decision in the serving crate stays inside the group-commit
+//! coordinator.
 //!
 //! The pass is deliberately line/token-level, not AST-level: it has zero
 //! dependencies, so it builds and runs even when the rest of the workspace
@@ -27,6 +29,7 @@
 //! | CIND-A004 | every `Config` field is documented and wired to a CLI flag |
 //! | CIND-A005 | no `Instant::now`/`SystemTime` in deterministic replay/plan paths |
 //! | CIND-A006 | no lock guard held across a shard fan-out call in the sharded engine |
+//! | CIND-A007 | no `sync`/`flush` calls in the serving crate outside the group-commit coordinator |
 //!
 //! Run as `cargo run -p cind-audit -- check` (add `--format json` for
 //! machine-readable output, `--write-baseline` to ratchet the panic
@@ -156,6 +159,7 @@ pub fn run_all(files: &[SourceFile], panic_baseline: &BTreeMap<String, u64>) -> 
     out.extend(rules::config_coverage(files));
     out.extend(rules::no_wall_clock(files));
     out.extend(rules::shard_fanout_lock_freedom(files));
+    out.extend(rules::commit_path_sync_discipline(files));
     out.sort_by(|a, b| {
         (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
     });

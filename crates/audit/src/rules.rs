@@ -331,6 +331,46 @@ pub fn shard_fanout_lock_freedom(files: &[SourceFile]) -> Vec<Finding> {
     out
 }
 
+/// CIND-A007: all durability decisions live in the commit coordinator.
+///
+/// The serving crate has exactly one place that is allowed to decide when
+/// bytes become durable: `server/src/commit.rs`, the group-commit
+/// coordinator. A stray `.sync_all()` on a file elsewhere would either
+/// double-sync (silently eating the throughput the coordinator exists to
+/// buy) or — worse — ack data the coordinator never sequenced, breaking
+/// the "acked ⇒ replayable" contract the crash tests pin down. `.flush()`
+/// is banned alongside the sync family: on files it is a durability
+/// half-measure, and on sockets it hides buffering decisions that belong
+/// to the batched writers. Everything outside `crates/server` (storage's
+/// own sinks, the sim VFS, CLI stdout) is out of scope.
+#[must_use]
+pub fn commit_path_sync_discipline(files: &[SourceFile]) -> Vec<Finding> {
+    const SYNCS: [&str; 4] = [".sync(", ".sync_all(", ".sync_data(", ".flush()"];
+    let mut out = Vec::new();
+    for f in files {
+        if !f.path.contains("server/src/") || f.path.ends_with("server/src/commit.rs") {
+            continue;
+        }
+        for (n, line) in lines(&f.code) {
+            for t in SYNCS {
+                if line.contains(t) {
+                    out.push(Finding {
+                        file: f.path.clone(),
+                        line: n,
+                        rule: "CIND-A007",
+                        message: format!(
+                            "`{t}` outside the group-commit coordinator — every \
+                             sync/flush decision in the serving crate belongs to \
+                             commit.rs"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 fn fanout_findings(f: &SourceFile) -> Vec<Finding> {
     const GUARDS: [&str; 3] = [".read()", ".write()", ".lock("];
     const FANOUT: [&str; 2] = [".engines()", "thread::scope"];
@@ -661,5 +701,54 @@ mod tests {
             "fn f(&self) { let g = self.lock.read(); self.engines(); drop(g); }\n",
         );
         assert!(shard_fanout_lock_freedom(&[elsewhere]).is_empty());
+    }
+
+    // ---- CIND-A007 -----------------------------------------------------
+
+    #[test]
+    fn a007_catches_stray_sync_and_flush_in_serving_crate() {
+        let bad = file(
+            "crates/server/src/engine.rs",
+            "fn persist(f: &mut std::fs::File) {\n    f.sync_all().unwrap();\n}\n\
+             fn persist2(f: &mut std::fs::File) {\n    f.sync_data().unwrap();\n}\n\
+             fn push(s: &mut std::net::TcpStream) {\n    s.flush().unwrap();\n}\n",
+        );
+        let found = commit_path_sync_discipline(&[bad]);
+        assert_eq!(found.len(), 3, "{found:?}");
+        assert!(found.iter().all(|f| f.rule == "CIND-A007"));
+        assert_eq!(found[0].line, 2);
+        assert_eq!(found[1].line, 5);
+        assert_eq!(found[2].line, 8);
+    }
+
+    #[test]
+    fn a007_catches_vfs_file_sync_outside_coordinator() {
+        let bad = file(
+            "crates/server/src/server.rs",
+            "fn f(file: &mut Box<dyn VfsFile>) { file.sync().unwrap(); }\n",
+        );
+        assert_eq!(commit_path_sync_discipline(&[bad]).len(), 1);
+    }
+
+    #[test]
+    fn a007_allows_the_coordinator_itself() {
+        let coordinator = file(
+            "crates/server/src/commit.rs",
+            "fn group(file: &mut Box<dyn VfsFile>) { file.sync().unwrap(); }\n",
+        );
+        assert!(commit_path_sync_discipline(&[coordinator]).is_empty());
+    }
+
+    #[test]
+    fn a007_ignores_other_crates_and_test_code() {
+        let storage = file(
+            "crates/storage/src/vfs.rs",
+            "fn f(file: &mut std::fs::File) { file.sync_all().unwrap(); }\n",
+        );
+        let test_only = file(
+            "crates/server/src/client.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn f(s: &mut std::net::TcpStream) { s.flush().unwrap(); }\n}\n",
+        );
+        assert!(commit_path_sync_discipline(&[storage, test_only]).is_empty());
     }
 }

@@ -459,6 +459,10 @@ pub struct WorkloadOptions {
     pub query_every: usize,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Requests kept in flight per connection (`1` = closed loop).
+    pub pipeline: usize,
+    /// Inserts packed per wire-level batch frame (`1` = one per frame).
+    pub batch: usize,
     /// Send a graceful `Shutdown` to the server after the run.
     pub shutdown: bool,
 }
@@ -471,6 +475,8 @@ impl Default for WorkloadOptions {
             attributes: 60,
             query_every: 10,
             seed: 0xC1DE,
+            pipeline: 1,
+            batch: 1,
             shutdown: false,
         }
     }
@@ -490,6 +496,8 @@ pub fn workload(remote: &str, opts: &WorkloadOptions) -> Result<String, CliError
         attributes: opts.attributes,
         query_every: opts.query_every,
         seed: opts.seed,
+        pipeline: opts.pipeline,
+        batch: opts.batch,
     };
     let mut report = cind_server::run_load(remote, &cfg)?;
     let mut out = report.render();

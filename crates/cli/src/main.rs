@@ -25,9 +25,10 @@ USAGE:
   cind check --snapshot TABLE.cind
   cind serve --store DIR [--port P] [--workers N] [--queue-depth K]
              [--pool-pages N] [--query-threads N] [--shards N]
+             [--group-commit-window USEC]
   cind workload --remote HOST:PORT [--connections N] [--entities N]
              [--attributes N] [--query-every K] [--seed S]
-             [--shutdown true|false]
+             [--pipeline K] [--batch N] [--shutdown true|false]
   cind sim   [--seeds N | --seed N] [--ops N] [--faults all|none]
              [--check-every N] [--replay FILE] [--save-trace FILE]
              [--selftest N] [--sweep]
@@ -53,11 +54,18 @@ UNION ALL scan over that many threads. --shards splits the store into N
 independent shards (own writer lock, WAL, and snapshot under
 shard-NNNN/); writes hash-route to one shard, queries fan out over all,
 and the on-disk MANIFEST pins the count for the store's lifetime.
+--group-commit-window lets each shard's fsync leader linger that many
+microseconds collecting concurrent commits into one WAL append + fsync
+(0, the default, syncs every commit individually; durability semantics
+are identical either way).
 Sharded stores keep their snapshots at DIR/shard-NNNN/store.cind — point
 check/stats/query at those files individually.
-workload drives the closed-loop load generator against a running server:
-N connections inserting generated entities with a query every K ops,
-reporting throughput, Busy sheds, and latency percentiles.
+workload drives the load generator against a running server: N
+connections inserting generated entities with a query every K ops,
+reporting throughput, Busy sheds, and latency percentiles (end-to-end
+and service time). --pipeline K keeps K requests in flight per
+connection instead of the closed loop; --batch N packs N inserts per
+wire-level batch frame.
 sim runs the deterministic fault-injection simulator (seeded schedules
 against an in-memory store with torn writes, crashes, and a model-based
 oracle); see `cind sim --help` for the full flag set.
@@ -157,6 +165,7 @@ fn run() -> Result<String, CliError> {
                 pool_pages: args.get("pool-pages", 1024)?,
                 query_threads: args.get("query-threads", 2)?,
                 shards: args.get("shards", 1)?,
+                group_commit_window: args.get("group-commit-window", 0)?,
             };
             serve(&args.path("store")?, &cfg)
         }
@@ -172,6 +181,8 @@ fn run() -> Result<String, CliError> {
                 attributes: args.get("attributes", 60)?,
                 query_every: args.get("query-every", 10)?,
                 seed: args.get("seed", 0xC1DE)?,
+                pipeline: args.get("pipeline", 1)?,
+                batch: args.get("batch", 1)?,
                 shutdown: args.get("shutdown", false)?,
             };
             workload(&remote, &opts)

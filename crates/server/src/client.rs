@@ -1,7 +1,13 @@
 //! A blocking request/reply client for the wire protocol.
 //!
-//! One [`Client`] owns one TCP connection and issues strictly one request
-//! at a time (no pipelining), so responses can never interleave. Typed
+//! One [`Client`] owns one TCP connection. The typed wrappers
+//! ([`Client::insert`], [`Client::query`], …) issue strictly one request
+//! at a time, so responses can never interleave. For throughput-sensitive
+//! callers there is an explicit *pipelined* mode — [`Client::send`]
+//! buffers encoded request frames locally and [`Client::recv`] ships the
+//! whole buffer in one `write` before reading the next in-order response
+//! — and wire-level batch calls ([`Client::insert_batch`],
+//! [`Client::query_batch`]) that move many operations per frame. Typed
 //! server failures come back as [`ServerError::Remote`]; an admission-
 //! control shed comes back as [`ServerError::Busy`] so callers can back
 //! off and retry.
@@ -11,15 +17,24 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    decode_response, encode_request, frame, read_frame, EngineStats, QueryStats, Request,
-    Response, WireEntity,
+    decode_response, encode_request, frame, read_frame, EngineStats, IoCounters, QueryStats,
+    Request, Response, WireEntity,
 };
 use crate::ServerError;
 
 /// One connection to a `cind serve` instance.
 pub struct Client {
     stream: TcpStream,
+    /// Encoded-but-unsent request frames (pipelined mode). Shipped in one
+    /// `write` call by the next [`Client::recv`] / [`Client::flush_out`].
+    outbox: Vec<u8>,
+    /// Requests sent (or buffered) whose responses have not been read.
+    inflight: usize,
 }
+
+/// Per-item outcomes of a wire-level batch, in input order — one rejected
+/// item does not fail its batch-mates.
+pub type BatchResults<T> = Vec<Result<T, ServerError>>;
 
 /// A materialised result row (query attribute order, `None` for NULL).
 pub type Row = Vec<Option<cind_model::Value>>;
@@ -32,7 +47,7 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServerError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream })
+        Ok(Self { stream, outbox: Vec::new(), inflight: 0 })
     }
 
     /// Sets (or clears) the read timeout for responses.
@@ -44,6 +59,59 @@ impl Client {
         Ok(())
     }
 
+    /// Queues one request without waiting for its response (pipelined
+    /// mode). The frame is buffered locally; the next [`Client::recv`] or
+    /// [`Client::flush_out`] ships every buffered frame with a single
+    /// `write` call, so K queued requests cost one syscall, not K.
+    ///
+    /// Responses arrive strictly in send order — pair each `send` with a
+    /// later [`Client::recv`]. Don't mix with the one-shot typed wrappers
+    /// while responses are outstanding ([`Client::in_flight`] `> 0`): the
+    /// wrapper would read the oldest outstanding response, not its own.
+    ///
+    /// # Errors
+    /// Never fails today (encoding is infallible; I/O is deferred) — the
+    /// `Result` reserves the right to bound the buffer later.
+    pub fn send(&mut self, req: &Request) -> Result<(), ServerError> {
+        let body = encode_request(req);
+        frame(&body, &mut self.outbox);
+        self.inflight += 1;
+        Ok(())
+    }
+
+    /// Ships every buffered request frame now (one `write` call) without
+    /// reading anything. [`Client::recv`] does this implicitly; explicit
+    /// flushing only matters for keeping the server busy while the caller
+    /// does other work.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn flush_out(&mut self) -> Result<(), ServerError> {
+        if !self.outbox.is_empty() {
+            self.stream.write_all(&self.outbox)?;
+            self.outbox.clear();
+        }
+        Ok(())
+    }
+
+    /// Reads the next in-order response for a pipelined [`Client::send`],
+    /// shipping any still-buffered requests first.
+    ///
+    /// # Errors
+    /// Transport and decode failures.
+    pub fn recv(&mut self) -> Result<Response, ServerError> {
+        self.flush_out()?;
+        let resp = read_frame(&mut self.stream)?;
+        self.inflight = self.inflight.saturating_sub(1);
+        Ok(decode_response(&resp)?)
+    }
+
+    /// Requests sent or queued whose responses have not been received.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inflight
+    }
+
     /// Sends one request and reads one response frame.
     ///
     /// # Errors
@@ -51,13 +119,8 @@ impl Client {
     /// or [`ServerError::Busy`] itself — those are decoded `Response`
     /// values the typed wrappers below translate.
     pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ServerError> {
-        let body = encode_request(req);
-        let mut wire = Vec::with_capacity(body.len() + 4);
-        frame(&body, &mut wire);
-        self.stream.write_all(&wire)?;
-        self.stream.flush()?;
-        let resp = read_frame(&mut self.stream)?;
-        Ok(decode_response(&resp)?)
+        self.send(req)?;
+        self.recv()
     }
 
     fn expect<T>(
@@ -79,6 +142,60 @@ impl Client {
     pub fn insert(&mut self, entity: WireEntity) -> Result<(u32, bool), ServerError> {
         let resp = self.roundtrip(&Request::Insert(entity))?;
         Self::expect(resp, |r| match r {
+            Response::Written { segment, split } => Some((segment, split)),
+            _ => None,
+        })
+    }
+
+    /// Inserts many entities in **one** request frame; the server routes
+    /// them per shard and commits each shard's share under a single
+    /// writer-lock acquisition and durability wait. Returns per-item
+    /// results in input order — one rejected entity does not fail its
+    /// batch-mates.
+    ///
+    /// # Errors
+    /// The outer `Err` is transport/whole-batch failure (including a
+    /// whole-batch [`ServerError::Busy`] shed); per-item engine rejections
+    /// are the inner results.
+    pub fn insert_batch(
+        &mut self,
+        entities: Vec<WireEntity>,
+    ) -> Result<BatchResults<(u32, bool)>, ServerError> {
+        let resp = self.roundtrip(&Request::InsertBatch(entities))?;
+        let items = Self::expect(resp, |r| match r {
+            Response::Batch(items) => Some(items),
+            _ => None,
+        })?;
+        Ok(items.into_iter().map(Self::written_item).collect())
+    }
+
+    /// Runs many queries in **one** request frame. Per-item results in
+    /// input order.
+    ///
+    /// # Errors
+    /// As [`Client::insert_batch`].
+    pub fn query_batch(
+        &mut self,
+        queries: Vec<Vec<String>>,
+    ) -> Result<BatchResults<(Vec<Row>, QueryStats)>, ServerError> {
+        let resp = self.roundtrip(&Request::QueryBatch(queries))?;
+        let items = Self::expect(resp, |r| match r {
+            Response::Batch(items) => Some(items),
+            _ => None,
+        })?;
+        Ok(items
+            .into_iter()
+            .map(|item| {
+                Self::expect(item, |r| match r {
+                    Response::Rows { rows, stats } => Some((rows, stats)),
+                    _ => None,
+                })
+            })
+            .collect())
+    }
+
+    fn written_item(item: Response) -> Result<(u32, bool), ServerError> {
+        Self::expect(item, |r| match r {
             Response::Written { segment, split } => Some((segment, split)),
             _ => None,
         })
@@ -135,6 +252,20 @@ impl Client {
         })
     }
 
+    /// Fetches the server's I/O syscall counters (WAL appends/fsyncs and
+    /// network reads/writes) — the observability hook benchmarks use to
+    /// report syscalls-per-operation.
+    ///
+    /// # Errors
+    /// As [`Client::insert`].
+    pub fn io_counters(&mut self) -> Result<IoCounters, ServerError> {
+        let resp = self.roundtrip(&Request::IoCounters)?;
+        Self::expect(resp, |r| match r {
+            Response::IoCounters(io) => Some(io),
+            _ => None,
+        })
+    }
+
     /// Runs the server-side structural validation; returns the rendered
     /// violation lines (empty = clean).
     ///
@@ -158,7 +289,8 @@ impl Client {
         Self::expect(resp, |r| matches!(r, Response::Pong).then_some(()))
     }
 
-    /// Requests graceful shutdown (acknowledged before the drain starts).
+    /// Requests graceful shutdown. The ack is sequenced after the
+    /// responses to everything this connection sent before it.
     ///
     /// # Errors
     /// Transport failures.
@@ -176,7 +308,6 @@ impl Client {
         let mut wire = Vec::with_capacity(body.len() + 4);
         frame(body, &mut wire);
         self.stream.write_all(&wire)?;
-        self.stream.flush()?;
         let resp = read_frame(&mut self.stream)?;
         Ok(decode_response(&resp)?)
     }
@@ -189,7 +320,6 @@ impl Client {
     /// Transport failures.
     pub fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), ServerError> {
         self.stream.write_all(bytes)?;
-        self.stream.flush()?;
         Ok(())
     }
 

@@ -19,22 +19,28 @@
 //! rebuilds the partitioner from storage, then *checkpoints* — writes a
 //! fresh snapshot and truncates the log — so the WAL only ever holds the
 //! suffix since the last clean open or graceful shutdown. The attached WAL
-//! sink is an unbuffered [`std::fs::File`] (every entry reaches the OS
-//! before the mutating call returns), which is what makes the
-//! kill-mid-load crash test recoverable.
+//! sink is a [`crate::commit::GroupCommit`] coordinator: a mutating call
+//! submits its framed transaction group and then blocks until the group
+//! it joined has been written *and fsynced* — concurrent writers share one
+//! append + one sync per flush group (WAL group commit), and an acked
+//! mutation is always durable.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::PoisonError;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 use cind_model::{Entity, EntityId, Synopsis};
 use cind_query::planner::{plan_with, Parallelism, Plan};
 use cind_query::{execute_collect_view, Query};
-use cind_storage::{wal, FileSink, RealVfs, SegmentId, TableSnapshot, UniversalTable, Vfs};
+use cind_storage::{wal, RealVfs, SegmentId, StorageError, TableSnapshot, UniversalTable, Vfs};
 use cinderella_core::{validate::render, Cinderella, Config, CoreError, MergeReport};
 
-use crate::protocol::{EngineStats, ErrorCode, QueryStats, Request, Response, WireEntity};
+use crate::commit::{GroupCommit, GroupSink, WalCounters};
+use crate::protocol::{
+    EngineStats, ErrorCode, IoCounters, QueryStats, Request, Response, WireEntity,
+};
 use crate::{ServeConfig, ServerError};
 
 /// Snapshot file name inside a store directory.
@@ -51,6 +57,11 @@ pub struct EngineOptions {
     pub pool_pages: usize,
     /// Scan threads per query (`1` = sequential execution).
     pub query_threads: usize,
+    /// How long a group-commit leader lingers gathering concurrent writers
+    /// before flushing the group. `Duration::ZERO` flushes each group as
+    /// soon as its leader arrives (per-op durability semantics; coalescing
+    /// still happens when writers genuinely race the flush).
+    pub group_commit_window: Duration,
     /// Filesystem backend for snapshot and WAL I/O. Defaults to the real
     /// filesystem; the simulation harness injects a deterministic
     /// fault-injecting backend here.
@@ -63,6 +74,7 @@ impl std::fmt::Debug for EngineOptions {
             .field("config", &self.config)
             .field("pool_pages", &self.pool_pages)
             .field("query_threads", &self.query_threads)
+            .field("group_commit_window", &self.group_commit_window)
             .field("vfs", &"<dyn Vfs>")
             .finish()
     }
@@ -74,6 +86,7 @@ impl Default for EngineOptions {
             config: Config::default(),
             pool_pages: 1024,
             query_threads: 2,
+            group_commit_window: Duration::ZERO,
             vfs: Arc::new(RealVfs),
         }
     }
@@ -86,6 +99,7 @@ impl EngineOptions {
         Self {
             pool_pages: cfg.pool_pages.max(8),
             query_threads: cfg.query_threads.max(1),
+            group_commit_window: Duration::from_micros(cfg.group_commit_window),
             ..Self::default()
         }
     }
@@ -94,6 +108,9 @@ impl EngineOptions {
 struct EngineState {
     table: UniversalTable,
     cindy: Cinderella,
+    /// The commit coordinator for the *current* WAL generation (durable
+    /// stores only). Replaced under the write lock at every checkpoint.
+    commit: Option<Arc<GroupCommit>>,
 }
 
 /// An owned, immutable view of the engine at one write epoch: the table
@@ -121,6 +138,11 @@ pub struct Engine {
     snap_cache: Mutex<Option<(u64, Arc<EngineSnapshot>)>>,
     store: Option<PathBuf>,
     query_threads: usize,
+    /// Group-commit gather window, passed to every coordinator generation.
+    window: Duration,
+    /// Cumulative WAL I/O counters, surviving checkpoint's coordinator
+    /// replacement (the coordinator holds a clone of this `Arc`).
+    wal_counters: Arc<WalCounters>,
     vfs: Arc<dyn Vfs>,
 }
 
@@ -133,11 +155,14 @@ impl Engine {
             state: RwLock::new(EngineState {
                 table: UniversalTable::new(opts.pool_pages),
                 cindy: Cinderella::new(opts.config),
+                commit: None,
             }),
             epoch: AtomicU64::new(0),
             snap_cache: Mutex::new(None),
             store: None,
             query_threads: opts.query_threads.max(1),
+            window: opts.group_commit_window,
+            wal_counters: Arc::new(WalCounters::default()),
             vfs: opts.vfs,
         }
     }
@@ -186,15 +211,23 @@ impl Engine {
         // the log, so recovery cost stays proportional to one session.
         let epoch = table.snapshot_to(&*vfs, &snapshot_path)?;
         let wal_file = vfs.create(&wal_path)?;
-        table.attach_wal(Box::new(FileSink(wal_file)));
+        let wal_counters = Arc::new(WalCounters::default());
+        let commit = Arc::new(GroupCommit::new(
+            wal_file,
+            opts.group_commit_window,
+            Arc::clone(&wal_counters),
+        ));
+        table.attach_wal(Box::new(GroupSink::new(Arc::clone(&commit))));
         table.wal_mark_epoch(epoch);
 
         Ok(Self {
-            state: RwLock::new(EngineState { table, cindy }),
+            state: RwLock::new(EngineState { table, cindy, commit: Some(commit) }),
             epoch: AtomicU64::new(0),
             snap_cache: Mutex::new(None),
             store: Some(dir.to_path_buf()),
             query_threads: opts.query_threads.max(1),
+            window: opts.group_commit_window,
+            wal_counters,
             vfs,
         })
     }
@@ -209,7 +242,10 @@ impl Engine {
 
     /// Runs a mutation under the write lock and bumps the epoch before the
     /// lock is released — success or failure, since even a failed write
-    /// may have interned attribute names into the catalog.
+    /// may have interned attribute names into the catalog. Durable stores
+    /// then wait *outside* the lock for the group-commit coordinator to
+    /// make the mutation's WAL group durable, so the lock is free for the
+    /// next writer while this one's group is being fsynced.
     fn write_op<T>(
         &self,
         f: impl FnOnce(&mut EngineState) -> Result<T, ServerError>,
@@ -217,7 +253,15 @@ impl Engine {
         let mut state = self.write();
         let result = f(&mut state);
         self.epoch.fetch_add(1, Ordering::Release);
+        let pending = state.commit.as_ref().map(|c| (Arc::clone(c), c.ticket()));
         drop(state);
+        if let Some((commit, ticket)) = pending {
+            if let Err(kind) = commit.wait_durable(ticket) {
+                // A durability failure outranks a clean in-memory result:
+                // never ack what the log cannot replay.
+                return result.and(Err(wal_error(kind)));
+            }
+        }
         result
     }
 
@@ -281,6 +325,43 @@ impl Engine {
             let seg = state.table.location(EntityId(wire.id)).map_or(0, |s| s.0);
             Ok((seg, outcome.is_split()))
         })
+    }
+
+    /// Inserts a batch of entities under **one** writer-lock acquisition
+    /// and **one** group-commit durability wait: each entity still runs the
+    /// full Algorithm 1 placement and logs its own WAL transaction group
+    /// (so the log is byte-identical to the same inserts issued one by
+    /// one), but the per-op fixed costs — lock handoff, coordinator
+    /// wakeup, fsync — are paid once per batch.
+    ///
+    /// Per-item results in request order. If the shared durability wait
+    /// fails, every item that succeeded in memory is converted to that
+    /// error: nothing is acked that the log cannot replay.
+    pub fn insert_many(&self, wires: &[&WireEntity]) -> Vec<Result<(u32, bool), ServerError>> {
+        let mut guard = self.write();
+        let state = &mut *guard;
+        let mut results: Vec<Result<(u32, bool), ServerError>> = wires
+            .iter()
+            .map(|wire| {
+                let entity = Self::build_entity(state, wire)?;
+                let outcome = state.cindy.insert(&mut state.table, entity)?;
+                let seg = state.table.location(EntityId(wire.id)).map_or(0, |s| s.0);
+                Ok((seg, outcome.is_split()))
+            })
+            .collect();
+        self.epoch.fetch_add(1, Ordering::Release);
+        let pending = state.commit.as_ref().map(|c| (Arc::clone(c), c.ticket()));
+        drop(guard);
+        if let Some((commit, ticket)) = pending {
+            if let Err(kind) = commit.wait_durable(ticket) {
+                for r in &mut results {
+                    if r.is_ok() {
+                        *r = Err(wal_error(kind));
+                    }
+                }
+            }
+        }
+        results
     }
 
     /// Replaces a stored entity; returns `(segment, split?)`.
@@ -448,13 +529,31 @@ impl Engine {
         }
     }
 
-    /// Flushes the attached WAL sink (no-op for in-memory engines).
+    /// Drains the WAL through the commit coordinator — everything logged
+    /// so far is on disk when this returns (no-op for in-memory engines).
     ///
     /// # Errors
-    /// The sink's sticky I/O failure, if appends have been failing.
-    pub fn flush(&self) -> Result<(), ServerError> {
+    /// The sink's sticky I/O failure, if appends or group flushes have
+    /// been failing.
+    pub fn flush_wal(&self) -> Result<(), ServerError> {
         self.write().table.flush_wal()?;
         Ok(())
+    }
+
+    /// Cumulative WAL I/O counters (appends, fsyncs, flush groups, ops) —
+    /// the observability surface BENCH_PR7 uses to prove the group-commit
+    /// amortisation. Net counters are zero here; the server layer fills
+    /// them in.
+    #[must_use]
+    pub fn io_counters(&self) -> IoCounters {
+        let w = self.wal_counters.snapshot();
+        IoCounters {
+            wal_appends: w.appends,
+            wal_syncs: w.syncs,
+            wal_groups: w.groups,
+            wal_ops: w.ops,
+            ..IoCounters::default()
+        }
     }
 
     /// Writes a fresh snapshot and truncates the WAL (durable stores
@@ -486,8 +585,18 @@ impl Engine {
                 return Err(e.into());
             }
         };
-        state.table.attach_wal(Box::new(FileSink(wal_file)));
+        // A fresh coordinator for the fresh log generation; the counters
+        // Arc carries the cumulative totals across the swap. The old
+        // coordinator was fully drained above (we hold the write lock, so
+        // no new submissions can have raced in).
+        let commit = Arc::new(GroupCommit::new(
+            wal_file,
+            self.window,
+            Arc::clone(&self.wal_counters),
+        ));
+        state.table.attach_wal(Box::new(GroupSink::new(Arc::clone(&commit))));
         state.table.wal_mark_epoch(epoch);
+        state.commit = Some(commit);
         Ok(())
     }
 
@@ -522,6 +631,32 @@ impl Engine {
             Request::Query(attrs) => self
                 .query(attrs)
                 .map(|(rows, stats)| Response::Rows { rows, stats }),
+            Request::InsertBatch(entities) => {
+                let refs: Vec<&WireEntity> = entities.iter().collect();
+                Ok(Response::Batch(
+                    self.insert_many(&refs)
+                        .into_iter()
+                        .map(|r| {
+                            to_frame(r.map(|(segment, split)| Response::Written {
+                                segment,
+                                split,
+                            }))
+                        })
+                        .collect(),
+                ))
+            }
+            Request::QueryBatch(queries) => Ok(Response::Batch(
+                queries
+                    .iter()
+                    .map(|attrs| {
+                        to_frame(
+                            self.query(attrs)
+                                .map(|(rows, stats)| Response::Rows { rows, stats }),
+                        )
+                    })
+                    .collect(),
+            )),
+            Request::IoCounters => Ok(Response::IoCounters(self.io_counters())),
             Request::Stats => Ok(Response::Stats(self.stats())),
             Request::Validate => self.validate().map(Response::Validated),
             Request::Ping(delay_ms) => {
@@ -534,11 +669,24 @@ impl Engine {
             // here (direct in-process use) is still well-formed.
             Request::Shutdown => Ok(Response::ShutdownAck),
         };
-        result.unwrap_or_else(|e| Response::Error {
-            code: error_code(&e),
-            message: e.to_string(),
-        })
+        to_frame(result)
     }
+}
+
+/// Folds an error into a typed error frame (the shared tail of every
+/// dispatch path, including per-item batch results).
+pub(crate) fn to_frame(result: Result<Response, ServerError>) -> Response {
+    result.unwrap_or_else(|e| Response::Error {
+        code: error_code(&e),
+        message: e.to_string(),
+    })
+}
+
+/// The server-layer shape of a group-commit durability failure: the same
+/// sticky `WalAppend` the per-op sink produced, so every existing recovery
+/// path (sim fault classification included) applies unchanged.
+fn wal_error(kind: std::io::ErrorKind) -> ServerError {
+    ServerError::Storage(StorageError::WalAppend(kind))
 }
 
 pub(crate) fn error_code(e: &ServerError) -> ErrorCode {

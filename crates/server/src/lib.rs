@@ -5,25 +5,37 @@
 //! boundary so several sessions can work against one store at once:
 //!
 //! * [`protocol`] — a small length-prefixed binary protocol (varint frames
-//!   reusing the storage codec) with typed requests and responses.
+//!   reusing the storage codec) with typed requests and responses,
+//!   including wire-level batch operations ([`Request::InsertBatch`],
+//!   [`Request::QueryBatch`]).
 //! * [`engine`] — the [`Engine`] service object: the universal table plus
 //!   the partitioner behind single-writer / many-reader discipline
 //!   (writes serialise through one lock; queries fan out on the storage
 //!   layer's `Send + Sync` read views).
-//! * [`server`] — a fixed worker pool draining a *bounded* request queue
-//!   fed by per-connection reader threads; when the queue is full the
-//!   reader answers [`protocol::Response::Busy`] instead of stalling
-//!   (admission control / load shedding), and graceful shutdown stops
-//!   accepting, drains in-flight work, flushes the WAL, snapshots, and
-//!   runs the full structural validation before exit.
-//! * [`client`] — a blocking request/reply client library.
+//! * [`commit`] — the WAL group-commit coordinator: concurrent writers
+//!   hand their transaction frames to a per-shard [`commit::GroupCommit`]
+//!   that coalesces them into one buffered append and one fsync
+//!   (leader/follower handoff), without weakening the ack-after-durable
+//!   contract.
+//! * [`server`] — pipelined per-connection readers (buffered multi-frame
+//!   decode) feeding a fixed worker pool with connection affinity and
+//!   sequence-ordered batched response writes; when the global queue
+//!   bound is hit the reader answers [`protocol::Response::Busy`] instead
+//!   of stalling (admission control / load shedding), and graceful
+//!   shutdown stops accepting, drains in-flight work, flushes the WAL,
+//!   snapshots, and runs the full structural validation before exit.
+//! * [`client`] — a blocking request/reply client library, with an
+//!   explicit pipelined mode (K requests in flight per connection) and
+//!   typed batch calls.
 //! * [`loadgen`] — a closed-loop load generator (N connections × mixed
-//!   insert/query workload) with per-operation latency histograms.
+//!   insert/query workload) with per-operation latency histograms that
+//!   separate service time from end-to-end time under pipelining.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod commit;
 pub mod config;
 pub mod engine;
 pub mod loadgen;
@@ -33,10 +45,13 @@ pub mod shard;
 pub mod sharded;
 
 pub use client::Client;
+pub use commit::{GroupCommit, WalCounters, WalCountersSnapshot};
 pub use config::ServeConfig;
 pub use engine::{Engine, EngineOptions, EngineSnapshot};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
-pub use protocol::{EngineStats, ErrorCode, ProtoError, QueryStats, Request, Response, WireEntity};
+pub use protocol::{
+    EngineStats, ErrorCode, IoCounters, ProtoError, QueryStats, Request, Response, WireEntity,
+};
 pub use server::{Server, ServerHandle, ShutdownReport};
 pub use shard::ShardRouter;
 pub use sharded::{shard_dir_name, ShardedEngine, ShardedOptions, MANIFEST_FILE};

@@ -1,15 +1,36 @@
-//! A closed-loop load generator: N connections × mixed insert/query
-//! workload, per-operation latency histograms.
+//! A load generator: N connections × mixed insert/query workload,
+//! per-operation latency histograms.
 //!
-//! Each connection is one thread with one [`Client`], issuing requests
-//! back-to-back (closed loop: the next request starts when the previous
-//! response arrives). The entity stream comes from the DBpedia-like
+//! Each connection is one thread with one [`Client`]. In the default
+//! closed loop it issues requests back-to-back (the next request starts
+//! when the previous response arrives); with [`LoadConfig::pipeline`]` >
+//! 1` it keeps K requests in flight per connection, and with
+//! [`LoadConfig::batch`]` > 1` it packs inserts into wire-level
+//! `InsertBatch` frames. The entity stream comes from the DBpedia-like
 //! generator, split across the connections; every `query_every`-th
 //! operation is a `SELECT` over a small attribute set instead of an
-//! insert. [`Response::Busy`](crate::Response::Busy) sheds are counted and
-//! retried after a short backoff — under admission control a closed-loop
-//! client *backs off*, it does not hammer.
+//! insert. [`Response::Busy`](crate::Response::Busy) sheds are counted
+//! and retried after a short backoff (closed loop) or by re-queueing the
+//! operation (pipelined) — under admission control a load client *backs
+//! off*, it does not hammer.
+//!
+//! # Latency accounting under pipelining
+//!
+//! A closed-loop round-trip time is an honest per-operation latency; a
+//! pipelined one is not — response *i* cannot arrive before response
+//! *i−1* has been read, so the raw `recv − send` of a deeply pipelined
+//! operation mostly measures queueing behind its own connection's
+//! earlier requests. The report therefore keeps two histograms per
+//! operation class:
+//!
+//! * **end-to-end** — `recv_i − send_i`, what the caller experienced;
+//! * **service** — `recv_i − max(recv_{i−1}, send_i)`, the marginal time
+//!   attributable to operation *i* itself once the line ahead of it had
+//!   cleared.
+//!
+//! In closed-loop mode the two coincide.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -18,7 +39,7 @@ use cind_metrics::LatencyHistogram;
 use cind_model::AttributeCatalog;
 
 use crate::client::Client;
-use crate::protocol::WireEntity;
+use crate::protocol::{Request, Response, WireEntity};
 use crate::ServerError;
 
 /// Load-generator knobs.
@@ -35,6 +56,15 @@ pub struct LoadConfig {
     pub query_every: usize,
     /// RNG seed (generation and query choice are deterministic per seed).
     pub seed: u64,
+    /// Requests kept in flight per connection. `0` or `1` = classic
+    /// closed loop; `K > 1` = pipelined mode, K frames outstanding before
+    /// the first response is read (the client batches the unsent frames
+    /// into single `write` calls).
+    pub pipeline: usize,
+    /// Inserts packed per wire-level `InsertBatch` frame. `0` or `1` =
+    /// one insert per frame; `N > 1` = batched mode (mutually exclusive
+    /// with pipelining; batch wins if both are set).
+    pub batch: usize,
 }
 
 impl Default for LoadConfig {
@@ -45,6 +75,8 @@ impl Default for LoadConfig {
             attributes: 60,
             query_every: 10,
             seed: 0xC1DE,
+            pipeline: 1,
+            batch: 1,
         }
     }
 }
@@ -66,10 +98,15 @@ pub struct LoadReport {
     pub errors: u64,
     /// Wall time of the whole run.
     pub elapsed: Duration,
-    /// Per-insert round-trip latencies.
+    /// Per-insert end-to-end latencies (`recv − send`).
     pub insert_latency: LatencyHistogram,
-    /// Per-query round-trip latencies.
+    /// Per-query end-to-end latencies.
     pub query_latency: LatencyHistogram,
+    /// Per-insert service times (see the module docs; equals end-to-end
+    /// in closed-loop mode).
+    pub insert_service: LatencyHistogram,
+    /// Per-query service times.
+    pub query_service: LatencyHistogram,
 }
 
 impl LoadReport {
@@ -102,8 +139,10 @@ impl LoadReport {
             self.busy_sheds, self.unknown_attr, self.errors
         ));
         for (name, hist) in [
-            ("insert", &mut self.insert_latency),
-            ("query", &mut self.query_latency),
+            ("insert e2e", &mut self.insert_latency),
+            ("insert svc", &mut self.insert_service),
+            ("query e2e", &mut self.query_latency),
+            ("query svc", &mut self.query_service),
         ] {
             if hist.is_empty() {
                 continue;
@@ -111,7 +150,7 @@ impl LoadReport {
             let p50 = hist.percentile(50.0).unwrap_or_default();
             let p99 = hist.percentile(99.0).unwrap_or_default();
             out.push_str(&format!(
-                "{name:>7} latency: p50 {p50:.2?}  p99 {p99:.2?}  mean {:.2?}\n",
+                "{name:>11} latency: p50 {p50:.2?}  p99 {p99:.2?}  mean {:.2?}\n",
                 hist.mean().unwrap_or_default()
             ));
         }
@@ -119,6 +158,7 @@ impl LoadReport {
     }
 }
 
+#[derive(Default)]
 struct ConnOutcome {
     inserts: u64,
     queries: u64,
@@ -128,6 +168,23 @@ struct ConnOutcome {
     errors: u64,
     insert_lat: Vec<Duration>,
     query_lat: Vec<Duration>,
+    insert_svc: Vec<Duration>,
+    query_svc: Vec<Duration>,
+}
+
+/// One scheduled operation in a connection's stream.
+enum LoadOp {
+    Insert(WireEntity),
+    Query(Vec<String>),
+}
+
+impl LoadOp {
+    fn to_request(&self) -> Request {
+        match self {
+            LoadOp::Insert(e) => Request::Insert(e.clone()),
+            LoadOp::Query(attrs) => Request::Query(attrs.clone()),
+        }
+    }
 }
 
 /// Generates the wire-ready entity stream and the query attribute pool for
@@ -171,7 +228,27 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs the closed-loop load against `addr` and aggregates per-connection
+/// Interleaves the connection's insert chunk with its scheduled queries,
+/// in the same order the original closed loop issued them.
+fn plan_ops(
+    chunk: Vec<WireEntity>,
+    names: &[String],
+    query_every: usize,
+    mut rng: u64,
+) -> Vec<LoadOp> {
+    let mut ops = Vec::with_capacity(chunk.len() + chunk.len() / query_every.max(1));
+    for (i, entity) in chunk.into_iter().enumerate() {
+        if query_every > 0 && i > 0 && i % query_every == 0 && !names.is_empty() {
+            let a = names[(splitmix(&mut rng) as usize) % names.len()].clone();
+            let b = names[(splitmix(&mut rng) as usize) % names.len()].clone();
+            ops.push(LoadOp::Query(vec![a, b]));
+        }
+        ops.push(LoadOp::Insert(entity));
+    }
+    ops
+}
+
+/// Runs the load against `addr` and aggregates per-connection
 /// measurements into one report (no double counting: every operation is
 /// timed exactly once, on the connection that issued it).
 ///
@@ -192,9 +269,11 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, ServerError>
         let addr = addr.to_string();
         let names = Arc::clone(&names);
         let query_every = cfg.query_every;
+        let pipeline = cfg.pipeline;
+        let batch = cfg.batch;
         let seed = cfg.seed ^ (conn_id as u64).wrapping_mul(0xA5A5_A5A5);
         handles.push(std::thread::spawn(move || {
-            run_connection(&addr, chunk, &names, query_every, seed)
+            run_connection(&addr, chunk, &names, query_every, pipeline, batch, seed)
         }));
     }
 
@@ -208,6 +287,8 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, ServerError>
         elapsed: Duration::ZERO,
         insert_latency: LatencyHistogram::new(),
         query_latency: LatencyHistogram::new(),
+        insert_service: LatencyHistogram::new(),
+        query_service: LatencyHistogram::new(),
     };
     let mut first_err: Option<ServerError> = None;
     for h in handles {
@@ -224,6 +305,12 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, ServerError>
                 }
                 for d in out.query_lat {
                     report.query_latency.record(d);
+                }
+                for d in out.insert_svc {
+                    report.insert_service.record(d);
+                }
+                for d in out.query_svc {
+                    report.query_service.record(d);
                 }
             }
             Ok(Err(e)) => first_err = first_err.or(Some(e)),
@@ -247,52 +334,177 @@ fn run_connection(
     chunk: Vec<WireEntity>,
     names: &[String],
     query_every: usize,
+    pipeline: usize,
+    batch: usize,
     seed: u64,
 ) -> Result<ConnOutcome, ServerError> {
     let mut client = Client::connect(addr)?;
     client.set_timeout(Some(Duration::from_secs(30)))?;
-    let mut rng = seed;
-    let mut out = ConnOutcome {
-        inserts: 0,
-        queries: 0,
-        rows: 0,
-        busy_sheds: 0,
-        unknown_attr: 0,
-        errors: 0,
-        insert_lat: Vec::with_capacity(chunk.len()),
-        query_lat: Vec::new(),
-    };
-    for (i, entity) in chunk.into_iter().enumerate() {
-        if query_every > 0 && i > 0 && i % query_every == 0 && !names.is_empty() {
-            let a = &names[(splitmix(&mut rng) as usize) % names.len()];
-            let b = &names[(splitmix(&mut rng) as usize) % names.len()];
-            let t0 = Instant::now();
-            match retry_busy(&mut out.busy_sheds, || {
-                client.query([a.as_str(), b.as_str()])
-            }) {
-                Ok((rows, _)) => {
-                    out.query_lat.push(t0.elapsed());
-                    out.queries += 1;
-                    out.rows += rows.len() as u64;
-                }
-                Err(ServerError::Remote { code: crate::ErrorCode::UnknownAttribute, .. }) => {
-                    out.unknown_attr += 1;
-                }
-                Err(ServerError::Remote { .. }) => out.errors += 1,
-                Err(e) => return Err(e),
-            }
-        }
+    let ops = plan_ops(chunk, names, query_every, seed);
+    if batch > 1 {
+        run_batched(&mut client, ops, batch)
+    } else if pipeline > 1 {
+        run_pipelined(&mut client, ops, pipeline)
+    } else {
+        run_closed_loop(&mut client, ops)
+    }
+}
+
+/// The classic closed loop: one request outstanding, service time equals
+/// end-to-end time by construction.
+fn run_closed_loop(client: &mut Client, ops: Vec<LoadOp>) -> Result<ConnOutcome, ServerError> {
+    let mut out = ConnOutcome::default();
+    for op in ops {
         let t0 = Instant::now();
-        match retry_busy(&mut out.busy_sheds, || client.insert(entity.clone())) {
-            Ok(_) => {
-                out.insert_lat.push(t0.elapsed());
-                out.inserts += 1;
-            }
-            Err(ServerError::Remote { .. }) => out.errors += 1,
-            Err(e) => return Err(e),
-        }
+        let resp = roundtrip_retrying(client, &op, &mut out.busy_sheds)?;
+        let elapsed = t0.elapsed();
+        settle(&op, resp, elapsed, elapsed, &mut out)?;
     }
     Ok(out)
+}
+
+/// One-at-a-time round-trip that absorbs `Busy` sheds with a short sleep
+/// (`roundtrip` surfaces `Busy` as a decoded response value, not an
+/// error, so the generic [`retry_busy`] wrapper cannot see it).
+fn roundtrip_retrying(
+    client: &mut Client,
+    op: &LoadOp,
+    sheds: &mut u64,
+) -> Result<Response, ServerError> {
+    loop {
+        let resp = client.roundtrip(&op.to_request())?;
+        if matches!(resp, Response::Busy) {
+            *sheds += 1;
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
+        return Ok(resp);
+    }
+}
+
+/// Pipelined mode: keep `depth` requests in flight; `Busy` sheds re-queue
+/// the operation at the back instead of sleeping (the pipeline itself is
+/// the backoff — shed work yields its slot to the line behind it).
+fn run_pipelined(
+    client: &mut Client,
+    ops: Vec<LoadOp>,
+    depth: usize,
+) -> Result<ConnOutcome, ServerError> {
+    let mut out = ConnOutcome::default();
+    let mut todo: VecDeque<LoadOp> = ops.into();
+    let mut inflight: VecDeque<(LoadOp, Instant)> = VecDeque::new();
+    let mut prev_recv: Option<Instant> = None;
+    while !todo.is_empty() || !inflight.is_empty() {
+        while inflight.len() < depth {
+            let Some(op) = todo.pop_front() else { break };
+            client.send(&op.to_request())?;
+            inflight.push_back((op, Instant::now()));
+        }
+        let resp = client.recv()?;
+        let Some((op, sent)) = inflight.pop_front() else {
+            return Err(ServerError::UnexpectedResponse);
+        };
+        let now = Instant::now();
+        let e2e = now.duration_since(sent);
+        let service = now.duration_since(prev_recv.map_or(sent, |p| p.max(sent)));
+        prev_recv = Some(now);
+        if matches!(resp, Response::Busy) {
+            out.busy_sheds += 1;
+            todo.push_back(op);
+            continue;
+        }
+        settle(&op, resp, e2e, service, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Batched mode: inserts travel `width` to a frame; scheduled queries cut
+/// the current batch so operation order is preserved. Every item in a
+/// batch acks when the batch does, so the batch round-trip *is* each
+/// item's end-to-end latency.
+fn run_batched(
+    client: &mut Client,
+    ops: Vec<LoadOp>,
+    width: usize,
+) -> Result<ConnOutcome, ServerError> {
+    let mut out = ConnOutcome::default();
+    let mut pending: Vec<WireEntity> = Vec::with_capacity(width);
+    for op in ops {
+        match op {
+            LoadOp::Insert(e) => {
+                pending.push(e);
+                if pending.len() >= width {
+                    flush_batch(client, &mut pending, &mut out)?;
+                }
+            }
+            q @ LoadOp::Query(_) => {
+                flush_batch(client, &mut pending, &mut out)?;
+                let t0 = Instant::now();
+                let resp = roundtrip_retrying(client, &q, &mut out.busy_sheds)?;
+                let elapsed = t0.elapsed();
+                settle(&q, resp, elapsed, elapsed, &mut out)?;
+            }
+        }
+    }
+    flush_batch(client, &mut pending, &mut out)?;
+    Ok(out)
+}
+
+fn flush_batch(
+    client: &mut Client,
+    pending: &mut Vec<WireEntity>,
+    out: &mut ConnOutcome,
+) -> Result<(), ServerError> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let batch: Vec<WireEntity> = std::mem::take(pending);
+    let t0 = Instant::now();
+    let results = retry_busy(&mut out.busy_sheds, || client.insert_batch(batch.clone()))?;
+    let elapsed = t0.elapsed();
+    for item in results {
+        match item {
+            Ok(_) => {
+                out.inserts += 1;
+                out.insert_lat.push(elapsed);
+                out.insert_svc.push(elapsed);
+            }
+            Err(ServerError::Busy) => out.busy_sheds += 1,
+            Err(_) => out.errors += 1,
+        }
+    }
+    Ok(())
+}
+
+/// Books one non-`Busy` response into the outcome. `Busy` must be handled
+/// by the caller (retry policy differs per mode).
+fn settle(
+    op: &LoadOp,
+    resp: Response,
+    e2e: Duration,
+    service: Duration,
+    out: &mut ConnOutcome,
+) -> Result<(), ServerError> {
+    match (op, resp) {
+        (LoadOp::Insert(_), Response::Written { .. }) => {
+            out.inserts += 1;
+            out.insert_lat.push(e2e);
+            out.insert_svc.push(service);
+        }
+        (LoadOp::Query(_), Response::Rows { rows, .. }) => {
+            out.queries += 1;
+            out.rows += rows.len() as u64;
+            out.query_lat.push(e2e);
+            out.query_svc.push(service);
+        }
+        (
+            LoadOp::Query(_),
+            Response::Error { code: crate::ErrorCode::UnknownAttribute, .. },
+        ) => out.unknown_attr += 1,
+        (_, Response::Error { .. }) => out.errors += 1,
+        _ => return Err(ServerError::UnexpectedResponse),
+    }
+    Ok(())
 }
 
 /// Retries `op` while the server sheds it, counting the sheds. The backoff

@@ -63,6 +63,17 @@ pub enum Request {
     /// answering [`Response::Pong`]. The delay exists so tests can pin a
     /// worker deterministically and observe admission control.
     Ping(u64),
+    /// Insert a batch of entities in one frame: the server routes them per
+    /// shard in one pass and amortises the writer-lock handoff and group
+    /// commit across the batch. Answered by [`Response::Batch`] with one
+    /// per-item result in request order.
+    InsertBatch(Vec<WireEntity>),
+    /// Run several queries in one frame (each is an attribute-name list,
+    /// as in [`Request::Query`]). Answered by [`Response::Batch`]; the
+    /// legs share the server's per-epoch snapshot.
+    QueryBatch(Vec<Vec<String>>),
+    /// Server and WAL I/O counters (syscall/fsync observability).
+    IoCounters,
 }
 
 /// Aggregate measurements of one remote query execution.
@@ -98,6 +109,32 @@ pub struct EngineStats {
     pub page_writes: u64,
     /// Cumulative evictions.
     pub evictions: u64,
+}
+
+/// Cumulative server-side I/O counters answered to
+/// [`Request::IoCounters`]: the observability surface that makes the
+/// group-commit and pipelining amortisation measurable over the wire
+/// (BENCH_PR7 records fsyncs-per-op and syscalls-per-op from deltas of
+/// these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoCounters {
+    /// Socket `read` calls the server issued (each may carry many frames).
+    pub net_reads: u64,
+    /// Socket write calls the server issued (each may carry many frames).
+    pub net_writes: u64,
+    /// Request frames decoded.
+    pub frames_in: u64,
+    /// Response frames sent.
+    pub frames_out: u64,
+    /// WAL file `write` calls (one per flushed commit group).
+    pub wal_appends: u64,
+    /// WAL fsyncs (one per flushed commit group).
+    pub wal_syncs: u64,
+    /// Commit groups flushed.
+    pub wal_groups: u64,
+    /// WAL transaction groups submitted (≥ `wal_groups`; the ratio is the
+    /// coalescing factor).
+    pub wal_ops: u64,
 }
 
 /// Why a request failed, as a machine-readable code on the wire.
@@ -168,6 +205,12 @@ pub enum Response {
     ShutdownAck,
     /// Ping answered.
     Pong,
+    /// Server I/O counters.
+    IoCounters(IoCounters),
+    /// Per-item results for a batch request, in request order. Items are
+    /// ordinary responses (`Written`, `Rows`, `Error`, …); nesting another
+    /// `Batch` is a protocol violation.
+    Batch(Vec<Response>),
     /// Admission control: the bounded request queue is full. The request
     /// was *not* executed; retry after backing off.
     Busy,
@@ -266,6 +309,49 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtoError> {
         _ => ProtoError::Io(e),
     })?;
     Ok(body)
+}
+
+/// Attempts to split one complete frame off the front of `buf` — the
+/// zero-syscall path of the pipelined reader, which drains every complete
+/// frame from each socket `read` before reading again.
+///
+/// Returns `Ok(Some((body, consumed)))` when a whole frame is present
+/// (`consumed` covers the length prefix plus the body), `Ok(None)` when
+/// more bytes are needed.
+///
+/// # Errors
+/// [`ProtoError::Oversize`] / [`ProtoError::Malformed`] on a hostile
+/// length prefix — exactly the cases [`read_frame`] rejects.
+pub fn split_frame(buf: &[u8]) -> Result<Option<(&[u8], usize)>, ProtoError> {
+    let mut used = 0usize;
+    loop {
+        if used == varint::MAX_LEN {
+            return Err(ProtoError::Malformed("a terminated varint length"));
+        }
+        match buf.get(used) {
+            None => return Ok(None),
+            Some(b) => {
+                used += 1;
+                if b & 0x80 == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    let len = match varint::decode(&buf[..used]) {
+        Some((len, n)) if n == used => len,
+        _ => return Err(ProtoError::Malformed("a varint length")),
+    };
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversize(len));
+    }
+    let Some(end) = used.checked_add(len as usize) else {
+        return Err(ProtoError::Oversize(len));
+    };
+    if buf.len() < end {
+        return Ok(None);
+    }
+    Ok(Some((&buf[used..end], end)))
 }
 
 fn would_block(e: &std::io::Error) -> bool {
@@ -411,6 +497,9 @@ const REQ_STATS: u8 = 5;
 const REQ_VALIDATE: u8 = 6;
 const REQ_SHUTDOWN: u8 = 7;
 const REQ_PING: u8 = 8;
+const REQ_IO_COUNTERS: u8 = 9;
+const REQ_INSERT_BATCH: u8 = 10;
+const REQ_QUERY_BATCH: u8 = 11;
 
 /// Encodes one request body (unframed).
 #[must_use]
@@ -443,6 +532,24 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(REQ_PING);
             varint::encode(*ms, &mut out);
         }
+        Request::InsertBatch(entities) => {
+            out.push(REQ_INSERT_BATCH);
+            varint::encode(entities.len() as u64, &mut out);
+            for e in entities {
+                put_entity(e, &mut out);
+            }
+        }
+        Request::QueryBatch(queries) => {
+            out.push(REQ_QUERY_BATCH);
+            varint::encode(queries.len() as u64, &mut out);
+            for attrs in queries {
+                varint::encode(attrs.len() as u64, &mut out);
+                for a in attrs {
+                    put_string(a, &mut out);
+                }
+            }
+        }
+        Request::IoCounters => out.push(REQ_IO_COUNTERS),
     }
     out
 }
@@ -473,6 +580,37 @@ pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
         REQ_VALIDATE => Request::Validate,
         REQ_SHUTDOWN => Request::Shutdown,
         REQ_PING => Request::Ping(c.u64("a delay")?),
+        REQ_INSERT_BATCH => {
+            let n = c.u64("a batch entity count")?;
+            if n > MAX_FRAME {
+                return Err(ProtoError::Malformed("a sane batch entity count"));
+            }
+            let mut entities = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                entities.push(get_entity(&mut c)?);
+            }
+            Request::InsertBatch(entities)
+        }
+        REQ_QUERY_BATCH => {
+            let n = c.u64("a batch query count")?;
+            if n > MAX_FRAME {
+                return Err(ProtoError::Malformed("a sane batch query count"));
+            }
+            let mut queries = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                let m = c.u64("an attribute count")?;
+                if m > MAX_FRAME {
+                    return Err(ProtoError::Malformed("a sane attribute count"));
+                }
+                let mut attrs = Vec::with_capacity(m.min(1024) as usize);
+                for _ in 0..m {
+                    attrs.push(c.string("an attribute name")?);
+                }
+                queries.push(attrs);
+            }
+            Request::QueryBatch(queries)
+        }
+        REQ_IO_COUNTERS => Request::IoCounters,
         _ => return Err(ProtoError::Malformed("a known request tag")),
     };
     c.done("no trailing bytes")?;
@@ -488,6 +626,8 @@ const RESP_STATS: u8 = 4;
 const RESP_VALIDATED: u8 = 5;
 const RESP_SHUTDOWN_ACK: u8 = 6;
 const RESP_PONG: u8 = 7;
+const RESP_IO_COUNTERS: u8 = 8;
+const RESP_BATCH: u8 = 9;
 const RESP_BUSY: u8 = 0xFE;
 const RESP_ERROR: u8 = 0xFF;
 
@@ -551,6 +691,32 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::ShutdownAck => out.push(RESP_SHUTDOWN_ACK),
         Response::Pong => out.push(RESP_PONG),
+        Response::IoCounters(io) => {
+            out.push(RESP_IO_COUNTERS);
+            for v in [
+                io.net_reads,
+                io.net_writes,
+                io.frames_in,
+                io.frames_out,
+                io.wal_appends,
+                io.wal_syncs,
+                io.wal_groups,
+                io.wal_ops,
+            ] {
+                varint::encode(v, &mut out);
+            }
+        }
+        Response::Batch(items) => {
+            out.push(RESP_BATCH);
+            varint::encode(items.len() as u64, &mut out);
+            for item in items {
+                // Length-prefixed nested bodies: a decoder can skip or
+                // slice items without understanding every tag.
+                let body = encode_response(item);
+                varint::encode(body.len() as u64, &mut out);
+                out.extend_from_slice(&body);
+            }
+        }
         Response::Busy => out.push(RESP_BUSY),
         Response::Error { code, message } => {
             out.push(RESP_ERROR);
@@ -625,6 +791,35 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtoError> {
         }
         RESP_SHUTDOWN_ACK => Response::ShutdownAck,
         RESP_PONG => Response::Pong,
+        RESP_IO_COUNTERS => Response::IoCounters(IoCounters {
+            net_reads: c.u64("net_reads")?,
+            net_writes: c.u64("net_writes")?,
+            frames_in: c.u64("frames_in")?,
+            frames_out: c.u64("frames_out")?,
+            wal_appends: c.u64("wal_appends")?,
+            wal_syncs: c.u64("wal_syncs")?,
+            wal_groups: c.u64("wal_groups")?,
+            wal_ops: c.u64("wal_ops")?,
+        }),
+        RESP_BATCH => {
+            let n = c.u64("a batch item count")?;
+            if n > MAX_FRAME {
+                return Err(ProtoError::Malformed("a sane batch item count"));
+            }
+            let mut items = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                let len = c.u64("a batch item length")?;
+                if len > MAX_FRAME {
+                    return Err(ProtoError::Malformed("a sane batch item length"));
+                }
+                let body = c.bytes(len as usize, "a batch item body")?;
+                if body.first() == Some(&RESP_BATCH) {
+                    return Err(ProtoError::Malformed("no nested batch"));
+                }
+                items.push(decode_response(body)?);
+            }
+            Response::Batch(items)
+        }
         RESP_BUSY => Response::Busy,
         RESP_ERROR => Response::Error {
             code: ErrorCode::from_u8(c.u8("an error code")?),
@@ -672,6 +867,14 @@ mod tests {
         roundtrip_request(Request::Validate);
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Ping(250));
+        roundtrip_request(Request::InsertBatch(vec![entity(), entity()]));
+        roundtrip_request(Request::InsertBatch(vec![]));
+        roundtrip_request(Request::QueryBatch(vec![
+            vec!["a".into(), "b".into()],
+            vec![],
+            vec!["c".into()],
+        ]));
+        roundtrip_request(Request::IoCounters);
     }
 
     #[test]
@@ -713,6 +916,68 @@ mod tests {
             code: ErrorCode::UnknownAttribute,
             message: "no such attribute \"nope\"".into(),
         });
+        roundtrip_response(Response::IoCounters(IoCounters {
+            net_reads: 1,
+            net_writes: 2,
+            frames_in: 3,
+            frames_out: 4,
+            wal_appends: 5,
+            wal_syncs: 6,
+            wal_groups: 7,
+            wal_ops: 8,
+        }));
+        roundtrip_response(Response::Batch(vec![
+            Response::Written { segment: 3, split: false },
+            Response::Error { code: ErrorCode::Engine, message: "dup".into() },
+            Response::Rows { rows: vec![], stats: QueryStats::default() },
+        ]));
+        roundtrip_response(Response::Batch(vec![]));
+    }
+
+    #[test]
+    fn nested_batch_is_rejected() {
+        let evil = encode_response(&Response::Batch(vec![Response::Pong]));
+        // Hand-craft a batch whose single item is itself a batch body.
+        let inner = encode_response(&Response::Batch(vec![Response::Pong]));
+        let mut body = vec![9u8]; // RESP_BATCH
+        varint::encode(1, &mut body);
+        varint::encode(inner.len() as u64, &mut body);
+        body.extend_from_slice(&inner);
+        assert!(matches!(decode_response(&body), Err(ProtoError::Malformed(_))));
+        // The legal outer batch still decodes.
+        assert!(decode_response(&evil).is_ok());
+    }
+
+    #[test]
+    fn split_frame_drains_multiple_frames_from_one_buffer() {
+        let a = encode_request(&Request::Ping(1));
+        let b = encode_request(&Request::Stats);
+        let mut wire = Vec::new();
+        frame(&a, &mut wire);
+        frame(&b, &mut wire);
+        // Plus half of a third frame.
+        let c = encode_request(&Request::Delete(7));
+        let mut partial = Vec::new();
+        frame(&c, &mut partial);
+        wire.extend_from_slice(&partial[..partial.len() - 1]);
+
+        let (body, used) = split_frame(&wire).unwrap().expect("first frame");
+        assert_eq!(body, &a[..]);
+        let rest = &wire[used..];
+        let (body, used2) = split_frame(rest).unwrap().expect("second frame");
+        assert_eq!(body, &b[..]);
+        // The incomplete tail asks for more bytes, without error.
+        assert!(split_frame(&rest[used2..]).unwrap().is_none());
+        assert!(split_frame(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn split_frame_rejects_hostile_prefixes() {
+        let mut oversize = Vec::new();
+        varint::encode(MAX_FRAME + 1, &mut oversize);
+        assert!(matches!(split_frame(&oversize), Err(ProtoError::Oversize(_))));
+        let unterminated = [0x80u8; 12];
+        assert!(matches!(split_frame(&unterminated), Err(ProtoError::Malformed(_))));
     }
 
     #[test]

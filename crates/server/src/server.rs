@@ -1,60 +1,85 @@
-//! The TCP serving loop: accept thread, per-connection readers, a fixed
-//! worker pool behind a *bounded* queue, and the shutdown machinery.
+//! The TCP serving loop: accept thread, pipelined per-connection readers,
+//! a fixed worker pool with connection affinity, and the shutdown
+//! machinery.
 //!
 //! # Threading model
 //!
 //! ```text
 //! accept thread ──spawns──▶ reader thread (one per connection)
-//!                               │ decode frame → try_send(job)
-//!                               │        │ full → answer Busy (shed)
+//!                               │ one read() → drain *all* complete frames
+//!                               │ admit → per-connection job queue
+//!                               │        │ full globally → answer Busy
 //!                               ▼        ▼
-//!                        bounded sync_channel(queue_depth)
+//!                    ready queue (connections with pending jobs)
 //!                               │
 //!                   worker pool (cfg.workers threads)
-//!                               │ engine.handle(req)
+//!                               │ claims a connection, drains its batch,
+//!                               │ engine.handle(req) per job
 //!                               ▼
-//!                    response frame → connection (shared Mutex)
+//!                 seq-ordered response writer (one write() per batch)
 //! ```
 //!
-//! Readers never touch the engine — they only decode, enqueue, and answer
-//! admission-control / protocol errors, so a slow or hostile client cannot
-//! occupy a worker. Workers never read sockets — they drain the queue and
-//! write responses through the connection's write mutex. The queue bound
-//! is the *admission control* knob: when `queue_depth` requests are
-//! already waiting, the next one is answered [`Response::Busy`]
-//! immediately instead of queueing behind them, keeping worst-case latency
-//! proportional to `queue_depth / workers` rather than unbounded.
+//! **Pipelining.** A client may send any number of frames without waiting;
+//! the reader performs buffered multi-frame decode — every complete frame
+//! in one socket `read` is decoded and enqueued before the next syscall —
+//! so one syscall round-trip carries many requests. Each frame gets a
+//! per-connection sequence number at decode time, and *every* response
+//! (real result, `Busy` shed, malformed-body error, shutting-down error)
+//! flows through the connection's sequencer, which releases responses in
+//! frame order and writes consecutive ready responses with a single
+//! `write` call. Clients therefore always receive responses in request
+//! order, pipelined or not.
+//!
+//! **Connection affinity.** The shared queue holds *connections with
+//! pending jobs*, not individual jobs: a worker claims a connection,
+//! drains its whole backlog as one batch, answers the batch with one
+//! buffered write, and returns the connection to the pool only when its
+//! queue is empty. Jobs from one connection never execute concurrently or
+//! out of order, which is what makes per-connection response sequencing
+//! sound; different connections spread across the pool as before. The
+//! *global* job count is still bounded by `queue_depth` — a request
+//! arriving while that many are queued is answered [`Response::Busy`]
+//! immediately (admission control unchanged from the unpipelined server).
 //!
 //! # Shutdown
 //!
 //! *Graceful* ([`ServerHandle::shutdown`] or a wire [`Request::Shutdown`]):
 //! stop accepting, refuse new requests (typed `ShuttingDown` error), let
-//! the workers drain everything already queued, then flush the WAL, write
-//! a checkpoint snapshot, and run the full structural validation — the
-//! report is returned from [`ServerHandle::join`].
+//! the workers drain everything already queued, then flush the WAL through
+//! the group-commit coordinators, write a checkpoint snapshot, and run the
+//! full structural validation — the report is returned from
+//! [`ServerHandle::join`]. A wire `Shutdown` is acked *in sequence*: the
+//! ack never overtakes responses to requests the same connection sent
+//! before it.
 //!
 //! *Hard kill* ([`ServerHandle::hard_kill`]): stop everything as fast as
 //! possible and skip the flush/checkpoint/validate entirely. This is the
 //! crash lever for recovery tests — whatever reached the WAL survives,
 //! everything else is lost, exactly like `SIGKILL`.
+//!
+//! No socket or file is ever flushed/synced here — durability belongs to
+//! the commit coordinator alone (audit rule CIND-A007).
 
-use std::io::Write;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::protocol::{
-    decode_request, encode_response, frame, read_frame, ErrorCode, ProtoError, Request,
-    Response,
+    decode_request, encode_response, frame, split_frame, ErrorCode, Request, Response,
 };
 use crate::sharded::ShardedEngine;
 use crate::{ServeConfig, ServerError};
 
 /// How often idle workers re-check the drain/kill flags.
 const WORKER_POLL: Duration = Duration::from_millis(25);
+
+/// Reader buffer growth per socket `read` call.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// What graceful shutdown found after the drain.
 #[derive(Debug)]
@@ -64,9 +89,13 @@ pub struct ShutdownReport {
     pub violations: Vec<String>,
 }
 
-struct Job {
-    req: Request,
-    out: Arc<Mutex<TcpStream>>,
+/// Network-side syscall/frame counters (relaxed; observability only).
+#[derive(Default)]
+struct NetCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
 }
 
 /// Flags shared by every thread of one server instance.
@@ -81,11 +110,20 @@ struct Shared {
     /// `Shutdown` request); [`ServerHandle::join`] waits on it.
     requested: Mutex<bool>,
     cond: Condvar,
+    /// Jobs currently queued across all connections; the admission gate.
+    queued: AtomicUsize,
+    /// The admission bound ([`ServeConfig::queue_depth`]).
+    depth: usize,
+    net: NetCounters,
 }
 
 impl Shared {
     fn closing(&self) -> bool {
         self.closing.load(Ordering::SeqCst)
+    }
+
+    fn killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
     }
 
     fn request_shutdown(&self) {
@@ -104,6 +142,42 @@ impl Shared {
                 .unwrap_or_else(PoisonError::into_inner);
         }
     }
+
+    /// Admission control: reserve one queue slot, or refuse (`Busy`).
+    fn try_admit(&self) -> bool {
+        let prev = self.queued.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.depth {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+}
+
+/// The writer half of one connection: responses keyed by the sequence
+/// number their request frame was assigned, released strictly in order.
+struct OutState {
+    stream: TcpStream,
+    /// The next sequence number the client is owed.
+    next_seq: u64,
+    /// Completed-but-not-yet-writable responses (framed bytes).
+    pending: BTreeMap<u64, Vec<u8>>,
+}
+
+/// The per-connection job queue plus its scheduling state.
+struct ConnQueue {
+    jobs: VecDeque<(u64, Request)>,
+    /// Whether a ready-queue token for this connection is outstanding
+    /// (in the channel or held by a draining worker). Guarded by the same
+    /// mutex as `jobs` so enqueue/claim cannot race into a lost wakeup.
+    scheduled: bool,
+}
+
+/// One live connection, shared by its reader thread and whichever worker
+/// currently holds its token.
+struct Conn {
+    out: Mutex<OutState>,
+    jobs: Mutex<ConnQueue>,
 }
 
 /// Namespace for [`Server::start`].
@@ -126,9 +200,12 @@ impl Server {
             killed: AtomicBool::new(false),
             requested: Mutex::new(false),
             cond: Condvar::new(),
+            queued: AtomicUsize::new(0),
+            depth: cfg.effective_queue_depth(),
+            net: NetCounters::default(),
         });
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(cfg.effective_queue_depth());
+        let (tx, rx) = std::sync::mpsc::channel::<Arc<Conn>>();
         let rx = Arc::new(Mutex::new(rx));
 
         let mut workers = Vec::with_capacity(cfg.effective_workers());
@@ -200,7 +277,7 @@ impl ServerHandle {
     pub fn join(mut self) -> Result<ShutdownReport, ServerError> {
         self.shared.wait_requested();
         self.stop_threads();
-        self.engine.flush()?;
+        self.engine.flush_wal()?;
         self.engine.checkpoint()?;
         let violations = self.engine.validate()?;
         Ok(ShutdownReport { violations })
@@ -229,7 +306,7 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: &SyncSender<Job>, shared: &Arc<Shared>) {
+fn accept_loop(listener: &TcpListener, tx: &Sender<Arc<Conn>>, shared: &Arc<Shared>) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -240,7 +317,7 @@ fn accept_loop(listener: &TcpListener, tx: &SyncSender<Job>, shared: &Arc<Shared
                 let shared = Arc::clone(shared);
                 // Readers are detached: they exit when their connection
                 // closes, and never outlive usefulness because they only
-                // touch the channel and their own socket.
+                // touch the ready queue and their own socket.
                 let spawned = std::thread::Builder::new()
                     .name("cind-reader".to_string())
                     .spawn(move || reader_loop(stream, &tx, &shared));
@@ -254,96 +331,167 @@ fn accept_loop(listener: &TcpListener, tx: &SyncSender<Job>, shared: &Arc<Shared
     }
 }
 
-fn reader_loop(stream: TcpStream, tx: &SyncSender<Job>, shared: &Arc<Shared>) {
+/// Pipelined reader: one `read` syscall, then decode and dispatch every
+/// complete frame it delivered before reading again.
+fn reader_loop(stream: TcpStream, ready: &Sender<Arc<Conn>>, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
     let Ok(writer) = stream.try_clone() else { return };
-    let out = Arc::new(Mutex::new(writer));
+    let conn = Arc::new(Conn {
+        out: Mutex::new(OutState {
+            stream: writer,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+        }),
+        jobs: Mutex::new(ConnQueue { jobs: VecDeque::new(), scheduled: false }),
+    });
     let mut input = stream;
+    let mut buf: Vec<u8> = Vec::with_capacity(READ_CHUNK);
+    let mut seq = 0u64;
     loop {
-        match read_frame(&mut input) {
-            Ok(body) => match decode_request(&body) {
-                Ok(Request::Shutdown) => {
-                    send(&out, &Response::ShutdownAck);
-                    shared.request_shutdown();
+        // Drain every complete frame already buffered.
+        let mut consumed = 0usize;
+        loop {
+            match split_frame(&buf[consumed..]) {
+                Ok(Some((body, used))) => {
+                    shared.net.frames_in.fetch_add(1, Ordering::Relaxed);
+                    let this_seq = seq;
+                    seq += 1;
+                    dispatch_frame(&conn, this_seq, body, ready, shared);
+                    consumed += used;
+                }
+                Ok(None) => break,
+                // Framing-level damage (oversize length, unterminated
+                // varint): the stream position is unrecoverable, so
+                // answer in sequence and close.
+                Err(e) => {
+                    complete(
+                        &conn,
+                        seq,
+                        &Response::Error {
+                            code: ErrorCode::Malformed,
+                            message: e.to_string(),
+                        },
+                        shared,
+                    );
                     return;
                 }
-                Ok(req) => {
-                    if shared.closing() {
-                        send(
-                            &out,
-                            &Response::Error {
-                                code: ErrorCode::ShuttingDown,
-                                message: "server is shutting down".to_string(),
-                            },
-                        );
-                        continue;
-                    }
-                    match tx.try_send(Job { req, out: Arc::clone(&out) }) {
-                        Ok(()) => {}
-                        // Admission control: the bounded queue is full, so
-                        // shed the request instead of stalling the reader.
-                        Err(TrySendError::Full(_)) => send(&out, &Response::Busy),
-                        Err(TrySendError::Disconnected(_)) => {
-                            send(
-                                &out,
-                                &Response::Error {
-                                    code: ErrorCode::ShuttingDown,
-                                    message: "server is shutting down".to_string(),
-                                },
-                            );
-                            return;
-                        }
-                    }
-                }
-                // The frame arrived intact but its body is garbage: answer
-                // a typed error and keep the connection usable.
-                Err(e) => send(
-                    &out,
-                    &Response::Error {
-                        code: ErrorCode::Malformed,
-                        message: e.to_string(),
-                    },
-                ),
-            },
-            Err(ProtoError::Closed) => return,
-            // Framing-level damage (oversize length, short read): the
-            // stream position is unrecoverable, so answer and close.
-            Err(e) => {
-                send(
-                    &out,
-                    &Response::Error {
-                        code: ErrorCode::Malformed,
-                        message: e.to_string(),
-                    },
-                );
-                return;
             }
         }
+        if consumed > 0 {
+            buf.drain(..consumed);
+        }
+        // Refill: exactly one syscall per iteration, however many frames
+        // it carries.
+        let old_len = buf.len();
+        buf.resize(old_len + READ_CHUNK, 0);
+        match input.read(&mut buf[old_len..]) {
+            Ok(0) => return,
+            Ok(n) => {
+                buf.truncate(old_len + n);
+                shared.net.reads.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                buf.truncate(old_len);
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one decoded frame: admission control and protocol errors are
+/// answered inline (through the sequencer, so ordering holds); real work
+/// joins the connection's job queue.
+fn dispatch_frame(
+    conn: &Arc<Conn>,
+    seq: u64,
+    body: &[u8],
+    ready: &Sender<Arc<Conn>>,
+    shared: &Arc<Shared>,
+) {
+    match decode_request(body) {
+        // Shutdown is acked in sequence and bypasses admission control —
+        // an overloaded server must still be stoppable.
+        Ok(Request::Shutdown) => {
+            complete(conn, seq, &Response::ShutdownAck, shared);
+            shared.request_shutdown();
+        }
+        Ok(req) => {
+            if shared.closing() {
+                complete(
+                    conn,
+                    seq,
+                    &Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is shutting down".to_string(),
+                    },
+                    shared,
+                );
+            } else if !shared.try_admit() {
+                // Admission control: the global queue bound is hit, so
+                // shed the request instead of queueing behind it.
+                complete(conn, seq, &Response::Busy, shared);
+            } else {
+                enqueue(conn, seq, req, ready);
+            }
+        }
+        // The frame arrived intact but its body is garbage: answer a
+        // typed error and keep the connection usable.
+        Err(e) => complete(
+            conn,
+            seq,
+            &Response::Error {
+                code: ErrorCode::Malformed,
+                message: e.to_string(),
+            },
+            shared,
+        ),
+    }
+}
+
+/// Adds a job to the connection's queue and publishes a ready token if
+/// none is outstanding (the `scheduled` flag, updated under the queue
+/// lock, makes the token unique — so at most one worker drains a
+/// connection at a time and per-connection order is preserved).
+fn enqueue(conn: &Arc<Conn>, seq: u64, req: Request, ready: &Sender<Arc<Conn>>) {
+    let token = {
+        let mut q = conn.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        q.jobs.push_back((seq, req));
+        if q.scheduled {
+            false
+        } else {
+            q.scheduled = true;
+            true
+        }
+    };
+    if token {
+        // A send can only fail after every worker exited, i.e. during
+        // teardown; the job is then abandoned like any other in-flight
+        // work at that point.
+        let _ = ready.send(Arc::clone(conn));
     }
 }
 
 fn worker_loop(
     engine: &ShardedEngine,
-    rx: &Arc<Mutex<Receiver<Job>>>,
+    rx: &Arc<Mutex<Receiver<Arc<Conn>>>>,
     shared: &Arc<Shared>,
 ) {
     loop {
-        if shared.killed.load(Ordering::SeqCst) {
+        if shared.killed() {
             return;
         }
-        let job = {
+        let token = {
             let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
             guard.recv_timeout(WORKER_POLL)
         };
-        match job {
-            Ok(job) => {
-                if shared.killed.load(Ordering::SeqCst) {
-                    return; // crash-stop: abandon the job un-answered
+        match token {
+            Ok(conn) => {
+                if !drain_conn(engine, &conn, shared) {
+                    return; // hard kill observed mid-batch
                 }
-                let resp = engine.handle(&job.req);
-                send(&job.out, &resp);
             }
-            // Queue empty: during graceful shutdown that means the drain
-            // is complete.
+            // Ready queue empty: during graceful shutdown that means the
+            // drain is complete.
             Err(RecvTimeoutError::Timeout) => {
                 if shared.closing() {
                     return;
@@ -354,12 +502,104 @@ fn worker_loop(
     }
 }
 
-/// Best-effort framed response write; a vanished client is not an error.
-fn send(out: &Mutex<TcpStream>, resp: &Response) {
+/// Executes one connection's backlog to exhaustion. Each sweep takes the
+/// whole current batch, handles it, and answers it with a single buffered
+/// write; the connection is released (token retired) only when its queue
+/// is observed empty under the lock. Returns `false` on hard kill.
+fn drain_conn(engine: &ShardedEngine, conn: &Arc<Conn>, shared: &Arc<Shared>) -> bool {
+    loop {
+        let batch: Vec<(u64, Request)> = {
+            let mut q = conn.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+            if q.jobs.is_empty() {
+                q.scheduled = false;
+                return true;
+            }
+            q.jobs.drain(..).collect()
+        };
+        shared.queued.fetch_sub(batch.len(), Ordering::SeqCst);
+        let mut done: Vec<(u64, Vec<u8>)> = Vec::with_capacity(batch.len());
+        let push = |done: &mut Vec<(u64, Vec<u8>)>, seq: u64, resp: &Response| {
+            let body = encode_response(resp);
+            let mut wire = Vec::with_capacity(body.len() + 4);
+            frame(&body, &mut wire);
+            done.push((seq, wire));
+        };
+        let mut it = batch.into_iter().peekable();
+        while let Some((seq, req)) = it.next() {
+            if shared.killed() {
+                return false; // crash-stop: abandon un-answered
+            }
+            match req {
+                // A run of consecutive pipelined inserts collapses into one
+                // engine batch: one routing pass, one shard-lock
+                // acquisition, and one durability wait per shard — the
+                // commit coordinator sees the whole run as a single group
+                // instead of `workers` trickled singletons. Per-item
+                // results are identical to per-op dispatch
+                // (`ShardedEngine::insert_batch` pins that down).
+                Request::Insert(first)
+                    if matches!(it.peek(), Some((_, Request::Insert(_)))) =>
+                {
+                    let mut seqs = vec![seq];
+                    let mut entities = vec![first];
+                    while matches!(it.peek(), Some((_, Request::Insert(_)))) {
+                        if let Some((s, Request::Insert(e))) = it.next() {
+                            seqs.push(s);
+                            entities.push(e);
+                        }
+                    }
+                    for (s, r) in seqs.into_iter().zip(engine.insert_batch(&entities)) {
+                        let resp = crate::engine::to_frame(
+                            r.map(|(segment, split)| Response::Written { segment, split }),
+                        );
+                        push(&mut done, s, &resp);
+                    }
+                }
+                // Merge engine-side WAL counters with server-side net
+                // counters — the full syscall observability picture.
+                Request::IoCounters => {
+                    let mut io = engine.io_counters();
+                    io.net_reads = shared.net.reads.load(Ordering::Relaxed);
+                    io.net_writes = shared.net.writes.load(Ordering::Relaxed);
+                    io.frames_in = shared.net.frames_in.load(Ordering::Relaxed);
+                    io.frames_out = shared.net.frames_out.load(Ordering::Relaxed);
+                    push(&mut done, seq, &Response::IoCounters(io));
+                }
+                req => push(&mut done, seq, &engine.handle(&req)),
+            }
+        }
+        complete_many(conn, done, shared);
+    }
+}
+
+/// Completes one response through the sequencer.
+fn complete(conn: &Conn, seq: u64, resp: &Response, shared: &Shared) {
     let body = encode_response(resp);
     let mut wire = Vec::with_capacity(body.len() + 4);
     frame(&body, &mut wire);
-    let mut guard = out.lock().unwrap_or_else(PoisonError::into_inner);
-    let _ = guard.write_all(&wire);
-    let _ = guard.flush();
+    complete_many(conn, vec![(seq, wire)], shared);
+}
+
+/// Parks framed responses in the sequencer and writes out every response
+/// that is now next-in-order — consecutive ready responses leave in one
+/// `write` call. A vanished client is not an error.
+fn complete_many(conn: &Conn, items: Vec<(u64, Vec<u8>)>, shared: &Shared) {
+    let mut out = conn.out.lock().unwrap_or_else(PoisonError::into_inner);
+    for (seq, wire) in items {
+        out.pending.insert(seq, wire);
+    }
+    let mut batch = Vec::new();
+    let mut released = 0u64;
+    loop {
+        let next = out.next_seq;
+        let Some(wire) = out.pending.remove(&next) else { break };
+        batch.extend_from_slice(&wire);
+        out.next_seq += 1;
+        released += 1;
+    }
+    if !batch.is_empty() {
+        let _ = out.stream.write_all(&batch);
+        shared.net.writes.fetch_add(1, Ordering::Relaxed);
+        shared.net.frames_out.fetch_add(released, Ordering::Relaxed);
+    }
 }

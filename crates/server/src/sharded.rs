@@ -31,8 +31,8 @@ use std::sync::{Arc, PoisonError, RwLock};
 use cind_storage::{Manifest, Vfs};
 use cinderella_core::MergeReport;
 
-use crate::engine::{Engine, EngineOptions, SNAPSHOT_FILE, WAL_FILE};
-use crate::protocol::{EngineStats, QueryStats, Request, Response};
+use crate::engine::{to_frame, Engine, EngineOptions, SNAPSHOT_FILE, WAL_FILE};
+use crate::protocol::{EngineStats, IoCounters, QueryStats, Request, Response, WireEntity};
 use crate::shard::ShardRouter;
 use crate::ServerError;
 
@@ -230,6 +230,56 @@ impl ShardedEngine {
         self.shard_engine(self.router.route(wire.id)).insert(wire)
     }
 
+    /// Inserts a batch of entities: one pass groups them by owning shard,
+    /// then each shard runs its group under a single writer-lock
+    /// acquisition and a single group-commit durability wait
+    /// ([`Engine::insert_many`]). Placement is identical to inserting the
+    /// same entities one at a time in request order — within a shard the
+    /// relative order is preserved, and entities on different shards never
+    /// observe each other.
+    ///
+    /// Per-item results, scattered back to request order.
+    #[must_use]
+    pub fn insert_batch(
+        &self,
+        wires: &[WireEntity],
+    ) -> Vec<Result<(u32, bool), ServerError>> {
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.slots.len()];
+        for (i, wire) in wires.iter().enumerate() {
+            per_shard[self.router.route(wire.id)].push(i);
+        }
+        let mut out: Vec<Option<Result<(u32, bool), ServerError>>> =
+            wires.iter().map(|_| None).collect();
+        for (shard, idxs) in per_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let engine = self.shard_engine(shard);
+            let group: Vec<&WireEntity> = idxs.iter().map(|&i| &wires[i]).collect();
+            for (&i, result) in idxs.iter().zip(engine.insert_many(&group)) {
+                out[i] = Some(result);
+            }
+        }
+        out.into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(ServerError::Internal("batch item lost in routing".to_string()))
+                })
+            })
+            .collect()
+    }
+
+    /// Runs a batch of queries sequentially; the legs share each shard's
+    /// per-epoch snapshot cache, so the fan-out clone is paid once per
+    /// epoch, not once per leg.
+    #[must_use]
+    pub fn query_batch(
+        &self,
+        queries: &[Vec<String>],
+    ) -> Vec<Result<(Vec<crate::client::Row>, QueryStats), ServerError>> {
+        queries.iter().map(|attrs| self.query(attrs)).collect()
+    }
+
     /// Replaces a stored entity on its owning shard.
     ///
     /// # Errors
@@ -354,15 +404,31 @@ impl ShardedEngine {
         Ok(out)
     }
 
-    /// Flushes every shard's WAL sink.
+    /// Drains every shard's WAL through its commit coordinator.
     ///
     /// # Errors
-    /// The first shard's sticky WAL failure, if appends have been failing.
-    pub fn flush(&self) -> Result<(), ServerError> {
+    /// The first shard's sticky WAL failure, if appends or group flushes
+    /// have been failing.
+    pub fn flush_wal(&self) -> Result<(), ServerError> {
         for engine in self.engines() {
-            engine.flush()?;
+            engine.flush_wal()?;
         }
         Ok(())
+    }
+
+    /// Summed WAL I/O counters across all shards (net counters are zero;
+    /// the server layer fills them in).
+    #[must_use]
+    pub fn io_counters(&self) -> IoCounters {
+        let mut total = IoCounters::default();
+        for engine in self.engines() {
+            let io = engine.io_counters();
+            total.wal_appends += io.wal_appends;
+            total.wal_syncs += io.wal_syncs;
+            total.wal_groups += io.wal_groups;
+            total.wal_ops += io.wal_ops;
+        }
+        total
     }
 
     /// Checkpoints every shard (snapshot + WAL truncation). Failures stop
@@ -445,6 +511,24 @@ impl ShardedEngine {
             Request::Query(attrs) => self
                 .query(attrs)
                 .map(|(rows, stats)| Response::Rows { rows, stats }),
+            Request::InsertBatch(entities) => Ok(Response::Batch(
+                self.insert_batch(entities)
+                    .into_iter()
+                    .map(|r| {
+                        to_frame(r.map(|(segment, split)| Response::Written {
+                            segment,
+                            split,
+                        }))
+                    })
+                    .collect(),
+            )),
+            Request::QueryBatch(queries) => Ok(Response::Batch(
+                self.query_batch(queries)
+                    .into_iter()
+                    .map(|r| to_frame(r.map(|(rows, stats)| Response::Rows { rows, stats })))
+                    .collect(),
+            )),
+            Request::IoCounters => Ok(Response::IoCounters(self.io_counters())),
             Request::Stats => Ok(Response::Stats(self.stats())),
             Request::Validate => self.validate().map(Response::Validated),
             Request::Ping(delay_ms) => {
@@ -455,10 +539,7 @@ impl ShardedEngine {
             }
             Request::Shutdown => Ok(Response::ShutdownAck),
         };
-        result.unwrap_or_else(|e| Response::Error {
-            code: crate::engine::error_code(&e),
-            message: e.to_string(),
-        })
+        to_frame(result)
     }
 }
 
@@ -498,6 +579,34 @@ mod tests {
         for i in 0..eng.shard_count() {
             assert!(eng.shard_engine(i).stats().entities > 0, "shard {i} empty");
         }
+    }
+
+    #[test]
+    fn insert_batch_matches_singles_and_reports_per_item_errors() {
+        let singles = ShardedEngine::in_memory(opts(4));
+        let batched = ShardedEngine::in_memory(opts(4));
+        let wires: Vec<WireEntity> = (0..40u64)
+            .map(|id| wire(id, &[(if id % 2 == 0 { "rpm" } else { "mp" }, id as i64)]))
+            .collect();
+        let expect: Vec<_> = wires.iter().map(|w| singles.insert(w).unwrap()).collect();
+        let got = batched.insert_batch(&wires);
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(g.as_ref().unwrap(), e, "item {i} diverged from per-op insert");
+        }
+        assert_eq!(batched.stats().entities, singles.stats().entities);
+
+        // A duplicate inside a batch fails that item alone.
+        let dup = vec![wire(100, &[("rpm", 1)]), wire(100, &[("rpm", 2)]), wire(101, &[("mp", 3)])];
+        let results = batched.insert_batch(&dup);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err(), "duplicate id must fail its item");
+        assert!(results[2].is_ok());
+        assert!(batched.validate().unwrap().is_empty());
+
+        // Query batch: two legs, one unknown — per-item results.
+        let legs = batched.query_batch(&[vec!["rpm".to_string()], vec!["ghost".to_string()]]);
+        assert!(legs[0].is_ok());
+        assert!(matches!(legs[1], Err(ServerError::UnknownAttribute(_))));
     }
 
     #[test]

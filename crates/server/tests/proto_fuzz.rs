@@ -22,7 +22,8 @@ use std::path::PathBuf;
 use cind_model::Value;
 use cind_server::protocol::{
     decode_request, decode_response, encode_request, encode_response, frame, read_frame,
-    EngineStats, ErrorCode, ProtoError, QueryStats, Request, Response, WireEntity,
+    split_frame, EngineStats, ErrorCode, IoCounters, ProtoError, QueryStats, Request,
+    Response, WireEntity,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -182,12 +183,91 @@ proptest! {
     }
 
     #[test]
+    fn batch_requests_roundtrip(
+        ids in prop::collection::vec(0u64..u64::MAX, 0..6),
+        raw in attr_raw(),
+        queries in prop::collection::vec(
+            prop::collection::vec("[a-z_]{0,10}", 0..4),
+            0..5,
+        ),
+        pick in 0u32..3,
+    ) {
+        let req = match pick {
+            0 => Request::InsertBatch(
+                ids.iter().map(|&id| entity_from(id, &raw)).collect(),
+            ),
+            1 => Request::QueryBatch(queries),
+            _ => Request::IoCounters,
+        };
+        let body = encode_request(&req);
+        prop_assert_eq!(decode_request(&body).expect("valid encoding"), req);
+    }
+
+    #[test]
+    fn batch_and_io_counter_responses_roundtrip(
+        counters in prop::collection::vec(0u64..u64::MAX, 8..9),
+        picks in prop::collection::vec(0u32..4, 0..8),
+        segment in 0u32..u32::MAX,
+    ) {
+        // A batch is a vector of ordinary (non-batch) responses; mix the
+        // simple ack variants plus typed errors, like a real insert batch.
+        let items: Vec<Response> = picks
+            .iter()
+            .map(|p| match p {
+                0 => Response::Written { segment, split: segment & 1 == 1 },
+                1 => Response::Busy,
+                2 => Response::Pong,
+                _ => Response::Error {
+                    code: ErrorCode::Engine,
+                    message: "duplicate id".into(),
+                },
+            })
+            .collect();
+        let io = Response::IoCounters(IoCounters {
+            net_reads: counters[0],
+            net_writes: counters[1],
+            frames_in: counters[2],
+            frames_out: counters[3],
+            wal_appends: counters[4],
+            wal_syncs: counters[5],
+            wal_groups: counters[6],
+            wal_ops: counters[7],
+        });
+        for resp in [Response::Batch(items), io] {
+            let body = encode_response(&resp);
+            prop_assert_eq!(decode_response(&body).expect("valid encoding"), resp);
+        }
+    }
+
+    #[test]
     fn framing_roundtrips_any_body(bytes in prop::collection::vec(0u8..=255, 0..200)) {
         let mut wire = Vec::new();
         frame(&bytes, &mut wire);
         let mut r = &wire[..];
         prop_assert_eq!(read_frame(&mut r).expect("framed body"), bytes);
         prop_assert!(matches!(read_frame(&mut r), Err(ProtoError::Closed)));
+    }
+
+    #[test]
+    fn split_frame_agrees_with_read_frame(
+        bodies in prop::collection::vec(prop::collection::vec(0u8..=255, 0..60), 1..5),
+    ) {
+        // However many frames share one buffer (the pipelined reader's
+        // view), splitting must yield the same bodies read_frame would.
+        let mut wire = Vec::new();
+        for b in &bodies {
+            frame(b, &mut wire);
+        }
+        let mut at = 0usize;
+        for b in &bodies {
+            let (body, used) = split_frame(&wire[at..])
+                .expect("valid framing")
+                .expect("complete frame available");
+            prop_assert_eq!(body, &b[..]);
+            at += used;
+        }
+        prop_assert_eq!(at, wire.len());
+        prop_assert!(matches!(split_frame(&wire[at..]), Ok(None)));
     }
 }
 
@@ -217,6 +297,21 @@ fn valid_bodies() -> Vec<(&'static str, Vec<u8>)> {
         ("valid_req_validate", encode_request(&Request::Validate)),
         ("valid_req_shutdown", encode_request(&Request::Shutdown)),
         ("valid_req_ping", encode_request(&Request::Ping(250))),
+        ("valid_req_io_counters", encode_request(&Request::IoCounters)),
+        (
+            "valid_req_insert_batch",
+            encode_request(&Request::InsertBatch(vec![
+                WireEntity { id: 1, attrs: vec![("a".into(), Value::Int(1))] },
+                WireEntity { id: 2, attrs: vec![("b".into(), Value::Bool(true))] },
+            ])),
+        ),
+        (
+            "valid_req_query_batch",
+            encode_request(&Request::QueryBatch(vec![
+                vec!["rpm".into(), "price".into()],
+                vec!["name".into()],
+            ])),
+        ),
         (
             "valid_resp_written",
             encode_response(&Response::Written { segment: 9, split: true }),
@@ -260,6 +355,27 @@ fn valid_bodies() -> Vec<(&'static str, Vec<u8>)> {
                 message: "no such attribute".into(),
             }),
         ),
+        (
+            "valid_resp_batch",
+            encode_response(&Response::Batch(vec![
+                Response::Written { segment: 3, split: false },
+                Response::Busy,
+                Response::Error { code: ErrorCode::Engine, message: "duplicate id".into() },
+            ])),
+        ),
+        (
+            "valid_resp_io_counters",
+            encode_response(&Response::IoCounters(IoCounters {
+                net_reads: 1,
+                net_writes: 2,
+                frames_in: 3,
+                frames_out: 4,
+                wal_appends: 5,
+                wal_syncs: 6,
+                wal_groups: 7,
+                wal_ops: 8,
+            })),
+        ),
     ]
 }
 
@@ -275,6 +391,16 @@ fn malformed_bodies() -> Vec<(&'static str, Vec<u8>)> {
     // Tag says Query, count says 2^40 attributes: must reject, not allocate.
     let mut huge_count = vec![4u8];
     cind_storage::varint::encode(1 << 40, &mut huge_count);
+    // A batch response whose single item is itself a batch: the decoder
+    // must refuse recursion rather than nest unboundedly.
+    let inner_batch = vec![9u8, 0];
+    let mut nested_batch = vec![9u8];
+    cind_storage::varint::encode(1, &mut nested_batch);
+    cind_storage::varint::encode(inner_batch.len() as u64, &mut nested_batch);
+    nested_batch.extend_from_slice(&inner_batch);
+    // An insert batch that claims 2^40 entities up front.
+    let mut huge_batch = vec![10u8];
+    cind_storage::varint::encode(1 << 40, &mut huge_batch);
     vec![
         ("bad_req_tag", vec![99u8]),
         ("bad_resp_tag", vec![0xA0u8, 1, 2, 3]),
@@ -283,6 +409,8 @@ fn malformed_bodies() -> Vec<(&'static str, Vec<u8>)> {
         ("bad_req_trailing_byte", trailing),
         ("bad_huge_count", huge_count),
         ("bad_unterminated_varint", vec![0x80u8; 12]),
+        ("bad_resp_nested_batch", nested_batch),
+        ("bad_req_huge_batch_count", huge_batch),
     ]
 }
 
@@ -291,13 +419,21 @@ fn malformed_bodies() -> Vec<(&'static str, Vec<u8>)> {
 fn exercise(body: &[u8]) -> (bool, bool) {
     let req_ok = decode_request(body).is_ok();
     let resp_ok = decode_response(body).is_ok();
+    // The body itself as hostile *framing* input: must return, not panic.
+    let _ = split_frame(body);
     let mut wire = Vec::new();
     frame(body, &mut wire);
     let mut r = &wire[..];
     assert_eq!(read_frame(&mut r).expect("framed body"), body);
-    // Truncated at every prefix the framing layer must error, not panic.
+    let (split_body, used) = split_frame(&wire)
+        .expect("valid framing")
+        .expect("complete frame");
+    assert_eq!((split_body, used), (body, wire.len()));
+    // Truncated at every prefix the framing layer must error (read_frame)
+    // or report incompleteness (split_frame), never panic or yield bytes.
     let mut cut = &wire[..wire.len() - 1];
     assert!(read_frame(&mut cut).is_err());
+    assert!(!matches!(split_frame(&wire[..wire.len() - 1]), Ok(Some(_))));
     (req_ok, resp_ok)
 }
 

@@ -166,6 +166,11 @@ pub(crate) fn sim_engine_options(vfs: Arc<SimVfs>) -> EngineOptions {
         },
         pool_pages: 64,
         query_threads: 1,
+        // Window zero keeps the schedule single-writer deterministic: the
+        // submitting thread is always its own fsync leader, so no timing
+        // dependence sneaks into the trace hash. Group-commit *timing* is
+        // exercised by the dedicated multi-writer crash tests instead.
+        group_commit_window: std::time::Duration::ZERO,
         vfs: vfs as Arc<dyn Vfs>,
     }
 }
