@@ -11,13 +11,16 @@
 //! sync/flush decision in the serving crate stays inside the group-commit
 //! coordinator.
 //!
-//! The pass is deliberately line/token-level, not AST-level: it has zero
+//! The pass is deliberately token-level, not AST-level: it has zero
 //! dependencies, so it builds and runs even when the rest of the workspace
 //! is mid-refactor, and its rules survive syntax the paper-reproduction
-//! code does not use. Comments, string literals, and `#[cfg(test)]` regions
-//! are blanked (length-preserving, so line numbers hold) before any rule
-//! runs; rules that need doc comments or CLI usage strings read the raw
-//! text explicitly.
+//! code does not use. A single lexer pass ([`lexer`]) yields both a token
+//! stream and a blanked "code view" (comments, string literals, and
+//! `#[cfg(test)]` regions replaced by spaces — length-preserving, so line
+//! numbers hold); line rules run over the view, structural rules
+//! ([`syntax`], [`locks`], [`blocking`]) walk the tokens through a
+//! brace-tree with function/impl scoping. Rules that need doc comments or
+//! CLI usage strings read the raw text explicitly.
 //!
 //! Rules:
 //!
@@ -30,19 +33,26 @@
 //! | CIND-A005 | no `Instant::now`/`SystemTime` in deterministic replay/plan paths |
 //! | CIND-A006 | no lock guard held across a shard fan-out call in the sharded engine |
 //! | CIND-A007 | no `sync`/`flush` calls in the serving crate outside the group-commit coordinator |
+//! | CIND-A008 | the workspace-wide lock acquisition-order graph is acyclic (witness chain on failure) |
+//! | CIND-A009 | no blocking call (I/O, channel, condvar, join) while a lock guard is live, unless `audit:allow`ed with a reason |
 //!
-//! Run as `cargo run -p cind-audit -- check` (add `--format json` for
-//! machine-readable output, `--write-baseline` to ratchet the panic
-//! baseline down after a burn-down). Exit status is non-zero iff findings
-//! remain.
+//! Run as `cargo run -p cind-audit -- check` (add `--format json` or
+//! `--format sarif` for machine-readable output, `--write-baseline` to
+//! ratchet the panic baseline down after a burn-down). Exit status is
+//! non-zero iff findings remain.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod baseline;
+pub mod blocking;
+pub mod lexer;
+pub mod locks;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
+pub mod syntax;
 
 /// One rule violation, machine-readable.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,8 +89,8 @@ impl Finding {
     }
 }
 
-/// A workspace source file, raw and with comments/strings/test regions
-/// blanked ([`scan::code_view`]).
+/// A workspace source file: raw text, lexed tokens, and the blanked code
+/// view — all derived in one lexer pass.
 pub struct SourceFile {
     /// Workspace-relative path, `/`-separated.
     pub path: String,
@@ -89,15 +99,24 @@ pub struct SourceFile {
     /// `raw` with comments, string literals, and `#[cfg(test)]` regions
     /// replaced by spaces — same length, same line structure.
     pub code: String,
+    /// The token stream; tokens inside `#[cfg(test)]` regions are
+    /// `masked` and skipped by structural rules.
+    pub tokens: Vec<lexer::Token>,
 }
 
 impl SourceFile {
-    /// Builds a file from its path and raw content, deriving the code view.
+    /// Builds a file from its path and raw content, deriving the token
+    /// stream and the code view.
     #[must_use]
     pub fn new(path: impl Into<String>, raw: impl Into<String>) -> Self {
         let raw = raw.into();
-        let code = scan::code_view(&raw);
-        Self { path: path.into(), raw, code }
+        let (mut tokens, stripped) = lexer::lex(&raw);
+        let ranges = scan::test_region_ranges(&stripped);
+        for t in &mut tokens {
+            t.masked = ranges.iter().any(|&(s, e)| t.start >= s && t.start < e);
+        }
+        let code = scan::mask_test_regions(&stripped);
+        Self { path: path.into(), raw, code, tokens }
     }
 }
 
@@ -160,6 +179,8 @@ pub fn run_all(files: &[SourceFile], panic_baseline: &BTreeMap<String, u64>) -> 
     out.extend(rules::no_wall_clock(files));
     out.extend(rules::shard_fanout_lock_freedom(files));
     out.extend(rules::commit_path_sync_discipline(files));
+    out.extend(locks::lock_order(files));
+    out.extend(blocking::blocking_in_critical_section(files));
     out.sort_by(|a, b| {
         (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule))
     });

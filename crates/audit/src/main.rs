@@ -4,13 +4,13 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use cind_audit::{baseline, rules, run_all};
+use cind_audit::{baseline, rules, run_all, sarif};
 
 const USAGE: &str = "\
 cind-audit — workspace lint pass for the Cinderella codebase
 
 USAGE:
-  cind-audit check [--format text|json] [--write-baseline] [--root DIR]
+  cind-audit check [--format text|json|sarif] [--write-baseline] [--root DIR]
 
 Exit status: 0 clean, 1 findings, 2 usage/IO error.
 --write-baseline regenerates audit-baseline.toml from the current tree
@@ -28,7 +28,7 @@ fn workspace_root(explicit: Option<PathBuf>) -> PathBuf {
 
 fn run() -> Result<bool, String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut json = false;
+    let mut format = Format::Text;
     let mut write_baseline = false;
     let mut root: Option<PathBuf> = None;
     let mut saw_check = false;
@@ -37,8 +37,9 @@ fn run() -> Result<bool, String> {
         match arg.as_str() {
             "check" => saw_check = true,
             "--format" => match it.next().map(String::as_str) {
-                Some("json") => json = true,
-                Some("text") => json = false,
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                Some("sarif") => format = Format::Sarif,
                 other => return Err(format!("bad --format {other:?}\n\n{USAGE}")),
             },
             "--write-baseline" => write_baseline = true,
@@ -81,21 +82,32 @@ fn run() -> Result<bool, String> {
     let current_baseline =
         if write_baseline { baseline::read(&baseline_path)? } else { old_baseline };
     let findings = run_all(&files, &current_baseline);
-    if json {
-        let objects: Vec<String> = findings.iter().map(cind_audit::Finding::to_json).collect();
-        println!("[{}]", objects.join(","));
-    } else {
-        for f in &findings {
-            println!("{f}");
+    match format {
+        Format::Json => {
+            let objects: Vec<String> =
+                findings.iter().map(cind_audit::Finding::to_json).collect();
+            println!("[{}]", objects.join(","));
         }
-        eprintln!(
-            "cind-audit: {} finding{} over {} files",
-            findings.len(),
-            if findings.len() == 1 { "" } else { "s" },
-            files.len()
-        );
+        Format::Sarif => println!("{}", sarif::render(&findings)),
+        Format::Text => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!(
+                "cind-audit: {} finding{} over {} files",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" },
+                files.len()
+            );
+        }
     }
     Ok(findings.is_empty())
+}
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
 }
 
 fn load(root: &Path) -> Result<Vec<cind_audit::SourceFile>, String> {

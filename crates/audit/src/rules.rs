@@ -1,9 +1,12 @@
-//! The six audit rules. Each takes the loaded workspace and returns
-//! machine-readable [`Finding`]s; each has a self-test seeding the
-//! violation it exists to catch.
+//! The line-level audit rules (A001–A007). Each takes the loaded
+//! workspace and returns machine-readable [`Finding`]s; each has a
+//! self-test seeding the violation it exists to catch. The structural
+//! pieces of A003/A006 run on the [`crate::syntax`] event walker; the
+//! engine-backed workspace analyses live in [`crate::locks`] (A008) and
+//! [`crate::blocking`] (A009).
 
-use crate::scan::{line_of, lines};
-use crate::{Finding, SourceFile};
+use crate::scan::lines;
+use crate::{syntax, Finding, SourceFile};
 
 /// CIND-A001: every crate root (`src/lib.rs`, `src/main.rs`,
 /// `src/bin/*.rs`) declares `#![forbid(unsafe_code)]`.
@@ -62,7 +65,7 @@ pub fn panic_sites(files: &[SourceFile]) -> Vec<Finding> {
     out
 }
 
-fn is_library_code(path: &str) -> bool {
+pub(crate) fn is_library_code(path: &str) -> bool {
     !path.ends_with("/main.rs") && !path.contains("/src/bin/")
 }
 
@@ -92,57 +95,29 @@ pub fn lock_discipline(files: &[SourceFile]) -> Vec<Finding> {
     out
 }
 
+/// Walker-backed port of the original A003 byte-machine: a `.lock(`
+/// acquisition while a `.lock(`-method guard is already held. Guards from
+/// `.read()`/`.write()` are tracked by the walker but do not count as
+/// shard latches here — exactly the legacy scope.
 fn nested_lock_findings(f: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
-    let code = f.code.as_bytes();
-    let mut depth: usize = 0;
-    // Brace depths at which a let-bound guard is currently held.
-    let mut held: Vec<usize> = Vec::new();
-    // Whether the current statement began with `let` (guard will be bound).
-    let mut stmt_is_let = false;
-    let mut i = 0;
-    while i < code.len() {
-        match code[i] {
-            b'{' => {
-                depth += 1;
-                stmt_is_let = false;
-            }
-            b'}' => {
-                depth = depth.saturating_sub(1);
-                held.retain(|&d| d <= depth);
-                stmt_is_let = false;
-            }
-            b';' => stmt_is_let = false,
-            b'l' if f.code[i..].starts_with("let")
-                && !prev_is_ident(code, i)
-                && code.get(i + 3).is_some_and(|c| c.is_ascii_whitespace()) =>
-            {
-                stmt_is_let = true;
-            }
-            b'.' if f.code[i..].starts_with(".lock(") => {
-                if !held.is_empty() {
+    for func in syntax::functions(f) {
+        for ev in syntax::events(f, &func) {
+            if let syntax::Event::Acquire { line, method, held, .. } = &ev {
+                if method == "lock" && held.iter().any(|h| h.method == "lock") {
                     out.push(Finding {
                         file: f.path.clone(),
-                        line: line_of(&f.code, i),
+                        line: *line,
                         rule: "CIND-A003",
                         message: "shard latch acquired while another is held \
                                   (guards must drop before the next .lock())"
                             .into(),
                     });
                 }
-                if stmt_is_let {
-                    held.push(depth);
-                }
             }
-            _ => {}
         }
-        i += 1;
     }
     out
-}
-
-fn prev_is_ident(code: &[u8], i: usize) -> bool {
-    i > 0 && (code[i - 1].is_ascii_alphanumeric() || code[i - 1] == b'_')
 }
 
 fn stats_write_findings(f: &SourceFile) -> Vec<Finding> {
@@ -371,54 +346,37 @@ pub fn commit_path_sync_discipline(files: &[SourceFile]) -> Vec<Finding> {
     out
 }
 
+/// Walker-backed port of the original A006 byte-machine: any guard
+/// (`.lock(`/`.read()`/`.write()`, `let`-bound) still live at a fan-out
+/// call — `.engines()` or a `thread::scope` mention.
 fn fanout_findings(f: &SourceFile) -> Vec<Finding> {
-    const GUARDS: [&str; 3] = [".read()", ".write()", ".lock("];
-    const FANOUT: [&str; 2] = [".engines()", "thread::scope"];
     let mut out = Vec::new();
-    let code = f.code.as_bytes();
-    let mut depth: usize = 0;
-    // Brace depths at which a let-bound guard is currently held.
-    let mut held: Vec<usize> = Vec::new();
-    // Whether the current statement began with `let` (guard will be bound).
-    let mut stmt_is_let = false;
-    let mut i = 0;
-    while i < code.len() {
-        match code[i] {
-            b'{' => {
-                depth += 1;
-                stmt_is_let = false;
+    let mut push = |line: usize| {
+        out.push(Finding {
+            file: f.path.clone(),
+            line,
+            rule: "CIND-A006",
+            message: "lock guard held across a shard fan-out call \
+                      (clone the engine handles first, then drop the guard)"
+                .into(),
+        });
+    };
+    for func in syntax::functions(f) {
+        for ev in syntax::events(f, &func) {
+            match &ev {
+                syntax::Event::Call { line, name, empty_args: true, held, .. }
+                    if name == "engines" && !held.is_empty() =>
+                {
+                    push(*line);
+                }
+                syntax::Event::PathCall { line, path, held }
+                    if path == "thread::scope" && !held.is_empty() =>
+                {
+                    push(*line);
+                }
+                _ => {}
             }
-            b'}' => {
-                depth = depth.saturating_sub(1);
-                held.retain(|&d| d <= depth);
-                stmt_is_let = false;
-            }
-            b';' => stmt_is_let = false,
-            b'l' if f.code[i..].starts_with("let")
-                && !prev_is_ident(code, i)
-                && code.get(i + 3).is_some_and(|c| c.is_ascii_whitespace()) =>
-            {
-                stmt_is_let = true;
-            }
-            b'.' if stmt_is_let && GUARDS.iter().any(|g| f.code[i..].starts_with(g)) => {
-                held.push(depth);
-            }
-            _ => {}
         }
-        if (code[i] == b'.' || !prev_is_ident(code, i))
-            && FANOUT.iter().any(|t| f.code[i..].starts_with(t))
-            && !held.is_empty()
-        {
-            out.push(Finding {
-                file: f.path.clone(),
-                line: line_of(&f.code, i),
-                rule: "CIND-A006",
-                message: "lock guard held across a shard fan-out call \
-                          (clone the engine handles first, then drop the guard)"
-                    .into(),
-            });
-        }
-        i += 1;
     }
     out
 }

@@ -1,168 +1,23 @@
-//! Length-preserving source transforms: blank comments, string literals,
-//! and `#[cfg(test)]` regions so rules can match tokens without a parser.
+//! Length-preserving source transforms built on the lexer: blank comments,
+//! string literals, and `#[cfg(test)]` regions so rules can match tokens
+//! without a parser.
 //!
 //! Everything here replaces text with spaces rather than removing it, so a
 //! byte offset in the transformed text is the same line and column in the
-//! file — findings point at real locations.
+//! file — findings point at real locations. The blanking itself happens in
+//! [`crate::lexer::lex`] (one pass yields tokens *and* the blanked view);
+//! this module layers the test-region mask on top.
 
-/// Blanks comments (`//…`, `/* … */` with nesting, incl. doc comments),
-/// string literals (`"…"` with escapes, raw `r#"…"#`), and character
-/// literals, preserving newlines and length.
-#[must_use]
-pub fn strip_comments_and_strings(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = b.to_vec();
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'/' if b.get(i + 1) == Some(&b'/') => {
-                while i < b.len() && b[i] != b'\n' {
-                    out[i] = b' ';
-                    i += 1;
-                }
-            }
-            b'/' if b.get(i + 1) == Some(&b'*') => {
-                let mut depth = 0usize;
-                while i < b.len() {
-                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        out[i] = b' ';
-                        out[i + 1] = b' ';
-                        i += 2;
-                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        out[i] = b' ';
-                        out[i + 1] = b' ';
-                        i += 2;
-                        if depth == 0 {
-                            break;
-                        }
-                    } else {
-                        if b[i] != b'\n' {
-                            out[i] = b' ';
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            b'r' | b'b'
-                if is_raw_string_start(b, i) =>
-            {
-                // r"…", r#"…"#, br#"…"#: count hashes, blank to the
-                // matching `"#…#` terminator.
-                let mut j = i + 1;
-                if b[j] == b'r' {
-                    j += 1;
-                }
-                let hash_start = j;
-                while j < b.len() && b[j] == b'#' {
-                    j += 1;
-                }
-                let hashes = j - hash_start;
-                debug_assert_eq!(b[j], b'"');
-                j += 1;
-                // Find `"` followed by `hashes` hashes.
-                while j < b.len() {
-                    if b[j] == b'"' && b[j + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
-                    {
-                        j += 1 + hashes;
-                        break;
-                    }
-                    j += 1;
-                }
-                for c in &mut out[i..j.min(b.len())] {
-                    if *c != b'\n' {
-                        *c = b' ';
-                    }
-                }
-                i = j;
-            }
-            b'"' | b'b' if b[i] == b'"' || (b[i] == b'b' && b.get(i + 1) == Some(&b'"')) => {
-                if b[i] == b'b' {
-                    out[i] = b' ';
-                    i += 1;
-                }
-                out[i] = b' ';
-                i += 1;
-                while i < b.len() {
-                    if b[i] == b'\\' {
-                        out[i] = b' ';
-                        if i + 1 < b.len() && b[i + 1] != b'\n' {
-                            out[i + 1] = b' ';
-                        }
-                        i += 2;
-                    } else if b[i] == b'"' {
-                        out[i] = b' ';
-                        i += 1;
-                        break;
-                    } else {
-                        if b[i] != b'\n' {
-                            out[i] = b' ';
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            b'\'' => {
-                // Char literal vs. lifetime: `'x'` / `'\n'` are literals,
-                // `'a` in `<'a>` is not.
-                if b.get(i + 1) == Some(&b'\\') {
-                    // Escaped char: blank through the closing quote.
-                    out[i] = b' ';
-                    i += 1;
-                    while i < b.len() && b[i] != b'\'' {
-                        out[i] = b' ';
-                        i += 1;
-                    }
-                    if i < b.len() {
-                        out[i] = b' ';
-                        i += 1;
-                    }
-                } else if b.get(i + 2) == Some(&b'\'') {
-                    out[i] = b' ';
-                    out[i + 1] = b' ';
-                    out[i + 2] = b' ';
-                    i += 3;
-                } else {
-                    i += 1; // lifetime; leave it
-                }
-            }
-            _ => i += 1,
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
+use crate::lexer;
 
-fn is_raw_string_start(b: &[u8], i: usize) -> bool {
-    // r"…" | r#"…" | br"…" | br#"…"
-    let mut j = i;
-    if b[j] == b'b' {
-        j += 1;
-        if b.get(j) != Some(&b'r') {
-            return false;
-        }
-    }
-    if b.get(j) != Some(&b'r') {
-        return false;
-    }
-    j += 1;
-    while b.get(j) == Some(&b'#') {
-        j += 1;
-    }
-    b.get(j) == Some(&b'"')
-        // Reject identifiers like `for` / `expr` ending in r before a
-        // string: require `r` to start a token.
-        && (i == 0 || !b[i - 1].is_ascii_alphanumeric() && b[i - 1] != b'_')
-}
-
-/// Blanks every `#[cfg(test)]`-attributed item in already-stripped text:
+/// Byte ranges of `#[cfg(test)]`-attributed items in already-blanked text:
 /// from the attribute through the item's matching `}` (or `;` for non-block
-/// items). Input must come from [`strip_comments_and_strings`] so braces
-/// inside strings cannot unbalance the walk.
+/// items). Input must come from the lexer's blanked view so braces inside
+/// strings cannot unbalance the walk.
 #[must_use]
-pub fn mask_test_regions(stripped: &str) -> String {
+pub fn test_region_ranges(stripped: &str) -> Vec<(usize, usize)> {
     const ATTR: &str = "#[cfg(test)]";
-    let mut out = stripped.as_bytes().to_vec();
+    let mut out = Vec::new();
     let mut from = 0;
     while let Some(pos) = stripped[from..].find(ATTR) {
         let start = from + pos;
@@ -190,20 +45,31 @@ pub fn mask_test_regions(stripped: &str) -> String {
             }
             j += 1;
         }
+        out.push((start, end));
+        from = end;
+    }
+    out
+}
+
+/// Blanks every [`test_region_ranges`] region in already-blanked text,
+/// preserving newlines and length.
+#[must_use]
+pub fn mask_test_regions(stripped: &str) -> String {
+    let mut out = stripped.as_bytes().to_vec();
+    for (start, end) in test_region_ranges(stripped) {
         for c in &mut out[start..end] {
             if *c != b'\n' {
                 *c = b' ';
             }
         }
-        from = end;
     }
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// The full code view: comments and strings stripped, test regions masked.
+/// The full code view: comments and strings blanked, test regions masked.
 #[must_use]
 pub fn code_view(raw: &str) -> String {
-    mask_test_regions(&strip_comments_and_strings(raw))
+    mask_test_regions(&lexer::lex(raw).1)
 }
 
 /// Yields `(1-based line number, line)` pairs.
@@ -221,9 +87,13 @@ pub fn line_of(text: &str, at: usize) -> usize {
 mod tests {
     use super::*;
 
+    fn strip(src: &str) -> String {
+        lexer::lex(src).1
+    }
+
     #[test]
     fn strips_line_and_doc_comments() {
-        let s = strip_comments_and_strings("let x = 1; // c.unwrap()\n/// doc panic!\nlet y;");
+        let s = strip("let x = 1; // c.unwrap()\n/// doc panic!\nlet y;");
         assert!(!s.contains("unwrap"), "{s}");
         assert!(!s.contains("panic"), "{s}");
         assert!(s.contains("let y;"));
@@ -232,9 +102,7 @@ mod tests {
 
     #[test]
     fn strips_nested_block_comments_and_strings() {
-        let s = strip_comments_and_strings(
-            "a /* outer /* inner */ still */ b \"str with } and \\\" quote\" c",
-        );
+        let s = strip("a /* outer /* inner */ still */ b \"str with } and \\\" quote\" c");
         assert!(!s.contains("inner") && !s.contains("still"), "{s}");
         assert!(!s.contains('}'), "{s}");
         assert!(s.contains('a') && s.contains('b') && s.contains('c'));
@@ -242,7 +110,7 @@ mod tests {
 
     #[test]
     fn strips_raw_strings_and_char_literals() {
-        let s = strip_comments_and_strings("r#\"raw \" panic!\"# '{' 'a' <'a, 'b> '\\n'");
+        let s = strip("r#\"raw \" panic!\"# '{' 'a' <'a, 'b> '\\n'");
         assert!(!s.contains("panic"), "{s}");
         assert!(!s.contains('{'), "{s}");
         assert!(s.contains("<'a, 'b>"), "lifetimes survive: {s}");
@@ -273,6 +141,17 @@ fn also_real() {}
         let v = code_view(src);
         assert!(!v.contains("foo::bar"), "{v}");
         assert!(v.contains("fn real"), "{v}");
+    }
+
+    #[test]
+    fn test_region_ranges_reports_spans() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests { fn t() {} }\nfn b() {}\n";
+        let stripped = strip(src);
+        let ranges = test_region_ranges(&stripped);
+        assert_eq!(ranges.len(), 1);
+        let (s, e) = ranges[0];
+        assert!(src[s..e].starts_with("#[cfg(test)]"));
+        assert!(src[s..e].ends_with('}'));
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Seeded CIND-A008 fixture (commit side): `queue` is locked first, then a
+//! `slot` latch is taken — the opposite of the sharded side's order.
+
+pub struct GroupCommit {
+    queue: std::sync::Mutex<Vec<u64>>,
+    slots: Vec<std::sync::RwLock<u64>>,
+}
+
+impl GroupCommit {
+    pub fn submit(&self, ticket: u64) {
+        let mut queue = self.queue.lock().unwrap();
+        let slot = self.slots[0].read().unwrap();
+        queue.push(ticket + *slot);
+    }
+}

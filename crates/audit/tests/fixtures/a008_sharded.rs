@@ -1,0 +1,15 @@
+//! Seeded CIND-A008 fixture (sharded side): a `slot` latch is taken first,
+//! then `queue` — inverting the commit side's order and closing the cycle.
+
+pub struct ShardedEngine {
+    queue: std::sync::Mutex<Vec<u64>>,
+    slots: Vec<std::sync::RwLock<u64>>,
+}
+
+impl ShardedEngine {
+    pub fn reopen(&self) {
+        let mut slot = self.slots[0].write().unwrap();
+        let queue = self.queue.lock().unwrap();
+        *slot = queue.len() as u64;
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded CIND-A009 fixture: a WAL fsync issued while the state lock is
+//! still held — the guard must drop before the durability wait.
+
+pub struct WalFlush {
+    state: std::sync::Mutex<u64>,
+    file: std::fs::File,
+}
+
+impl WalFlush {
+    pub fn append(&self, n: u64) {
+        let mut state = self.state.lock().unwrap();
+        *state += n;
+        self.file.sync_all().unwrap();
+    }
+}

@@ -1,0 +1,102 @@
+//! Seeded-violation self-tests: committed fixture files carrying one known
+//! A008 lock-order inversion and one known A009 blocking-in-critical-section
+//! hold, loaded under virtual `crates/server/src/` paths so path-scoped
+//! rules treat them as library code. The assertions pin the *exact*
+//! diagnostics — rule id, location, and the full witness chain — so any
+//! regression in lock-class naming, guard tracking, or witness formatting
+//! fails loudly rather than degrading the message.
+
+use cind_audit::{blocking, locks, SourceFile};
+
+fn fixture(virtual_path: &str, fixture_name: &str) -> SourceFile {
+    let path = format!("{}/tests/fixtures/{fixture_name}", env!("CARGO_MANIFEST_DIR"));
+    let raw = std::fs::read_to_string(&path).expect("fixture exists");
+    SourceFile::new(virtual_path, raw)
+}
+
+#[test]
+fn seeded_commit_sharded_inversion_yields_full_witness_chain() {
+    let files = [
+        fixture("crates/server/src/commit.rs", "a008_commit.rs"),
+        fixture("crates/server/src/sharded.rs", "a008_sharded.rs"),
+    ];
+    let found = locks::lock_order(&files);
+    assert_eq!(found.len(), 1, "exactly one cycle expected: {found:?}");
+    let f = &found[0];
+    assert_eq!(f.rule, "CIND-A008");
+    assert_eq!(f.file, "crates/server/src/commit.rs");
+    assert_eq!(f.line, 12);
+    assert_eq!(
+        f.message,
+        "lock-order cycle: queue -> slot -> queue; \
+         crates/server/src/commit.rs:12 acquires slot while holding queue (line 11); \
+         crates/server/src/sharded.rs:12 acquires queue while holding slot (line 11)"
+    );
+}
+
+#[test]
+fn seeded_inversion_is_order_independent() {
+    // The same cycle must be found (and canonicalized identically) no
+    // matter which file the scan reads first.
+    let files = [
+        fixture("crates/server/src/sharded.rs", "a008_sharded.rs"),
+        fixture("crates/server/src/commit.rs", "a008_commit.rs"),
+    ];
+    let found = locks::lock_order(&files);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(
+        found[0].message.starts_with("lock-order cycle: queue -> slot -> queue;"),
+        "{}",
+        found[0].message
+    );
+}
+
+#[test]
+fn seeded_guard_across_fsync_is_flagged_with_acquisition_site() {
+    let files = [fixture("crates/server/src/wal_flush.rs", "a009_fsync.rs")];
+    let found = blocking::blocking_in_critical_section(&files);
+    assert_eq!(found.len(), 1, "exactly one hold expected: {found:?}");
+    let f = &found[0];
+    assert_eq!(f.rule, "CIND-A009");
+    assert_eq!(f.file, "crates/server/src/wal_flush.rs");
+    assert_eq!(f.line, 13);
+    assert_eq!(
+        f.message,
+        "blocking `.sync_all(` while holding lock guard on `state` \
+         (acquired line 11) — move it outside the critical section \
+         or annotate why the hold is sound"
+    );
+}
+
+#[test]
+fn fixing_the_seeded_violations_silences_both_rules() {
+    // Reorder the sharded side to match the commit side's order, and drop
+    // the guard before the fsync: both findings must disappear. This is the
+    // "removing the fix re-fires the rule" contract run in reverse.
+    let fixed_sharded = "\
+impl ShardedEngine {
+    pub fn reopen(&self) {
+        let queue = self.queue.lock().unwrap();
+        let mut slot = self.slots[0].write().unwrap();
+        *slot = queue.len() as u64;
+    }
+}
+";
+    let fixed_fsync = "\
+impl WalFlush {
+    pub fn append(&self, n: u64) {
+        let mut state = self.state.lock().unwrap();
+        *state += n;
+        drop(state);
+        self.file.sync_all().unwrap();
+    }
+}
+";
+    let files = [
+        fixture("crates/server/src/commit.rs", "a008_commit.rs"),
+        SourceFile::new("crates/server/src/sharded.rs", fixed_sharded),
+        SourceFile::new("crates/server/src/wal_flush.rs", fixed_fsync),
+    ];
+    assert!(locks::lock_order(&files).is_empty());
+    assert!(blocking::blocking_in_critical_section(&files).is_empty());
+}

@@ -567,6 +567,7 @@ impl Engine {
     ///
     /// # Errors
     /// I/O and persistence failures.
+    // audit:allow(A009, shutdown-only path — the write lock must span the snapshot and WAL swap so no mutation can interleave with the generation change)
     pub fn checkpoint(&self) -> Result<(), ServerError> {
         let Some(dir) = &self.store else { return Ok(()) };
         let mut state = self.write();

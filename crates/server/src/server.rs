@@ -154,14 +154,20 @@ impl Shared {
     }
 }
 
-/// The writer half of one connection: responses keyed by the sequence
+/// The sequencer half of one connection: responses keyed by the sequence
 /// number their request frame was assigned, released strictly in order.
+/// The socket itself lives outside this mutex ([`Conn::stream`]) so the
+/// actual `write` syscall never runs under the sequencer lock.
 struct OutState {
-    stream: TcpStream,
     /// The next sequence number the client is owed.
     next_seq: u64,
     /// Completed-but-not-yet-writable responses (framed bytes).
     pending: BTreeMap<u64, Vec<u8>>,
+    /// Whether some thread currently owns the stream for writing. Set and
+    /// cleared under the lock: at most one writer at a time, so released
+    /// batches hit the socket in sequence order even when the reader
+    /// thread (Busy/Malformed/Shutdown answers) races a draining worker.
+    writing: bool,
 }
 
 /// The per-connection job queue plus its scheduling state.
@@ -176,6 +182,9 @@ struct ConnQueue {
 /// One live connection, shared by its reader thread and whichever worker
 /// currently holds its token.
 struct Conn {
+    /// Writer half of the socket; guarded by `OutState::writing`, not a
+    /// mutex, so writes proceed without holding the sequencer lock.
+    stream: TcpStream,
     out: Mutex<OutState>,
     jobs: Mutex<ConnQueue>,
 }
@@ -337,10 +346,11 @@ fn reader_loop(stream: TcpStream, ready: &Sender<Arc<Conn>>, shared: &Arc<Shared
     let _ = stream.set_nodelay(true);
     let Ok(writer) = stream.try_clone() else { return };
     let conn = Arc::new(Conn {
+        stream: writer,
         out: Mutex::new(OutState {
-            stream: writer,
             next_seq: 0,
             pending: BTreeMap::new(),
+            writing: false,
         }),
         jobs: Mutex::new(ConnQueue { jobs: VecDeque::new(), scheduled: false }),
     });
@@ -482,6 +492,7 @@ fn worker_loop(
         }
         let token = {
             let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            // audit:allow(A009, the shared Receiver is only usable under its mutex and WORKER_POLL bounds the hold)
             guard.recv_timeout(WORKER_POLL)
         };
         match token {
@@ -583,23 +594,41 @@ fn complete(conn: &Conn, seq: u64, resp: &Response, shared: &Shared) {
 /// Parks framed responses in the sequencer and writes out every response
 /// that is now next-in-order — consecutive ready responses leave in one
 /// `write` call. A vanished client is not an error.
+///
+/// The `write` syscall runs with the sequencer lock *released*: a slow
+/// client must not stall the reader thread or another worker completing
+/// into the same connection (that hold was a CIND-A009 finding). The
+/// `writing` flag makes the stream single-writer — a completer that finds
+/// a writer active parks its items and returns; the active writer re-scans
+/// after every write and drains them in order before clearing the flag, so
+/// no response is ever stranded.
 fn complete_many(conn: &Conn, items: Vec<(u64, Vec<u8>)>, shared: &Shared) {
     let mut out = conn.out.lock().unwrap_or_else(PoisonError::into_inner);
     for (seq, wire) in items {
         out.pending.insert(seq, wire);
     }
-    let mut batch = Vec::new();
-    let mut released = 0u64;
-    loop {
-        let next = out.next_seq;
-        let Some(wire) = out.pending.remove(&next) else { break };
-        batch.extend_from_slice(&wire);
-        out.next_seq += 1;
-        released += 1;
+    if out.writing {
+        return; // the active writer will release these in order
     }
-    if !batch.is_empty() {
-        let _ = out.stream.write_all(&batch);
+    out.writing = true;
+    loop {
+        let mut batch = Vec::new();
+        let mut released = 0u64;
+        loop {
+            let next = out.next_seq;
+            let Some(wire) = out.pending.remove(&next) else { break };
+            batch.extend_from_slice(&wire);
+            out.next_seq += 1;
+            released += 1;
+        }
+        if batch.is_empty() {
+            out.writing = false;
+            return;
+        }
+        drop(out);
+        let _ = (&conn.stream).write_all(&batch);
         shared.net.writes.fetch_add(1, Ordering::Relaxed);
         shared.net.frames_out.fetch_add(released, Ordering::Relaxed);
+        out = conn.out.lock().unwrap_or_else(PoisonError::into_inner);
     }
 }

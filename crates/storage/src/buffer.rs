@@ -5,7 +5,7 @@ use crate::segment::SegmentId;
 use crate::IoStats;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Globally unique page address: a segment and a page index within it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -156,7 +156,7 @@ impl BufferPool {
     /// double-count every other session's traffic in the window).
     pub fn access_tracked(&self, key: PageKey) -> (bool, u64) {
         let (hit, evicted) = {
-            let mut g = self.shard(key).lock().expect("shard poisoned");
+            let mut g = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
             if g.capacity == 0 {
                 (false, 0)
             } else if let Some(&idx) = g.map.get(&key) {
@@ -180,7 +180,7 @@ impl BufferPool {
     /// Records a write to `key` (also makes the page resident).
     pub fn write(&self, key: PageKey) {
         let evicted = {
-            let mut g = self.shard(key).lock().expect("shard poisoned");
+            let mut g = self.shard(key).lock().unwrap_or_else(PoisonError::into_inner);
             if g.capacity == 0 {
                 0
             } else if let Some(&idx) = g.map.get(&key) {
@@ -200,7 +200,7 @@ impl BufferPool {
     /// Drops all pages of `segment` from the pool (segment dropped/split).
     pub fn invalidate_segment(&self, segment: SegmentId) {
         for shard in self.shards.iter() {
-            let mut g = shard.lock().expect("shard poisoned");
+            let mut g = shard.lock().unwrap_or_else(PoisonError::into_inner);
             let victims: Vec<usize> = g
                 .map
                 .iter()
@@ -234,7 +234,7 @@ impl BufferPool {
     pub fn resident(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("shard poisoned").map.len())
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).map.len())
             .sum()
     }
 
@@ -246,7 +246,7 @@ impl BufferPool {
     pub fn validate(&self) -> Vec<String> {
         let mut out = Vec::new();
         for (si, shard) in self.shards.iter().enumerate() {
-            let g = shard.lock().expect("shard poisoned");
+            let g = shard.lock().unwrap_or_else(PoisonError::into_inner);
             g.validate(si, &mut out);
         }
         out
@@ -509,7 +509,7 @@ mod tests {
             for p in 0..3 {
                 pool.access(key(p));
             }
-            sabotage(&mut pool.shards[0].lock().expect("shard poisoned"));
+            sabotage(&mut pool.shards[0].lock().unwrap_or_else(PoisonError::into_inner));
             let report = pool.validate();
             assert!(
                 report.iter().any(|d| d.contains(needle)),

@@ -82,12 +82,14 @@ pub fn decode_entity(buf: &[u8]) -> Result<Entity, StorageError> {
             TAG_INT => {
                 let bytes = buf.get(pos..pos + 8).ok_or(corrupt("int payload"))?;
                 pos += 8;
-                Value::Int(i64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+                let bytes = bytes.try_into().map_err(|_| corrupt("int payload"))?;
+                Value::Int(i64::from_le_bytes(bytes))
             }
             TAG_FLOAT => {
                 let bytes = buf.get(pos..pos + 8).ok_or(corrupt("float payload"))?;
                 pos += 8;
-                Value::Float(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+                let bytes = bytes.try_into().map_err(|_| corrupt("float payload"))?;
+                Value::Float(f64::from_le_bytes(bytes))
             }
             TAG_TEXT => {
                 let len = read_varint(buf, &mut pos)? as usize;

@@ -118,9 +118,13 @@ impl Segment {
                 return Ok(RecordId { page: i as u32, slot });
             }
         }
-        // Allocate.
+        // Allocate. The size gate above guarantees an empty page fits the
+        // record, so a `None` here can only mean that gate is broken —
+        // surface it as the same typed error instead of panicking.
         let mut page = Page::new();
-        let slot = page.insert(rec).expect("record fits an empty page");
+        let Some(slot) = page.insert(rec) else {
+            return Err(StorageError::RecordTooLarge { len: rec.len(), max: MAX_RECORD });
+        };
         self.pages.push(Arc::new(page));
         self.active = self.pages.len() - 1;
         self.records += 1;
