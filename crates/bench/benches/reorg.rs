@@ -1,0 +1,195 @@
+//! Reorganizer payoff under workload drift: Definition-1 EFFICIENCY over
+//! time with `--reorg auto` versus `--reorg off`, replaying the same
+//! seeded [`DriftScenario`] stream into both. The *current* workload —
+//! the trailing window of distinct query synopses — is what EFFICIENCY is
+//! measured against, because adapting to the queries being asked *now* is
+//! the whole point of the subsystem. Four scenario shapes:
+//!
+//! * `steady` — the honest control: no drift, so the reorganizer has
+//!   nothing to win and its moved entities are pure overhead.
+//! * `drift` — query focus rotates across attribute groups per phase.
+//! * `flash_crowd` — one attribute pair gets hammered mid-run.
+//! * `churn` — Zipf-skewed inserts plus deletes of the oldest entities.
+//!
+//! Results go to `BENCH_PR9.json` at the workspace root. Run with
+//! `cargo bench -p cind-bench --bench reorg`. Not a criterion bench: the
+//! runs are deterministic (seeded streams, no threads), so one wall-clock
+//! measurement per (scenario, mode) pair is the signal.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cind_datagen::{DriftConfig, DriftMode, DriftOp, DriftScenario};
+use cind_model::Synopsis;
+use cind_reorg::{ReorgDriver, ReorgStats};
+use cind_storage::UniversalTable;
+use cinderella_core::{efficiency, Capacity, Cinderella, Config, ReorgConfig, ReorgMode};
+
+const OPS: usize = 6_000;
+const GROUPS: usize = 8;
+const WIDTH: usize = 8;
+const QUERY_SHARE: f64 = 0.35;
+const SEED: u64 = 0xBE9C;
+const CAPACITY: u64 = 64;
+/// EFFICIENCY sampling points per run.
+const CHECKPOINTS: usize = 8;
+/// Trailing query ops whose distinct synopses form the "current workload".
+const TRAIL: usize = 300;
+
+struct RunOut {
+    eff_timeline: Vec<f64>,
+    final_eff: f64,
+    elapsed_s: f64,
+    stats: ReorgStats,
+}
+
+fn reorg_cfg(mode: ReorgMode) -> ReorgConfig {
+    ReorgConfig { mode, budget: CAPACITY, threshold: 0.05, epoch_ops: 32 }
+}
+
+/// The distinct synopses in the trailing window, first-seen order.
+fn distinct(trail: &[Synopsis]) -> Vec<Synopsis> {
+    let mut out: Vec<Synopsis> = Vec::new();
+    for q in trail {
+        if !out.contains(q) {
+            out.push(q.clone());
+        }
+    }
+    out
+}
+
+/// Replays one scenario stream. With `--reorg off` the driver records
+/// nothing and never steps, so the identical loop body serves both modes.
+fn run(mode: DriftMode, reorg: ReorgMode) -> RunOut {
+    let scenario = DriftScenario::new(DriftConfig {
+        mode,
+        ops: OPS,
+        groups: GROUPS,
+        group_width: WIDTH,
+        query_share: QUERY_SHARE,
+        seed: SEED,
+    });
+    let mut table = UniversalTable::new(4096);
+    let ops = scenario.generate(table.catalog_mut(), 0);
+    let universe = table.universe();
+    let rc = reorg_cfg(reorg);
+    let mut cindy = Cinderella::new(Config {
+        capacity: Capacity::MaxEntities(CAPACITY),
+        reorg: rc,
+        ..Config::default()
+    });
+    let mut driver = ReorgDriver::new(rc);
+    let mut trail: Vec<Synopsis> = Vec::new();
+    let mut eff_timeline = Vec::with_capacity(CHECKPOINTS);
+    let sample_every = ops.len().div_ceil(CHECKPOINTS).max(1);
+
+    let start = Instant::now();
+    for (i, op) in ops.iter().enumerate() {
+        let due = match op {
+            DriftOp::Insert(e) => {
+                cindy.insert(&mut table, e.clone()).expect("insert");
+                driver.record_write()
+            }
+            DriftOp::Delete(id) => {
+                cindy.delete(&mut table, *id).expect("delete");
+                driver.record_write()
+            }
+            DriftOp::Query(attrs) => {
+                let q = Synopsis::from_attrs(universe, attrs.iter().copied());
+                let scanned: Vec<_> = cindy
+                    .catalog()
+                    .pruning_view()
+                    .filter(|(_, syn, _)| !q.is_disjoint(syn))
+                    .map(|(seg, _, _)| seg)
+                    .collect();
+                let due = driver.record_query(&q, scanned);
+                trail.push(q);
+                if trail.len() > TRAIL {
+                    trail.remove(0);
+                }
+                due
+            }
+        };
+        if due {
+            driver.step(&mut table, &mut cindy).expect("reorg step");
+        }
+        if (i + 1) % sample_every == 0 || i + 1 == ops.len() {
+            eff_timeline.push(efficiency(&table, &cindy, &distinct(&trail)));
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let final_eff = eff_timeline.last().copied().unwrap_or(1.0);
+    RunOut { eff_timeline, final_eff, elapsed_s, stats: driver.stats() }
+}
+
+fn timeline_json(t: &[f64]) -> String {
+    let cells: Vec<String> = t.iter().map(|v| format!("{v:.4}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn main() {
+    let scenarios = [
+        ("steady", DriftMode::Steady),
+        ("drift", DriftMode::Drift),
+        ("flash_crowd", DriftMode::FlashCrowd),
+        ("churn", DriftMode::Churn),
+    ];
+    let mut blocks = Vec::new();
+    for (name, mode) in scenarios {
+        eprintln!("reorg bench: {name}");
+        let off = run(mode, ReorgMode::Off);
+        let auto = run(mode, ReorgMode::Auto);
+        let gain = auto.final_eff - off.final_eff;
+        eprintln!(
+            "  off {:.4} -> auto {:.4} (gain {gain:+.4}); auto took {} steps \
+             ({} resplits, {} migrations, {} merges, {} entities moved)",
+            off.final_eff,
+            auto.final_eff,
+            auto.stats.steps,
+            auto.stats.resplits,
+            auto.stats.migrations,
+            auto.stats.merges,
+            auto.stats.entities_moved,
+        );
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "    \"{name}\": {{\n      \"ops\": {OPS}, \"groups\": {GROUPS}, \
+             \"capacity\": {CAPACITY}, \"seed\": {SEED},\n      \
+             \"off\": {{ \"elapsed_s\": {:.3}, \"final_eff\": {:.4}, \
+             \"eff_timeline\": {} }},\n      \
+             \"auto\": {{ \"elapsed_s\": {:.3}, \"final_eff\": {:.4}, \
+             \"eff_timeline\": {},\n        \"steps\": {}, \"resplits\": {}, \
+             \"migrations\": {}, \"merges\": {}, \"entities_moved\": {} }},\n      \
+             \"final_gain\": {gain:+.4}\n    }}",
+            off.elapsed_s,
+            off.final_eff,
+            timeline_json(&off.eff_timeline),
+            auto.elapsed_s,
+            auto.final_eff,
+            timeline_json(&auto.eff_timeline),
+            auto.stats.steps,
+            auto.stats.resplits,
+            auto.stats.migrations,
+            auto.stats.merges,
+            auto.stats.entities_moved,
+        );
+        blocks.push(out);
+    }
+
+    let json = format!(
+        "{{\n  \"pr\": 9,\n  \"date\": \"2026-08-08\",\n  \"description\": \"Workload-adaptive \
+         background reorganizer: Definition-1 EFFICIENCY against the trailing distinct-query \
+         window, sampled {CHECKPOINTS} times over {OPS}-op seeded DriftScenario streams, \
+         reorg auto vs off on identical streams. steady is the honest control (no drift, so \
+         moved entities are pure overhead); drift/flash_crowd/churn are the shapes the \
+         reorganizer exists for. From `cargo bench -p cind-bench --bench reorg`.\",\n  \
+         \"machine_note\": \"Linux container, release profile, in-memory core engine \
+         (UniversalTable + Cinderella + ReorgDriver), no I/O in the measured loop\",\n  \
+         \"reorg\": {{\n{}\n  }}\n}}\n",
+        blocks.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    std::fs::write(path, &json).expect("write BENCH_PR9.json");
+    eprintln!("wrote {path}");
+}

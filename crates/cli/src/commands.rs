@@ -183,6 +183,9 @@ fn config_of(opts: &LoadOptions, catalog: &AttributeCatalog) -> Result<Config, C
         mode: opts.mode.resolve(catalog)?,
         record_events: opts.record_events,
         index: opts.index,
+        // Reorg is a serving-time feature (`cind serve --reorg auto`);
+        // an offline bulk load has no heat to react to.
+        reorg: cinderella_core::ReorgConfig::default(),
     })
 }
 
@@ -463,6 +466,10 @@ pub struct WorkloadOptions {
     pub pipeline: usize,
     /// Inserts packed per wire-level batch frame (`1` = one per frame).
     pub batch: usize,
+    /// Workload shape: `steady` (the classic DBpedia stream) or one of
+    /// the drift scenarios (`drift`, `flash-crowd`, `churn`) that give a
+    /// serving reorganizer something to chase.
+    pub mode: cind_server::DriftMode,
     /// Send a graceful `Shutdown` to the server after the run.
     pub shutdown: bool,
 }
@@ -477,6 +484,7 @@ impl Default for WorkloadOptions {
             seed: 0xC1DE,
             pipeline: 1,
             batch: 1,
+            mode: cind_server::DriftMode::Steady,
             shutdown: false,
         }
     }
@@ -498,6 +506,7 @@ pub fn workload(remote: &str, opts: &WorkloadOptions) -> Result<String, CliError
         seed: opts.seed,
         pipeline: opts.pipeline,
         batch: opts.batch,
+        mode: opts.mode,
     };
     let mut report = cind_server::run_load(remote, &cfg)?;
     let mut out = report.render();

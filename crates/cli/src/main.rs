@@ -25,13 +25,15 @@ USAGE:
   cind check --snapshot TABLE.cind
   cind serve --store DIR [--port P] [--workers N] [--queue-depth K]
              [--pool-pages N] [--query-threads N] [--shards N]
-             [--group-commit-window USEC]
+             [--group-commit-window USEC] [--reorg off|auto]
+             [--reorg-budget N] [--reorg-threshold T] [--reorg-epoch-ops N]
   cind workload --remote HOST:PORT [--connections N] [--entities N]
              [--attributes N] [--query-every K] [--seed S]
              [--pipeline K] [--batch N] [--shutdown true|false]
+             [--mode steady|drift|flash-crowd|churn]
   cind sim   [--seeds N | --seed N] [--ops N] [--faults all|none]
-             [--check-every N] [--replay FILE] [--save-trace FILE]
-             [--selftest N] [--sweep]
+             [--drift] [--check-every N] [--replay FILE]
+             [--save-trace FILE] [--selftest N] [--sweep]
 
 --size-model picks the SIZE() function of Definition 1: instantiated
 cells (default) or serialized bytes.
@@ -58,6 +60,16 @@ and the on-disk MANIFEST pins the count for the store's lifetime.
 microseconds collecting concurrent commits into one WAL append + fsync
 (0, the default, syncs every commit individually; durability semantics
 are identical either way).
+--reorg auto turns on the workload-adaptive background reorganizer: each
+shard tracks per-partition scan heat (decayed per epoch) and, between
+foreground writes, enacts the single best cost-modeled action — re-split
+a hot mixed partition, migrate an entity to the partition rating it
+highest, or merge cold underfull partitions — each WAL-framed so a crash
+mid-action recovers to a clean pre- or post-action state. --reorg-budget
+caps entities moved per step, --reorg-threshold sets the hysteresis
+fraction an action's predicted gain must clear, and --reorg-epoch-ops
+sets the heat-decay epoch length in recorded operations (off, the
+default, disables stepping entirely).
 Sharded stores keep their snapshots at DIR/shard-NNNN/store.cind — point
 check/stats/query at those files individually.
 workload drives the load generator against a running server: N
@@ -65,7 +77,11 @@ connections inserting generated entities with a query every K ops,
 reporting throughput, Busy sheds, and latency percentiles (end-to-end
 and service time). --pipeline K keeps K requests in flight per
 connection instead of the closed loop; --batch N packs N inserts per
-wire-level batch frame.
+wire-level batch frame. --mode switches the stream from the steady
+DBpedia workload to a drift scenario: drift rotates the query focus
+across attribute groups phase by phase, flash-crowd hammers one hot
+attribute pair mid-run, churn mixes Zipf-skewed inserts with deletes —
+shapes that give a server running --reorg auto something to chase.
 sim runs the deterministic fault-injection simulator (seeded schedules
 against an in-memory store with torn writes, crashes, and a model-based
 oracle); see `cind sim --help` for the full flag set.
@@ -158,6 +174,7 @@ fn run() -> Result<String, CliError> {
             args.get("pool", 1024)?,
         ),
         "serve" => {
+            let reorg_defaults = cinderella_core::ReorgConfig::default();
             let cfg = cind_server::ServeConfig {
                 port: args.get("port", 0u16)?,
                 workers: args.get("workers", 4)?,
@@ -166,6 +183,10 @@ fn run() -> Result<String, CliError> {
                 query_threads: args.get("query-threads", 2)?,
                 shards: args.get("shards", 1)?,
                 group_commit_window: args.get("group-commit-window", 0)?,
+                reorg: args.get("reorg", cinderella_core::ReorgMode::Off)?,
+                reorg_budget: args.get("reorg-budget", reorg_defaults.budget)?,
+                reorg_threshold: args.get("reorg-threshold", reorg_defaults.threshold)?,
+                reorg_epoch_ops: args.get("reorg-epoch-ops", reorg_defaults.epoch_ops)?,
             };
             serve(&args.path("store")?, &cfg)
         }
@@ -183,6 +204,7 @@ fn run() -> Result<String, CliError> {
                 seed: args.get("seed", 0xC1DE)?,
                 pipeline: args.get("pipeline", 1)?,
                 batch: args.get("batch", 1)?,
+                mode: args.get("mode", cind_server::DriftMode::Steady)?,
                 shutdown: args.get("shutdown", false)?,
             };
             workload(&remote, &opts)

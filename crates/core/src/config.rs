@@ -71,6 +71,84 @@ impl std::str::FromStr for IndexMode {
     }
 }
 
+/// Whether the background reorganizer (the `cind-reorg` crate) is allowed
+/// to act on this store.
+///
+/// `Off` is provably inert: no heat bookkeeping influences any decision,
+/// no reorganization action runs, and the WAL/snapshot byte streams are
+/// identical to a build without the subsystem (the server's differential
+/// test checks exactly this). `Auto` lets the driver enact cost-modeled
+/// merge / re-split / migrate actions between foreground operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReorgMode {
+    /// Never reorganize (the default — the paper's behaviour).
+    #[default]
+    Off,
+    /// Enact actions whose estimated gain clears the hysteresis threshold,
+    /// within the per-step work budget.
+    Auto,
+}
+
+impl std::str::FromStr for ReorgMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Self::Off),
+            "auto" => Ok(Self::Auto),
+            other => Err(format!("bad reorg mode {other:?}; use off|auto")),
+        }
+    }
+}
+
+impl std::fmt::Display for ReorgMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Off => "off",
+            Self::Auto => "auto",
+        })
+    }
+}
+
+/// Knobs of the workload-adaptive background reorganizer.
+///
+/// All cadence is *op-count based* — the heat window advances every
+/// `epoch_ops` partitioner operations, never on wall-clock time, so a run
+/// is a pure function of its operation sequence (the CIND-A005 property
+/// the simulation harness relies on).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReorgConfig {
+    /// Whether the driver may act at all.
+    pub mode: ReorgMode,
+    /// Per-step work budget: the maximum number of entities one
+    /// `ReorgDriver::step` may physically move. Bounds the writer-lock
+    /// hold time of a background step to the same order as a split.
+    pub budget: u64,
+    /// Hysteresis threshold in `[0, 1]`: an action is enacted only when
+    /// its estimated workload-weighted scan saving is at least this
+    /// fraction of the affected partitions' current scan cost (and a merge
+    /// only when its estimated scan *damage* stays below this fraction).
+    pub threshold: f64,
+    /// Operations per heat epoch: after this many partitioner ops the heat
+    /// counters and workload weights are halved (deterministic sliding
+    /// window) and the driver considers one reorganization step.
+    pub epoch_ops: u64,
+}
+
+impl Default for ReorgConfig {
+    fn default() -> Self {
+        Self { mode: ReorgMode::Off, budget: 32, threshold: 0.05, epoch_ops: 64 }
+    }
+}
+
+impl ReorgConfig {
+    /// Whether any reorganization work may happen.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.mode == ReorgMode::Auto && self.budget > 0
+    }
+}
+
 /// Tuning knobs of the algorithm.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -92,6 +170,9 @@ pub struct Config {
     /// Record a per-insert [`InsertEvent`](crate::InsertEvent) trace
     /// (latency, split flag, ratings computed) for the Fig. 8 experiment.
     pub record_events: bool,
+    /// Background reorganizer knobs (`--reorg off|auto` plus budget /
+    /// threshold / epoch cadence). Off by default; see [`ReorgConfig`].
+    pub reorg: ReorgConfig,
 }
 
 impl Default for Config {
@@ -103,6 +184,7 @@ impl Default for Config {
             mode: SynopsisMode::EntityBased,
             index: IndexMode::Auto,
             record_events: false,
+            reorg: ReorgConfig::default(),
         }
     }
 }
@@ -124,6 +206,12 @@ impl Config {
             Capacity::MaxSize(b) => b >= 1,
         };
         assert!(cap_ok, "capacity must allow at least two entities per partition");
+        assert!(
+            (0.0..=1.0).contains(&self.reorg.threshold) && self.reorg.threshold.is_finite(),
+            "reorg threshold must be in [0, 1], got {}",
+            self.reorg.threshold
+        );
+        assert!(self.reorg.epoch_ops >= 1, "reorg epoch must be at least one op");
     }
 }
 
@@ -156,6 +244,31 @@ mod tests {
         assert_eq!("on".parse::<IndexMode>().unwrap(), IndexMode::On);
         assert_eq!("off".parse::<IndexMode>().unwrap(), IndexMode::Off);
         assert!("ON".parse::<IndexMode>().is_err());
+    }
+
+    #[test]
+    fn reorg_mode_parses() {
+        assert_eq!("off".parse::<ReorgMode>().unwrap(), ReorgMode::Off);
+        assert_eq!("auto".parse::<ReorgMode>().unwrap(), ReorgMode::Auto);
+        assert!("AUTO".parse::<ReorgMode>().is_err());
+        assert_eq!(ReorgMode::Auto.to_string(), "auto");
+    }
+
+    #[test]
+    fn reorg_default_is_off_and_inert() {
+        let r = ReorgConfig::default();
+        assert_eq!(r.mode, ReorgMode::Off);
+        assert!(!r.enabled());
+        assert!(!ReorgConfig { budget: 0, mode: ReorgMode::Auto, ..r }.enabled());
+        assert!(ReorgConfig { mode: ReorgMode::Auto, ..r }.enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "reorg threshold")]
+    fn bad_reorg_threshold_panics() {
+        let mut cfg = Config::default();
+        cfg.reorg.threshold = 2.0;
+        cfg.validate();
     }
 
     #[test]

@@ -10,6 +10,11 @@ pub enum CoreError {
     Storage(StorageError),
     /// The model layer failed.
     Model(ModelError),
+    /// A structural invariant the partitioner relies on did not hold —
+    /// e.g. the catalog lost a partition the rating scan just returned.
+    /// Always a bug; surfaced as a typed error so a server turns it into
+    /// an error frame instead of tearing the whole process down.
+    Invariant(&'static str),
 }
 
 impl From<StorageError> for CoreError {
@@ -29,6 +34,7 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::Storage(e) => write!(f, "storage: {e}"),
             CoreError::Model(e) => write!(f, "model: {e}"),
+            CoreError::Invariant(what) => write!(f, "invariant violated: {what}"),
         }
     }
 }
@@ -38,6 +44,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Storage(e) => Some(e),
             CoreError::Model(e) => Some(e),
+            CoreError::Invariant(_) => None,
         }
     }
 }

@@ -69,6 +69,14 @@ pub struct Stats {
     pub merges: u64,
     /// Entities physically moved by merge passes.
     pub merge_moves: u64,
+    /// Partitions re-split by the background reorganizer (extension; the
+    /// moves themselves count under `split_moves` — a re-split runs the
+    /// same machinery as an overflow split).
+    pub reorg_resplits: u64,
+    /// Entities migrated to a better-rated partition by the background
+    /// reorganizer (delete + re-insert through Algorithm 1, the same
+    /// semantics as an update-move).
+    pub reorg_migrations: u64,
 }
 
 #[cfg(test)]

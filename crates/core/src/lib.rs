@@ -75,7 +75,7 @@ pub use advisor::{recommend, AdvisorConfig, CandidateScore, Recommendation};
 pub use arena::{PresenceIndex, SynopsisArena};
 pub use bulk::{bulk_load, BulkLoadReport};
 pub use catalog::{PartitionCatalog, PartitionMeta};
-pub use config::{Capacity, Config, IndexMode};
+pub use config::{Capacity, Config, IndexMode, ReorgConfig, ReorgMode};
 pub use efficiency::{efficiency, efficiency_counters, efficiency_counters_for, efficiency_of};
 pub use error::CoreError;
 pub use events::{InsertEvent, InsertOutcome, Stats};

@@ -140,7 +140,12 @@ impl Cinderella {
         table: &mut UniversalTable,
         seg: cind_storage::SegmentId,
     ) -> Result<Option<u64>, CoreError> {
-        let meta = self.catalog().get(seg).expect("candidate cataloged");
+        // The sweep re-checks liveness before calling, but the catalog may
+        // shift under multi-candidate sweeps; a vanished candidate is
+        // simply nothing to merge.
+        let Some(meta) = self.catalog().get(seg) else {
+            return Ok(None);
+        };
         let (src_syn, src_size, src_entities) =
             (meta.rating_synopsis(), meta.size, meta.entities);
 

@@ -265,11 +265,14 @@ impl Cinderella {
                 // capacity check — the new entity may become a seed.
                 self.catalog
                     .get_mut(seg)
-                    .expect("best partition cataloged")
+                    .ok_or(CoreError::Invariant("best partition cataloged"))?
                     .starters
                     .offer(entity.id(), &rating_syn);
 
-                let meta = self.catalog.get(seg).expect("best partition cataloged");
+                let meta = self
+                    .catalog
+                    .get(seg)
+                    .ok_or(CoreError::Invariant("best partition cataloged"))?;
                 if self
                     .config
                     .capacity
@@ -314,18 +317,43 @@ impl Cinderella {
         seg: SegmentId,
         entity: Entity,
     ) -> Result<InsertOutcome, CoreError> {
-        let new_id = entity.id();
-        let old_meta = self.catalog.remove_partition(seg);
-        // The starter pair is complete here: the partition is non-empty (it
-        // overflowed) and the incoming entity was just offered, so at least
+        let (seg_a, seg_b) = self.split_partition(table, seg, Some(entity))?;
+        self.stats.splits += 1;
+        Ok(InsertOutcome::Split { from: seg, into: (seg_a, seg_b) })
+    }
+
+    /// The split mechanics shared by the overflow split (lines 26–33, with
+    /// an `incoming` entity that triggered it) and the reorganizer's
+    /// [`Cinderella::resplit`] (no incoming entity): distribute the members
+    /// of `seg` over two new partitions seeded by the split starters.
+    fn split_partition(
+        &mut self,
+        table: &mut UniversalTable,
+        seg: SegmentId,
+        incoming: Option<Entity>,
+    ) -> Result<(SegmentId, SegmentId), CoreError> {
+        let new_id = incoming.as_ref().map(Entity::id);
+        // Resolve the starter pair *before* detaching the partition, so a
+        // failed precondition leaves the catalog untouched. On the overflow
+        // path the pair is complete by construction: the partition is
+        // non-empty and the incoming entity was just offered, so at least
         // two distinct entities have passed through `offer`.
-        let (seed_a, _) = old_meta.starters.a().expect("starter A present at split");
-        let (seed_b, _) = old_meta.starters.b().expect("starter B present at split");
+        let (seed_a, seed_b) = {
+            let meta = self
+                .catalog
+                .get(seg)
+                .ok_or(CoreError::Invariant("split candidate cataloged"))?;
+            match (meta.starters.a(), meta.starters.b()) {
+                (Some((a, _)), Some((b, _))) => (a, b),
+                _ => return Err(CoreError::Invariant("starter pair present at split")),
+            }
+        };
+        self.catalog.remove_partition(seg);
 
         // Reading the whole partition is the split's dominant cost, as the
         // paper notes; it shows up in the I/O counters like any scan.
         let mut members = table.scan_collect(seg)?;
-        members.push(entity);
+        members.extend(incoming);
 
         let seg_a = table.create_segment();
         let seg_b = table.create_segment();
@@ -353,10 +381,14 @@ impl Cinderella {
                 self.config.weight,
             );
             self.stats.ratings_computed += u64::from(ratings);
-            let (mut target, _) = best.expect("two live targets");
+            let (mut target, _) =
+                best.ok_or(CoreError::Invariant("two live targets at split"))?;
+            // A target the catalog no longer knows counts as overflowing:
+            // the redirect below then routes the entity to its sibling.
             let overflows = |cat: &PartitionCatalog, s: SegmentId| {
-                let m = cat.get(s).expect("target cataloged");
-                self.config.capacity.would_overflow(m.entities, m.size, size_e)
+                cat.get(s).is_none_or(|m| {
+                    self.config.capacity.would_overflow(m.entities, m.size, size_e)
+                })
             };
             // Under entity-count capacity a target can never fill during a
             // split (at most B+1 entities are redistributed over two
@@ -375,9 +407,8 @@ impl Cinderella {
         }
 
         table.drop_segment(seg)?;
-        self.stats.splits += 1;
         self.debug_validate_catalog();
-        Ok(InsertOutcome::Split { from: seg, into: (seg_a, seg_b) })
+        Ok((seg_a, seg_b))
     }
 
     /// Physically places `e` into `target` (move for existing members,
@@ -387,10 +418,10 @@ impl Cinderella {
         table: &mut UniversalTable,
         target: SegmentId,
         e: Entity,
-        new_id: EntityId,
+        new_id: Option<EntityId>,
     ) -> Result<(), CoreError> {
         let (rating_syn, attr_syn, size_e) = self.synopses(table, &e);
-        if e.id() == new_id {
+        if new_id == Some(e.id()) {
             table.insert(target, &e)?;
         } else {
             table.move_entity(e.id(), target)?;
@@ -527,6 +558,167 @@ impl Cinderella {
                 Ok(outcome)
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Reorganizer seams (the `cind-reorg` driver's three actions). Each is
+    // WAL-framed as one transaction group, so a crash mid-action recovers
+    // to the pre- or post-action state — never in between.
+    // ------------------------------------------------------------------
+
+    /// Re-splits partition `seg` through the overflow-split machinery: its
+    /// members are redistributed over two new partitions seeded by the
+    /// split starters. The reorganizer uses this on *hot mixed* partitions
+    /// — ones the workload scans often but whose members answer different
+    /// queries — where separating the starter clusters shrinks the scan
+    /// cost of every query that touches only one side.
+    ///
+    /// Returns the two new segments, or `None` when the partition cannot
+    /// be re-split (vanished, fewer than two entities, or an incomplete
+    /// starter pair). Logged as one WAL transaction group.
+    ///
+    /// # Errors
+    /// Storage errors from the member moves; WAL commit failures.
+    pub fn resplit(
+        &mut self,
+        table: &mut UniversalTable,
+        seg: SegmentId,
+    ) -> Result<Option<(SegmentId, SegmentId)>, CoreError> {
+        let Some(meta) = self.catalog.get(seg) else {
+            return Ok(None);
+        };
+        if meta.entities < 2
+            || meta.starters.a().is_none()
+            || meta.starters.b().is_none()
+        {
+            return Ok(None);
+        }
+        table.wal_txn_begin();
+        let result = self.split_partition(table, seg, None).map(|(a, b)| {
+            self.stats.reorg_resplits += 1;
+            Some((a, b))
+        });
+        Self::finish_txn(table, result)
+    }
+
+    /// Merges partition `from` into `into` — the pair was already
+    /// cost-modeled by the caller, so unlike [`Cinderella::merge_pass`]
+    /// there is no rating gate here, only the hard capacity check: the
+    /// target must absorb the whole partition without overflowing.
+    ///
+    /// Returns the number of entities moved, or `None` when the merge is
+    /// not possible (either side vanished, same segment, or no room).
+    /// Logged as one WAL transaction group (via the absorb).
+    ///
+    /// # Errors
+    /// Storage errors from the member moves; WAL commit failures.
+    pub fn merge_partitions(
+        &mut self,
+        table: &mut UniversalTable,
+        from: SegmentId,
+        into: SegmentId,
+    ) -> Result<Option<u64>, CoreError> {
+        if from == into {
+            return Ok(None);
+        }
+        let (Some(src), Some(dst)) = (self.catalog.get(from), self.catalog.get(into))
+        else {
+            return Ok(None);
+        };
+        let fits = match self.config.capacity {
+            crate::Capacity::MaxEntities(b) => dst.entities + src.entities <= b,
+            crate::Capacity::MaxSize(b) => dst.size + src.size <= b,
+        };
+        if !fits {
+            return Ok(None);
+        }
+        let members = table.scan_collect(from)?;
+        let moved = members.len() as u64;
+        self.absorb(table, from, into, members)?;
+        Ok(Some(moved))
+    }
+
+    /// Migrates up to `max_moves` members of `seg` whose rating now
+    /// favours a different partition: each candidate is deleted and
+    /// re-inserted through Algorithm 1 — exactly the paper's update-move
+    /// semantics, just triggered by workload drift instead of an attribute
+    /// change. Each migration is its own WAL transaction group, so a crash
+    /// between moves loses nothing and a crash inside one rolls that one
+    /// entity back atomically.
+    ///
+    /// Returns the number of entities migrated.
+    ///
+    /// # Errors
+    /// Storage errors from the moves; WAL commit failures.
+    pub fn rebalance_entities(
+        &mut self,
+        table: &mut UniversalTable,
+        seg: SegmentId,
+        max_moves: u64,
+    ) -> Result<u64, CoreError> {
+        if max_moves == 0 || self.catalog.get(seg).is_none() {
+            return Ok(0);
+        }
+        let members = table.scan_collect(seg)?;
+        let mut moved = 0u64;
+        for e in members {
+            if moved >= max_moves {
+                break;
+            }
+            // Pre-screen: only pay the move when Algorithm 1 would place
+            // the entity elsewhere today *and* the winner has room (the
+            // reorganizer must never trigger a split as a side effect of
+            // tidying up).
+            let (rating_syn, _, size_e) = self.synopses(table, &e);
+            let (best, ratings) =
+                self.catalog
+                    .best_partition(&rating_syn, size_e, self.config.weight);
+            self.stats.ratings_computed += u64::from(ratings);
+            let Some((target, r)) = best else { continue };
+            if target == seg || r < 0.0 {
+                continue;
+            }
+            let Some(meta) = self.catalog.get(target) else { continue };
+            if self.config.capacity.would_overflow(meta.entities, meta.size, size_e) {
+                continue;
+            }
+            self.migrate_entity(table, e.id())?;
+            moved += 1;
+        }
+        self.debug_validate_catalog();
+        Ok(moved)
+    }
+
+    /// Migrates one entity: deletes it and re-inserts it through Algorithm
+    /// 1, atomically in one WAL transaction group — a crash recovers to
+    /// the entity fully in its old place or fully in its new one, never
+    /// absent. Returns the segment the entity landed in (which may be its
+    /// old one if the rating flipped back between the caller's screen and
+    /// the re-insert).
+    ///
+    /// # Errors
+    /// [`StorageError::NoSuchEntity`] for unknown ids; storage errors from
+    /// the moves; WAL commit failures.
+    pub fn migrate_entity(
+        &mut self,
+        table: &mut UniversalTable,
+        id: EntityId,
+    ) -> Result<SegmentId, CoreError> {
+        table.wal_txn_begin();
+        let result = (|| {
+            let entity = self.delete_impl(table, id)?;
+            self.insert_impl(table, entity)?;
+            table
+                .location(id)
+                .ok_or(CoreError::Invariant("migrated entity located"))
+        })();
+        let seg = Self::finish_txn(table, result)?;
+        // The inner ops bump their own counters; fold them back so the
+        // migration accounts as one reorganizer move.
+        self.stats.deletes -= 1;
+        self.stats.inserts -= 1;
+        self.stats.reorg_migrations += 1;
+        Ok(seg)
     }
 }
 

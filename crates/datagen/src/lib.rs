@@ -36,5 +36,5 @@ pub mod zipf;
 pub use dbpedia::{DbpediaConfig, DbpediaGenerator};
 pub use products::ProductGenerator;
 pub use tpch::{tpch_query_columns, tpch_schema, TpchConfig, TpchGenerator};
-pub use workload::{QuerySpec, WorkloadBuilder};
+pub use workload::{DriftConfig, DriftMode, DriftOp, DriftScenario, QuerySpec, WorkloadBuilder};
 pub use zipf::Zipf;

@@ -1,10 +1,12 @@
 //! Serving-layer configuration.
 
+use cinderella_core::{ReorgConfig, ReorgMode};
+
 /// Tunables for one [`crate::Server`] instance.
 ///
 /// Every field is surfaced as a `cind serve` command-line flag (the
 /// workspace audit's CIND-A004 rule checks the parity).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServeConfig {
     /// TCP port to listen on (loopback only); `0` asks the OS for a free
     /// port — read it back from [`crate::ServerHandle::port`].
@@ -41,6 +43,25 @@ pub struct ServeConfig {
     /// semantics are unchanged: no request is acknowledged before its
     /// bytes are synced.
     pub group_commit_window: u64,
+    /// Background reorganizer mode (`off` or `auto`). With `auto`, each
+    /// shard's engine tracks partition heat and enacts cost-cleared
+    /// merge / re-split / migrate actions between foreground operations;
+    /// `off` (the default) is provably inert — the differential test
+    /// checks the WAL and snapshot bytes are identical to a build without
+    /// the subsystem.
+    pub reorg: ReorgMode,
+    /// Reorganizer per-step work budget: the most entities one background
+    /// step may physically move (bounds the writer-lock hold to the same
+    /// order as one overflow split).
+    pub reorg_budget: u64,
+    /// Reorganizer hysteresis threshold in `[0, 1]`: an action is enacted
+    /// only when its priced gain clears this fraction of the affected
+    /// partitions' workload-weighted scan cost.
+    pub reorg_threshold: f64,
+    /// Reorganizer epoch length in *operations*: heat decays and a step
+    /// becomes due every this-many ops per shard (op-count based, never
+    /// wall-clock — the determinism rule the simulation relies on).
+    pub reorg_epoch_ops: u64,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +74,10 @@ impl Default for ServeConfig {
             query_threads: 2,
             shards: 1,
             group_commit_window: 0,
+            reorg: ReorgMode::Off,
+            reorg_budget: ReorgConfig::default().budget,
+            reorg_threshold: ReorgConfig::default().threshold,
+            reorg_epoch_ops: ReorgConfig::default().epoch_ops,
         }
     }
 }
@@ -74,6 +99,22 @@ impl ServeConfig {
     #[must_use]
     pub fn effective_shards(&self) -> usize {
         self.shards.max(1)
+    }
+
+    /// The core-layer reorganizer knobs these serving flags describe
+    /// (threshold clamped into `[0, 1]`, epoch to at least one op).
+    #[must_use]
+    pub fn reorg_config(&self) -> ReorgConfig {
+        ReorgConfig {
+            mode: self.reorg,
+            budget: self.reorg_budget,
+            threshold: if self.reorg_threshold.is_finite() {
+                self.reorg_threshold.clamp(0.0, 1.0)
+            } else {
+                ReorgConfig::default().threshold
+            },
+            epoch_ops: self.reorg_epoch_ops.max(1),
+        }
     }
 }
 

@@ -34,6 +34,7 @@ use std::time::Duration;
 use cind_model::{Entity, EntityId, Synopsis};
 use cind_query::planner::{plan_with, Parallelism, Plan};
 use cind_query::{execute_collect_view, Query};
+use cind_reorg::{ReorgDriver, ReorgStats, StepReport};
 use cind_storage::{wal, RealVfs, SegmentId, StorageError, TableSnapshot, UniversalTable, Vfs};
 use cinderella_core::{validate::render, Cinderella, Config, CoreError, MergeReport};
 
@@ -97,6 +98,7 @@ impl EngineOptions {
     #[must_use]
     pub fn from_serve(cfg: &ServeConfig) -> Self {
         Self {
+            config: Config { reorg: cfg.reorg_config(), ..Config::default() },
             pool_pages: cfg.pool_pages.max(8),
             query_threads: cfg.query_threads.max(1),
             group_commit_window: Duration::from_micros(cfg.group_commit_window),
@@ -144,6 +146,13 @@ pub struct Engine {
     /// replacement (the coordinator holds a clone of this `Arc`).
     wal_counters: Arc<WalCounters>,
     vfs: Arc<dyn Vfs>,
+    /// The background reorganizer for this engine (one per shard). Heat
+    /// recording locks this mutex *alone*; [`Engine::reorg_step`] locks it
+    /// inside the state write lock — the only edge is state → reorg, so
+    /// the lock-order graph stays acyclic. Driver state is advisory and
+    /// in-memory: a reopened engine starts with a cold heat map, while the
+    /// WAL-framed actions carry all durability.
+    reorg: Mutex<ReorgDriver>,
 }
 
 impl Engine {
@@ -151,6 +160,7 @@ impl Engine {
     /// in-process benchmark harness.
     #[must_use]
     pub fn in_memory(opts: EngineOptions) -> Self {
+        let reorg_cfg = opts.config.reorg;
         Self {
             state: RwLock::new(EngineState {
                 table: UniversalTable::new(opts.pool_pages),
@@ -164,6 +174,7 @@ impl Engine {
             window: opts.group_commit_window,
             wal_counters: Arc::new(WalCounters::default()),
             vfs: opts.vfs,
+            reorg: Mutex::new(ReorgDriver::new(reorg_cfg)),
         }
     }
 
@@ -205,6 +216,7 @@ impl Engine {
                 wal::replay(&mut table, &mut &bytes[..])?;
             }
         }
+        let reorg_cfg = opts.config.reorg;
         let cindy = Cinderella::rebuild(&table, opts.config)?;
 
         // Checkpoint: fold the replayed suffix into the snapshot and reset
@@ -229,6 +241,7 @@ impl Engine {
             window: opts.group_commit_window,
             wal_counters,
             vfs,
+            reorg: Mutex::new(ReorgDriver::new(reorg_cfg)),
         })
     }
 
@@ -319,12 +332,14 @@ impl Engine {
     /// # Errors
     /// Duplicate ids, storage failures, attribute-less entities.
     pub fn insert(&self, wire: &WireEntity) -> Result<(u32, bool), ServerError> {
-        self.write_op(|state| {
+        let out = self.write_op(|state| {
             let entity = Self::build_entity(state, wire)?;
             let outcome = state.cindy.insert(&mut state.table, entity)?;
             let seg = state.table.location(EntityId(wire.id)).map_or(0, |s| s.0);
             Ok((seg, outcome.is_split()))
-        })
+        })?;
+        self.after_write()?;
+        Ok(out)
     }
 
     /// Inserts a batch of entities under **one** writer-lock acquisition
@@ -361,6 +376,18 @@ impl Engine {
                 }
             }
         }
+        // Feed the batch into the reorganizer's cadence clock but defer any
+        // due step to the next single-op entry point: per-item results are
+        // already sealed, so a step failure here would have no honest place
+        // to surface.
+        {
+            let mut driver = self.reorg.lock().unwrap_or_else(PoisonError::into_inner);
+            for r in &results {
+                if r.is_ok() {
+                    driver.record_write();
+                }
+            }
+        }
         results
     }
 
@@ -369,12 +396,14 @@ impl Engine {
     /// # Errors
     /// Unknown ids, storage failures.
     pub fn update(&self, wire: &WireEntity) -> Result<(u32, bool), ServerError> {
-        self.write_op(|state| {
+        let out = self.write_op(|state| {
             let entity = Self::build_entity(state, wire)?;
             let outcome = state.cindy.update(&mut state.table, entity)?;
             let seg = state.table.location(EntityId(wire.id)).map_or(0, |s| s.0);
             Ok((seg, outcome.is_split()))
-        })
+        })?;
+        self.after_write()?;
+        Ok(out)
     }
 
     /// Deletes an entity by id.
@@ -385,7 +414,8 @@ impl Engine {
         self.write_op(|state| {
             state.cindy.delete(&mut state.table, EntityId(id))?;
             Ok(())
-        })
+        })?;
+        self.after_write()
     }
 
     /// Runs a `SELECT attrs` query, returning the materialised rows plus
@@ -464,6 +494,7 @@ impl Engine {
         snap: &EngineSnapshot,
         query: &Query,
     ) -> Result<(QueryStats, Vec<crate::client::Row>), ServerError> {
+        self.note_query(snap, query);
         let plan = self.plan_snapshot(snap, query);
         let (result, rows) = execute_collect_view(snap.table.view(), query, &plan)?;
         let stats = QueryStats {
@@ -487,6 +518,64 @@ impl Engine {
             snap.pruning.iter().map(|(seg, syn)| (*seg, syn)),
             parallelism,
         )
+    }
+
+    /// Feeds one query into the reorganizer's heat map: its synopsis plus
+    /// the partitions that survive pruning for it (recomputed from the
+    /// snapshot's pruning pairs — the same test the planner applies). Locks
+    /// the reorg mutex *alone*; queries never trigger a step themselves, so
+    /// the read path stays write-lock-free and infallible.
+    fn note_query(&self, snap: &EngineSnapshot, query: &Query) {
+        let syn = query.synopsis();
+        let mut driver = self.reorg.lock().unwrap_or_else(PoisonError::into_inner);
+        driver.record_query(
+            syn,
+            snap.pruning
+                .iter()
+                .filter(|(_, psyn)| !psyn.is_disjoint(syn))
+                .map(|(seg, _)| *seg),
+        );
+    }
+
+    /// Advances the reorganizer's cadence clock after a committed mutation
+    /// and runs one background step when the configured epoch has elapsed.
+    /// Inert (no lock contention beyond one uncontended mutex) when the
+    /// reorganizer is off.
+    fn after_write(&self) -> Result<(), ServerError> {
+        let due = {
+            let mut driver = self.reorg.lock().unwrap_or_else(PoisonError::into_inner);
+            driver.record_write()
+        };
+        if due {
+            self.reorg_step()?;
+        }
+        Ok(())
+    }
+
+    /// Runs one bounded background reorganization step: under the writer
+    /// lock the driver prices candidate actions against the decayed
+    /// workload and enacts at most one that clears the hysteresis bar; the
+    /// durability wait happens outside the lock like any other write. A
+    /// no-op returning the default report when the reorganizer is off.
+    ///
+    /// # Errors
+    /// Storage failures from the enacted action's moves; WAL durability
+    /// failures — the same fault class as a foreground write, and every
+    /// action is WAL-framed as one transaction, so recovery lands on the
+    /// pre- or post-action state.
+    pub fn reorg_step(&self) -> Result<StepReport, ServerError> {
+        self.write_op(|state| {
+            let mut driver = self.reorg.lock().unwrap_or_else(PoisonError::into_inner);
+            let report = driver.step(&mut state.table, &mut state.cindy)?;
+            Ok(report)
+        })
+    }
+
+    /// Cumulative reorganizer counters (steps, enacted actions, entities
+    /// moved).
+    #[must_use]
+    pub fn reorg_stats(&self) -> ReorgStats {
+        self.reorg.lock().unwrap_or_else(PoisonError::into_inner).stats()
     }
 
     /// Runs `f` with shared read access to the table and partitioner —

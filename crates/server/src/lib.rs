@@ -48,6 +48,7 @@ pub use client::Client;
 pub use commit::{GroupCommit, WalCounters, WalCountersSnapshot};
 pub use config::ServeConfig;
 pub use engine::{Engine, EngineOptions, EngineSnapshot};
+pub use cind_datagen::DriftMode;
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use protocol::{
     EngineStats, ErrorCode, IoCounters, ProtoError, QueryStats, Request, Response, WireEntity,

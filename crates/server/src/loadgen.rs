@@ -31,10 +31,9 @@
 //! In closed-loop mode the two coincide.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cind_datagen::{DbpediaConfig, DbpediaGenerator};
+use cind_datagen::{DbpediaConfig, DbpediaGenerator, DriftConfig, DriftMode, DriftOp, DriftScenario};
 use cind_metrics::LatencyHistogram;
 use cind_model::AttributeCatalog;
 
@@ -65,6 +64,11 @@ pub struct LoadConfig {
     /// one insert per frame; `N > 1` = batched mode (mutually exclusive
     /// with pipelining; batch wins if both are set).
     pub batch: usize,
+    /// Workload shape. [`DriftMode::Steady`] keeps the classic DBpedia
+    /// stream; the drift modes generate grouped scenario streams
+    /// ([`DriftScenario`]) whose query focus moves (or whose population
+    /// churns) so the reorganizer has something to chase.
+    pub mode: DriftMode,
 }
 
 impl Default for LoadConfig {
@@ -77,6 +81,7 @@ impl Default for LoadConfig {
             seed: 0xC1DE,
             pipeline: 1,
             batch: 1,
+            mode: DriftMode::Steady,
         }
     }
 }
@@ -85,6 +90,8 @@ impl Default for LoadConfig {
 pub struct LoadReport {
     /// Inserts acknowledged.
     pub inserts: u64,
+    /// Deletes acknowledged (drift scenario streams only).
+    pub deletes: u64,
     /// Queries answered.
     pub queries: u64,
     /// Rows returned across all queries.
@@ -113,7 +120,7 @@ impl LoadReport {
     /// Acknowledged operations per second over the whole run.
     #[must_use]
     pub fn throughput(&self) -> f64 {
-        let ops = (self.inserts + self.queries) as f64;
+        let ops = (self.inserts + self.deletes + self.queries) as f64;
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
             ops / secs
@@ -126,8 +133,13 @@ impl LoadReport {
     #[must_use]
     pub fn render(&mut self) -> String {
         let mut out = String::new();
+        let deletes = if self.deletes > 0 {
+            format!(", {} deletes", self.deletes)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "ops: {} inserts, {} queries ({} rows) in {:.2?}  →  {:.0} ops/s\n",
+            "ops: {} inserts{deletes}, {} queries ({} rows) in {:.2?}  →  {:.0} ops/s\n",
             self.inserts,
             self.queries,
             self.rows,
@@ -161,6 +173,7 @@ impl LoadReport {
 #[derive(Default)]
 struct ConnOutcome {
     inserts: u64,
+    deletes: u64,
     queries: u64,
     rows: u64,
     busy_sheds: u64,
@@ -175,6 +188,7 @@ struct ConnOutcome {
 /// One scheduled operation in a connection's stream.
 enum LoadOp {
     Insert(WireEntity),
+    Delete(u64),
     Query(Vec<String>),
 }
 
@@ -182,6 +196,7 @@ impl LoadOp {
     fn to_request(&self) -> Request {
         match self {
             LoadOp::Insert(e) => Request::Insert(e.clone()),
+            LoadOp::Delete(id) => Request::Delete(*id),
             LoadOp::Query(attrs) => Request::Query(attrs.clone()),
         }
     }
@@ -228,6 +243,66 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Plans every connection's operation stream up front. Steady mode splits
+/// the DBpedia entity stream round-robin and interleaves queries exactly
+/// as the original closed loop did; the drift modes give each connection
+/// its own [`DriftScenario`] over a disjoint id space, so deletes always
+/// trail their inserts on the same (ordered) connection.
+fn plan_connections(cfg: &LoadConfig, connections: usize) -> Vec<Vec<LoadOp>> {
+    let conn_seed =
+        |c: usize| cfg.seed ^ (c as u64).wrapping_mul(0xA5A5_A5A5);
+    if cfg.mode != DriftMode::Steady {
+        let per_conn = cfg.entities.div_ceil(connections);
+        return (0..connections)
+            .map(|c| plan_drift_ops(cfg, per_conn, c, conn_seed(c)))
+            .collect();
+    }
+    let (entities, names) = workload(cfg);
+    let mut chunks: Vec<Vec<WireEntity>> = (0..connections).map(|_| Vec::new()).collect();
+    for (i, e) in entities.into_iter().enumerate() {
+        chunks[i % connections].push(e);
+    }
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(c, chunk)| plan_ops(chunk, &names, cfg.query_every, conn_seed(c)))
+        .collect()
+}
+
+/// One connection's drift-scenario stream, rendered to wire operations.
+/// Entity ids are offset per connection so the streams never collide.
+fn plan_drift_ops(cfg: &LoadConfig, per_conn: usize, conn_id: usize, seed: u64) -> Vec<LoadOp> {
+    let query_share = if cfg.query_every > 0 {
+        1.0 / (cfg.query_every as f64 + 1.0)
+    } else {
+        0.0
+    };
+    let ops = per_conn + per_conn.checked_div(cfg.query_every).unwrap_or(0);
+    let mut catalog = AttributeCatalog::new();
+    let stream = DriftScenario::new(DriftConfig {
+        mode: cfg.mode,
+        ops: ops.max(1),
+        query_share,
+        seed,
+        ..DriftConfig::default()
+    })
+    .generate(&mut catalog, (conn_id as u64) << 40);
+    let name_of = |a: cind_model::AttrId| catalog.name(a).unwrap_or_default().to_string();
+    stream
+        .into_iter()
+        .map(|op| match op {
+            DriftOp::Insert(e) => LoadOp::Insert(WireEntity {
+                id: e.id().0,
+                attrs: e.attrs().iter().map(|(a, v)| (name_of(*a), v.clone())).collect(),
+            }),
+            DriftOp::Delete(id) => LoadOp::Delete(id.0),
+            DriftOp::Query(attrs) => {
+                LoadOp::Query(attrs.into_iter().map(name_of).collect())
+            }
+        })
+        .collect()
+}
+
 /// Interleaves the connection's insert chunk with its scheduled queries,
 /// in the same order the original closed loop issued them.
 fn plan_ops(
@@ -255,30 +330,23 @@ fn plan_ops(
 /// # Errors
 /// Connection failures; in-band remote errors are *counted*, not raised.
 pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, ServerError> {
-    let (entities, names) = workload(cfg);
-    let names = Arc::new(names);
     let connections = cfg.connections.max(1);
-    let mut chunks: Vec<Vec<WireEntity>> = (0..connections).map(|_| Vec::new()).collect();
-    for (i, e) in entities.into_iter().enumerate() {
-        chunks[i % connections].push(e);
-    }
+    let plans = plan_connections(cfg, connections);
 
     let started = Instant::now();
     let mut handles = Vec::with_capacity(connections);
-    for (conn_id, chunk) in chunks.into_iter().enumerate() {
+    for ops in plans {
         let addr = addr.to_string();
-        let names = Arc::clone(&names);
-        let query_every = cfg.query_every;
         let pipeline = cfg.pipeline;
         let batch = cfg.batch;
-        let seed = cfg.seed ^ (conn_id as u64).wrapping_mul(0xA5A5_A5A5);
         handles.push(std::thread::spawn(move || {
-            run_connection(&addr, chunk, &names, query_every, pipeline, batch, seed)
+            run_connection(&addr, ops, pipeline, batch)
         }));
     }
 
     let mut report = LoadReport {
         inserts: 0,
+        deletes: 0,
         queries: 0,
         rows: 0,
         busy_sheds: 0,
@@ -295,6 +363,7 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, ServerError>
         match h.join() {
             Ok(Ok(out)) => {
                 report.inserts += out.inserts;
+                report.deletes += out.deletes;
                 report.queries += out.queries;
                 report.rows += out.rows;
                 report.busy_sheds += out.busy_sheds;
@@ -331,16 +400,12 @@ pub fn run_load(addr: &str, cfg: &LoadConfig) -> Result<LoadReport, ServerError>
 
 fn run_connection(
     addr: &str,
-    chunk: Vec<WireEntity>,
-    names: &[String],
-    query_every: usize,
+    ops: Vec<LoadOp>,
     pipeline: usize,
     batch: usize,
-    seed: u64,
 ) -> Result<ConnOutcome, ServerError> {
     let mut client = Client::connect(addr)?;
     client.set_timeout(Some(Duration::from_secs(30)))?;
-    let ops = plan_ops(chunk, names, query_every, seed);
     if batch > 1 {
         run_batched(&mut client, ops, batch)
     } else if pipeline > 1 {
@@ -437,12 +502,15 @@ fn run_batched(
                     flush_batch(client, &mut pending, &mut out)?;
                 }
             }
-            q @ LoadOp::Query(_) => {
+            // Queries and deletes cut the current batch so operation
+            // order is preserved (a delete must not overtake the batched
+            // insert of its own entity).
+            op @ (LoadOp::Query(_) | LoadOp::Delete(_)) => {
                 flush_batch(client, &mut pending, &mut out)?;
                 let t0 = Instant::now();
-                let resp = roundtrip_retrying(client, &q, &mut out.busy_sheds)?;
+                let resp = roundtrip_retrying(client, &op, &mut out.busy_sheds)?;
                 let elapsed = t0.elapsed();
-                settle(&q, resp, elapsed, elapsed, &mut out)?;
+                settle(&op, resp, elapsed, elapsed, &mut out)?;
             }
         }
     }
@@ -491,6 +559,9 @@ fn settle(
             out.insert_lat.push(e2e);
             out.insert_svc.push(service);
         }
+        // Deletes are counted but not folded into the insert histograms
+        // (the report labels those per operation class).
+        (LoadOp::Delete(_), Response::Deleted) => out.deletes += 1,
         (LoadOp::Query(_), Response::Rows { rows, .. }) => {
             out.queries += 1;
             out.rows += rows.len() as u64;

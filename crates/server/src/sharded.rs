@@ -454,6 +454,37 @@ impl ShardedEngine {
         self.shard_engine(i).checkpoint()
     }
 
+    /// Runs one background reorganization step on every shard; reports the
+    /// number of shards whose step enacted an action. A no-op (zero) when
+    /// the reorganizer is configured off.
+    ///
+    /// # Errors
+    /// Storage/WAL failures from an enacted action's moves.
+    pub fn reorg_step(&self) -> Result<u64, ServerError> {
+        let mut enacted = 0;
+        for engine in self.engines() {
+            if engine.reorg_step()?.action.is_some() {
+                enacted += 1;
+            }
+        }
+        Ok(enacted)
+    }
+
+    /// Summed reorganizer counters across every shard.
+    #[must_use]
+    pub fn reorg_stats(&self) -> cind_reorg::ReorgStats {
+        let mut total = cind_reorg::ReorgStats::default();
+        for engine in self.engines() {
+            let s = engine.reorg_stats();
+            total.steps += s.steps;
+            total.resplits += s.resplits;
+            total.migrations += s.migrations;
+            total.merges += s.merges;
+            total.entities_moved += s.entities_moved;
+        }
+        total
+    }
+
     /// Runs one partition merge pass on every shard; reports are summed.
     ///
     /// # Errors

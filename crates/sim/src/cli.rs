@@ -1,7 +1,7 @@
 //! Flag parsing and run orchestration for `cind-sim` / `cind sim`.
 
 use crate::harness::{crash_sweep, run_ops, RunSpec, SimConfig, SimFailure};
-use crate::schedule::{generate, Op};
+use crate::schedule::{generate, generate_drift, Op};
 use crate::trace::{shrink_ops, Trace};
 use crate::vfs::FaultPlan;
 
@@ -17,6 +17,9 @@ FLAGS:
     --seed N           run exactly seed N
     --ops N            schedule length per seed (default 2000)
     --faults MODE      all | none (default all)
+    --drift            generate drifting schedules: inserts and queries
+                       concentrate on a hot attribute group that rotates
+                       per quarter, so crashes land mid-reorganization
     --shards N         independent crash domains: each shard gets its own
                        fault-injecting disk (default 1)
     --check-every N    full oracle check every N steps (default 1)
@@ -36,6 +39,7 @@ struct Args {
     seeds: Vec<u64>,
     ops: usize,
     faults: bool,
+    drift: bool,
     shards: usize,
     check_every: usize,
     replay: Option<String>,
@@ -49,6 +53,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seeds: Vec::new(),
         ops: 2000,
         faults: true,
+        drift: false,
         shards: 1,
         check_every: 1,
         replay: None,
@@ -83,6 +88,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     other => return Err(format!("--faults: {other:?} (use all|none)")),
                 };
             }
+            "--drift" => args.drift = true,
             "--shards" => {
                 args.shards =
                     value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
@@ -263,7 +269,11 @@ fn run_seed_matrix(args: &Args) -> i32 {
             shards: args.shards,
             check_every: args.check_every,
         };
-        let ops = generate(cfg.seed, cfg.ops, cfg.faults, cfg.shards);
+        let ops = if args.drift {
+            generate_drift(cfg.seed, cfg.ops, cfg.faults, cfg.shards)
+        } else {
+            generate(cfg.seed, cfg.ops, cfg.faults, cfg.shards)
+        };
         let spec = RunSpec {
             seed,
             faults: args.faults,
@@ -394,7 +404,7 @@ mod tests {
     fn parses_a_full_flag_set() {
         let argv: Vec<String> = [
             "--seed", "5", "--ops", "100", "--faults", "none", "--shards", "4",
-            "--check-every", "4",
+            "--check-every", "4", "--drift",
         ]
         .iter()
         .map(ToString::to_string)
@@ -403,6 +413,7 @@ mod tests {
         assert_eq!(args.seeds, vec![5]);
         assert_eq!(args.ops, 100);
         assert!(!args.faults);
+        assert!(args.drift);
         assert_eq!(args.shards, 4);
         assert_eq!(args.check_every, 4);
     }

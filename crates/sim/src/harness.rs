@@ -43,7 +43,9 @@ use cind_server::{
 };
 use cind_storage::{StorageError, Vfs};
 use cind_storage::UniversalTable;
-use cinderella_core::{efficiency_counters_for, Capacity, Config, CoreError};
+use cinderella_core::{
+    efficiency_counters_for, Capacity, Config, CoreError, ReorgConfig, ReorgMode,
+};
 
 use crate::clock::VirtualClock;
 use crate::oracle::{canonical_rows, Oracle, OracleErr};
@@ -162,6 +164,15 @@ pub(crate) fn sim_engine_options(vfs: Arc<SimVfs>) -> EngineOptions {
             weight: 0.3,
             // Small capacity so the schedule actually exercises splits.
             capacity: Capacity::MaxEntities(8),
+            // Reorganizer on with a short op-count epoch so both trigger
+            // paths — write-cadence steps and explicit `Op::Reorg` — fire
+            // often enough that the crash sweep lands inside reorg actions.
+            reorg: ReorgConfig {
+                mode: ReorgMode::Auto,
+                budget: 8,
+                threshold: 0.02,
+                epoch_ops: 16,
+            },
             ..Config::default()
         },
         pool_pages: 64,
@@ -376,6 +387,13 @@ fn step(world: &mut World, op: &Op) -> Result<String, String> {
         Op::Query { attrs } => step_query(world, attrs),
         Op::Merge => {
             let result = world.engine.merge_pass(0.6).map(|_| ());
+            resolve_maintenance(world, op, result)
+        }
+        Op::Reorg => {
+            // Content-neutral like merge: entities move between partitions
+            // but the logical store is unchanged, so the unchanged oracle
+            // judges the recovery after a mid-action fault.
+            let result = world.engine.reorg_step().map(|_| ());
             resolve_maintenance(world, op, result)
         }
         Op::Checkpoint => {

@@ -49,7 +49,7 @@ pub use harness::{
     content_diff, crash_sweep, run, run_ops, shard_vfs_seed, sim_sharded_options, RunReport,
     RunSpec, SimConfig, SimFailure,
 };
-pub use schedule::{generate, Op};
+pub use schedule::{generate, generate_drift, Op};
 pub use selftest::{self_test, SelfTestReport};
 pub use trace::{shrink_ops, Trace};
 pub use vfs::{FaultPlan, SimVfs};

@@ -49,6 +49,9 @@ pub enum Op {
     },
     /// Run one partition merge pass.
     Merge,
+    /// Run one background reorganization step on every shard (heat-driven
+    /// re-split / migrate / cold-merge, each WAL-framed as a transaction).
+    Reorg,
     /// Checkpoint: fold the WAL into a fresh snapshot.
     Checkpoint,
     /// Kill the whole engine without warning and recover from disk.
@@ -80,6 +83,7 @@ impl Op {
             Op::Delete { id } => format!("delete {id}"),
             Op::Query { attrs } => format!("query {attrs:?}"),
             Op::Merge => "merge".to_string(),
+            Op::Reorg => "reorg".to_string(),
             Op::Checkpoint => "checkpoint".to_string(),
             Op::CrashRestart => "crash-restart".to_string(),
             Op::CrashDuringNext { countdown } => {
@@ -127,6 +131,7 @@ impl Op {
                 ),
             ]),
             Op::Merge => Json::Obj(vec![("op".into(), Json::Str("merge".into()))]),
+            Op::Reorg => Json::Obj(vec![("op".into(), Json::Str("reorg".into()))]),
             Op::Checkpoint => {
                 Json::Obj(vec![("op".into(), Json::Str("checkpoint".into()))])
             }
@@ -183,6 +188,7 @@ impl Op {
                 Ok(Op::Query { attrs })
             }
             "merge" => Ok(Op::Merge),
+            "reorg" => Ok(Op::Reorg),
             "checkpoint" => Ok(Op::Checkpoint),
             "crash-restart" => Ok(Op::CrashRestart),
             "crash-during-next" => Ok(Op::CrashDuringNext {
@@ -219,6 +225,24 @@ fn group_attr(group: usize, idx: usize) -> String {
 /// single-domain failures while the other domains keep serving.
 #[must_use]
 pub fn generate(seed: u64, n: usize, faults: bool, shards: usize) -> Vec<Op> {
+    generate_with(seed, n, faults, shards, false)
+}
+
+/// Drift variant of [`generate`]: the same op mix, but inserts and
+/// queries concentrate on a *hot* attribute group that rotates per
+/// quarter of the schedule — the workload shape the reorganizer chases.
+/// Crash points therefore land while heat is skewed and the driver is
+/// mid-adaptation, which uniform schedules rarely reach.
+#[must_use]
+pub fn generate_drift(seed: u64, n: usize, faults: bool, shards: usize) -> Vec<Op> {
+    generate_with(seed, n, faults, shards, true)
+}
+
+/// How concentrated a drifting schedule is on its hot group.
+const DRIFT_QUERY_FOCUS: f64 = 0.9;
+const DRIFT_INSERT_FOCUS: f64 = 0.7;
+
+fn generate_with(seed: u64, n: usize, faults: bool, shards: usize, drift: bool) -> Vec<Op> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC14D_E13A_5C4E_D41E);
     let mut ops = Vec::with_capacity(n);
     let mut next_id: u64 = 1;
@@ -226,7 +250,9 @@ pub fn generate(seed: u64, n: usize, faults: bool, shards: usize) -> Vec<Op> {
     // may fail on the engine); only used to bias toward valid targets.
     let mut live: Vec<u64> = Vec::new();
 
-    for _ in 0..n {
+    for i in 0..n {
+        // The hot group rotates each quarter of a drifting schedule.
+        let hot = drift.then(|| (i * 4) / n.max(1) % GROUPS);
         let invalid = rng.gen_range(0u32..100) < 12;
         let roll = if faults {
             rng.gen_range(0u32..100)
@@ -246,12 +272,12 @@ pub fn generate(seed: u64, n: usize, faults: bool, shards: usize) -> Vec<Op> {
                     live.push(id);
                     id
                 };
-                Op::Insert { id, attrs: random_attrs(&mut rng) }
+                Op::Insert { id, attrs: random_attrs(&mut rng, hot) }
             }
             // 12%: update
             48..=59 => {
                 let id = pick_id(&mut rng, &live, invalid, &mut next_id);
-                Op::Update { id, attrs: random_attrs(&mut rng) }
+                Op::Update { id, attrs: random_attrs(&mut rng, hot) }
             }
             // 10%: delete
             60..=69 => {
@@ -260,11 +286,15 @@ pub fn generate(seed: u64, n: usize, faults: bool, shards: usize) -> Vec<Op> {
                 Op::Delete { id }
             }
             // 14%: query
-            70..=83 => Op::Query { attrs: random_query(&mut rng, invalid) },
-            // 3%: merge
-            84..=86 => Op::Merge,
-            // 4%: checkpoint
-            87..=90 => Op::Checkpoint,
+            70..=83 => Op::Query { attrs: random_query(&mut rng, invalid, hot) },
+            // 2%: merge
+            84..=85 => Op::Merge,
+            // 2%: explicit reorg step (foreground writes also trigger steps
+            // on the driver's own cadence; this op hits the path directly
+            // so crash sweeps land inside reorg actions)
+            86..=87 => Op::Reorg,
+            // 3%: checkpoint
+            88..=90 => Op::Checkpoint,
             // 3%: clean-kill restart (the whole engine, every shard)
             91..=93 => Op::CrashRestart,
             // 6%: crash mid-I/O a few mutations from now — on one shard's
@@ -294,8 +324,17 @@ fn pick_id(rng: &mut StdRng, live: &[u64], invalid: bool, next_id: &mut u64) -> 
     }
 }
 
-fn random_attrs(rng: &mut StdRng) -> Vec<(String, i64)> {
-    let group = rng.gen_range(0..GROUPS);
+/// Picks the attribute group: the hot one with the given focus when the
+/// schedule drifts, uniform otherwise.
+fn pick_group(rng: &mut StdRng, hot: Option<usize>, focus: f64) -> usize {
+    match hot {
+        Some(h) if rng.gen::<f64>() < focus => h,
+        _ => rng.gen_range(0..GROUPS),
+    }
+}
+
+fn random_attrs(rng: &mut StdRng, hot: Option<usize>) -> Vec<(String, i64)> {
+    let group = pick_group(rng, hot, DRIFT_INSERT_FOCUS);
     let arity = rng.gen_range(1..=ATTRS_PER_GROUP);
     let mut attrs: Vec<(String, i64)> = (0..arity)
         .map(|i| (group_attr(group, i), rng.gen_range(-1000i64..1000)))
@@ -308,11 +347,11 @@ fn random_attrs(rng: &mut StdRng) -> Vec<(String, i64)> {
     attrs
 }
 
-fn random_query(rng: &mut StdRng, invalid: bool) -> Vec<String> {
+fn random_query(rng: &mut StdRng, invalid: bool, hot: Option<usize>) -> Vec<String> {
     if invalid {
         return vec![format!("ghost_{}", rng.gen_range(0u32..100))];
     }
-    let group = rng.gen_range(0..GROUPS);
+    let group = pick_group(rng, hot, DRIFT_QUERY_FOCUS);
     let width = rng.gen_range(1..=3usize);
     let mut attrs: Vec<String> =
         (0..width).map(|_| group_attr(group, rng.gen_range(0..ATTRS_PER_GROUP))).collect();
@@ -332,6 +371,36 @@ mod tests {
         assert_eq!(generate(9, 500, true, 1), generate(9, 500, true, 1));
         assert_ne!(generate(9, 500, true, 1), generate(10, 500, true, 1));
         assert_eq!(generate(9, 500, true, 4), generate(9, 500, true, 4));
+    }
+
+    #[test]
+    fn drift_schedules_concentrate_queries_on_the_rotating_hot_group() {
+        let n = 2000;
+        let ops = generate_drift(7, n, false, 1);
+        assert_eq!(ops, generate_drift(7, n, false, 1), "drift generation must be seeded");
+        assert_ne!(ops, generate(7, n, false, 1), "drift must actually reshape the stream");
+        for quarter in 0..4usize {
+            let hot = quarter % GROUPS;
+            let mut per_group = [0usize; GROUPS];
+            for op in &ops[quarter * n / 4..(quarter + 1) * n / 4] {
+                let Op::Query { attrs } = op else { continue };
+                // Attribute names are `g{group}_a{idx}`; ghost queries
+                // (the invalid minority) fail the parse and are skipped.
+                let group = attrs
+                    .first()
+                    .and_then(|a| a.strip_prefix('g'))
+                    .and_then(|rest| rest.split('_').next())
+                    .and_then(|digits| digits.parse::<usize>().ok());
+                if let Some(g) = group.filter(|g| *g < GROUPS) {
+                    per_group[g] += 1;
+                }
+            }
+            let total: usize = per_group.iter().sum();
+            assert!(
+                per_group[hot] * 2 > total,
+                "quarter {quarter}: hot group {hot} not dominant in {per_group:?}"
+            );
+        }
     }
 
     #[test]
