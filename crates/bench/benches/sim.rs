@@ -64,6 +64,7 @@ fn main() {
             ops: &ops,
             check_every: sc.check_every,
             arm_crash: None,
+            tier: cinderella_core::IndexTier::Exact,
         })
         .expect("committed seeds pass");
         let elapsed = start.elapsed().as_secs_f64();

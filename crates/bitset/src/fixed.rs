@@ -77,6 +77,15 @@ impl FixedBitSet {
         &self.blocks
     }
 
+    /// Mutable raw block view, least-significant block first — the
+    /// word-at-a-time write path for bulk candidate accumulation (ORing a
+    /// 64-slot group mask beats 64 `insert` calls). Callers must keep bits
+    /// at or above [`FixedBitSet::capacity`] clear; `count`, `iter_ones`,
+    /// and the fused kernels trust every stored word.
+    pub fn blocks_mut(&mut self) -> &mut [u64] {
+        &mut self.blocks
+    }
+
     /// Grows the universe to at least `capacity`, preserving set bits.
     pub fn grow(&mut self, capacity: usize) {
         if capacity > self.capacity {
@@ -296,6 +305,15 @@ mod tests {
         a.clear();
         assert!(a.is_empty());
         assert!(a.is_subset(&b));
+    }
+
+    #[test]
+    fn blocks_mut_word_writes_are_visible() {
+        let mut s = FixedBitSet::new(130);
+        s.blocks_mut()[1] |= 1u64 << 3;
+        assert!(s.contains(67));
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![67]);
     }
 
     #[test]

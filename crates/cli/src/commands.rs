@@ -7,7 +7,7 @@ use cind_query::{execute_collect, plan_from_survivors, plan_with, Parallelism, Q
 use cind_storage::{PersistError, StorageError, UniversalTable};
 use cind_server::{EngineOptions, ServeConfig, Server, ServerError};
 use cinderella_core::{
-    bulk_load, Capacity, Cinderella, Config, CoreError, IndexMode, SynopsisMode,
+    bulk_load, Capacity, Cinderella, Config, CoreError, IndexMode, IndexTier, SynopsisMode,
 };
 
 use crate::csv::{parse_entities, CsvError};
@@ -158,6 +158,10 @@ pub struct LoadOptions {
     pub pool_pages: usize,
     /// Catalog index mode (`auto`/`on`/`off`) for the rating scan.
     pub index: IndexMode,
+    /// Pruning-index tier (`exact`/`tiered`/`auto`): `tiered` swaps the
+    /// exact presence bitmaps for blocked Bloom filters plus a bounded hot
+    /// tier; `auto` ratchets to tiered once the catalog is large enough.
+    pub tier: IndexTier,
 }
 
 impl Default for LoadOptions {
@@ -171,6 +175,7 @@ impl Default for LoadOptions {
             threads: 1,
             pool_pages: 1024,
             index: IndexMode::default(),
+            tier: IndexTier::default(),
         }
     }
 }
@@ -183,6 +188,7 @@ fn config_of(opts: &LoadOptions, catalog: &AttributeCatalog) -> Result<Config, C
         mode: opts.mode.resolve(catalog)?,
         record_events: opts.record_events,
         index: opts.index,
+        tier: opts.tier,
         // Reorg is a serving-time feature (`cind serve --reorg auto`);
         // an offline bulk load has no heat to react to.
         reorg: cinderella_core::ReorgConfig::default(),
@@ -246,11 +252,20 @@ pub struct QueryOptions {
     /// Catalog index mode: `auto`/`on` plan via the attribute-presence
     /// bitmaps, `off` tests every partition's synopsis.
     pub index: IndexMode,
+    /// Pruning-index tier (`exact`/`tiered`/`auto`); tiered planning is
+    /// superset-sound, so the rendered rows are identical either way.
+    pub tier: IndexTier,
 }
 
 impl Default for QueryOptions {
     fn default() -> Self {
-        Self { limit: Some(20), pool_pages: 1024, threads: 1, index: IndexMode::default() }
+        Self {
+            limit: Some(20),
+            pool_pages: 1024,
+            threads: 1,
+            index: IndexMode::default(),
+            tier: IndexTier::default(),
+        }
     }
 }
 
@@ -274,8 +289,10 @@ pub fn query(
     }
     let mut file = std::io::BufReader::new(std::fs::File::open(snapshot)?);
     let table = UniversalTable::restore(&mut file, opts.pool_pages)?;
-    let cindy =
-        Cinderella::rebuild(&table, Config { index: opts.index, ..Config::default() })?;
+    let cindy = Cinderella::rebuild(
+        &table,
+        Config { index: opts.index, tier: opts.tier, ..Config::default() },
+    )?;
 
     let q = Query::from_names(table.catalog(), attrs.iter().copied()).ok_or_else(|| {
         CliError::Usage(format!(

@@ -17,9 +17,9 @@ USAGE:
   cind load  --input DATA.csv --snapshot TABLE.cind
              [--weight W] [--capacity B] [--size-model cells|bytes]
              [--mode entity|workload:a,b;c,d] [--record-events true|false]
-             [--threads N] [--index auto|on|off]
+             [--threads N] [--index auto|on|off] [--tier exact|tiered|auto]
   cind query --snapshot TABLE.cind --attrs a,b,c [--limit N] [--threads N]
-             [--index auto|on|off]
+             [--index auto|on|off] [--tier exact|tiered|auto]
   cind stats --snapshot TABLE.cind
   cind merge --snapshot TABLE.cind [--threshold T]
   cind check --snapshot TABLE.cind
@@ -27,6 +27,7 @@ USAGE:
              [--pool-pages N] [--query-threads N] [--shards N]
              [--group-commit-window USEC] [--reorg off|auto]
              [--reorg-budget N] [--reorg-threshold T] [--reorg-epoch-ops N]
+             [--tier exact|tiered|auto]
   cind workload --remote HOST:PORT [--connections N] [--entities N]
              [--attributes N] [--query-every K] [--seed S]
              [--pipeline K] [--batch N] [--shutdown true|false]
@@ -44,6 +45,13 @@ attribute names by `,`).
 and summarises the trace in the load report.
 --index routes the rating scan and query planning through the catalog's
 attribute-presence bitmap index (auto = cost-gated, the default).
+--tier picks the pruning-index representation behind that index: exact
+(one presence bitmap per attribute, the default) or tiered (blocked
+Bloom filter rows per 64-partition group plus a bounded exact hot tier —
+memory stays bounded at million-partition catalogs, answers are
+identical because the approximate tier never produces false negatives);
+auto starts exact and ratchets to tiered once the catalog crosses the
+partition-count threshold.
 check restores the snapshot, rebuilds the partitioning, and runs the full
 structural invariant validation (exit status 1 on violations).
 serve opens (or creates) a store directory — snapshot + write-ahead log —
@@ -147,6 +155,7 @@ fn run() -> Result<String, CliError> {
                 threads: args.get("threads", 1)?,
                 pool_pages: args.get("pool", 1024)?,
                 index: args.get("index", cinderella_core::IndexMode::default())?,
+                tier: args.get("tier", cinderella_core::IndexTier::default())?,
             };
             load(&args.path("input")?, &args.path("snapshot")?, &opts)
         }
@@ -163,6 +172,7 @@ fn run() -> Result<String, CliError> {
                 pool_pages: args.get("pool", 1024)?,
                 threads: args.get("threads", 1)?,
                 index: args.get("index", cinderella_core::IndexMode::default())?,
+                tier: args.get("tier", cinderella_core::IndexTier::default())?,
             };
             query(&args.path("snapshot")?, &attrs, &opts)
         }
@@ -187,6 +197,7 @@ fn run() -> Result<String, CliError> {
                 reorg_budget: args.get("reorg-budget", reorg_defaults.budget)?,
                 reorg_threshold: args.get("reorg-threshold", reorg_defaults.threshold)?,
                 reorg_epoch_ops: args.get("reorg-epoch-ops", reorg_defaults.epoch_ops)?,
+                tier: args.get("tier", cinderella_core::IndexTier::default())?,
             };
             serve(&args.path("store")?, &cfg)
         }

@@ -15,7 +15,7 @@ use cind_storage::UniversalTable;
 
 use crate::efficiency::efficiency_of;
 use crate::partitioner::Cinderella;
-use crate::{Capacity, Config};
+use crate::{Capacity, Config, CoreError};
 
 /// One scored candidate configuration.
 #[derive(Clone, Debug)]
@@ -90,24 +90,28 @@ impl Default for AdvisorConfig {
 ///     })
 ///     .collect();
 /// let workload = vec![Synopsis::from_bits(8, [0]), Synopsis::from_bits(8, [4])];
-/// let rec = recommend(&sample, 8, &workload, &AdvisorConfig::default());
+/// let rec = recommend(&sample, 8, &workload, &AdvisorConfig::default())?;
 /// assert!(!rec.candidates.is_empty());
 /// assert!((0.0..=1.0).contains(&rec.weight));
+/// # Ok::<(), cinderella_core::CoreError>(())
 /// ```
 ///
-/// # Panics
-/// Panics if `advisor` has no candidates or the sample is empty.
+/// # Errors
+/// [`CoreError::Invariant`] when the sample or the candidate grids are
+/// empty; sample-insert failures propagate (they cannot occur for entities
+/// whose attribute ids fit `universe`).
 pub fn recommend(
     sample: &[Entity],
     universe: usize,
     workload: &[Synopsis],
     advisor: &AdvisorConfig,
-) -> Recommendation {
-    assert!(!sample.is_empty(), "advisor needs a sample");
-    assert!(
-        !advisor.weights.is_empty() && !advisor.capacities.is_empty(),
-        "advisor needs candidates"
-    );
+) -> Result<Recommendation, CoreError> {
+    if sample.is_empty() {
+        return Err(CoreError::Invariant("advisor needs a sample"));
+    }
+    if advisor.weights.is_empty() || advisor.capacities.is_empty() {
+        return Err(CoreError::Invariant("advisor needs candidates"));
+    }
     let entity_syns: Vec<(Synopsis, u64)> = sample
         .iter()
         .map(|e| (e.synopsis(universe), e.arity() as u64))
@@ -128,9 +132,7 @@ pub fn recommend(
                 ..Config::default()
             });
             for e in sample {
-                cindy
-                    .insert(&mut table, e.clone())
-                    .expect("sample insert cannot fail");
+                cindy.insert(&mut table, e.clone())?;
             }
             let parts: Vec<(Synopsis, u64)> = cindy
                 .catalog()
@@ -174,12 +176,14 @@ pub fn recommend(
         }
     }
     candidates.sort_by(|a, b| b.score.total_cmp(&a.score));
-    let best = &candidates[0];
-    Recommendation {
+    let best = candidates
+        .first()
+        .ok_or(CoreError::Invariant("advisor scored no candidates"))?;
+    Ok(Recommendation {
         weight: best.weight,
         capacity: best.capacity,
         candidates,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -209,7 +213,7 @@ mod tests {
     #[test]
     fn recommends_a_candidate_that_separates_the_shapes() {
         let (entities, workload) = sample();
-        let rec = recommend(&entities, 8, &workload, &AdvisorConfig::default());
+        let rec = recommend(&entities, 8, &workload, &AdvisorConfig::default()).unwrap();
         let best = &rec.candidates[0];
         assert!(
             (best.efficiency - 1.0).abs() < 1e-12,
@@ -233,7 +237,7 @@ mod tests {
             capacities: vec![4, 1_000],
             union_cost_cells: 64,
         };
-        let rec = recommend(&entities, 8, &workload, &cfg);
+        let rec = recommend(&entities, 8, &workload, &cfg).unwrap();
         assert_eq!(rec.capacity, 1_000, "{:?}", rec.candidates);
     }
 
@@ -245,7 +249,7 @@ mod tests {
             capacities: vec![50, 500],
             union_cost_cells: 64,
         };
-        let rec = recommend(&entities, 8, &workload, &cfg);
+        let rec = recommend(&entities, 8, &workload, &cfg).unwrap();
         assert_eq!(rec.candidates.len(), 4);
         for c in &rec.candidates {
             assert!(c.efficiency > 0.0 && c.efficiency <= 1.0);
@@ -256,8 +260,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sample")]
-    fn empty_sample_panics() {
-        recommend(&[], 8, &[], &AdvisorConfig::default());
+    fn empty_sample_is_a_typed_error() {
+        let err = recommend(&[], 8, &[], &AdvisorConfig::default()).unwrap_err();
+        assert_eq!(err, CoreError::Invariant("advisor needs a sample"));
+        let cfg = AdvisorConfig { weights: vec![], ..AdvisorConfig::default() };
+        let err = recommend(&sample().0, 8, &[], &cfg).unwrap_err();
+        assert_eq!(err, CoreError::Invariant("advisor needs candidates"));
     }
 }

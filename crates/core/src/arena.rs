@@ -276,6 +276,15 @@ impl PresenceIndex {
         self.rows.len()
     }
 
+    /// Heap bytes resident in the bitmaps — the exact-index side of the
+    /// tiered-index memory comparison.
+    pub fn resident_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|row| row.blocks().len() * 8 + std::mem::size_of::<FixedBitSet>())
+            .sum()
+    }
+
     /// Cross-checks the index against the arena it mirrors: every set bit
     /// must reference an in-range, live slot — presence of a dead or
     /// out-of-range slot would let the candidate/survivor OR resurrect a

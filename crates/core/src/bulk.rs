@@ -125,7 +125,10 @@ pub fn bulk_load(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    Err(_) => Err(CoreError::Invariant("bulk-load worker panicked")),
+                })
                 .collect()
         });
 

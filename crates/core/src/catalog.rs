@@ -8,9 +8,10 @@ use cind_model::{EntityId, Synopsis};
 use cind_storage::SegmentId;
 
 use crate::arena::{PresenceIndex, SynopsisArena};
-use crate::config::IndexMode;
+use crate::config::{IndexMode, IndexTier};
 use crate::rating::{global_rating, RatingInputs};
 use crate::starters::SplitStarters;
+use crate::tier::{Space, TierParams, TierSnapshot, TieredIndex, SLOTS_PER_GROUP};
 use crate::validate::InvariantViolation;
 
 /// Catalog entry of one partition.
@@ -161,18 +162,118 @@ pub struct PartitionCatalog {
     /// Slots of partitions with `SIZE(p) = 0` (rate neutrally against
     /// anything, so they are always candidates).
     zero_size: FixedBitSet,
+    /// The configured index-tier knob (`exact`, `tiered`, or the
+    /// partition-count-gated `auto` ratchet).
+    tier: IndexTier,
+    /// Knobs for the tiered index, applied on (re)activation.
+    tier_params: TierParams,
+    /// The approximate tier. While active, the exact presence bitmaps
+    /// above are dropped (that memory is what the tier exists to save) and
+    /// every refcount transition routes here instead.
+    tiered: Option<TieredIndex>,
 }
 
 impl PartitionCatalog {
-    /// Creates an empty catalog with the given candidate-index mode.
+    /// Creates an empty catalog with the given candidate-index mode and
+    /// the exact presence tier.
     pub fn new(mode: IndexMode) -> Self {
-        Self {
+        Self::with_tier(mode, IndexTier::Exact)
+    }
+
+    /// Creates an empty catalog with the given candidate-index mode and
+    /// index tier.
+    pub fn with_tier(mode: IndexMode, tier: IndexTier) -> Self {
+        Self::with_tier_params(mode, tier, TierParams::default())
+    }
+
+    /// [`PartitionCatalog::with_tier`] with explicit tier knobs (tests and
+    /// benches tune group filter sizes and hot-tier capacity).
+    pub fn with_tier_params(mode: IndexMode, tier: IndexTier, params: TierParams) -> Self {
+        let mut cat = Self {
             parts: BTreeMap::new(),
             mode,
             arena: SynopsisArena::new(),
             rating_presence: PresenceIndex::new(),
             attr_presence: PresenceIndex::new(),
             zero_size: FixedBitSet::default(),
+            tier,
+            tier_params: params,
+            tiered: None,
+        };
+        if tier == IndexTier::Tiered {
+            cat.tiered = Some(TieredIndex::new(params));
+        }
+        cat
+    }
+
+    /// The configured index-tier knob.
+    pub fn tier(&self) -> IndexTier {
+        self.tier
+    }
+
+    /// Whether the approximate tier is currently the live index (always
+    /// under `tiered`; under `auto` once the partition count crossed
+    /// [`IndexTier::AUTO_MIN_PARTITIONS`] — a one-way ratchet).
+    pub fn tier_active(&self) -> bool {
+        self.tiered.is_some()
+    }
+
+    /// Switches the index tier at runtime. `exact` rebuilds the exact
+    /// presence bitmaps from the refcount state and drops the filters;
+    /// `tiered` builds the filters from the refcount state and drops the
+    /// bitmaps; `auto` arms the partition-count ratchet (an already-active
+    /// tier stays active).
+    pub fn set_tier(&mut self, tier: IndexTier) {
+        self.tier = tier;
+        match tier {
+            IndexTier::Exact => self.deactivate_tiered(),
+            IndexTier::Tiered => self.activate_tiered(),
+            IndexTier::Auto => {
+                if self.parts.len() >= IndexTier::AUTO_MIN_PARTITIONS {
+                    self.activate_tiered();
+                }
+            }
+        }
+    }
+
+    /// Builds the approximate tier from the exact refcount state and drops
+    /// the exact presence bitmaps. Idempotent.
+    fn activate_tiered(&mut self) {
+        if self.tiered.is_some() {
+            return;
+        }
+        let mut t = TieredIndex::new(self.tier_params);
+        for slot in self.arena.live_slots() {
+            t.on_slot_alloc(slot);
+        }
+        for meta in self.parts.values() {
+            for bit in meta.rating_bits() {
+                t.set(Space::Rating, bit, meta.slot);
+            }
+            for bit in meta.attr_synopsis.iter() {
+                t.set(Space::Attr, bit.index(), meta.slot);
+            }
+        }
+        self.rating_presence = PresenceIndex::new();
+        self.attr_presence = PresenceIndex::new();
+        self.tiered = Some(t);
+        self.service_tier();
+    }
+
+    /// Rebuilds the exact presence bitmaps from the refcount state and
+    /// drops the approximate tier. Idempotent.
+    fn deactivate_tiered(&mut self) {
+        if self.tiered.take().is_none() {
+            return;
+        }
+        let Self { parts, rating_presence, attr_presence, .. } = self;
+        for meta in parts.values() {
+            for bit in meta.rating_bits() {
+                rating_presence.set(bit, meta.slot);
+            }
+            for bit in meta.attr_synopsis.iter() {
+                attr_presence.set(bit.index(), meta.slot);
+            }
         }
     }
 
@@ -211,6 +312,13 @@ impl PartitionCatalog {
         assert!(prev.is_none(), "partition {seg} already cataloged");
         self.zero_size.grow(slot + 1);
         self.zero_size.insert(slot as u32);
+        if let Some(t) = self.tiered.as_mut() {
+            t.on_slot_alloc(slot);
+        } else if self.tier == IndexTier::Auto
+            && self.parts.len() >= IndexTier::AUTO_MIN_PARTITIONS
+        {
+            self.activate_tiered();
+        }
     }
 
     /// Adopts a ready-made partition under a (new) segment id — the bulk
@@ -227,12 +335,21 @@ impl PartitionCatalog {
         meta.segment = seg;
         let slot = self.arena.alloc(seg);
         meta.slot = slot;
+        if let Some(t) = self.tiered.as_mut() {
+            t.on_slot_alloc(slot);
+        }
         for bit in meta.rating_bits() {
             self.arena.insert_bit(slot, bit);
-            self.rating_presence.set(bit, slot);
+            match self.tiered.as_mut() {
+                Some(t) => t.set(Space::Rating, bit, slot),
+                None => self.rating_presence.set(bit, slot),
+            }
         }
         for bit in meta.attr_synopsis.iter() {
-            self.attr_presence.set(bit.index(), slot);
+            match self.tiered.as_mut() {
+                Some(t) => t.set(Space::Attr, bit.index(), slot),
+                None => self.attr_presence.set(bit.index(), slot),
+            }
         }
         self.arena.set_size(slot, meta.size);
         self.zero_size.grow(slot + 1);
@@ -240,6 +357,7 @@ impl PartitionCatalog {
             self.zero_size.insert(slot as u32);
         }
         self.parts.insert(seg, meta);
+        self.service_tier();
     }
 
     /// Removes a partition from the catalog, returning its metadata.
@@ -249,14 +367,22 @@ impl PartitionCatalog {
     pub fn remove_partition(&mut self, seg: SegmentId) -> PartitionMeta {
         let meta = self.parts.remove(&seg).expect("partition cataloged");
         let slot = meta.slot;
-        for bit in meta.rating_bits() {
-            self.rating_presence.clear(bit, slot);
-        }
-        for bit in meta.attr_synopsis.iter() {
-            self.attr_presence.clear(bit.index(), slot);
+        match self.tiered.as_mut() {
+            // The tier drops the whole slot at once (live mask + hot tier);
+            // per-bit clears would only add staleness.
+            Some(t) => t.on_slot_release(slot),
+            None => {
+                for bit in meta.rating_bits() {
+                    self.rating_presence.clear(bit, slot);
+                }
+                for bit in meta.attr_synopsis.iter() {
+                    self.attr_presence.clear(bit.index(), slot);
+                }
+            }
         }
         self.zero_size.remove(slot as u32);
         self.arena.release(slot);
+        self.service_tier();
         meta
     }
 
@@ -274,18 +400,25 @@ impl PartitionCatalog {
         size: u64,
         offer_starters: bool,
     ) {
-        let Self { parts, arena, rating_presence, attr_presence, zero_size, .. } = self;
+        let Self { parts, arena, rating_presence, attr_presence, zero_size, tiered, .. } =
+            self;
         let meta = parts.get_mut(&seg).expect("partition cataloged");
         let slot = meta.slot;
         bump(&mut meta.rating_counts, rating_syn, |bit| {
             arena.insert_bit(slot, bit);
-            rating_presence.set(bit, slot);
+            match tiered.as_mut() {
+                Some(t) => t.set(Space::Rating, bit, slot),
+                None => rating_presence.set(bit, slot),
+            }
         });
         let attr_synopsis = &mut meta.attr_synopsis;
         bump(&mut meta.attr_counts, attr_syn, |bit| {
             attr_synopsis.bits_mut().grow(bit as usize + 1);
             attr_synopsis.bits_mut().insert(bit);
-            attr_presence.set(bit, slot);
+            match tiered.as_mut() {
+                Some(t) => t.set(Space::Attr, bit, slot),
+                None => attr_presence.set(bit, slot),
+            }
         });
         meta.entities += 1;
         meta.size += size;
@@ -296,6 +429,10 @@ impl PartitionCatalog {
         if meta.size > 0 {
             zero_size.remove(slot as u32);
         }
+        if let Some(t) = tiered.as_mut() {
+            t.note_op(slot);
+        }
+        self.service_tier();
     }
 
     /// Accounts the removal of a member entity. Returns the remaining
@@ -308,17 +445,24 @@ impl PartitionCatalog {
         attr_syn: &Synopsis,
         size: u64,
     ) -> u64 {
-        let Self { parts, arena, rating_presence, attr_presence, zero_size, .. } = self;
+        let Self { parts, arena, rating_presence, attr_presence, zero_size, tiered, .. } =
+            self;
         let meta = parts.get_mut(&seg).expect("partition cataloged");
         let slot = meta.slot;
         drop_counts(&mut meta.rating_counts, rating_syn, |bit| {
             arena.remove_bit(slot, bit);
-            rating_presence.clear(bit, slot);
+            match tiered.as_mut() {
+                Some(t) => t.clear(Space::Rating, bit, slot),
+                None => rating_presence.clear(bit, slot),
+            }
         });
         let attr_synopsis = &mut meta.attr_synopsis;
         drop_counts(&mut meta.attr_counts, attr_syn, |bit| {
             attr_synopsis.bits_mut().remove(bit);
-            attr_presence.clear(bit, slot);
+            match tiered.as_mut() {
+                Some(t) => t.clear(Space::Attr, bit, slot),
+                None => attr_presence.clear(bit, slot),
+            }
         });
         meta.entities -= 1;
         meta.size -= size;
@@ -328,7 +472,12 @@ impl PartitionCatalog {
             zero_size.grow(slot + 1);
             zero_size.insert(slot as u32);
         }
-        meta.entities
+        let left = meta.entities;
+        if let Some(t) = tiered.as_mut() {
+            t.note_op(slot);
+        }
+        self.service_tier();
+        left
     }
 
     /// Whether the rating scan goes through the candidate index.
@@ -433,8 +582,15 @@ impl PartitionCatalog {
         weight: f64,
     ) -> (Option<(SegmentId, f64)>, u32) {
         let mut candidates = self.zero_size.clone();
-        self.rating_presence
-            .union_rows_into(rating_syn.iter().map(|a| a.index()), &mut candidates);
+        match &self.tiered {
+            Some(t) => {
+                let attrs: Vec<u32> = rating_syn.iter().map(|a| a.index()).collect();
+                t.candidates_into(Space::Rating, &attrs, &mut candidates);
+            }
+            None => self
+                .rating_presence
+                .union_rows_into(rating_syn.iter().map(|a| a.index()), &mut candidates),
+        }
 
         let e_words = rating_syn.bits().blocks();
         let mut best: Option<(SegmentId, f64)> = None;
@@ -477,13 +633,142 @@ impl PartitionCatalog {
             return None;
         }
         let mut acc = FixedBitSet::default();
-        self.attr_presence
-            .union_rows_into(q.iter().map(|a| a.index()), &mut acc);
+        match &self.tiered {
+            // Tiered: a *superset* of the exact survivor set — filter false
+            // positives add scanned partitions, and the executor's per-row
+            // `matches` keeps answers identical. Exact-present pairs are
+            // never missed (validate checks the implication).
+            Some(t) => {
+                let attrs: Vec<u32> = q.iter().map(|a| a.index()).collect();
+                t.candidates_into(Space::Attr, &attrs, &mut acc);
+            }
+            None => self
+                .attr_presence
+                .union_rows_into(q.iter().map(|a| a.index()), &mut acc),
+        }
         let mut survivors: Vec<SegmentId> =
             acc.iter_ones().map(|slot| self.arena.seg(slot as usize)).collect();
         survivors.sort_unstable();
         let pruned = self.parts.len() - survivors.len();
         Some((survivors, pruned))
+    }
+
+    /// Services the tiered index's deferred maintenance — filter grows and
+    /// rebuilds, hot-tier promotions and demotions — using the exact
+    /// refcount state the catalog owns. Runs after every mutation; a no-op
+    /// when the queue is empty or the tier inactive.
+    fn service_tier(&mut self) {
+        while let Some(work) = self.tiered.as_mut().and_then(|t| t.take_pending()) {
+            for (space, group, grow) in work.rebuilds {
+                let members = self.group_members(space, group);
+                if let Some(t) = self.tiered.as_mut() {
+                    t.rebuild_group(space, group, grow, &members);
+                }
+            }
+            for slot in work.promotes {
+                self.promote_slot(slot);
+            }
+            for slot in work.demotes {
+                if let Some(t) = self.tiered.as_mut() {
+                    t.demote_now(slot);
+                }
+            }
+        }
+    }
+
+    /// Exact per-slot bit lists of one filter group, recomputed from the
+    /// refcount state — the group-rebuild source.
+    fn group_members(&self, space: Space, group: usize) -> Vec<(usize, Vec<u32>)> {
+        let lo = group * SLOTS_PER_GROUP;
+        let hi = (lo + SLOTS_PER_GROUP).min(self.arena.slots());
+        let mut members = Vec::new();
+        for slot in lo..hi {
+            if !self.arena.is_live(slot) {
+                continue;
+            }
+            let bits: Vec<u32> = match space {
+                Space::Rating => words::iter_ones(self.arena.row(slot)).collect(),
+                Space::Attr => {
+                    let Some(meta) = self.parts.get(&self.arena.seg(slot)) else {
+                        continue;
+                    };
+                    meta.attr_synopsis.iter().map(|a| a.index()).collect()
+                }
+            };
+            members.push((slot, bits));
+        }
+        members
+    }
+
+    /// Promotes `slot` into the hot tier with its exact bits, if it is
+    /// live and the tier has room.
+    fn promote_slot(&mut self, slot: usize) {
+        let Some(t) = self.tiered.as_ref() else { return };
+        if t.is_hot(slot) || t.hot_len() >= t.params().hot_capacity {
+            return;
+        }
+        if slot >= self.arena.slots() || !self.arena.is_live(slot) {
+            return;
+        }
+        let Some(meta) = self.parts.get(&self.arena.seg(slot)) else { return };
+        let rating_bits: Vec<u32> = words::iter_ones(self.arena.row(slot)).collect();
+        let attr_bits: Vec<u32> = meta.attr_synopsis.iter().map(|a| a.index()).collect();
+        if let Some(t) = self.tiered.as_mut() {
+            t.promote_now(slot, rating_bits, attr_bits);
+        }
+    }
+
+    /// Adds external heat (e.g. the reorganizer's scan counters) to a
+    /// partition — the tier's promotion signal. A no-op when the tier is
+    /// inactive or the partition unknown.
+    pub fn note_heat(&mut self, seg: SegmentId, amount: u32) {
+        if let Some(meta) = self.parts.get(&seg) {
+            let slot = meta.slot;
+            if let Some(t) = self.tiered.as_mut() {
+                t.note_heat(slot, amount);
+            }
+        }
+        self.service_tier();
+    }
+
+    /// Forces a partition in or out of the hot tier — the property tests'
+    /// random promotion/demotion lever. A no-op when the tier is inactive.
+    pub fn tier_set_hot(&mut self, seg: SegmentId, hot: bool) {
+        let Some(meta) = self.parts.get(&seg) else { return };
+        let slot = meta.slot;
+        if hot {
+            self.promote_slot(slot);
+        } else if let Some(t) = self.tiered.as_mut() {
+            t.demote_now(slot);
+        }
+    }
+
+    /// The live tiered index, while active.
+    pub fn tiered(&self) -> Option<&TieredIndex> {
+        self.tiered.as_ref()
+    }
+
+    /// A frozen copy of the attribute-space tier plus the slot→segment
+    /// map, for lock-free survivor planning (the server's epoch
+    /// snapshots). `None` while the exact tier is active.
+    pub fn tier_snapshot(&self) -> Option<TierSnapshot> {
+        let t = self.tiered.as_ref()?;
+        let mut segs = vec![SegmentId(0); self.arena.slots()];
+        for slot in self.arena.live_slots() {
+            segs[slot] = self.arena.seg(slot);
+        }
+        Some(t.snapshot(segs, self.parts.len()))
+    }
+
+    /// Heap bytes resident in the plan-path index structures — the number
+    /// the tier bench compares across `IndexTier` settings.
+    pub fn index_resident_bytes(&self) -> usize {
+        match &self.tiered {
+            Some(t) => t.resident_bytes(),
+            None => {
+                self.rating_presence.resident_bytes() + self.attr_presence.resident_bytes()
+            }
+        }
     }
 
     /// View for the query planner: `(segment, attribute synopsis, SIZE(p))`
@@ -612,33 +897,101 @@ impl PartitionCatalog {
             want_attr.extend(attr_bits.iter().map(|&b| (b, slot)));
         }
 
-        for (space, index, want) in [
-            ("rating", &self.rating_presence, &want_rating),
-            ("attr", &self.attr_presence, &want_attr),
-        ] {
-            let mut have: std::collections::BTreeSet<(u32, usize)> =
-                std::collections::BTreeSet::new();
-            for attr in 0..index.attrs() as u32 {
-                if let Some(row) = index.row(attr) {
-                    have.extend(row.iter_ones().map(|slot| (attr, slot as usize)));
+        if let Some(t) = &self.tiered {
+            out.extend(t.validate_internal());
+            // The exact bitmaps must be gone — retaining them would void
+            // the tier's memory claim (and mean double maintenance).
+            for (space, index) in [
+                ("rating", &self.rating_presence),
+                ("attr", &self.attr_presence),
+            ] {
+                if index.attrs() != 0 {
+                    out.push(InvariantViolation::new(
+                        "tier",
+                        format!("exact {space} presence rows retained while tiered"),
+                    ));
                 }
             }
-            for (bit, slot) in want.difference(&have) {
-                out.push(InvariantViolation::new(
-                    "presence",
-                    format!(
-                        "{space} bit {bit} of slot {slot} ({}) missing from the index",
-                        self.arena.seg(*slot)
-                    ),
-                ));
+            // The no-false-negative implication: every exact-present
+            // (attr, slot) pair must be admitted by the approximate tier.
+            for (space, label, want) in [
+                (Space::Rating, "rating", &want_rating),
+                (Space::Attr, "attr", &want_attr),
+            ] {
+                for &(bit, slot) in want.iter() {
+                    if !t.approx_contains(space, bit, slot) {
+                        out.push(InvariantViolation::new(
+                            "tier",
+                            format!(
+                                "{label} bit {bit} of slot {slot} ({}) absent from the \
+                                 approximate tier — a false negative",
+                                self.arena.seg(slot)
+                            ),
+                        ));
+                    }
+                }
             }
-            for (bit, slot) in have.difference(want) {
-                out.push(InvariantViolation::new(
-                    "presence",
-                    format!(
-                        "{space} index claims bit {bit} for slot {slot}, refcounts disagree"
-                    ),
-                ));
+            // Hot-tier bitmaps ⇔ refcounts, both directions, per hot slot.
+            // (BTreeSet order is (bit, slot), so per-slot pushes ascend.)
+            let by_slot = |want: &std::collections::BTreeSet<(u32, usize)>| {
+                let mut m: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+                for &(bit, slot) in want {
+                    m.entry(slot).or_default().push(bit);
+                }
+                m
+            };
+            let exact_rating = by_slot(&want_rating);
+            let exact_attr = by_slot(&want_attr);
+            for &slot in t.hot_slot_ids() {
+                if slot >= self.arena.slots() || !self.arena.is_live(slot) {
+                    continue; // flagged by validate_internal
+                }
+                let seg = self.arena.seg(slot);
+                for (space, label, exact) in [
+                    (Space::Rating, "rating", &exact_rating),
+                    (Space::Attr, "attr", &exact_attr),
+                ] {
+                    let exact = exact.get(&slot).cloned().unwrap_or_default();
+                    let hot = t.hot_bits(space, slot).unwrap_or_default();
+                    if exact != hot {
+                        out.push(InvariantViolation::new(
+                            "tier",
+                            format!(
+                                "{seg}: hot {label} row {hot:?} but refcounts say {exact:?}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        } else {
+            for (space, index, want) in [
+                ("rating", &self.rating_presence, &want_rating),
+                ("attr", &self.attr_presence, &want_attr),
+            ] {
+                let mut have: std::collections::BTreeSet<(u32, usize)> =
+                    std::collections::BTreeSet::new();
+                for attr in 0..index.attrs() as u32 {
+                    if let Some(row) = index.row(attr) {
+                        have.extend(row.iter_ones().map(|slot| (attr, slot as usize)));
+                    }
+                }
+                for (bit, slot) in want.difference(&have) {
+                    out.push(InvariantViolation::new(
+                        "presence",
+                        format!(
+                            "{space} bit {bit} of slot {slot} ({}) missing from the index",
+                            self.arena.seg(*slot)
+                        ),
+                    ));
+                }
+                for (bit, slot) in have.difference(want) {
+                    out.push(InvariantViolation::new(
+                        "presence",
+                        format!(
+                            "{space} index claims bit {bit} for slot {slot}, refcounts disagree"
+                        ),
+                    ));
+                }
             }
         }
 

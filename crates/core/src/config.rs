@@ -71,6 +71,63 @@ impl std::str::FromStr for IndexMode {
     }
 }
 
+/// How the catalog *stores* the attribute→partition presence metadata the
+/// candidate/survivor index is built from: exact bitmaps for every
+/// partition, or the tiered approximate structure of [`crate::tier`].
+///
+/// `Exact` is the oracle: one [`crate::arena::PresenceIndex`] row per
+/// attribute, O(attrs × partitions) bits. `Tiered` replaces those bitmaps
+/// with per-group blocked Bloom filter rows plus a bounded hot tier of
+/// exact bitmaps (promotion driven by op-count heat, decayed on epochs —
+/// never wall clock), cutting resident index memory by an order of
+/// magnitude on large catalogs. The tier is *superset-sound* by
+/// construction: an exact-present (attr, partition) pair is always present
+/// in the approximate tier, so candidate sets can only grow — false
+/// positives cost scans, never answers. `Cinderella::validate` checks the
+/// implication structurally.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IndexTier {
+    /// Exact presence bitmaps for every partition (the default and the
+    /// differential-test oracle).
+    #[default]
+    Exact,
+    /// Approximate filter tier + bounded exact hot tier, from the first
+    /// partition on.
+    Tiered,
+    /// Cost-gated one-way ratchet: exact bitmaps until the catalog reaches
+    /// [`IndexTier::AUTO_MIN_PARTITIONS`] partitions, tiered from then on.
+    Auto,
+}
+
+impl IndexTier {
+    /// The `Auto` ratchet point: below this partition count the exact
+    /// bitmaps are small enough that approximation buys nothing.
+    pub const AUTO_MIN_PARTITIONS: usize = 4096;
+}
+
+impl std::str::FromStr for IndexTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(Self::Exact),
+            "tiered" => Ok(Self::Tiered),
+            "auto" => Ok(Self::Auto),
+            other => Err(format!("bad index tier {other:?}; use exact|tiered|auto")),
+        }
+    }
+}
+
+impl std::fmt::Display for IndexTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Exact => "exact",
+            Self::Tiered => "tiered",
+            Self::Auto => "auto",
+        })
+    }
+}
+
 /// Whether the background reorganizer (the `cind-reorg` crate) is allowed
 /// to act on this store.
 ///
@@ -167,6 +224,11 @@ pub struct Config {
     /// (`Auto`). Semantics-preserving; the `ablations` and `index` benches
     /// measure the speedup.
     pub index: IndexMode,
+    /// How the index's presence metadata is stored: exact per-partition
+    /// bitmaps (`exact`), the approximate filter tier plus bounded exact
+    /// hot tier (`tiered`), or a partition-count-gated ratchet (`auto`).
+    /// Superset-sound at every setting; see [`IndexTier`].
+    pub tier: IndexTier,
     /// Record a per-insert [`InsertEvent`](crate::InsertEvent) trace
     /// (latency, split flag, ratings computed) for the Fig. 8 experiment.
     pub record_events: bool,
@@ -183,6 +245,7 @@ impl Default for Config {
             size_model: SizeModel::Cells,
             mode: SynopsisMode::EntityBased,
             index: IndexMode::Auto,
+            tier: IndexTier::Exact,
             record_events: false,
             reorg: ReorgConfig::default(),
         }
@@ -244,6 +307,16 @@ mod tests {
         assert_eq!("on".parse::<IndexMode>().unwrap(), IndexMode::On);
         assert_eq!("off".parse::<IndexMode>().unwrap(), IndexMode::Off);
         assert!("ON".parse::<IndexMode>().is_err());
+    }
+
+    #[test]
+    fn index_tier_parses() {
+        assert_eq!("exact".parse::<IndexTier>().unwrap(), IndexTier::Exact);
+        assert_eq!("tiered".parse::<IndexTier>().unwrap(), IndexTier::Tiered);
+        assert_eq!("auto".parse::<IndexTier>().unwrap(), IndexTier::Auto);
+        assert!("TIERED".parse::<IndexTier>().is_err());
+        assert_eq!(IndexTier::Tiered.to_string(), "tiered");
+        assert_eq!(IndexTier::default(), IndexTier::Exact);
     }
 
     #[test]

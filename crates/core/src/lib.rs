@@ -67,6 +67,7 @@ pub mod partitioner;
 pub mod placement;
 pub mod rating;
 pub mod starters;
+pub mod tier;
 pub mod validate;
 
 mod error;
@@ -75,7 +76,7 @@ pub use advisor::{recommend, AdvisorConfig, CandidateScore, Recommendation};
 pub use arena::{PresenceIndex, SynopsisArena};
 pub use bulk::{bulk_load, BulkLoadReport};
 pub use catalog::{PartitionCatalog, PartitionMeta};
-pub use config::{Capacity, Config, IndexMode, ReorgConfig, ReorgMode};
+pub use config::{Capacity, Config, IndexMode, IndexTier, ReorgConfig, ReorgMode};
 pub use efficiency::{efficiency, efficiency_counters, efficiency_counters_for, efficiency_of};
 pub use error::CoreError;
 pub use events::{InsertEvent, InsertOutcome, Stats};
@@ -84,4 +85,5 @@ pub use modes::SynopsisMode;
 pub use partitioner::Cinderella;
 pub use placement::{place_affinity, place_balanced, Placement};
 pub use rating::{global_rating, local_rating, RatingInputs};
+pub use tier::{TierParams, TierSnapshot, TieredIndex};
 pub use validate::InvariantViolation;

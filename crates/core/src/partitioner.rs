@@ -46,7 +46,7 @@ impl Cinderella {
     /// Panics if the configuration is invalid (see [`Config::validate`]).
     pub fn new(config: Config) -> Self {
         config.validate();
-        let catalog = PartitionCatalog::new(config.index);
+        let catalog = PartitionCatalog::with_tier(config.index, config.tier);
         Self { config, catalog, stats: Stats::default(), events: Vec::new() }
     }
 
@@ -58,6 +58,20 @@ impl Cinderella {
     /// The partition catalog (read-only).
     pub fn catalog(&self) -> &PartitionCatalog {
         &self.catalog
+    }
+
+    /// Switches the index tier at runtime (exact ↔ tiered, or arming the
+    /// `auto` ratchet). Partitioning decisions and query answers are
+    /// unaffected — only the index representation changes.
+    pub fn set_index_tier(&mut self, tier: crate::config::IndexTier) {
+        self.config.tier = tier;
+        self.catalog.set_tier(tier);
+    }
+
+    /// Feeds the reorganizer's per-partition heat into the tier's
+    /// promotion machinery. A no-op while the exact tier is active.
+    pub fn note_partition_heat(&mut self, seg: SegmentId, heat: u32) {
+        self.catalog.note_heat(seg, heat);
     }
 
     /// Cumulative statistics.

@@ -77,7 +77,7 @@ impl Placement {
             return 1.0;
         }
         let mean = total as f64 / self.node_sizes.len() as f64;
-        let max = *self.node_sizes.iter().max().expect("nodes > 0") as f64;
+        let max = self.node_sizes.iter().copied().fold(0, u64::max) as f64;
         max / mean
     }
 
@@ -121,9 +121,7 @@ fn by_size_desc(catalog: &PartitionCatalog) -> Vec<(SegmentId, Synopsis, u64)> {
 pub fn place_balanced(catalog: &PartitionCatalog, nodes: usize) -> Placement {
     let mut p = Placement::new(nodes);
     for (seg, syn, size) in by_size_desc(catalog) {
-        let node = (0..nodes)
-            .min_by_key(|&n| p.node_sizes[n])
-            .expect("nodes > 0");
+        let node = (0..nodes).min_by_key(|&n| p.node_sizes[n]).unwrap_or(0);
         p.assign(seg, &syn, size, node);
     }
     p
@@ -146,22 +144,21 @@ pub fn place_affinity(catalog: &PartitionCatalog, nodes: usize, slack: f64) -> P
         let candidates: Vec<usize> = (0..nodes)
             .filter(|&n| (p.node_sizes[n] + size) as f64 <= cap)
             .collect();
-        let node = if candidates.is_empty() {
-            (0..nodes)
-                .min_by_key(|&n| p.node_sizes[n])
-                .expect("nodes > 0")
-        } else {
-            *candidates
-                .iter()
-                .max_by_key(|&&n| {
-                    // Prefer overlap; break ties toward the emptier node.
-                    (
-                        p.node_synopses[n].overlap(&syn),
-                        std::cmp::Reverse(p.node_sizes[n]),
-                    )
-                })
-                .expect("non-empty")
-        };
+        // Prefer overlap among nodes with headroom (ties break toward the
+        // emptier node); an empty candidate list falls back to the
+        // least-loaded node.
+        let node = candidates
+            .iter()
+            .max_by_key(|&&n| {
+                (
+                    p.node_synopses[n].overlap(&syn),
+                    std::cmp::Reverse(p.node_sizes[n]),
+                )
+            })
+            .copied()
+            .unwrap_or_else(|| {
+                (0..nodes).min_by_key(|&n| p.node_sizes[n]).unwrap_or(0)
+            });
         p.assign(seg, &syn, size, node);
     }
     p

@@ -66,8 +66,7 @@ impl SplitStarters {
     pub fn offer(&mut self, id: EntityId, synopsis: &Synopsis) {
         match (&self.a, &self.b) {
             (None, _) => self.a = Some((id, synopsis.clone())),
-            (Some(_), None) => {
-                let (_, sa) = self.a.as_ref().expect("slot A filled");
+            (Some((_, sa)), None) => {
                 self.diff_ab = sa.diff(synopsis);
                 self.b = Some((id, synopsis.clone()));
             }

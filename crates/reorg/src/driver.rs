@@ -193,6 +193,15 @@ impl ReorgDriver {
             .pruning_view()
             .map(|(seg, syn, size)| (seg, syn.clone(), size))
             .collect();
+        // Feed the decayed scan heat into the tiered index's promotion
+        // machinery: the partitions the workload actually hits earn exact
+        // hot-tier bitmaps. A no-op while the exact tier is active.
+        for (seg, _, _) in &parts {
+            let heat = self.heat.heat(*seg);
+            if heat > 0 {
+                cindy.note_partition_heat(*seg, u32::try_from(heat).unwrap_or(u32::MAX));
+            }
+        }
         let per_part = |seg: SegmentId| -> u128 {
             parts
                 .iter()
@@ -279,14 +288,39 @@ impl ReorgDriver {
 
         // 3) Cold housekeeping: fold the cheapest pair of cold underfull
         // partitions when the exactly-priced damage stays under the bar.
-        let damage_bar = (scan_cost(
-            parts.iter().map(|(_, syn, size)| (syn, *size)),
-            &workload,
-        ) as f64
-            * self.cfg.threshold) as u128;
+        // The bar is *pair-local* — the hysteresis fraction of the two
+        // candidates' own current scan cost, not of the catalog total. A
+        // flash crowd inflates the total with the hammered partitions'
+        // traffic, and a total-relative bar then waves through merges
+        // whose damage to the background workload is very real; a pair
+        // the remembered workload doesn't touch has bar zero, so only
+        // provably free merges clear it.
+        // A flash crowd hammers one query shape, which starves every other
+        // partition of heat without the workload having actually moved on
+        // — and a merge enacted on that false "cold" signal is paid back
+        // with interest when the crowd passes (PR 9's bench recorded the
+        // loss). Two guards keep such merges off the menu:
+        //
+        // * **Monopoly veto**: while a single shape carries the majority
+        //   of the window's weight, the sample is not representative of
+        //   what the workload touches, so cold-merge housekeeping is
+        //   suspended outright for the step. Organic mixes (steady,
+        //   drift, churn) spread weight over many shapes and never
+        //   trip this.
+        // * **Cool-off veto**: a partition scanned within the last few
+        //   epochs is not cold even if halving already erased its
+        //   counter — covers the crowd's rise and fall edges, where the
+        //   window is mixed enough to escape the monopoly test.
+        let total_weight: u64 = workload.iter().map(|(_, w)| *w).sum();
+        let top_weight: u64 = workload.iter().map(|(_, w)| *w).max().unwrap_or(0);
+        if top_weight * 2 > total_weight {
+            return Ok(StepReport::default());
+        }
         let mut cold: Vec<(u64, SegmentId)> = parts
             .iter()
-            .filter(|(seg, _, _)| self.heat.heat(*seg) == 0)
+            .filter(|(seg, _, _)| {
+                self.heat.heat(*seg) == 0 && !self.heat.recently_scanned(*seg)
+            })
             .filter_map(|(seg, _, _)| {
                 let meta = cindy.catalog().get(*seg)?;
                 let underfull = match cindy.config().capacity {
@@ -315,6 +349,8 @@ impl ReorgDriver {
                     continue;
                 }
                 let damage = merge_damage((syn_a, size_a), (syn_b, size_b), &workload);
+                let damage_bar =
+                    ((per_part(a) + per_part(b)) as f64 * self.cfg.threshold) as u128;
                 if damage <= damage_bar
                     && best_merge.is_none_or(|(_, _, d)| damage < d)
                 {

@@ -26,6 +26,17 @@ use cind_storage::SegmentId;
 /// full sweep stays trivially cheap.
 pub const WORKLOAD_CAP: usize = 32;
 
+/// Epochs a partition stays merge-vetoed after its last scan. Halving
+/// decay erases one or two scans within a couple of epochs, so "decayed
+/// heat is zero" alone does not mean "the workload is done with this
+/// partition" — during a flash crowd the hammered pair starves everyone
+/// else of heat, the merge phase folds partitions the background workload
+/// still touches, and the post-crowd re-hit forces them straight back
+/// apart. The cool-off remembers the *last scan epoch* un-decayed and
+/// keeps such partitions off the merge menu until the workload has
+/// demonstrably moved on.
+pub const MERGE_COOLOFF_EPOCHS: u64 = 4;
+
 /// Per-partition heat counters for the current window.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PartitionHeat {
@@ -46,6 +57,9 @@ pub struct HeatMap {
     /// Scan heat per partition. `BTreeMap` for deterministic iteration —
     /// driver decisions must not depend on hash order.
     parts: BTreeMap<SegmentId, PartitionHeat>,
+    /// Epoch of each partition's most recent scan, un-decayed. Entries
+    /// older than [`MERGE_COOLOFF_EPOCHS`] are pruned at epoch close.
+    scan_epoch: BTreeMap<SegmentId, u64>,
     /// Recent distinct query synopses with decayed occurrence weights.
     workload: Vec<(Synopsis, u64)>,
 }
@@ -59,6 +73,7 @@ impl HeatMap {
             ops_in_epoch: 0,
             epoch: 0,
             parts: BTreeMap::new(),
+            scan_epoch: BTreeMap::new(),
             workload: Vec::new(),
         }
     }
@@ -73,6 +88,7 @@ impl HeatMap {
     ) {
         for seg in scanned {
             self.parts.entry(seg).or_default().scans += 1;
+            self.scan_epoch.insert(seg, self.epoch);
         }
         match self.workload.iter_mut().find(|(q, _)| q == query) {
             Some((_, w)) => *w += 1,
@@ -119,6 +135,8 @@ impl HeatMap {
             h.scans /= 2;
             h.scans > 0
         });
+        let epoch = self.epoch;
+        self.scan_epoch.retain(|_, last| epoch - *last <= MERGE_COOLOFF_EPOCHS);
         self.workload.retain_mut(|(_, w)| {
             *w /= 2;
             *w > 0
@@ -129,6 +147,17 @@ impl HeatMap {
     #[must_use]
     pub fn heat(&self, seg: SegmentId) -> u64 {
         self.parts.get(&seg).map_or(0, |h| h.scans)
+    }
+
+    /// Whether the partition was scanned within the last
+    /// [`MERGE_COOLOFF_EPOCHS`] epochs — the merge veto's predicate.
+    /// Independent of the decayed counter: a single scan three epochs ago
+    /// has heat zero but is still "recent" here.
+    #[must_use]
+    pub fn recently_scanned(&self, seg: SegmentId) -> bool {
+        self.scan_epoch
+            .get(&seg)
+            .is_some_and(|&last| self.epoch - last <= MERGE_COOLOFF_EPOCHS)
     }
 
     /// The decayed workload: distinct query synopses with weights.
@@ -196,6 +225,36 @@ mod tests {
         assert_eq!(h.workload().len(), WORKLOAD_CAP);
         assert!(h.workload().iter().any(|(q, _)| *q == syn(&[99])));
         assert!(h.workload().iter().any(|(q, w)| *q == syn(&[0]) && *w == 2));
+    }
+
+    #[test]
+    fn cooloff_outlives_decayed_heat() {
+        let mut h = HeatMap::new(1);
+        h.record_query(&syn(&[1]), [SegmentId(3)]);
+        // One scan halves to zero at the immediate epoch close…
+        assert_eq!(h.heat(SegmentId(3)), 0);
+        // …but the partition stays merge-vetoed for the cool-off window.
+        assert!(h.recently_scanned(SegmentId(3)));
+        for _ in 1..MERGE_COOLOFF_EPOCHS {
+            h.record_op();
+        }
+        assert!(h.recently_scanned(SegmentId(3)));
+        h.record_op();
+        assert!(!h.recently_scanned(SegmentId(3)));
+    }
+
+    #[test]
+    fn rescan_refreshes_the_cooloff() {
+        let mut h = HeatMap::new(1);
+        h.record_query(&syn(&[1]), [SegmentId(9)]);
+        for _ in 0..MERGE_COOLOFF_EPOCHS {
+            h.record_op();
+        }
+        h.record_query(&syn(&[1]), [SegmentId(9)]);
+        for _ in 1..MERGE_COOLOFF_EPOCHS {
+            h.record_op();
+        }
+        assert!(h.recently_scanned(SegmentId(9)));
     }
 
     #[test]

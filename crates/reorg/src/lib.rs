@@ -35,4 +35,4 @@ pub mod heat;
 
 pub use cost::{merge_damage, migrate_delta, resplit_saving, scan_cost};
 pub use driver::{ActionKind, ReorgDriver, ReorgStats, StepReport};
-pub use heat::{HeatMap, PartitionHeat, WORKLOAD_CAP};
+pub use heat::{HeatMap, PartitionHeat, MERGE_COOLOFF_EPOCHS, WORKLOAD_CAP};

@@ -1,6 +1,6 @@
 //! Serving-layer configuration.
 
-use cinderella_core::{ReorgConfig, ReorgMode};
+use cinderella_core::{IndexTier, ReorgConfig, ReorgMode};
 
 /// Tunables for one [`crate::Server`] instance.
 ///
@@ -62,6 +62,13 @@ pub struct ServeConfig {
     /// becomes due every this-many ops per shard (op-count based, never
     /// wall-clock — the determinism rule the simulation relies on).
     pub reorg_epoch_ops: u64,
+    /// Pruning-index tier per shard (`exact`, `tiered`, or `auto`).
+    /// `exact` keeps one presence bitmap per attribute; `tiered` swaps the
+    /// bitmaps for blocked Bloom filter rows plus a bounded exact hot tier
+    /// (superset-sound: answers are identical, memory is bounded); `auto`
+    /// starts exact and ratchets to tiered once a shard's catalog crosses
+    /// the partition-count threshold.
+    pub tier: IndexTier,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +85,7 @@ impl Default for ServeConfig {
             reorg_budget: ReorgConfig::default().budget,
             reorg_threshold: ReorgConfig::default().threshold,
             reorg_epoch_ops: ReorgConfig::default().epoch_ops,
+            tier: IndexTier::Exact,
         }
     }
 }

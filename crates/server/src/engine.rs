@@ -32,11 +32,13 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use cind_model::{Entity, EntityId, Synopsis};
-use cind_query::planner::{plan_with, Parallelism, Plan};
+use cind_query::planner::{plan_from_survivors, plan_with, Parallelism, Plan};
 use cind_query::{execute_collect_view, Query};
 use cind_reorg::{ReorgDriver, ReorgStats, StepReport};
 use cind_storage::{wal, RealVfs, SegmentId, StorageError, TableSnapshot, UniversalTable, Vfs};
-use cinderella_core::{validate::render, Cinderella, Config, CoreError, MergeReport};
+use cinderella_core::{
+    validate::render, Cinderella, Config, CoreError, IndexTier, MergeReport, TierSnapshot,
+};
 
 use crate::commit::{GroupCommit, GroupSink, WalCounters};
 use crate::protocol::{
@@ -98,7 +100,11 @@ impl EngineOptions {
     #[must_use]
     pub fn from_serve(cfg: &ServeConfig) -> Self {
         Self {
-            config: Config { reorg: cfg.reorg_config(), ..Config::default() },
+            config: Config {
+                reorg: cfg.reorg_config(),
+                tier: cfg.tier,
+                ..Config::default()
+            },
             pool_pages: cfg.pool_pages.max(8),
             query_threads: cfg.query_threads.max(1),
             group_commit_window: Duration::from_micros(cfg.group_commit_window),
@@ -115,13 +121,45 @@ struct EngineState {
     commit: Option<Arc<GroupCommit>>,
 }
 
+/// The pruning metadata frozen into an [`EngineSnapshot`]: either the
+/// exact per-partition synopsis pairs, or — when the catalog runs the
+/// tiered index — a frozen [`TierSnapshot`] whose survivor sets are
+/// supersets of the exact ones (the executor's per-row `matches` keeps
+/// answers identical either way).
+enum SnapshotPruning {
+    Exact(Vec<(SegmentId, Synopsis)>),
+    Tiered(Box<TierSnapshot>),
+}
+
 /// An owned, immutable view of the engine at one write epoch: the table
-/// snapshot plus the partition pruning pairs captured from the
+/// snapshot plus the partition pruning metadata captured from the
 /// partitioner's catalog at the same instant. Queries plan and scan
 /// against this object with no engine lock held.
 pub struct EngineSnapshot {
     table: TableSnapshot,
-    pruning: Vec<(SegmentId, Synopsis)>,
+    pruning: SnapshotPruning,
+}
+
+impl EngineSnapshot {
+    /// Survivors of `syn` under this snapshot's pruning metadata, with the
+    /// pruned-partition count (tiered survivors are superset-sound).
+    fn survivors_of(&self, syn: &Synopsis) -> (Vec<SegmentId>, usize) {
+        match &self.pruning {
+            SnapshotPruning::Exact(pairs) => {
+                let mut survivors = Vec::new();
+                let mut pruned = 0usize;
+                for (seg, psyn) in pairs {
+                    if syn.is_disjoint(psyn) {
+                        pruned += 1;
+                    } else {
+                        survivors.push(*seg);
+                    }
+                }
+                (survivors, pruned)
+            }
+            SnapshotPruning::Tiered(snap) => snap.survivors(syn),
+        }
+    }
 }
 
 /// One store (table + partitioner) behind the serving layer's locking
@@ -297,12 +335,20 @@ impl Engine {
         let epoch = self.epoch.load(Ordering::Acquire);
         let snap = Arc::new(EngineSnapshot {
             table: state.table.freeze(),
-            pruning: state
-                .cindy
-                .catalog()
-                .pruning_view()
-                .map(|(seg, syn, _)| (seg, syn.clone()))
-                .collect(),
+            // Freeze whichever pruning index the catalog runs: the tiered
+            // snapshot clones filter words instead of per-partition
+            // synopses, so a million-partition freeze stays cheap.
+            pruning: match state.cindy.catalog().tier_snapshot() {
+                Some(tier) => SnapshotPruning::Tiered(Box::new(tier)),
+                None => SnapshotPruning::Exact(
+                    state
+                        .cindy
+                        .catalog()
+                        .pruning_view()
+                        .map(|(seg, syn, _)| (seg, syn.clone()))
+                        .collect(),
+                ),
+            },
         });
         drop(state);
         let mut cache = self.snap_cache.lock().unwrap_or_else(PoisonError::into_inner);
@@ -513,11 +559,17 @@ impl Engine {
         } else {
             Parallelism::Sequential
         };
-        plan_with(
-            query,
-            snap.pruning.iter().map(|(seg, syn)| (*seg, syn)),
-            parallelism,
-        )
+        match &snap.pruning {
+            SnapshotPruning::Exact(pairs) => plan_with(
+                query,
+                pairs.iter().map(|(seg, syn)| (*seg, syn)),
+                parallelism,
+            ),
+            SnapshotPruning::Tiered(tier) => {
+                let (segments, pruned) = tier.survivors(query.synopsis());
+                plan_from_survivors(segments, pruned).with_parallelism(parallelism)
+            }
+        }
     }
 
     /// Feeds one query into the reorganizer's heat map: its synopsis plus
@@ -527,14 +579,12 @@ impl Engine {
     /// the read path stays write-lock-free and infallible.
     fn note_query(&self, snap: &EngineSnapshot, query: &Query) {
         let syn = query.synopsis();
+        // Under the tiered index the survivor set is approximate
+        // (superset); heat is advisory, so feeding the few extra false
+        // positives is harmless.
+        let (survivors, _) = snap.survivors_of(syn);
         let mut driver = self.reorg.lock().unwrap_or_else(PoisonError::into_inner);
-        driver.record_query(
-            syn,
-            snap.pruning
-                .iter()
-                .filter(|(_, psyn)| !psyn.is_disjoint(syn))
-                .map(|(seg, _)| *seg),
-        );
+        driver.record_query(syn, survivors);
     }
 
     /// Advances the reorganizer's cadence clock after a committed mutation
@@ -688,6 +738,22 @@ impl Engine {
         state.table.wal_mark_epoch(epoch);
         state.commit = Some(commit);
         Ok(())
+    }
+
+    /// Switches the pruning-index tier at runtime. Takes the write lock
+    /// and bumps the epoch so the next reader freezes a snapshot of the
+    /// new index; the switch is in-memory index state only (rebuilt from
+    /// the catalog's refcounts), so nothing is WAL-framed.
+    pub fn set_index_tier(&self, tier: IndexTier) {
+        let mut state = self.write();
+        state.cindy.set_index_tier(tier);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Whether the tiered pruning index is currently active.
+    #[must_use]
+    pub fn tier_active(&self) -> bool {
+        self.read().cindy.catalog().tier_active()
     }
 
     /// Runs one partition merge pass (threshold in `(0, 1]`; out-of-range
@@ -847,6 +913,38 @@ mod tests {
         assert!(
             matches!(resp, Response::Error { code: ErrorCode::UnknownAttribute, .. })
         );
+    }
+
+    #[test]
+    fn tiered_engine_answers_match_exact() {
+        let tiered_opts = EngineOptions {
+            config: Config { tier: IndexTier::Tiered, ..Config::default() },
+            ..EngineOptions::default()
+        };
+        let exact = Engine::in_memory(EngineOptions::default());
+        let tiered = Engine::in_memory(tiered_opts);
+        for id in 0..200u64 {
+            let w = wire(id, &[(["rpm", "mp", "ghz", "kg"][id as usize % 4], id as i64)]);
+            exact.insert(&w).unwrap();
+            tiered.insert(&w).unwrap();
+        }
+        assert!(tiered.tier_active());
+        assert!(!exact.tier_active());
+        for attr in ["rpm", "mp", "ghz", "kg"] {
+            let (mut a, _) = exact.query(&[attr.to_string()]).unwrap();
+            let (mut b, _) = tiered.query(&[attr.to_string()]).unwrap();
+            a.sort_by_key(|row| format!("{row:?}"));
+            b.sort_by_key(|row| format!("{row:?}"));
+            assert_eq!(a, b, "{attr}: tiered answers must match exact");
+        }
+        assert!(tiered.validate().unwrap().is_empty());
+
+        // Runtime switch back to exact keeps serving and validating.
+        tiered.set_index_tier(IndexTier::Exact);
+        assert!(!tiered.tier_active());
+        let (rows, _) = tiered.query(&["rpm".to_string()]).unwrap();
+        assert_eq!(rows.len(), 50);
+        assert!(tiered.validate().unwrap().is_empty());
     }
 
     #[test]

@@ -485,6 +485,14 @@ impl ShardedEngine {
         total
     }
 
+    /// Switches the pruning-index tier on every shard (in-memory index
+    /// state only; nothing is WAL-framed).
+    pub fn set_index_tier(&self, tier: cinderella_core::IndexTier) {
+        for engine in self.engines() {
+            engine.set_index_tier(tier);
+        }
+    }
+
     /// Runs one partition merge pass on every shard; reports are summed.
     ///
     /// # Errors

@@ -1,6 +1,8 @@
 //! Flag parsing and run orchestration for `cind-sim` / `cind sim`.
 
-use crate::harness::{crash_sweep, run_ops, RunSpec, SimConfig, SimFailure};
+use cinderella_core::IndexTier;
+
+use crate::harness::{crash_sweep_with_tier, run_ops, RunSpec, SimConfig, SimFailure};
 use crate::schedule::{generate, generate_drift, Op};
 use crate::trace::{shrink_ops, Trace};
 use crate::vfs::FaultPlan;
@@ -29,7 +31,11 @@ FLAGS:
                        sim-failure-seed-N.json)
     --selftest N       run the bit-rot self-test over N seeds
     --sweep            kill-at-every-crash-point sweep, per shard
-                       (uses --seed, --ops, --shards)
+                       (uses --seed, --ops, --shards, --tier)
+    --tier MODE        initial pruning-index tier: exact | tiered | auto
+                       (default exact); the harness flips exact <-> tiered
+                       at every successful checkpoint, and recoveries
+                       reapply the current tier before re-checking
     --help             this text
 
 Exit code 0 = every run passed; 1 = a divergence (trace saved); 2 = bad
@@ -46,6 +52,7 @@ struct Args {
     save_trace: Option<String>,
     selftest: Option<u64>,
     sweep: bool,
+    tier: IndexTier,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -60,6 +67,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         save_trace: None,
         selftest: None,
         sweep: false,
+        tier: IndexTier::Exact,
     };
     let mut seed_count: Option<u64> = None;
     let mut single_seed: Option<u64> = None;
@@ -109,6 +117,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 );
             }
             "--sweep" => args.sweep = true,
+            "--tier" => {
+                args.tier =
+                    value("--tier")?.parse().map_err(|e: String| format!("--tier: {e}"))?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -144,7 +156,7 @@ pub fn main_with_args(argv: &[String]) -> i32 {
     }
     if args.sweep {
         let seed = args.seeds.first().copied().unwrap_or(0);
-        return run_sweep(seed, args.ops, args.shards);
+        return run_sweep(seed, args.ops, args.shards, args.tier);
     }
     run_seed_matrix(&args)
 }
@@ -213,6 +225,9 @@ fn run_replay(path: &str, check_every: usize) -> i32 {
         ops: &trace.ops,
         check_every,
         arm_crash: None,
+        // Recorded traces predate (or ignore) the tier knob: replay with
+        // the exact index, the representation they were minted under.
+        tier: IndexTier::Exact,
     };
     match run_ops(&spec) {
         Ok(report) => {
@@ -243,12 +258,12 @@ fn run_replay(path: &str, check_every: usize) -> i32 {
     }
 }
 
-fn run_sweep(seed: u64, ops: usize, shards: usize) -> i32 {
-    match crash_sweep(seed, ops, shards) {
+fn run_sweep(seed: u64, ops: usize, shards: usize, tier: IndexTier) -> i32 {
+    match crash_sweep_with_tier(seed, ops, shards, tier) {
         Ok(points) => {
             println!(
-                "sweep: seed {seed}, {ops} ops, {shards} shard(s) — {points} \
-                 crash-points, every recovery oracle-equivalent"
+                "sweep: seed {seed}, {ops} ops, {shards} shard(s), {tier} tier — \
+                 {points} crash-points, every recovery oracle-equivalent"
             );
             0
         }
@@ -268,6 +283,7 @@ fn run_seed_matrix(args: &Args) -> i32 {
             faults: args.faults,
             shards: args.shards,
             check_every: args.check_every,
+            tier: args.tier,
         };
         let ops = if args.drift {
             generate_drift(cfg.seed, cfg.ops, cfg.faults, cfg.shards)
@@ -282,6 +298,7 @@ fn run_seed_matrix(args: &Args) -> i32 {
             ops: &ops,
             check_every: args.check_every,
             arm_crash: None,
+            tier: args.tier,
         };
         let first = run_ops(&spec);
         match first {
@@ -341,6 +358,7 @@ fn spec_for<'a>(args: &Args, seed: u64, plan: FaultPlan, ops: &'a [Op]) -> RunSp
         ops,
         check_every: args.check_every,
         arm_crash: None,
+        tier: args.tier,
     }
 }
 

@@ -44,7 +44,7 @@ use cind_server::{
 use cind_storage::{StorageError, Vfs};
 use cind_storage::UniversalTable;
 use cinderella_core::{
-    efficiency_counters_for, Capacity, Config, CoreError, ReorgConfig, ReorgMode,
+    efficiency_counters_for, Capacity, Config, CoreError, IndexTier, ReorgConfig, ReorgMode,
 };
 
 use crate::clock::VirtualClock;
@@ -80,11 +80,25 @@ pub struct SimConfig {
     /// Run the full oracle/validation/efficiency check every N steps
     /// (1 = every step; recovery always checks regardless).
     pub check_every: usize,
+    /// Initial pruning-index tier. A `tiered` run *flips* `exact ↔
+    /// tiered` at every successful checkpoint, so it also exercises the
+    /// runtime switch both ways; recoveries reapply the current tier
+    /// (the tier is in-memory index state, rebuilt from the recovered
+    /// catalog). `exact` runs never flip — they are the determinism
+    /// baseline the committed replay traces were recorded against.
+    pub tier: IndexTier,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { seed: 0, ops: 2000, faults: true, shards: 1, check_every: 1 }
+        Self {
+            seed: 0,
+            ops: 2000,
+            faults: true,
+            shards: 1,
+            check_every: 1,
+            tier: IndexTier::Exact,
+        }
     }
 }
 
@@ -107,6 +121,9 @@ pub struct RunSpec<'a> {
     pub check_every: usize,
     /// Arm shard `.0`'s VFS to crash on its `.1`-th mutating operation.
     pub arm_crash: Option<(usize, u64)>,
+    /// Initial pruning-index tier (a `tiered` run flips at checkpoint
+    /// boundaries; see [`SimConfig::tier`]).
+    pub tier: IndexTier,
 }
 
 /// Why a run failed: the step index (if the failure is attributable to
@@ -145,6 +162,17 @@ pub struct RunReport {
 }
 
 struct World {
+    /// The pruning-index tier currently applied to every shard. A run
+    /// that *starts* tiered flips `exact ↔ tiered` at successful
+    /// checkpoints; the tier is reapplied after every recovery (a
+    /// reopened shard rebuilds with the spec's initial tier, not the
+    /// flipped one).
+    tier: IndexTier,
+    /// Whether checkpoints flip the tier. True only when the spec asked
+    /// for `tiered`: exact runs stay exact end to end so the committed
+    /// replay traces (minted before the tier knob existed) keep their
+    /// recorded hashes, and auto keeps its own ratchet under test.
+    flip_tier: bool,
     /// One fault-injecting backend per shard — independent crash domains.
     vfss: Vec<Arc<SimVfs>>,
     /// Fault-free backend for the shard manifest: the manifest is written
@@ -158,10 +186,11 @@ struct World {
     restarts: u64,
 }
 
-pub(crate) fn sim_engine_options(vfs: Arc<SimVfs>) -> EngineOptions {
+pub(crate) fn sim_engine_options(vfs: Arc<SimVfs>, tier: IndexTier) -> EngineOptions {
     EngineOptions {
         config: Config {
             weight: 0.3,
+            tier,
             // Small capacity so the schedule actually exercises splits.
             capacity: Capacity::MaxEntities(8),
             // Reorganizer on with a short op-count epoch so both trigger
@@ -198,8 +227,10 @@ pub fn shard_vfs_seed(seed: u64, i: usize) -> u64 {
 pub fn sim_sharded_options(
     meta_vfs: &Arc<SimVfs>,
     vfss: &[Arc<SimVfs>],
+    tier: IndexTier,
 ) -> ShardedOptions {
-    let mut opts = ShardedOptions::new(sim_engine_options(Arc::clone(meta_vfs)), vfss.len());
+    let mut opts =
+        ShardedOptions::new(sim_engine_options(Arc::clone(meta_vfs), tier), vfss.len());
     opts.shard_vfs = vfss.iter().map(|v| Arc::clone(v) as Arc<dyn Vfs>).collect();
     opts
 }
@@ -213,6 +244,7 @@ pub fn sim_sharded_options(
 fn open_sharded(
     meta_vfs: &Arc<SimVfs>,
     vfss: &[Arc<SimVfs>],
+    tier: IndexTier,
 ) -> Result<ShardedEngine, String> {
     let mut last = String::new();
     for attempt in 0..OPEN_RETRIES {
@@ -221,7 +253,10 @@ fn open_sharded(
                 vfs.set_suppress(true);
             }
         }
-        match ShardedEngine::open(Path::new(STORE_DIR), sim_sharded_options(meta_vfs, vfss)) {
+        match ShardedEngine::open(
+            Path::new(STORE_DIR),
+            sim_sharded_options(meta_vfs, vfss, tier),
+        ) {
             Ok(engine) => {
                 for vfs in vfss {
                     vfs.set_suppress(false);
@@ -286,6 +321,7 @@ pub fn run(cfg: &SimConfig) -> Result<RunReport, SimFailure> {
         ops: &ops,
         check_every: cfg.check_every,
         arm_crash: None,
+        tier: cfg.tier,
     })
 }
 
@@ -319,9 +355,11 @@ pub fn run_ops(spec: &RunSpec<'_>) -> Result<RunReport, SimFailure> {
         };
         vfs.arm_crash(k);
     }
-    let engine = open_sharded(&meta_vfs, &vfss)
+    let engine = open_sharded(&meta_vfs, &vfss, spec.tier)
         .map_err(|reason| SimFailure { step: None, reason })?;
     let mut world = World {
+        tier: spec.tier,
+        flip_tier: spec.tier == IndexTier::Tiered,
         vfss,
         meta_vfs,
         clock,
@@ -398,7 +436,23 @@ fn step(world: &mut World, op: &Op) -> Result<String, String> {
         }
         Op::Checkpoint => {
             let result = world.engine.checkpoint();
-            resolve_maintenance(world, op, result)
+            let outcome = resolve_maintenance(world, op, result)?;
+            // Checkpoint boundaries flip the pruning-index tier of a run
+            // that started tiered: it alternates exact ↔ tiered
+            // mid-schedule, exercising both runtime switches under the
+            // oracle. Exact runs stay exact (the determinism baseline the
+            // committed traces were recorded against); auto stays auto
+            // (its ratchet is the thing under test). A fault-restart
+            // already reapplied the current tier.
+            if outcome == "ok" && world.flip_tier {
+                world.tier = match world.tier {
+                    IndexTier::Exact => IndexTier::Tiered,
+                    IndexTier::Tiered => IndexTier::Exact,
+                    IndexTier::Auto => IndexTier::Auto,
+                };
+                world.engine.set_index_tier(world.tier);
+            }
+            Ok(outcome)
         }
         Op::CrashRestart => {
             // Kill without warning: drop the whole engine mid-flight (no
@@ -635,6 +689,9 @@ fn reopen_victim(world: &mut World, victim: usize) -> Result<(), String> {
         ));
     }
     world.restarts += 1;
+    // The victim rebuilt with the spec's initial tier; reapply the current
+    // (possibly checkpoint-flipped) one before checking.
+    world.engine.shard_engine(victim).set_index_tier(world.tier);
     // Recovery must restore a structurally valid store; the content
     // comparison is the caller's job (candidates differ per op class).
     structural_check(&world.engine)?;
@@ -647,7 +704,7 @@ fn restart_all(world: &mut World) -> Result<(), String> {
     for vfs in &world.vfss {
         vfs.clear_crash();
     }
-    let engine = open_sharded(&world.meta_vfs, &world.vfss)?;
+    let engine = open_sharded(&world.meta_vfs, &world.vfss, world.tier)?;
     world.engine = engine;
     world.restarts += 1;
     structural_check(&world.engine)?;
@@ -844,6 +901,23 @@ fn independent_counters(
 /// # Errors
 /// The first crash-point whose recovery diverges.
 pub fn crash_sweep(seed: u64, ops_count: usize, shards: usize) -> Result<u64, SimFailure> {
+    crash_sweep_with_tier(seed, ops_count, shards, IndexTier::Exact)
+}
+
+/// [`crash_sweep`] with an explicit initial pruning-index tier: the
+/// `tiered` sweep proves a crash anywhere in the mutation space recovers
+/// to an oracle-equivalent store *and* rebuilds the approximate tier
+/// (recovery reapplies the current tier before the structural check, whose
+/// tier invariants include the no-false-negative implication).
+///
+/// # Errors
+/// The first crash-point whose recovery diverges.
+pub fn crash_sweep_with_tier(
+    seed: u64,
+    ops_count: usize,
+    shards: usize,
+    tier: IndexTier,
+) -> Result<u64, SimFailure> {
     let shards = shards.max(1);
     let ops = generate(seed, ops_count, false, shards);
     let base = run_ops(&RunSpec {
@@ -854,6 +928,7 @@ pub fn crash_sweep(seed: u64, ops_count: usize, shards: usize) -> Result<u64, Si
         ops: &ops,
         check_every: 0,
         arm_crash: None,
+        tier,
     })?;
     let mut points = 0u64;
     for (shard, &count) in base.vfs_mutations_per_shard.iter().enumerate() {
@@ -867,6 +942,7 @@ pub fn crash_sweep(seed: u64, ops_count: usize, shards: usize) -> Result<u64, Si
                 ops: &ops,
                 check_every: 0,
                 arm_crash: Some((shard, k)),
+                tier,
             })
             .map_err(|f| SimFailure {
                 step: f.step,
@@ -887,7 +963,14 @@ mod tests {
 
     #[test]
     fn faultless_run_passes_every_check() {
-        let cfg = SimConfig { seed: 1, ops: 300, faults: false, shards: 1, check_every: 1 };
+        let cfg = SimConfig {
+            seed: 1,
+            ops: 300,
+            faults: false,
+            shards: 1,
+            check_every: 1,
+            ..SimConfig::default()
+        };
         let report = run(&cfg).expect("faultless run");
         assert_eq!(report.restarts, 0);
         assert!(report.final_entities > 0);
@@ -897,8 +980,58 @@ mod tests {
     }
 
     #[test]
+    fn faultless_tiered_run_flips_at_checkpoints_and_passes() {
+        // Same schedule class as the exact run, but starting tiered: every
+        // checkpoint flips the tier, so the oracle, structural validation
+        // (tier invariants included), and efficiency checks all run under
+        // both representations and across both switch directions.
+        let cfg = SimConfig {
+            seed: 1,
+            ops: 300,
+            faults: false,
+            shards: 1,
+            check_every: 1,
+            tier: IndexTier::Tiered,
+        };
+        let report = run(&cfg).expect("faultless tiered run");
+        assert_eq!(report.restarts, 0);
+        assert!(report.final_entities > 0);
+        let again = run(&cfg).expect("tiered rerun");
+        assert_eq!(report.trace.hash(), again.trace.hash());
+    }
+
+    #[test]
+    fn faulty_tiered_run_recovers_and_stays_deterministic() {
+        let cfg = SimConfig {
+            seed: 7,
+            ops: 400,
+            faults: true,
+            shards: 2,
+            check_every: 4,
+            tier: IndexTier::Tiered,
+        };
+        let a = run(&cfg).expect("faulty tiered run");
+        let b = run(&cfg).expect("faulty tiered rerun");
+        assert_eq!(a.trace.hash(), b.trace.hash());
+    }
+
+    #[test]
+    fn small_tiered_crash_sweep_recovers_everywhere() {
+        let points =
+            crash_sweep_with_tier(3, 25, 1, IndexTier::Tiered).expect("tiered sweep");
+        assert!(points > 0, "schedule produced no crash-points");
+    }
+
+    #[test]
     fn faulty_run_recovers_and_stays_deterministic() {
-        let cfg = SimConfig { seed: 7, ops: 400, faults: true, shards: 1, check_every: 4 };
+        let cfg = SimConfig {
+            seed: 7,
+            ops: 400,
+            faults: true,
+            shards: 1,
+            check_every: 4,
+            ..SimConfig::default()
+        };
         let a = run(&cfg).expect("faulty run");
         let b = run(&cfg).expect("faulty rerun");
         assert_eq!(a.trace.hash(), b.trace.hash(), "fault stream must be deterministic");
@@ -906,7 +1039,14 @@ mod tests {
 
     #[test]
     fn sharded_faulty_run_recovers_and_stays_deterministic() {
-        let cfg = SimConfig { seed: 13, ops: 400, faults: true, shards: 3, check_every: 4 };
+        let cfg = SimConfig {
+            seed: 13,
+            ops: 400,
+            faults: true,
+            shards: 3,
+            check_every: 4,
+            ..SimConfig::default()
+        };
         let a = run(&cfg).expect("sharded faulty run");
         let b = run(&cfg).expect("sharded faulty rerun");
         assert_eq!(a.trace.hash(), b.trace.hash(), "sharded runs must be deterministic");

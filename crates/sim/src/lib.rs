@@ -46,8 +46,8 @@ pub mod trace;
 pub mod vfs;
 
 pub use harness::{
-    content_diff, crash_sweep, run, run_ops, shard_vfs_seed, sim_sharded_options, RunReport,
-    RunSpec, SimConfig, SimFailure,
+    content_diff, crash_sweep, crash_sweep_with_tier, run, run_ops, shard_vfs_seed,
+    sim_sharded_options, RunReport, RunSpec, SimConfig, SimFailure,
 };
 pub use schedule::{generate, generate_drift, Op};
 pub use selftest::{self_test, SelfTestReport};

@@ -115,7 +115,7 @@ fn one_seed(seed: u64) -> Result<Outcome, String> {
         .collect();
     let meta_vfs =
         Arc::new(SimVfs::new(seed ^ 0x4D45_5441_4D45_5441, FaultPlan::none(), Arc::clone(&clock)));
-    let opts = || sim_sharded_options(&meta_vfs, &vfss);
+    let opts = || sim_sharded_options(&meta_vfs, &vfss, cinderella_core::IndexTier::Exact);
     let engine = ShardedEngine::open(Path::new(STORE_DIR), opts())
         .map_err(|e| format!("seed {seed}: initial open failed: {e}"))?;
 

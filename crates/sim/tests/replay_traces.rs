@@ -48,6 +48,9 @@ fn every_committed_trace_replays_to_its_recorded_hash() {
             ops: &trace.ops,
             check_every: 1,
             arm_crash: None,
+            // Recorded traces predate the tier knob; replay with the exact
+            // tier so their hashes stay meaningful.
+            tier: cinderella_core::IndexTier::Exact,
         })
         .unwrap_or_else(|f| panic!("{name}: replay failed: {f}"));
         assert_eq!(

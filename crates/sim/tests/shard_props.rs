@@ -64,7 +64,7 @@ impl SimWorld {
     fn open(&self) -> Result<ShardedEngine, TestCaseError> {
         ShardedEngine::open(
             Path::new(STORE_DIR),
-            sim_sharded_options(&self.meta_vfs, &self.vfss),
+            sim_sharded_options(&self.meta_vfs, &self.vfss, cinderella_core::IndexTier::Exact),
         )
         .map_err(|e| TestCaseError::fail(format!("open failed: {e}")))
     }

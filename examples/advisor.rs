@@ -47,7 +47,8 @@ fn main() {
         universe,
         &workload,
         &AdvisorConfig::default(),
-    );
+    )
+    .expect("non-empty sample and default grid");
     println!(
         "advisor scored {} candidates on a {SAMPLE}-entity sample in {:.1?}:\n",
         rec.candidates.len(),
